@@ -1,0 +1,160 @@
+"""Experiment X-BASE (paper Section II): communication architectures
+head to head.
+
+Quantifies the claims the paper makes against related work:
+
+* Ullmann et al.: all inter-PRR traffic relayed by the MicroBlaze
+  -> CPU-bound at ~f_cpu/10 words/s shared over all streams;
+* Sedcole et al. (Sonic-on-a-Chip): dynamic channels over a 50 MHz
+  time-multiplexed bus -> 50M/active_connections words/s;
+* VAPRES: registered switch boxes at 100 MHz -> one word per cycle *per
+  channel*, concurrently.
+
+Expected shape: VAPRES ~10x the processor-routed rate, ~2x the shared
+bus for one stream and (2 * streams)x for concurrent streams.
+"""
+
+from repro.analysis.report import format_table
+from repro.baselines.processor_routed import processor_relay
+from repro.baselines.shared_bus import SONIC_BUS_HZ, SharedBus
+from repro.comm.interfaces import ConsumerInterface, ProducerInterface
+from repro.modules import Iom
+from repro.modules.sources import ramp
+from repro.modules.transforms import PassThrough
+from repro.sim.clock import Clock
+from repro.sim.kernel import Simulator
+
+from tests.helpers import build_system
+
+MEASURE_CYCLES = 1_500
+
+
+def vapres_concurrent_throughput():
+    """Two simultaneous streams through the switch fabric."""
+    system = build_system()
+    iom = Iom("io", source=ramp(count=10_000_000), words_per_push=2)
+    system.attach_iom("rsb0.iom0", iom)
+    module_a = PassThrough("a")
+    module_b = PassThrough("b")
+    system.place_module_directly(module_a, "rsb0.prr0")
+    system.place_module_directly(module_b, "rsb0.prr1")
+    # stream 1: iom -> prr0; stream 2: prr0 -> prr1 (chained, both active)
+    system.open_stream("rsb0.iom0", "rsb0.prr0")
+    system.open_stream("rsb0.prr0", "rsb0.prr1")
+    system.open_stream("rsb0.prr1", "rsb0.iom0")
+    system.run_for_cycles(MEASURE_CYCLES)
+    seconds = system.sim.now / 1e12
+    per_channel = module_b.samples_out / seconds
+    return per_channel
+
+
+def processor_routed_throughput():
+    sim = Simulator()
+    from repro.control.microblaze import Microblaze
+
+    cpu = Microblaze(sim, Clock(sim, freq_hz=100e6))
+    from repro.comm.fsl import FslLink
+
+    src = FslLink("src", depth=4096)
+    dst = FslLink("dst", depth=4096)
+    words = 1000
+    for value in range(words):
+        src.master_write(value)
+    start = sim.now
+    cpu.run_to_completion(processor_relay(src, dst, word_limit=words))
+    return words / ((sim.now - start) / 1e12)
+
+
+def shared_bus_throughput(connections):
+    sim = Simulator()
+    bus_clock = Clock(sim, freq_hz=SONIC_BUS_HZ)
+    bus = SharedBus()
+    bus_clock.attach(bus)
+    pairs = []
+    for index in range(connections):
+        producer = ProducerInterface(f"p{index}", depth=8192)
+        consumer = ConsumerInterface(f"c{index}", depth=8192)
+        for value in range(4000):
+            producer.module_write(value)
+        pairs.append(bus.connect(producer, consumer))
+    bus_clock.start()
+    sim.run_for(MEASURE_CYCLES * 20_000)  # bus cycles at 20 ns
+    seconds = sim.now / 1e12
+    return pairs[0].words_moved / seconds
+
+
+def test_communication_architecture_comparison(benchmark):
+    vapres = benchmark.pedantic(
+        vapres_concurrent_throughput, rounds=1, iterations=1
+    )
+    relayed = processor_routed_throughput()
+    bus_1 = shared_bus_throughput(1)
+    bus_2 = shared_bus_throughput(2)
+
+    rows = [
+        ["VAPRES switch boxes (per channel, 2 live)",
+         f"{vapres / 1e6:.1f} Mwords/s", "100 (1 word/cycle @100 MHz)"],
+        ["processor-routed (Ullmann et al.)",
+         f"{relayed / 1e6:.1f} Mwords/s", "~10 (CPU relay loop)"],
+        ["50 MHz shared bus, 1 stream (Sedcole et al.)",
+         f"{bus_1 / 1e6:.1f} Mwords/s", "50"],
+        ["50 MHz shared bus, 2 streams",
+         f"{bus_2 / 1e6:.1f} Mwords/s", "25"],
+        ["VAPRES / processor-routed", f"{vapres / relayed:.1f}x", "~10x"],
+        ["VAPRES / shared bus (2 streams)",
+         f"{vapres / bus_2:.1f}x", "~4x"],
+    ]
+    print()
+    print(format_table(
+        ["architecture", "measured", "expected (Mwords/s)"], rows,
+        title="Section II: inter-module communication baselines",
+    ))
+    assert vapres > 90e6
+    assert 8e6 <= relayed <= 12e6
+    assert abs(bus_1 - 50e6) / 50e6 < 0.1
+    assert abs(bus_2 - 25e6) / 25e6 < 0.1
+    assert vapres / relayed > 8
+    assert vapres / bus_2 > 3.5
+    benchmark.extra_info["X-BASE:vapres_Mwps"] = vapres / 1e6
+    benchmark.extra_info["X-BASE:relay_Mwps"] = relayed / 1e6
+    benchmark.extra_info["X-BASE:bus2_Mwps"] = bus_2 / 1e6
+
+
+def test_adjacency_restriction_rejects_mappings(benchmark):
+    """PolySAF-style adjacency: how many random pipelines even map?"""
+    import random
+
+    from repro.baselines.adjacent_only import AdjacentOnlyRouter
+
+    def mappable_fractions():
+        rng = random.Random(42)
+        attachments = 6
+        results = {}
+        for edges in (2, 4, 6):
+            trials = 200
+            vapres_ok = polysaf_ok = 0
+            for _ in range(trials):
+                nodes = rng.sample(range(attachments), k=min(edges + 1, attachments))
+                distances = [
+                    abs(a - b) for a, b in zip(nodes, nodes[1:])
+                ]
+                vapres_ok += 1  # VAPRES routes any pair
+                if all(d <= 1 for d in distances):
+                    polysaf_ok += 1
+            results[edges] = (vapres_ok / trials, polysaf_ok / trials)
+        return results
+
+    results = benchmark(mappable_fractions)
+    rows = [
+        [edges, f"{vapres:.0%}", f"{polysaf:.0%}"]
+        for edges, (vapres, polysaf) in results.items()
+    ]
+    print()
+    print(format_table(
+        ["pipeline edges", "VAPRES mappable", "adjacent-only mappable"],
+        rows,
+        title="Section II: arbitrary-PRR channels vs adjacent-only",
+    ))
+    for vapres, polysaf in results.values():
+        assert vapres == 1.0
+        assert polysaf < vapres

@@ -1,0 +1,166 @@
+"""Experiment X-FRAG (paper Section V.B / future work): resource
+fragmentation vs reconfiguration time for large vs small PRRs.
+
+The paper: "Since partial bitstream size will directly influence
+reconfiguration time and thus system performance, a focus of our future
+work includes analyzing the tradeoffs between resource fragmentation and
+system performance for large verses small PRRs."  This ablation performs
+that analysis with the calibrated models: for a mixed module population,
+larger PRRs waste more slices (fragmentation) and reconfigure more
+slowly; small PRRs are efficient but reject big modules.
+"""
+
+from repro.analysis.report import format_table
+from repro.control.memory import Sdram
+from repro.fabric.device import SLICES_PER_CLB, get_device
+from repro.fabric.geometry import CLOCK_REGION_ROWS, Rect
+from repro.pr.bitstream import partial_bitstream_bytes
+
+#: Representative module population (slices), from the module library's
+#: size model: scalers/codecs ~ 140, moving averages ~ 370, FIRs ~ 590.
+MODULE_SLICES = [140, 200, 370, 430, 590]
+
+
+def analyse(prr_widths=(3, 5, 10, 14)):
+    sdram = Sdram(1 << 20)
+    rows = []
+    for width in prr_widths:
+        rect = Rect(0, 0, width, CLOCK_REGION_ROWS)
+        prr_slices = rect.clbs * SLICES_PER_CLB
+        bitstream = partial_bitstream_bytes(rect)
+        seconds = sdram.icap_transfer_seconds(bitstream)
+        fits = [m for m in MODULE_SLICES if m <= prr_slices]
+        if fits:
+            waste = sum(prr_slices - m for m in fits) / (
+                len(fits) * prr_slices
+            )
+        else:
+            waste = float("nan")
+        rows.append(
+            {
+                "width": width,
+                "slices": prr_slices,
+                "bitstream": bitstream,
+                "reconfig_ms": seconds * 1e3,
+                "fits": len(fits),
+                "fragmentation": waste,
+            }
+        )
+    return rows
+
+
+def test_fragmentation_vs_reconfig_tradeoff(benchmark):
+    rows = benchmark(analyse)
+    table_rows = [
+        [
+            r["width"],
+            r["slices"],
+            r["bitstream"],
+            f"{r['reconfig_ms']:.2f}",
+            f"{r['fits']}/{len(MODULE_SLICES)}",
+            f"{r['fragmentation']:.0%}",
+        ]
+        for r in rows
+    ]
+    print()
+    print(format_table(
+        ["PRR width (CLB)", "PRR slices", "bitstream B",
+         "array2icap ms", "modules that fit", "avg fragmentation"],
+        table_rows,
+        title="Section V.B future work: PRR size trade-off",
+    ))
+
+    # shape: reconfig time strictly increases with PRR size
+    times = [r["reconfig_ms"] for r in rows]
+    assert times == sorted(times)
+    # shape: the largest PRR fits everything but wastes the most
+    assert rows[-1]["fits"] == len(MODULE_SLICES)
+    assert rows[-1]["fragmentation"] > rows[0]["fragmentation"]
+    # the paper's 10-wide PRR reconfigures in 71.94 ms
+    paper_point = next(r for r in rows if r["width"] == 10)
+    assert abs(paper_point["reconfig_ms"] - 71.94) / 71.94 < 0.01
+    benchmark.extra_info["X-FRAG:rows"] = len(rows)
+
+
+def test_small_prrs_reject_large_modules(benchmark):
+    """The flip side: floorplanning many small PRRs raises placement
+    failures for big modules (why the paper discusses spanning PRRs)."""
+    from repro.fabric.floorplan import auto_floorplan
+
+    device = get_device("XC4VLX25")
+
+    def placement_study():
+        small = auto_floorplan(device, [(f"p{i}", 256) for i in range(4)])
+        large = auto_floorplan(device, [(f"p{i}", 640) for i in range(2)])
+        results = {}
+        for label, plan in (("4 small PRRs", small), ("2 large PRRs", large)):
+            capacities = [p.slices for p in plan.prrs.values()]
+            placeable = sum(
+                1 for m in MODULE_SLICES if any(m <= c for c in capacities)
+            )
+            results[label] = (min(capacities), placeable)
+        return results
+
+    results = benchmark(placement_study)
+    rows = [
+        [label, slices, f"{placeable}/{len(MODULE_SLICES)}"]
+        for label, (slices, placeable) in results.items()
+    ]
+    print()
+    print(format_table(
+        ["floorplan", "PRR slices", "modules placeable"], rows,
+        title="small PRRs: lower fragmentation, fewer placeable modules",
+    ))
+    assert results["2 large PRRs"][1] >= results["4 small PRRs"][1]
+
+
+def test_spanning_recovers_small_prr_capacity(benchmark):
+    """The paper's resolution (Section IV.A): modules too big for one
+    small PRR span two adjacent ones -- combined capacity, one LCD, and a
+    bitstream (hence reconfiguration time) covering both regions."""
+    from repro.core import RsbParameters, SystemParameters, VapresSystem
+    from repro.core.spanning import SpanningRegion
+    from repro.modules.transforms import PassThrough
+
+    def scenario():
+        params = SystemParameters(
+            board="ML402",
+            pr_speedup=1000.0,
+            rsbs=[
+                RsbParameters(
+                    name="rsb0",
+                    num_prrs=2,
+                    num_ioms=1,
+                    iom_positions=[0],
+                    prr_slices=320,  # small PRRs: half the prototype size
+                )
+            ],
+        )
+        system = VapresSystem(params)
+        single_slices = system.floorplan.prrs["rsb0.prr0"].slices
+        span = SpanningRegion(system, ["rsb0.prr0", "rsb0.prr1"])
+        span.register_module("big", lambda: PassThrough("big"))
+        system.repository.preload_to_sdram("big", span.name)
+        system.start()
+        transfer = system.engine.array2icap("big", span.name)
+        system.run_for_ms(0.5)
+        return {
+            "single": single_slices,
+            "span": span.slices,
+            "loaded": span.module is not None,
+            "bitstream": transfer.size_bytes,
+        }
+
+    results = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    rows = [
+        ["single small PRR", f"{results['single']} slices"],
+        ["2-PRR span", f"{results['span']} slices"],
+        ["spanning bitstream", f"{results['bitstream']} bytes"],
+        ["module loaded across span", results["loaded"]],
+    ]
+    print()
+    print(format_table(["quantity", "value"], rows,
+                       title="Section IV.A: spanning multiple adjacent PRRs"))
+    assert results["span"] == 2 * results["single"]
+    assert results["loaded"]
+    benchmark.extra_info["X-FRAG:span_slices"] = results["span"]

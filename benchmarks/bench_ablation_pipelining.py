@@ -1,0 +1,105 @@
+"""Experiment X-PIPE (paper Section III.B): registered vs combinational
+interconnect, and channel latency vs distance.
+
+The paper's design argument: "This pipelined communication increases the
+maximum communication clock frequency, and thus throughput, by reducing
+routing and combinational delays between registers."  This ablation
+regenerates the frequency-vs-distance series from the timing model and
+measures the simulated fabric's latency and throughput at each distance,
+confirming the cost of pipelining is latency (d+1 cycles), not
+throughput.
+"""
+
+import pytest
+
+from repro.analysis.metrics import loop_latencies_seconds
+from repro.analysis.report import format_table
+from repro.comm.timing import (
+    channel_latency_cycles,
+    combinational_max_frequency_hz,
+    frequency_table,
+    registered_max_frequency_hz,
+)
+from repro.core import RsbParameters, SystemParameters, VapresSystem
+from repro.modules import Iom
+from repro.modules.sources import ramp
+from repro.modules.transforms import PassThrough
+
+
+def test_pipelining_frequency_advantage(benchmark):
+    table = benchmark(frequency_table, 8)
+    rows = [
+        [d, f"{registered:.0f}", f"{combinational:.0f}",
+         f"{registered / combinational:.1f}x"]
+        for d, registered, combinational in table
+    ]
+    print()
+    print(format_table(
+        ["channel distance d", "registered MHz (VAPRES)",
+         "combinational MHz", "advantage"],
+        rows,
+        title="Section III.B: pipelined switch boxes vs combinational routing",
+    ))
+    # VAPRES sustains its 100 MHz fabric clock at any distance
+    assert all(registered >= 100 for _, registered, _ in table)
+    # the combinational alternative falls below Sonic's 50 MHz by d=3
+    assert next(c for d, _, c in table if d == 3) < 50
+    benchmark.extra_info["X-PIPE:registered_mhz"] = table[0][1]
+
+
+def measure_latency_and_throughput(d):
+    """Build an RSB long enough for a d-box channel and measure a loop."""
+    attachments = d + 1  # IOM at 0, module at position d
+    params = SystemParameters(
+        rsbs=[
+            RsbParameters(
+                name="rsb0",
+                num_prrs=attachments - 1,
+                num_ioms=1,
+                iom_positions=[0],
+                kr=2,
+                kl=2,
+            )
+        ],
+        board="ML402",
+    )
+    system = VapresSystem(params)
+    iom = Iom("io", source=ramp(count=100_000))
+    system.attach_iom("rsb0.iom0", iom)
+    target = f"rsb0.prr{attachments - 2}"  # the farthest PRR
+    system.place_module_directly(PassThrough("m"), target)
+    ch_out = system.open_stream("rsb0.iom0", target)
+    system.open_stream(target, "rsb0.iom0")
+    cycles = 600
+    system.run_for_cycles(cycles)
+    latencies = loop_latencies_seconds(iom.emit_times, iom.receive_times)
+    steady = latencies[50:150]  # skip fill, avoid tail
+    mean_latency_cycles = sum(steady) / len(steady) * 100e6
+    throughput = len(iom.received) / cycles
+    return ch_out.d, mean_latency_cycles, throughput
+
+
+def test_latency_grows_but_throughput_constant(benchmark):
+    def sweep():
+        return [measure_latency_and_throughput(d) for d in (1, 2, 4, 6)]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [d, 2 * channel_latency_cycles(d),
+         f"{latency:.1f}", f"{throughput:.2f}"]
+        for d, latency, throughput in results
+    ]
+    print()
+    print(format_table(
+        ["distance d (one way)", "model loop latency (cycles)",
+         "measured loop latency (cycles)", "throughput (words/cycle)"],
+        rows,
+        title="Section III.B: pipelining costs latency, never throughput",
+    ))
+    latencies = [latency for _, latency, _ in results]
+    assert latencies == sorted(latencies)  # latency grows with d
+    for d, latency, throughput in results:
+        # loop = out (d+1 registers+FIFO) + back (d+1): cycle-exact
+        assert latency == pytest.approx(2 * channel_latency_cycles(d))
+        assert throughput > 0.9  # 1 word/cycle regardless of distance
+    benchmark.extra_info["X-PIPE:latencies"] = latencies

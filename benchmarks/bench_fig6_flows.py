@@ -1,0 +1,80 @@
+"""Experiment F6 (paper Figure 6): the two design flows.
+
+Runs the base system flow (specification -> floorplan -> system
+definition files -> resource estimate) and the application flow
+(decomposition -> module sizing -> partial bitstream generation) end to
+end, timing each, and verifies the isolation property the paper credits
+with reduced iteration time: application flow runs never touch the base
+system artefacts.
+"""
+
+from repro.analysis.report import format_table
+from repro.core.kpn import KahnProcessNetwork
+from repro.core.params import SystemParameters
+from repro.flows.application import ApplicationFlow
+from repro.flows.base_system import BaseSystemFlow
+from repro.modules.filters import FirFilter, q15
+from repro.modules.transforms import DeltaEncoder
+
+
+def app_kpn():
+    kpn = KahnProcessNetwork("app")
+    kpn.add_iom("io")
+    kpn.add_module("fir", lambda: FirFilter("fir", [q15(0.5), q15(0.5)]))
+    kpn.add_module("delta", lambda: DeltaEncoder("delta"))
+    kpn.connect("io", "fir")
+    kpn.connect("fir", "delta")
+    kpn.connect("delta", "io")
+    return kpn
+
+
+def test_figure6_base_system_flow(benchmark):
+    flow = BaseSystemFlow(SystemParameters.prototype())
+    build = benchmark(flow.run)
+    rows = [
+        ["floorplanned PRRs", len(build.floorplan.prrs)],
+        ["MHS lines", len(build.mhs.splitlines())],
+        ["MSS lines", len(build.mss.splitlines())],
+        ["UCF lines", len(build.ucf.splitlines())],
+        ["static region estimate", f"{build.report['static_slices']} slices"],
+        ["fits XC4VLX25", build.report["fits"]],
+    ]
+    print()
+    print(format_table(["base system flow output", "value"], rows,
+                       title="Figure 6 (right): base system flow"))
+    assert build.report["fits"]
+    benchmark.extra_info["F6:static_slices"] = build.report["static_slices"]
+
+
+def test_figure6_application_flow(benchmark):
+    base = BaseSystemFlow(SystemParameters.prototype()).run()
+    flow = ApplicationFlow(base)
+    kpn = app_kpn()
+
+    build = benchmark(flow.run, kpn)
+    rows = [
+        ["hardware modules", len(build.module_slices)],
+        ["partial bitstreams", len(build.bitstreams)],
+        ["bitstream bytes each", build.bitstreams[0].size_bytes],
+    ]
+    for module, slices in sorted(build.module_slices.items()):
+        rows.append([f"  {module} size", f"{slices} slices"])
+    print()
+    print(format_table(["application flow output", "value"], rows,
+                       title="Figure 6 (left): application flow"))
+    assert len(build.bitstreams) == 4
+    benchmark.extra_info["F6:bitstreams"] = len(build.bitstreams)
+
+
+def test_figure6_flow_isolation(benchmark):
+    """The application flow only processes module logic: repeated runs
+    leave every base-system artefact byte-identical."""
+    base = BaseSystemFlow(SystemParameters.prototype()).run()
+    before = (base.mhs, base.mss, base.ucf, dict(base.floorplan.prrs))
+
+    def run_app_flow():
+        return ApplicationFlow(base).run(app_kpn())
+
+    benchmark(run_app_flow)
+    after = (base.mhs, base.mss, base.ucf, dict(base.floorplan.prrs))
+    assert before == after

@@ -1,0 +1,85 @@
+"""Experiment F7 (paper Figure 7): architectural specialisation.
+
+Figure 7 parameterises an RSB by N (PRRs), w (channel width), kr/kl
+(directional lanes) and ki/ko (module ports); Section IV.A says these let
+system designers "balance resource utilization with communication
+flexibility".  This benchmark sweeps each parameter and regenerates the
+resource-vs-flexibility series, with the paper's own sample point (N=4,
+w=32, kr=kl=2, ki=ko=1) highlighted.
+"""
+
+from repro.analysis.report import format_table
+from repro.core.params import RsbParameters
+from repro.flows.estimate import comm_architecture_slices, switchbox_slices
+
+
+def sweep():
+    base = dict(num_prrs=4, num_ioms=2, iom_positions=[0, 5],
+                channel_width=32, kr=2, kl=2, ki=1, ko=1)
+    series = {}
+    series["width"] = [
+        (w, comm_architecture_slices(
+            RsbParameters(**{**base, "channel_width": w})))
+        for w in (8, 16, 32, 64)
+    ]
+    series["lanes"] = [
+        (k, comm_architecture_slices(RsbParameters(**{**base, "kr": k, "kl": k})))
+        for k in (1, 2, 3, 4)
+    ]
+    series["ports"] = [
+        (p, comm_architecture_slices(RsbParameters(**{**base, "ki": p, "ko": p})))
+        for p in (1, 2, 3)
+    ]
+    series["prrs"] = [
+        (n, comm_architecture_slices(RsbParameters(
+            num_prrs=n, num_ioms=2, iom_positions=[0, n + 1],
+            channel_width=32, kr=2, kl=2, ki=1, ko=1)))
+        for n in (2, 4, 6, 8)
+    ]
+    return series
+
+
+def test_figure7_parameter_sweep(benchmark):
+    series = benchmark(sweep)
+
+    rows = []
+    for name, points in series.items():
+        for value, slices in points:
+            rows.append([name, value, slices])
+    print()
+    print(format_table(
+        ["parameter", "value", "comm architecture slices"], rows,
+        title="Figure 7: resource cost vs architectural parameters "
+              "(N=4, w=32, kr=kl=2, ki=ko=1 is the paper's sample RSB)",
+    ))
+
+    # monotonicity: more flexibility always costs more fabric
+    for name, points in series.items():
+        slices = [s for _, s in points]
+        assert slices == sorted(slices), f"{name} series not monotone"
+    # the paper's sample point
+    fig7 = RsbParameters(num_prrs=4, num_ioms=2, iom_positions=[0, 5])
+    benchmark.extra_info["F7:sample_rsb_slices"] = comm_architecture_slices(fig7)
+
+
+def test_figure7_flexibility_vs_cost_tradeoff(benchmark):
+    """Quantifies the balance: concurrent channel capacity per slice."""
+    def tradeoff():
+        rows = []
+        for k in (1, 2, 3, 4):
+            params = RsbParameters(
+                num_prrs=4, num_ioms=2, iom_positions=[0, 5], kr=k, kl=k
+            )
+            slices = comm_architecture_slices(params)
+            # max concurrent same-direction pass-through channels = k
+            rows.append((k, slices, k / slices * 1000))
+        return rows
+
+    rows = benchmark(tradeoff)
+    print()
+    print(format_table(
+        ["kr=kl", "comm slices", "channels per 1k slices"],
+        [[k, s, f"{r:.2f}"] for k, s, r in rows],
+        title="Figure 7: communication flexibility vs resource utilisation",
+    ))
+    assert rows[-1][1] > rows[0][1]

@@ -1,0 +1,82 @@
+"""Experiment F8 (paper Figure 8): the prototype floorplan on the VLX25.
+
+Regenerates the prototype's floorplan -- one RSB, two 640-slice PRRs
+(16 vertical x 10 horizontal CLBs each) in separate local clock regions,
+BUFR and slice macro sites marked -- and verifies every constraint from
+Sections III.B.2 / IV.A / V.A.
+"""
+
+from repro.analysis.report import format_table
+from repro.core.params import SystemParameters
+from repro.fabric.device import get_device
+from repro.fabric.geometry import CLOCK_REGION_ROWS
+from repro.flows.base_system import BaseSystemFlow
+
+
+def regenerate():
+    return BaseSystemFlow(SystemParameters.prototype()).design_floorplan()
+
+
+def test_figure8_prototype_floorplan(benchmark):
+    plan = benchmark(regenerate)
+    device = get_device("XC4VLX25")
+
+    print()
+    print(plan.render_ascii())
+
+    checks = []
+    prr0 = plan.prrs["rsb0.prr0"]
+    prr1 = plan.prrs["rsb0.prr1"]
+    checks.append(["PRR size (paper: 640 slices)",
+                   f"{prr0.slices} / {prr1.slices}",
+                   prr0.slices == prr1.slices == 640])
+    checks.append(["PRR shape (paper: 16 x 10 CLBs)",
+                   f"{prr0.rect.height} x {prr0.rect.width}",
+                   (prr0.rect.height, prr0.rect.width) == (16, 10)])
+    checks.append(["separate local clock regions",
+                   f"{sorted(map(str, prr0.clock_regions))} vs "
+                   f"{sorted(map(str, prr1.clock_regions))}",
+                   not (prr0.clock_regions & prr1.clock_regions)])
+    checks.append(["each PRR within one clock region",
+                   f"{len(prr0.clock_regions)}, {len(prr1.clock_regions)}",
+                   len(prr0.clock_regions) == len(prr1.clock_regions) == 1])
+    checks.append(["PRR height <= 3 regions (BUFR reach)",
+                   f"{prr0.rect.height} CLBs",
+                   prr0.rect.height <= 3 * CLOCK_REGION_ROWS])
+    checks.append(["BUFR site per PRR",
+                   f"{prr0.bufr_region}, {prr1.bufr_region}",
+                   prr0.bufr_region != prr1.bufr_region])
+    checks.append(["slice macro sites on the boundary",
+                   f"{len(prr0.slice_macro_sites())} per PRR",
+                   len(prr0.slice_macro_sites()) == 10])
+    static_needed = 9421
+    checks.append(["room for the 9,421-slice static region",
+                   f"{plan.static_slices_available} slices free",
+                   plan.static_slices_available >= static_needed])
+
+    print()
+    print(format_table(
+        ["constraint (Figure 8 / Section V.A)", "measured", "status"],
+        [[name, value, "OK" if ok else "VIOLATED"]
+         for name, value, ok in checks],
+        title="Figure 8: prototype floorplan verification",
+    ))
+    assert all(ok for _, _, ok in checks)
+    benchmark.extra_info["F8:static_free"] = plan.static_slices_available
+
+
+def test_figure8_ucf_round_trip(benchmark):
+    """The generated UCF pins exactly the floorplanned geometry."""
+    from repro.flows.sysdef import generate_ucf
+
+    plan = regenerate()
+    ucf = benchmark(generate_ucf, plan)
+    for placement in plan.prrs.values():
+        rect = placement.rect
+        assert (
+            f"SLICE_X{2 * rect.col}Y{2 * rect.row}:"
+            f"SLICE_X{2 * rect.col_end - 1}Y{2 * rect.row_end - 1}" in ucf
+        )
+        bufr = placement.bufr_region
+        assert f"BUFR_X{bufr.half}Y{bufr.band}" in ucf
+    assert ucf.count("MODE = RECONFIG") == 2

@@ -1,0 +1,99 @@
+"""Experiment E-RT (paper Section V.B): PRR reconfiguration time.
+
+Paper measurements with the xps_timer on the prototype (640-slice PRR):
+
+* ``vapres_cf2icap``:   ~104.3M cycles = 1.043 s, of which 95.3% is the
+  CF-to-buffer transfer and 4.7% the ICAP write;
+* ``vapres_array2icap``: ~7.19M cycles = 71.94 ms.
+
+This benchmark reproduces the measurement procedure at full fidelity
+(``pr_speedup = 1``) using the same timer peripheral.
+"""
+
+from repro.analysis.report import PaperComparison
+from repro.core import SystemParameters, VapresSystem
+from repro.modules.transforms import PassThrough
+
+from conftest import emit
+
+
+def measure():
+    system = VapresSystem(SystemParameters.prototype())
+    system.register_module("mod", lambda: PassThrough("mod"))
+    results = {}
+
+    timer = system.timer
+    timer.start()
+    system.engine.cf2icap("mod", "rsb0.prr0")
+    system.sim.run()
+    results["cf2icap_cycles"] = timer.stop()
+
+    bitstream = system.repository.lookup("mod", "rsb0.prr0")
+    breakdown = system.engine.cf2icap_breakdown(bitstream)
+    results["cf_fraction"] = breakdown["cf_to_buffer"] / sum(breakdown.values())
+
+    system.repository.preload_to_sdram("mod", "rsb0.prr1")
+    timer.start()
+    system.engine.array2icap("mod", "rsb0.prr1")
+    system.sim.run()
+    results["array2icap_cycles"] = timer.stop()
+    results["clock_hz"] = system.system_clock.frequency_hz
+    results["bitstream_bytes"] = bitstream.size_bytes
+    return results
+
+
+def test_section_vb_reconfiguration_times(benchmark, compare):
+    results = benchmark(measure)
+    hz = results["clock_hz"]
+    cf_seconds = results["cf2icap_cycles"] / hz
+    array_seconds = results["array2icap_cycles"] / hz
+    comparisons = [
+        compare("E-RT", "cf2icap time", 1.043, cf_seconds, "s",
+                tolerance=0.01),
+        compare("E-RT", "cf2icap cycles", 104_300_000,
+                results["cf2icap_cycles"], "cycles", tolerance=0.01),
+        compare("E-RT", "CF transfer share", 0.953, results["cf_fraction"],
+                "", tolerance=0.01),
+        compare("E-RT", "array2icap time", 0.07194, array_seconds, "s",
+                tolerance=0.01),
+        compare("E-RT", "array2icap cycles", 7_194_000,
+                results["array2icap_cycles"], "cycles", tolerance=0.01),
+        compare("E-RT", "cf2icap / array2icap speedup", 1.043 / 0.07194,
+                cf_seconds / array_seconds, "x", tolerance=0.02),
+    ]
+    emit(benchmark, comparisons,
+         "Section V.B: PRR reconfiguration time (640-slice PRR, "
+         f"{results['bitstream_bytes']}-byte partial bitstream)")
+    assert all(c.within_tolerance for c in comparisons)
+
+
+def test_reconfiguration_time_linear_in_prr_area(benchmark, compare):
+    """Future-work shape: time scales with PRR size (bitstream bytes)."""
+    from repro.fabric.geometry import Rect
+    from repro.pr.bitstream import bitstream_for_rect
+
+    def sweep():
+        system = VapresSystem(SystemParameters.prototype())
+        rows = []
+        for cols in (5, 10, 20, 28):
+            rect = Rect(0, 0, cols, 16)
+            bitstream = bitstream_for_rect("m", f"prr_{cols}", rect)
+            seconds = system.sdram.icap_transfer_seconds(bitstream.size_bytes)
+            rows.append((cols * 16 * 4, bitstream.size_bytes, seconds))
+        return rows
+
+    rows = benchmark(sweep)
+    from repro.analysis.report import format_table
+
+    print()
+    print(format_table(
+        ["PRR slices", "bitstream bytes", "array2icap seconds"],
+        [[s, b, f"{t:.5f}"] for s, b, t in rows],
+        title="Section V.B: reconfiguration time vs PRR size",
+    ))
+    # linearity: time per byte constant within 1%
+    per_byte = [t / b for _, b, t in rows]
+    assert max(per_byte) / min(per_byte) < 1.01
+    # the paper's 640-slice point lands on 71.94 ms
+    t640 = next(t for s, _, t in rows if s == 640)
+    assert abs(t640 - 0.07194) / 0.07194 < 0.01

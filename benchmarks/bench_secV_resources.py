@@ -1,0 +1,69 @@
+"""Experiment E-RES (paper Section V.B): resource utilisation.
+
+Paper: "The VAPRES static region (including the MicroBlaze soft-core
+processor and the inter-module communication architecture) required 9,421
+slices (approximately 86% of the VLX25), of which the inter-module
+communication architecture required only 1,020 slices."
+
+The analytic model is calibrated to reproduce both slice totals exactly;
+this benchmark regenerates them from the architectural parameters and
+verifies the published figures.
+"""
+
+from repro.analysis.report import PaperComparison
+from repro.core.params import SystemParameters
+from repro.fabric.device import get_device
+from repro.flows.estimate import (
+    comm_architecture_slices,
+    static_region_resources,
+    system_resource_report,
+)
+
+from conftest import emit
+
+
+def regenerate():
+    params = SystemParameters.prototype()
+    device = get_device("XC4VLX25")
+    return {
+        "report": system_resource_report(params, device),
+        "static": static_region_resources(params),
+        "comm": comm_architecture_slices(params.rsbs[0]),
+        "device": device,
+    }
+
+
+def test_section_vb_resource_results(benchmark, compare):
+    results = benchmark(regenerate)
+    report = results["report"]
+    comparisons = [
+        compare("E-RES", "static region slices", 9421,
+                report["static_slices"], "slices", tolerance=0.0),
+        compare("E-RES", "comm architecture slices", 1020,
+                results["comm"], "slices", tolerance=0.0),
+        compare("E-RES", "static utilisation of VLX25", 0.86,
+                report["static_utilization"], "", tolerance=0.03),
+    ]
+    emit(benchmark, comparisons,
+         "Section V.B: prototype resource utilisation")
+    assert all(c.within_tolerance for c in comparisons)
+    assert report["fits"]
+
+
+def test_comm_fraction_of_static(benchmark, compare):
+    """The comm architecture is a small fraction of the static region --
+    the argument for VAPRES being a cheap multipurpose substrate."""
+    def fraction():
+        params = SystemParameters.prototype()
+        return (
+            comm_architecture_slices(params.rsbs[0])
+            / static_region_resources(params).slices
+        )
+
+    measured = benchmark(fraction)
+    comparisons = [
+        compare("E-RES", "comm / static fraction", 1020 / 9421, measured,
+                "", tolerance=0.001),
+    ]
+    emit(benchmark, comparisons, "Section V.B: comm architecture share")
+    assert measured < 0.12

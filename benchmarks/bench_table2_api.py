@@ -1,0 +1,102 @@
+"""Experiment T2 (paper Table 2): the VAPRES API functions.
+
+Exercises every Table 2 entry end to end on the MicroBlaze software model
+and times a representative control transaction mix.
+"""
+
+from repro.analysis.report import format_table
+from repro.modules.transforms import PassThrough
+
+from tests.helpers import build_system
+
+
+def full_api_session(system):
+    """One of everything from Table 2."""
+    api = system.api
+    mb = system.microblaze
+    slot = system.prr("rsb0.prr0")
+    num = slot.module_id
+    results = {}
+
+    size = mb.run_to_completion(api.vapres_cf2array("mod", "rsb0.prr0"), "cf2array")
+    results["vapres_cf2array"] = f"copied {size} bytes to SDRAM"
+
+    transfer = mb.run_to_completion(api.vapres_cf2icap("mod", "rsb0.prr0"), "cf2icap")
+    results["vapres_cf2icap"] = f"{transfer.duration_seconds * 1e3:.3f} ms"
+
+    transfer = mb.run_to_completion(
+        api.vapres_array2icap("mod", "rsb0.prr0"), "array2icap"
+    )
+    results["vapres_array2icap"] = f"{transfer.duration_seconds * 1e3:.3f} ms"
+
+    mb.run_to_completion(api.vapres_module_clock(num, True), "clk")
+    results["vapres_module_clock"] = f"BUFR enabled={slot.bufr.enabled}"
+
+    mb.run_to_completion(api.vapres_module_reset(num, True), "rst")
+    mb.run_to_completion(api.vapres_module_reset(num, False), "rst2")
+    results["vapres_module_reset"] = "pulsed"
+
+    mb.run_to_completion(api.vapres_module_write(num, 0x1234), "write")
+    results["vapres_module_write"] = "word queued on t-FSL"
+
+    slot.fsl_to_processor.master_write(0x5678)
+    word = mb.run_to_completion(api.vapres_module_read(num), "read")
+    results["vapres_module_read"] = f"read 0x{word[0]:X} from r-FSL"
+
+    state = api.comm_state()
+    channel = mb.run_to_completion(
+        api.vapres_establish_channel(state, "rsb0.iom0", "rsb0.prr0"),
+        "establish",
+    )
+    results["vapres_establish_channel"] = (
+        f"returned channel over {channel.d} switch boxes"
+        if channel
+        else "returned 0"
+    )
+    mb.run_to_completion(api.vapres_release_channel(channel), "release")
+    return results
+
+
+def test_table2_api_functions(benchmark):
+    def scenario():
+        system = build_system(pr_speedup=2000.0)
+        system.register_module("mod", lambda: PassThrough("mod"))
+        system.start()
+        return full_api_session(system)
+
+    results = benchmark(scenario)
+    rows = [[name, outcome] for name, outcome in results.items()]
+    print()
+    print(format_table(
+        ["API function (Table 2)", "measured behaviour"],
+        rows,
+        title="Table 2: every API function exercised",
+    ))
+    assert len(results) == 8
+    for name, outcome in results.items():
+        benchmark.extra_info[f"T2:{name}"] = outcome
+
+
+def test_dcr_transaction_rate(benchmark):
+    """Control-path cost: DCR read-modify-writes per second of MicroBlaze
+    time (bridge latency dominates, Section III.B)."""
+    system = build_system()
+    system.start()
+    slot = system.prr("rsb0.prr0")
+
+    def hundred_rmw():
+        def software():
+            for _ in range(100):
+                yield from system.api.vapres_fifo_control(
+                    slot.module_id, wen=True, ren=True
+                )
+
+        start = system.sim.now
+        system.microblaze.run_to_completion(software(), "rmw")
+        return (system.sim.now - start) / 1e12
+
+    elapsed = benchmark(hundred_rmw)
+    per_write_cycles = elapsed * 100e6 / 100
+    print(f"\nDCR read-modify-write: {per_write_cycles:.1f} CPU cycles each")
+    benchmark.extra_info["T2:dcr_rmw_cycles"] = per_write_cycles
+    assert 5 <= per_write_cycles <= 100

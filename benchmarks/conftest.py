@@ -1,0 +1,39 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one table/figure of the paper (see the
+experiment index in DESIGN.md), prints the paper-vs-measured rows (visible
+with ``pytest -s``) and records them in ``benchmark.extra_info`` so they
+land in the saved benchmark JSON as well.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+sys.path.insert(0, ".")  # so `tests.helpers` style imports work if needed
+
+from repro.analysis.report import PaperComparison, comparison_table
+
+
+def emit(benchmark, comparisons, title):
+    """Print and record a set of paper-vs-measured comparisons."""
+    table = comparison_table(comparisons, title=title)
+    print()
+    print(table)
+    for comparison in comparisons:
+        benchmark.extra_info[
+            f"{comparison.experiment}:{comparison.quantity}"
+        ] = {
+            "paper": comparison.paper_value,
+            "measured": comparison.measured_value,
+            "unit": comparison.unit,
+            "relative_error": comparison.relative_error,
+        }
+    return table
+
+
+@pytest.fixture
+def compare():
+    return PaperComparison

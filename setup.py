@@ -1,0 +1,20 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that editable installs work on
+environments without the ``wheel`` package (legacy ``setup.py develop``
+path).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "VAPRES: a virtual architecture for partially reconfigurable "
+        "embedded systems (DATE 2010) - behavioural reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

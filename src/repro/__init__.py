@@ -1,0 +1,41 @@
+"""VAPRES: A Virtual Architecture for Partially Reconfigurable Embedded
+Systems -- behavioural reproduction of Jara-Berrocal & Gordon-Ross,
+DATE 2010.
+
+Quick start::
+
+    from repro import VapresSystem, SystemParameters
+    from repro.modules import Iom, FirFilter
+    from repro.modules.sources import noisy_sine
+
+    system = VapresSystem(SystemParameters.prototype())
+    system.attach_iom("rsb0.iom0", Iom("io", source=noisy_sine(count=500)))
+    system.place_module_directly(
+        FirFilter.from_coefficients("lp", [0.25, 0.5, 0.25]), "rsb0.prr0"
+    )
+    system.open_stream("rsb0.iom0", "rsb0.prr0")
+    system.open_stream("rsb0.prr0", "rsb0.iom0")
+    system.run_for_cycles(2000)
+
+Package map (see DESIGN.md for the full inventory):
+
+========================  ==============================================
+``repro.sim``             event kernel, clocks, FIFOs
+``repro.fabric``          Virtex-4 device model and floorplanning
+``repro.comm``            switch boxes, module interfaces, channels, FSLs
+``repro.control``         MicroBlaze, DCR, PRSockets, ICAP, memories
+``repro.pr``              bitstreams, repository, reconfiguration engine
+``repro.modules``         hardware-module library and IOMs
+``repro.core``            system assembly, Table 2 API, switching, KPNs
+``repro.flows``           base-system and application design flows
+``repro.baselines``       related-work comparison architectures
+``repro.analysis``        metrics, traces, report tables
+========================  ==============================================
+"""
+
+from repro.core.params import RsbParameters, SystemParameters
+from repro.core.system import VapresSystem
+
+__version__ = "1.0.0"
+
+__all__ = ["RsbParameters", "SystemParameters", "VapresSystem", "__version__"]

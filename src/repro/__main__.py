@@ -1,0 +1,227 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Print the Virtex-4 device catalogue (or one device's details).
+``flows``
+    Run the base system flow for a parameterised system and print the
+    resource summary plus the floorplan; optionally write the MHS/MSS/UCF
+    system definition files to a directory.
+``demo``
+    Run the Figure 5 module-switch demo and print the step table.
+``experiments``
+    Regenerate the headline Section V.B numbers (resources and
+    reconfiguration times) and print the paper-vs-measured table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    from repro.fabric.device import BOARDS, DEVICES, get_device
+
+    if args.device:
+        device = get_device(args.device)
+        print(device)
+        print(f"  clock regions : {device.clock_region_count} "
+              f"({device.clock_region_bands} bands x 2 halves)")
+        print(f"  BUFRs         : {device.bufr_count}")
+        print(f"  flip-flops    : {device.flipflops}")
+        print(f"  4-input LUTs  : {device.luts}")
+        return 0
+    print("Virtex-4 LX devices:")
+    for device in DEVICES.values():
+        print(f"  {device}")
+    print("boards:")
+    for board in BOARDS.values():
+        print(f"  {board.name}: {board.device_name}, "
+              f"{board.sdram_bytes // (1 << 20)} MB SDRAM")
+    return 0
+
+
+def cmd_flows(args: argparse.Namespace) -> int:
+    from repro.core.params import ParameterError, RsbParameters, SystemParameters
+    from repro.fabric.floorplan import FloorplanError
+    from repro.flows.base_system import BaseSystemFlow, FlowError
+
+    try:
+        params = SystemParameters(
+            name=args.name,
+            board=args.board,
+            rsbs=[
+                RsbParameters(
+                    num_prrs=args.prrs,
+                    num_ioms=args.ioms,
+                    iom_positions=list(range(args.ioms)),
+                    channel_width=args.width,
+                    kr=args.lanes,
+                    kl=args.lanes,
+                    prr_slices=args.prr_slices,
+                )
+            ],
+        )
+        build = BaseSystemFlow(params).run()
+    except (FlowError, FloorplanError, ParameterError, KeyError) as error:
+        print(f"base system flow failed: {error}", file=sys.stderr)
+        return 1
+    print(build.summary())
+    print()
+    print(build.floorplan.render_ascii())
+    if args.output:
+        out = Path(args.output)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / f"{params.name}.mhs").write_text(build.mhs)
+        (out / f"{params.name}.mss").write_text(build.mss)
+        (out / f"{params.name}.ucf").write_text(build.ucf)
+        print(f"\nsystem definition files written to {out}/")
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from repro.analysis.metrics import interruption_report
+    from repro.analysis.trace import switch_step_table
+    from repro.core import SystemParameters, VapresSystem
+    from repro.core.switching import ModuleSwitcher
+    from repro.modules import Iom, MovingAverage
+    from repro.modules.base import staged
+    from repro.modules.sources import sine_wave
+
+    params = replace(SystemParameters.prototype(), pr_speedup=args.speedup)
+    system = VapresSystem(params)
+    iom = Iom("io", source=sine_wave(count=50_000_000))
+    system.attach_iom("rsb0.iom0", iom)
+    system.place_module_directly(MovingAverage("filterA", window=4), "rsb0.prr0")
+    ch_in = system.open_stream("rsb0.iom0", "rsb0.prr0")
+    ch_out = system.open_stream("rsb0.prr0", "rsb0.iom0")
+    system.register_module(
+        "filterB", lambda: staged(MovingAverage("filterB", window=4))
+    )
+    system.repository.preload_to_sdram("filterB", "rsb0.prr1")
+    system.run_for_us(30)
+    report = system.microblaze.run_to_completion(
+        ModuleSwitcher(system).switch(
+            old_prr="rsb0.prr0",
+            new_prr="rsb0.prr1",
+            new_module="filterB",
+            upstream_slot="rsb0.iom0",
+            downstream_slot="rsb0.iom0",
+            input_channel=ch_in,
+            output_channel=ch_out,
+        ),
+        "demo-switch",
+    )
+    system.run_for_us(30)
+    print(switch_step_table(report))
+    stats = interruption_report(
+        iom.receive_times, 1 / system.system_clock.frequency_hz
+    )
+    print(f"\noutput stream: {stats}")
+    print(f"reconfiguration: {report.reconfig_seconds * 1e3:.3f} ms "
+          f"(scaled x{args.speedup:g}); words lost: {report.words_lost}")
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.analysis.report import PaperComparison, comparison_table
+    from repro.core import SystemParameters, VapresSystem
+    from repro.fabric.device import get_device
+    from repro.flows.estimate import (
+        comm_architecture_slices,
+        static_region_resources,
+    )
+    from repro.modules.transforms import PassThrough
+
+    params = SystemParameters.prototype()
+    device = get_device("XC4VLX25")
+
+    # Section V.B resources
+    static = static_region_resources(params).slices
+    comm = comm_architecture_slices(params.rsbs[0])
+
+    # Section V.B reconfiguration times, measured with the xps_timer
+    system = VapresSystem(params)
+    system.register_module("mod", lambda: PassThrough("mod"))
+    system.timer.start()
+    system.engine.cf2icap("mod", "rsb0.prr0")
+    system.sim.run()
+    cf_cycles = system.timer.stop()
+    system.repository.preload_to_sdram("mod", "rsb0.prr1")
+    system.timer.start()
+    system.engine.array2icap("mod", "rsb0.prr1")
+    system.sim.run()
+    array_cycles = system.timer.stop()
+    hz = system.system_clock.frequency_hz
+    bitstream = system.repository.lookup("mod", "rsb0.prr0")
+    split = system.engine.cf2icap_breakdown(bitstream)
+    cf_share = split["cf_to_buffer"] / sum(split.values())
+
+    comparisons = [
+        PaperComparison("E-RES", "static region slices", 9421, static,
+                        "slices", tolerance=0.0),
+        PaperComparison("E-RES", "comm architecture slices", 1020, comm,
+                        "slices", tolerance=0.0),
+        PaperComparison("E-RT", "cf2icap time", 1.043, cf_cycles / hz, "s",
+                        tolerance=0.01),
+        PaperComparison("E-RT", "CF transfer share", 0.953, cf_share, "",
+                        tolerance=0.01),
+        PaperComparison("E-RT", "array2icap time", 0.07194,
+                        array_cycles / hz, "s", tolerance=0.01),
+    ]
+    print(comparison_table(
+        comparisons,
+        title="VAPRES Section V.B: paper vs this reproduction "
+              f"({bitstream.size_bytes}-byte bitstream, 640-slice PRR)",
+    ))
+    print("\nfull experiment index: DESIGN.md; all results: EXPERIMENTS.md;")
+    print("run `pytest benchmarks/ --benchmark-only -s` for every table "
+          "and figure.")
+    return 0 if all(c.within_tolerance for c in comparisons) else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="VAPRES (DATE 2010) behavioural reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="device catalogue")
+    info.add_argument("--device", help="show one device's details")
+    info.set_defaults(func=cmd_info)
+
+    flows = sub.add_parser("flows", help="run the base system flow")
+    flows.add_argument("--name", default="vapres-custom")
+    flows.add_argument("--board", default="ML401")
+    flows.add_argument("--prrs", type=int, default=2)
+    flows.add_argument("--ioms", type=int, default=1)
+    flows.add_argument("--width", type=int, default=32)
+    flows.add_argument("--lanes", type=int, default=2)
+    flows.add_argument("--prr-slices", type=int, default=640)
+    flows.add_argument("--output", help="directory for MHS/MSS/UCF files")
+    flows.set_defaults(func=cmd_flows)
+
+    demo = sub.add_parser("demo", help="run the Figure 5 switching demo")
+    demo.add_argument("--speedup", type=float, default=500.0,
+                      help="PR rate scaling (ratios preserved)")
+    demo.set_defaults(func=cmd_demo)
+
+    experiments = sub.add_parser(
+        "experiments", help="regenerate the Section V.B headline numbers"
+    )
+    experiments.set_defaults(func=cmd_experiments)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Measurement and reporting utilities for the experiment harness.
+
+* :mod:`repro.analysis.metrics` -- stream gap/interruption/throughput
+  measurements over IOM receive timestamps and module counters;
+* :mod:`repro.analysis.report` -- fixed-width tables and the
+  paper-vs-measured rows EXPERIMENTS.md is built from;
+* :mod:`repro.analysis.trace` -- simulator trace filtering and the Figure
+  5 step-table renderer.
+"""
+
+from repro.analysis.metrics import (
+    interruption_report,
+    max_gap_seconds,
+    stream_gaps_seconds,
+    throughput_words_per_s,
+)
+from repro.analysis.power import (
+    ModulePower,
+    module_power,
+    system_power_report,
+    total_dynamic_mw,
+)
+from repro.analysis.report import PaperComparison, format_table
+from repro.analysis.trace import format_trace, switch_step_table
+
+__all__ = [
+    "ModulePower",
+    "PaperComparison",
+    "module_power",
+    "system_power_report",
+    "total_dynamic_mw",
+    "format_table",
+    "format_trace",
+    "interruption_report",
+    "max_gap_seconds",
+    "stream_gaps_seconds",
+    "switch_step_table",
+    "throughput_words_per_s",
+]

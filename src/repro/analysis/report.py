@@ -1,0 +1,71 @@
+"""Table formatting and paper-vs-measured comparison rows.
+
+The benchmark harness prints its results through these helpers so every
+experiment emits the same shape of output that EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render a fixed-width text table."""
+    columns = [
+        [str(h)] + [str(row[i]) for row in rows] for i, h in enumerate(headers)
+    ]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            " | ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+@dataclass
+class PaperComparison:
+    """One paper-vs-measured data point."""
+
+    experiment: str
+    quantity: str
+    paper_value: float
+    measured_value: float
+    unit: str = ""
+    tolerance: float = 0.05  # relative
+
+    @property
+    def relative_error(self) -> float:
+        if self.paper_value == 0:
+            return 0.0 if self.measured_value == 0 else float("inf")
+        return abs(self.measured_value - self.paper_value) / abs(self.paper_value)
+
+    @property
+    def within_tolerance(self) -> bool:
+        return self.relative_error <= self.tolerance
+
+    def row(self) -> List[object]:
+        return [
+            self.experiment,
+            self.quantity,
+            f"{self.paper_value:g} {self.unit}".strip(),
+            f"{self.measured_value:g} {self.unit}".strip(),
+            f"{self.relative_error:.2%}",
+            "OK" if self.within_tolerance else "MISMATCH",
+        ]
+
+
+def comparison_table(comparisons: Sequence[PaperComparison], title: str = "") -> str:
+    return format_table(
+        ["experiment", "quantity", "paper", "measured", "error", "status"],
+        [c.row() for c in comparisons],
+        title=title,
+    )

@@ -1,0 +1,50 @@
+"""Simulator-trace utilities.
+
+Every subsystem logs annotated events through ``Simulator.log``; these
+helpers slice and render those traces, in particular the Figure 5 step
+table produced by the switching methodology.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analysis.report import format_table
+from repro.sim.kernel import TraceEvent
+
+
+def format_trace(
+    trace: Sequence[TraceEvent],
+    categories: Optional[Sequence[str]] = None,
+    limit: Optional[int] = None,
+) -> str:
+    """Render trace events, optionally filtered by category."""
+    events = [
+        event
+        for event in trace
+        if categories is None or event.category in categories
+    ]
+    if limit is not None:
+        events = events[:limit]
+    return "\n".join(str(event) for event in events)
+
+
+def switch_step_table(report) -> str:
+    """Render a :class:`~repro.core.switching.SwitchReport` step list."""
+    rows = [
+        [step, f"{ps / 1e6:.3f}", text] for step, ps, text in report.steps
+    ]
+    return format_table(
+        ["step", "time (us)", "action"],
+        rows,
+        title=(
+            f"module switch {report.old_prr} -> "
+            f"{report.new_module}@{report.new_prr}"
+        ),
+    )
+
+
+def events_between(
+    trace: Sequence[TraceEvent], start_ps: int, end_ps: int
+) -> List[TraceEvent]:
+    return [e for e in trace if start_ps <= e.time <= end_ps]

@@ -1,0 +1,30 @@
+"""Baseline architectures from the paper's related work (Section II).
+
+Implemented for head-to-head comparison with the VAPRES communication
+architecture and switching methodology:
+
+* :mod:`repro.baselines.processor_routed` -- Ullmann et al.: every
+  inter-PRR word is relayed through the MicroBlaze;
+* :mod:`repro.baselines.shared_bus` -- Sedcole et al. (Sonic-on-a-Chip):
+  dynamic channels over a time-multiplexed bus clocked at 50 MHz;
+* :mod:`repro.baselines.adjacent_only` -- Sudarsanam et al. (PolySAF):
+  direct communication restricted to adjacent PRRs;
+* :mod:`repro.baselines.naive_switching` -- halt/reconfigure/resume module
+  replacement in place, the approach VAPRES's methodology improves on.
+"""
+
+from repro.baselines.processor_routed import ProcessorRoutedLink, processor_relay
+from repro.baselines.shared_bus import SharedBus, SharedBusConnection
+from repro.baselines.adjacent_only import AdjacentOnlyRouter, AdjacencyError
+from repro.baselines.naive_switching import NaiveSwitcher, NaiveSwitchReport
+
+__all__ = [
+    "AdjacencyError",
+    "AdjacentOnlyRouter",
+    "NaiveSwitchReport",
+    "NaiveSwitcher",
+    "ProcessorRoutedLink",
+    "SharedBus",
+    "SharedBusConnection",
+    "processor_relay",
+]

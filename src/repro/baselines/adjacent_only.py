@@ -1,0 +1,61 @@
+"""Adjacent-only communication baseline (Sudarsanam et al., Section II).
+
+PolySAF permits direct streaming only between PRRs placed next to each
+other in the floorplan (plus MicroBlaze FIFO access).  This wrapper
+enforces that restriction on top of the VAPRES router so the benchmarks
+can quantify how many application mappings it rejects compared to the
+arbitrary-PRR channels of VAPRES.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.comm.channel import StreamingChannel
+from repro.comm.interfaces import ConsumerInterface, ProducerInterface
+from repro.comm.router import ChannelRouter
+
+
+class AdjacencyError(Exception):
+    """Raised for channels between non-adjacent attachments."""
+
+
+class AdjacentOnlyRouter:
+    """Restricts an RSB's router to adjacent (or same-box) channels."""
+
+    def __init__(self, router: ChannelRouter) -> None:
+        self.router = router
+        self.rejected: List[tuple] = []
+
+    def establish(
+        self,
+        src_box: int,
+        dst_box: int,
+        producer: ProducerInterface,
+        consumer: ConsumerInterface,
+        src_port: int = 0,
+        dst_port: int = 0,
+    ) -> StreamingChannel:
+        if abs(src_box - dst_box) > 1:
+            self.rejected.append((src_box, dst_box))
+            raise AdjacencyError(
+                f"PolySAF-style fabric only links adjacent PRRs; "
+                f"{src_box} -> {dst_box} requires {abs(src_box - dst_box)} hops"
+            )
+        return self.router.establish(
+            src_box, dst_box, producer, consumer, src_port, dst_port
+        )
+
+    def try_establish(self, *args, **kwargs) -> Optional[StreamingChannel]:
+        try:
+            return self.establish(*args, **kwargs)
+        except AdjacencyError:
+            return None
+
+    @staticmethod
+    def mappable_fraction(edge_distances: List[int]) -> float:
+        """Fraction of edges with hop distance <= 1 (directly mappable)."""
+        if not edge_distances:
+            return 1.0
+        ok = sum(1 for d in edge_distances if d <= 1)
+        return ok / len(edge_distances)

@@ -1,0 +1,121 @@
+"""Naive in-place module switching (the approach VAPRES improves on).
+
+Without a spare PRR and the overlap protocol, replacing a module means
+halting the stream, reconfiguring the *same* PRR, and resuming: the
+stream processing interruption is at least the full PRR reconfiguration
+time (hundreds of milliseconds on the prototype, Section III.B.3), while
+the VAPRES methodology hides it entirely.
+
+:class:`NaiveSwitcher` implements this baseline with the same state
+save/restore fidelity as the real methodology so the comparison isolates
+exactly the overlap benefit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional
+
+from repro.comm.channel import StreamingChannel
+from repro.control.microblaze import Delay, FslGet, FslPut
+from repro.modules.base import CMD_FLUSH, CMD_START
+from repro.modules.iom import CMD_ARM_EOS, MSG_EOS
+
+
+@dataclass
+class NaiveSwitchReport:
+    """Outcome of one halt/reconfigure/resume switch."""
+
+    prr: str
+    new_module: str
+    halt_start_ps: int = 0
+    resume_ps: int = 0
+    reconfig_seconds: float = 0.0
+    state_words: List[int] = field(default_factory=list)
+    words_lost: int = 0
+    input_channel: Optional[StreamingChannel] = None
+    output_channel: Optional[StreamingChannel] = None
+
+    @property
+    def interruption_seconds(self) -> float:
+        """Wall time the stream path was torn down."""
+        return (self.resume_ps - self.halt_start_ps) / 1e12
+
+
+class NaiveSwitcher:
+    """Baseline controller: replace a module in its own PRR."""
+
+    def __init__(self, system) -> None:
+        self.system = system
+        self.api = system.api
+
+    def switch(
+        self,
+        prr: str,
+        new_module: str,
+        upstream_slot: str,
+        downstream_slot: str,
+        input_channel: StreamingChannel,
+        output_channel: StreamingChannel,
+        reconfig_path: str = "array2icap",
+        upstream_port: int = 0,
+        downstream_port: int = 0,
+    ) -> Generator:
+        """MicroBlaze software for the baseline switch."""
+        sim = self.system.sim
+        slot = self.system.prr(prr)
+        upstream = self.system.slot(upstream_slot)
+        downstream = self.system.slot(downstream_slot)
+        old_module = slot.module
+        if old_module is None:
+            raise ValueError(f"PRR {prr!r} has no module to replace")
+        report = NaiveSwitchReport(prr=prr, new_module=new_module)
+
+        # ---- halt: stop the stream and drain through the old module ----
+        report.halt_start_ps = sim.now
+        yield from self.api.vapres_fifo_control(upstream.module_id, ren=False)
+        yield Delay(2 * input_channel.d + 4)
+        yield FslPut(downstream.fsl_to_module, CMD_ARM_EOS, True)
+        yield FslPut(slot.fsl_to_module, CMD_FLUSH, True)
+        state_count = old_module.state_word_count
+        report.state_words = yield from self.api.read_state_words(
+            slot.module_id, state_count
+        )
+        while True:
+            data, control = yield FslGet(downstream.fsl_to_processor)
+            if control and data == MSG_EOS:
+                break
+        report.words_lost += yield from self.api.vapres_release_channel(
+            input_channel
+        )
+        report.words_lost += yield from self.api.vapres_release_channel(
+            output_channel
+        )
+        sim.log("naive-switch", f"stream halted, reconfiguring {prr} in place")
+
+        # ---- reconfigure the same PRR (stream is down the whole time) ---
+        if reconfig_path == "array2icap":
+            transfer = yield from self.api.vapres_array2icap(new_module, prr)
+        else:
+            transfer = yield from self.api.vapres_cf2icap(new_module, prr)
+        report.reconfig_seconds = transfer.duration_seconds
+
+        # ---- resume: restore state, rebuild channels, restart stream ----
+        yield from self.api.send_state_words(slot.module_id, report.state_words)
+        yield FslPut(slot.fsl_to_module, CMD_START, True)
+        report.input_channel = yield from self.api.vapres_establish_channel(
+            None, upstream_slot, prr, src_port=upstream_port, dst_port=0
+        )
+        report.output_channel = yield from self.api.vapres_establish_channel(
+            None, prr, downstream_slot, src_port=0, dst_port=downstream_port
+        )
+        if report.input_channel is None or report.output_channel is None:
+            raise RuntimeError("failed to re-establish channels after resume")
+        yield from self.api.vapres_fifo_control(upstream.module_id, ren=True)
+        report.resume_ps = sim.now
+        sim.log(
+            "naive-switch",
+            f"{prr} resumed with {new_module}",
+            interruption_ms=report.interruption_seconds * 1e3,
+        )
+        return report

@@ -1,0 +1,68 @@
+"""Processor-routed communication baseline (Ullmann et al., Section II).
+
+In this architecture PRRs have no direct interconnect: every stream word
+is read by the MicroBlaze from the producing module's FSL and written to
+the consuming module's FSL.  The processor becomes the bandwidth
+bottleneck -- the software relay costs
+:data:`RELAY_CYCLES_PER_WORD` processor cycles per word, so peak
+throughput is ``f_cpu / RELAY_CYCLES_PER_WORD`` words/s shared across
+*all* active streams, versus one word per 100 MHz fabric cycle *per
+channel* for the VAPRES switch-box architecture.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.comm.fsl import FslLink
+from repro.control.microblaze import Delay, FslGet, FslPut
+
+#: MicroBlaze cycles to relay one word (FSL get + put + loop overhead,
+#: typical for a tight MicroBlaze relay loop).
+RELAY_CYCLES_PER_WORD = 10
+
+
+def processor_relay(
+    source: FslLink,
+    destination: FslLink,
+    word_limit: Optional[int] = None,
+    cycles_per_word: int = RELAY_CYCLES_PER_WORD,
+) -> Generator:
+    """MicroBlaze software relaying words between two FSLs.
+
+    Runs until ``word_limit`` words have moved (forever when None).
+    Returns the number of words relayed.
+    """
+    moved = 0
+    while word_limit is None or moved < word_limit:
+        data, control = yield FslGet(source)
+        yield Delay(max(0, cycles_per_word - 4))  # FSL ops charge 2+2 cycles
+        yield FslPut(destination, data, control)
+        moved += 1
+    return moved
+
+
+class ProcessorRoutedLink:
+    """Analytic model of one processor-routed stream.
+
+    Useful for sweeps without running the simulator: throughput in
+    words/second for a given CPU frequency and number of concurrently
+    active streams (the CPU round-robins between them).
+    """
+
+    def __init__(
+        self,
+        cpu_hz: float = 100e6,
+        cycles_per_word: int = RELAY_CYCLES_PER_WORD,
+    ) -> None:
+        self.cpu_hz = cpu_hz
+        self.cycles_per_word = cycles_per_word
+
+    def throughput_words_per_s(self, active_streams: int = 1) -> float:
+        if active_streams < 1:
+            raise ValueError("need at least one stream")
+        return self.cpu_hz / self.cycles_per_word / active_streams
+
+    def latency_seconds(self) -> float:
+        """Per-word relay latency (one CPU service)."""
+        return self.cycles_per_word / self.cpu_hz

@@ -1,0 +1,86 @@
+"""Time-multiplexed shared-bus baseline (Sedcole et al., Section II).
+
+Sonic-on-a-Chip establishes dynamic streaming channels by allocating
+slots on a time-multiplexed bus; the paper notes the long combinational
+routing limits the bus to 50 MHz on the same device generation where the
+registered VAPRES switch boxes run at 100 MHz.
+
+:class:`SharedBus` is a clocked component: each bus cycle serves exactly
+one connection in round-robin order, moving at most one word end to end.
+Aggregate bandwidth is one word per bus cycle *shared by all
+connections*, whereas every VAPRES channel sustains one word per fabric
+cycle independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.comm.interfaces import ConsumerInterface, ProducerInterface
+from repro.sim.clock import ClockedComponent
+
+#: Bus clock reported by Sedcole et al. on Virtex-4.
+SONIC_BUS_HZ = 50e6
+
+
+@dataclass
+class SharedBusConnection:
+    """One producer->consumer stream multiplexed onto the bus."""
+
+    producer: ProducerInterface
+    consumer: ConsumerInterface
+    words_moved: int = 0
+
+
+class SharedBus(ClockedComponent):
+    """Round-robin time-multiplexed bus."""
+
+    def __init__(self, name: str = "tdm_bus") -> None:
+        self.name = name
+        self.connections: List[SharedBusConnection] = []
+        self._next = 0
+        self.cycles = 0
+        self.idle_cycles = 0
+
+    def connect(
+        self, producer: ProducerInterface, consumer: ConsumerInterface
+    ) -> SharedBusConnection:
+        connection = SharedBusConnection(producer, consumer)
+        self.connections.append(connection)
+        producer.fifo_ren = True
+        consumer.fifo_wen = True
+        return connection
+
+    def disconnect(self, connection: SharedBusConnection) -> None:
+        self.connections.remove(connection)
+        self._next = 0
+
+    # ------------------------------------------------------------------
+    def commit(self) -> None:
+        """One bus cycle: serve the next connection's slot."""
+        self.cycles += 1
+        if not self.connections:
+            self.idle_cycles += 1
+            return
+        connection = self.connections[self._next % len(self.connections)]
+        self._next += 1
+        producer, consumer = connection.producer, connection.consumer
+        if producer.fifo.empty or consumer.fifo.full:
+            self.idle_cycles += 1
+            return
+        valid, word = producer.drive(backpressured=False)
+        if valid:
+            consumer.receive(valid, word)
+            connection.words_moved += 1
+        else:
+            self.idle_cycles += 1
+
+    # ------------------------------------------------------------------
+    def throughput_words_per_s(
+        self, bus_hz: float = SONIC_BUS_HZ, active_connections: int = 1
+    ) -> float:
+        """Analytic per-connection throughput."""
+        if active_connections < 1:
+            raise ValueError("need at least one connection")
+        return bus_hz / active_connections

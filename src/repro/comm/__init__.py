@@ -1,0 +1,40 @@
+"""VAPRES inter-module communication architecture.
+
+Models Section III.B of the paper: a linear array of registered switch
+boxes joins the PRRs and IOMs of one reconfigurable streaming block (RSB).
+Streaming channels are established at runtime by configuring switch-box
+multiplexers; data then flows one switch box per cycle in a pipelined
+fashion, a valid bit (the negated FIFO-empty flag) rides as the MSB of each
+word, and a *feedback FIFO-full* signal pipelined backwards provides
+loss-free back-pressure despite the pipeline latency.
+
+* :mod:`repro.comm.switchbox` -- switch boxes with ``kr``/``kl``
+  directional lanes and output-port multiplexers;
+* :mod:`repro.comm.interfaces` -- producer/consumer module interfaces
+  (Figure 2) with their asynchronous FIFOs;
+* :mod:`repro.comm.channel` -- the pipelined streaming channel datapath;
+* :mod:`repro.comm.router` -- channel establishment/release over the
+  switch-box array (the engine behind ``vapres_establish_channel``);
+* :mod:`repro.comm.fsl` -- fast simplex links between the MicroBlaze and
+  each PRR/IOM.
+"""
+
+from repro.comm.switchbox import LaneRef, SwitchBox, SwitchBoxError
+from repro.comm.interfaces import ConsumerInterface, ProducerInterface
+from repro.comm.channel import StreamingChannel, SwitchFabric
+from repro.comm.router import ChannelRouter, CommState, RoutingError
+from repro.comm.fsl import FslLink
+
+__all__ = [
+    "ChannelRouter",
+    "CommState",
+    "ConsumerInterface",
+    "FslLink",
+    "LaneRef",
+    "ProducerInterface",
+    "RoutingError",
+    "StreamingChannel",
+    "SwitchBox",
+    "SwitchBoxError",
+    "SwitchFabric",
+]

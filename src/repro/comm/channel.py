@@ -1,0 +1,138 @@
+"""Pipelined streaming channels and the fabric that clocks them.
+
+A streaming channel connects one producer interface to one consumer
+interface through ``d`` switch boxes.  Data advances one switch-box
+register per static-clock cycle; the consumer's feedback FIFO-full signal
+travels the opposite way with the same latency.  Both pipelines are
+modelled as shift registers owned by the channel -- the physical lanes the
+words traverse are reserved exclusively for the channel by the router, so
+the per-channel shift is cycle-exact.
+
+:class:`SwitchFabric` is the clocked component that advances every
+established channel each static-clock cycle, using the kernel's
+sample/commit phases so producers and consumers observe consistent
+pre-edge state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.comm.interfaces import (
+    INVALID_WORD,
+    ConsumerInterface,
+    ProducerInterface,
+)
+from repro.comm.switchbox import LaneRef
+from repro.sim.clock import ClockedComponent
+
+
+class StreamingChannel:
+    """One established producer->consumer channel.
+
+    ``hops`` are the switch-box output lanes the router allocated, in
+    upstream-to-downstream order; ``d = len(hops)`` is the pipeline depth in
+    both directions (the paper's *number of switches between the two
+    communicating PRRs/IOMs*).
+    """
+
+    def __init__(
+        self,
+        channel_id: int,
+        producer: ProducerInterface,
+        consumer: ConsumerInterface,
+        hops: List[LaneRef],
+    ) -> None:
+        if not hops:
+            raise ValueError("a channel must traverse at least one switch box")
+        self.channel_id = channel_id
+        self.producer = producer
+        self.consumer = consumer
+        self.hops = list(hops)
+        self.d = len(hops)
+        self._forward: List[Tuple[bool, int]] = [INVALID_WORD] * self.d
+        self._backward: List[bool] = [False] * self.d
+        self._staged_forward: Optional[Tuple[bool, int]] = None
+        self._staged_backward: Optional[bool] = None
+        self.released = False
+        self.words_delivered = 0
+        consumer.set_backpressure_slack(2 * self.d)
+
+    # ------------------------------------------------------------------
+    # clocking (driven by SwitchFabric)
+    # ------------------------------------------------------------------
+    def sample(self) -> None:
+        """Phase 1: deliver the pipeline tail, stage the new head values."""
+        if self.released:
+            return
+        valid, word = self._forward[-1]
+        if valid:
+            self.consumer.receive(valid, word)
+            self.words_delivered += 1
+        # feedback that has reached the producer end gates the FIFO read
+        self._staged_forward = self.producer.drive(
+            backpressured=self._backward[-1]
+        )
+        self._staged_backward = self.consumer.full_feedback
+
+    def commit(self) -> None:
+        """Phase 2: shift both pipelines."""
+        if self.released or self._staged_forward is None:
+            return
+        self._forward = [self._staged_forward] + self._forward[:-1]
+        self._backward = [self._staged_backward] + self._backward[:-1]
+        self._staged_forward = None
+        self._staged_backward = None
+
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Valid words currently inside the pipeline registers."""
+        return sum(1 for valid, _ in self._forward if valid)
+
+    def release(self) -> int:
+        """Tear the channel down; returns (and drops) the in-flight words.
+
+        The switching methodology of Figure 5 only releases a channel after
+        draining, so a non-zero return here indicates a protocol violation
+        by the caller.
+        """
+        lost = self.in_flight
+        self.released = True
+        self._forward = [INVALID_WORD] * self.d
+        self._backward = [False] * self.d
+        return lost
+
+    def __repr__(self) -> str:
+        path = "->".join(str(h) for h in self.hops)
+        state = "released" if self.released else "active"
+        return (
+            f"StreamingChannel(#{self.channel_id} {self.producer.name}->"
+            f"{self.consumer.name} via {path}, {state})"
+        )
+
+
+class SwitchFabric(ClockedComponent):
+    """Clocked container advancing all channels of one RSB."""
+
+    def __init__(self, name: str = "fabric") -> None:
+        self.name = name
+        self.channels: Dict[int, StreamingChannel] = {}
+
+    def add(self, channel: StreamingChannel) -> None:
+        self.channels[channel.channel_id] = channel
+
+    def remove(self, channel_id: int) -> None:
+        self.channels.pop(channel_id, None)
+
+    def sample(self) -> None:
+        for channel in self.channels.values():
+            channel.sample()
+
+    def commit(self) -> None:
+        for channel in self.channels.values():
+            channel.commit()
+
+    @property
+    def active_channels(self) -> List[StreamingChannel]:
+        return [c for c in self.channels.values() if not c.released]

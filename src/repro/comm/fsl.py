@@ -1,0 +1,110 @@
+"""Fast simplex links (FSLs) between the MicroBlaze and PRRs/IOMs.
+
+Each PRR/IOM owns a pair of asynchronous FSLs (paper Figure 5): ``r``
+flowing towards the MicroBlaze (monitoring data, saved state registers,
+completion messages) and ``t`` flowing towards the module (commands,
+restored state).  An FSL word carries 32 data bits plus one control bit;
+the FIFOs are BlockRAM based, 512 words deep in the prototype, and are
+reset through the PRSocket ``FSL_reset`` DCR bit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.sim.fifo import AsyncFifo
+
+FSL_DEPTH_DEFAULT = 512
+
+
+class FslLink:
+    """One one-way FSL: master writes, slave reads."""
+
+    def __init__(
+        self,
+        name: str,
+        depth: int = FSL_DEPTH_DEFAULT,
+        width: int = 32,
+        master_domain: str = "master",
+        slave_domain: str = "slave",
+    ) -> None:
+        self.name = name
+        self.width = width
+        self.mask = (1 << width) - 1
+        self.fifo = AsyncFifo(
+            depth,
+            name=f"{name}.fifo",
+            write_domain=master_domain,
+            read_domain=slave_domain,
+        )
+        self._read_waiters: list = []
+        self._write_waiters: list = []
+
+    # ------------------------------------------------------------------
+    # master side
+    # ------------------------------------------------------------------
+    def master_write(self, data: int, control: bool = False) -> bool:
+        """Non-blocking write; False when the link is full."""
+        if self.fifo.full:
+            return False
+        ok = self.fifo.push((data & self.mask, bool(control)))
+        if ok:
+            self._notify(self._read_waiters)
+        return ok
+
+    @property
+    def can_write(self) -> bool:
+        return not self.fifo.full
+
+    # ------------------------------------------------------------------
+    # slave side
+    # ------------------------------------------------------------------
+    def slave_read(self) -> Optional[Tuple[int, bool]]:
+        """Non-blocking read of ``(data, control)``; None when empty."""
+        if self.fifo.empty:
+            return None
+        word = self.fifo.pop()
+        self._notify(self._write_waiters)
+        return word
+
+    def slave_peek(self) -> Optional[Tuple[int, bool]]:
+        return None if self.fifo.empty else self.fifo.peek()
+
+    @property
+    def can_read(self) -> bool:
+        return not self.fifo.empty
+
+    def __len__(self) -> int:
+        return len(self.fifo)
+
+    # ------------------------------------------------------------------
+    # waiters (used by the MicroBlaze model for blocking FSL access)
+    # ------------------------------------------------------------------
+    def wait_readable(self, callback) -> None:
+        """Invoke ``callback`` once when data becomes available."""
+        if self.can_read:
+            callback()
+        else:
+            self._read_waiters.append(callback)
+
+    def wait_writable(self, callback) -> None:
+        """Invoke ``callback`` once when space becomes available."""
+        if self.can_write:
+            callback()
+        else:
+            self._write_waiters.append(callback)
+
+    @staticmethod
+    def _notify(waiters: list) -> None:
+        pending, waiters[:] = waiters[:], []
+        for callback in pending:
+            callback()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """PRSocket ``FSL_reset`` semantics."""
+        self.fifo.clear()
+        self._notify(self._write_waiters)
+
+    def __repr__(self) -> str:
+        return f"FslLink({self.name}, {len(self.fifo)}/{self.fifo.capacity})"

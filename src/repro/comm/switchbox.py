@@ -1,0 +1,213 @@
+"""Switch boxes: the nodes of the linear inter-module network.
+
+Each PRR/IOM pairs with one switch box.  A switch box owns (Figure 7):
+
+* ``kr`` one-way lanes flowing to its right neighbour,
+* ``kl`` one-way lanes flowing to its left neighbour,
+* ``ko`` module input ports (fed by the paired module's producer
+  interface), and
+* ``ki`` module output ports (feeding the paired module's consumer
+  interface).
+
+Internally every input port has a pipeline register and every output port
+a multiplexer selecting one registered input (paper Section III.B).  The
+PRSocket ``MUX_sel`` DCR bits program those multiplexers; here the
+selection doubles as lane *ownership* bookkeeping used by the channel
+router, and the encoded mux configuration is readable back through the
+DCR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+RIGHT = "R"
+LEFT = "L"
+MODULE_IN = "MI"   # from the module's producer interface into the box
+MODULE_OUT = "MO"  # from the box to the module's consumer interface
+
+
+class SwitchBoxError(Exception):
+    """Raised on illegal lane allocation or mux programming."""
+
+
+@dataclass(frozen=True)
+class LaneRef:
+    """One output-port lane of one switch box.
+
+    ``direction`` is :data:`RIGHT`, :data:`LEFT` or :data:`MODULE_OUT`;
+    ``lane`` indexes within the direction's lane set.
+    """
+
+    box: int
+    direction: str
+    lane: int
+
+    def __str__(self) -> str:
+        return f"SB{self.box}.{self.direction}{self.lane}"
+
+
+@dataclass(frozen=True)
+class SourceRef:
+    """One registered input port of a switch box (a mux source)."""
+
+    direction: str  # RIGHT / LEFT (arriving lanes) or MODULE_IN
+    lane: int
+
+    def __str__(self) -> str:
+        return f"{self.direction}{self.lane}"
+
+
+class SwitchBox:
+    """One switch box of an RSB's linear array."""
+
+    def __init__(
+        self, index: int, kr: int, kl: int, ki: int, ko: int, width: int = 32
+    ) -> None:
+        if min(kr, kl) < 0 or min(ki, ko) < 1:
+            raise SwitchBoxError("lane counts must be kr,kl >= 0 and ki,ko >= 1")
+        self.index = index
+        self.kr = kr
+        self.kl = kl
+        self.ki = ki
+        self.ko = ko
+        self.width = width
+        # channel-id owning each output lane (None = free)
+        self._owners: Dict[Tuple[str, int], Optional[int]] = {}
+        for lane in range(kr):
+            self._owners[(RIGHT, lane)] = None
+        for lane in range(kl):
+            self._owners[(LEFT, lane)] = None
+        for lane in range(ki):
+            self._owners[(MODULE_OUT, lane)] = None
+        # mux source per output lane
+        self._mux: Dict[Tuple[str, int], Optional[SourceRef]] = {
+            key: None for key in self._owners
+        }
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def free_lanes(self, direction: str) -> List[int]:
+        """Indices of unowned output lanes in ``direction``."""
+        return [
+            lane
+            for (d, lane), owner in sorted(self._owners.items())
+            if d == direction and owner is None
+        ]
+
+    def allocate(
+        self, direction: str, channel_id: int, source: SourceRef
+    ) -> LaneRef:
+        """Claim the first free lane in ``direction`` and program its mux."""
+        free = self.free_lanes(direction)
+        if not free:
+            raise SwitchBoxError(
+                f"SB{self.index}: no free {direction} lane for channel {channel_id}"
+            )
+        return self.allocate_specific(direction, free[0], channel_id, source)
+
+    def allocate_specific(
+        self, direction: str, lane: int, channel_id: int, source: SourceRef
+    ) -> LaneRef:
+        """Claim one particular output lane (e.g. a named module port)."""
+        key = (direction, lane)
+        if key not in self._owners:
+            raise SwitchBoxError(f"SB{self.index}: no lane {direction}{lane}")
+        if self._owners[key] is not None:
+            raise SwitchBoxError(
+                f"SB{self.index}: lane {direction}{lane} already owned by "
+                f"channel {self._owners[key]}"
+            )
+        self._validate_source(source)
+        self._owners[key] = channel_id
+        self._mux[key] = source
+        return LaneRef(self.index, direction, lane)
+
+    def release(self, ref: LaneRef) -> None:
+        key = (ref.direction, ref.lane)
+        if key not in self._owners:
+            raise SwitchBoxError(f"SB{self.index}: unknown lane {ref}")
+        if self._owners[key] is None:
+            raise SwitchBoxError(f"SB{self.index}: lane {ref} is not allocated")
+        self._owners[key] = None
+        self._mux[key] = None
+
+    def owner_of(self, direction: str, lane: int) -> Optional[int]:
+        return self._owners[(direction, lane)]
+
+    def _validate_source(self, source: SourceRef) -> None:
+        limits = {RIGHT: self.kr, LEFT: self.kl, MODULE_IN: self.ko}
+        if source.direction not in limits:
+            raise SwitchBoxError(f"bad mux source direction {source.direction!r}")
+        if not 0 <= source.lane < limits[source.direction]:
+            raise SwitchBoxError(
+                f"SB{self.index}: mux source {source} out of range"
+            )
+
+    # ------------------------------------------------------------------
+    # DCR view (PRSocket MUX_sel bits)
+    # ------------------------------------------------------------------
+    def mux_select_bits(self) -> int:
+        """Encode the mux configuration as the DCR ``MUX_sel`` field.
+
+        Each output lane contributes ``ceil(log2(sources+1))`` bits; 0 means
+        unrouted, n>0 selects the n-th possible source in a canonical
+        ordering (arriving right lanes, arriving left lanes, module inputs).
+        """
+        sources = self._canonical_sources()
+        bits_per_lane = max(1, (len(sources)).bit_length())
+        value = 0
+        shift = 0
+        for key in sorted(self._mux):
+            src = self._mux[key]
+            code = 0 if src is None else sources.index(src) + 1
+            value |= code << shift
+            shift += bits_per_lane
+        return value
+
+    def set_mux_from_bits(self, value: int) -> None:
+        """Program the multiplexers from a raw DCR ``MUX_sel`` write.
+
+        This is the low-level hardware path (the MicroBlaze writing the
+        PRSocket DCR directly).  It sets mux sources only -- channel/lane
+        *ownership* is software state kept by the
+        :class:`~repro.comm.router.ChannelRouter`; mixing raw writes with
+        router-managed channels is a software bug, as on the real system.
+        """
+        sources = self._canonical_sources()
+        bits_per_lane = max(1, (len(sources)).bit_length())
+        lane_mask = (1 << bits_per_lane) - 1
+        shift = 0
+        for key in sorted(self._mux):
+            code = (value >> shift) & lane_mask
+            if code > len(sources):
+                raise SwitchBoxError(
+                    f"SB{self.index}: MUX_sel code {code} has no source"
+                )
+            self._mux[key] = None if code == 0 else sources[code - 1]
+            shift += bits_per_lane
+        self.raw_mux_writes = getattr(self, "raw_mux_writes", 0) + 1
+
+    def _canonical_sources(self) -> List[SourceRef]:
+        srcs = [SourceRef(RIGHT, lane) for lane in range(self.kr)]
+        srcs += [SourceRef(LEFT, lane) for lane in range(self.kl)]
+        srcs += [SourceRef(MODULE_IN, lane) for lane in range(self.ko)]
+        return srcs
+
+    def mux_source(self, direction: str, lane: int) -> Optional[SourceRef]:
+        return self._mux[(direction, lane)]
+
+    # ------------------------------------------------------------------
+    def utilization(self) -> float:
+        """Fraction of output lanes currently owned by channels."""
+        total = len(self._owners)
+        used = sum(1 for owner in self._owners.values() if owner is not None)
+        return used / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"SwitchBox({self.index}, kr={self.kr}, kl={self.kl}, "
+            f"ki={self.ki}, ko={self.ko}, util={self.utilization():.0%})"
+        )

@@ -1,0 +1,71 @@
+"""Interconnect timing: why the switch boxes are registered.
+
+Section III.B: "data words flow from the producer to the consumer
+interface in a pipelined fashion using switch box registers.  This
+pipelined communication increases the maximum communication clock
+frequency, and thus throughput, by reducing routing and combinational
+delays between registers."  Section II attributes Sonic-on-a-Chip's
+50 MHz bus to its long (unregistered) routing.
+
+This model quantifies that choice with standard static-timing reasoning
+on representative Virtex-4 delays:
+
+* a registered fabric's critical path is one switch-box hop
+  (clock-to-out + mux + inter-box routing + setup), independent of the
+  channel length d;
+* an unregistered (combinational) fabric's critical path accumulates one
+  mux+routing segment per traversed switch box, so its maximum clock
+  falls as 1/d.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+#: Representative Virtex-4 delays (ns).
+CLOCK_TO_OUT_NS = 0.6
+MUX_DELAY_NS = 0.9
+ROUTING_PER_HOP_NS = 7.0
+SETUP_NS = 0.5
+
+#: One registered hop's total delay: the pipelined critical path.
+REGISTERED_PATH_NS = CLOCK_TO_OUT_NS + MUX_DELAY_NS + ROUTING_PER_HOP_NS + SETUP_NS
+
+
+def registered_max_frequency_hz(d: int = 1) -> float:
+    """Maximum clock of the pipelined switch-box fabric (d-independent)."""
+    if d < 1:
+        raise ValueError("a channel traverses at least one switch box")
+    return 1e9 / REGISTERED_PATH_NS
+
+
+def combinational_max_frequency_hz(d: int) -> float:
+    """Maximum clock when the d-hop path has no intermediate registers."""
+    if d < 1:
+        raise ValueError("a channel traverses at least one switch box")
+    path_ns = (
+        CLOCK_TO_OUT_NS + d * (MUX_DELAY_NS + ROUTING_PER_HOP_NS) + SETUP_NS
+    )
+    return 1e9 / path_ns
+
+
+def channel_latency_cycles(d: int) -> int:
+    """Data latency through an established channel, in fabric cycles.
+
+    One register per switch box plus the consumer-FIFO write edge.
+    """
+    if d < 1:
+        raise ValueError("a channel traverses at least one switch box")
+    return d + 1
+
+
+def frequency_table(max_d: int = 8) -> List[Tuple[int, float, float]]:
+    """(d, registered MHz, combinational MHz) series for the ablation."""
+    return [
+        (
+            d,
+            registered_max_frequency_hz(d) / 1e6,
+            combinational_max_frequency_hz(d) / 1e6,
+        )
+        for d in range(1, max_d + 1)
+    ]

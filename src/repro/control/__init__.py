@@ -1,0 +1,55 @@
+"""The VAPRES controlling region (paper Section III.A).
+
+A soft-core MicroBlaze plus static peripherals responsible for
+
+* controlling the data processing region via PRSockets
+  (:mod:`repro.control.prsocket`, :mod:`repro.control.dcr`),
+* system-level functions -- reading hardware-module bitstreams from
+  external memory (:mod:`repro.control.memory`) and performing partial
+  reconfiguration through the ICAP (:mod:`repro.control.icap`),
+* executing software modules (:mod:`repro.control.microblaze`), timed with
+  the ``xps_timer`` model (:mod:`repro.control.timer`).
+"""
+
+from repro.control.dcr import DcrBridge, DcrBus, DcrError
+from repro.control.prsocket import DCR_BITS, PRSocket
+from repro.control.memory import BramBuffer, CompactFlash, MemoryError_, Sdram
+from repro.control.icap import IcapController, IcapError
+from repro.control.microblaze import (
+    Call,
+    DcrRead,
+    DcrWrite,
+    Delay,
+    FslGet,
+    FslPut,
+    Microblaze,
+    SoftwareTask,
+    Suspend,
+    WaitFor,
+)
+from repro.control.timer import XpsTimer
+
+__all__ = [
+    "BramBuffer",
+    "Call",
+    "CompactFlash",
+    "DCR_BITS",
+    "DcrBridge",
+    "DcrBus",
+    "DcrError",
+    "DcrRead",
+    "DcrWrite",
+    "Delay",
+    "FslGet",
+    "FslPut",
+    "IcapController",
+    "IcapError",
+    "MemoryError_",
+    "Microblaze",
+    "PRSocket",
+    "Sdram",
+    "SoftwareTask",
+    "Suspend",
+    "WaitFor",
+    "XpsTimer",
+]

@@ -1,0 +1,82 @@
+"""Device Control Register (DCR) bus and PLB-to-DCR bridge.
+
+PRSockets attach as DCR slaves (Xilinx DS402); the MicroBlaze reaches them
+through a PLB-to-DCR bridge (paper Section III.B / Figure 3).  The bus is
+an address-mapped register file; the bridge adds a fixed access latency in
+MicroBlaze cycles that the software model charges per access.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Protocol
+
+#: PLB-to-DCR bridge round-trip latency in processor cycles.
+BRIDGE_READ_CYCLES = 12
+BRIDGE_WRITE_CYCLES = 10
+
+
+class DcrError(Exception):
+    """Raised on accesses to unmapped DCR addresses."""
+
+
+class DcrSlave(Protocol):
+    """Anything mappable on the DCR bus."""
+
+    def dcr_read(self) -> int: ...
+
+    def dcr_write(self, value: int) -> None: ...
+
+
+class DcrBus:
+    """A flat DCR address space of single-register slaves."""
+
+    def __init__(self) -> None:
+        self._slaves: Dict[int, DcrSlave] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def attach(self, address: int, slave: DcrSlave) -> None:
+        if address in self._slaves:
+            raise DcrError(f"DCR address 0x{address:x} already mapped")
+        self._slaves[address] = slave
+
+    def read(self, address: int) -> int:
+        self.reads += 1
+        return self._slave(address).dcr_read()
+
+    def write(self, address: int, value: int) -> None:
+        self.writes += 1
+        self._slave(address).dcr_write(value)
+
+    def _slave(self, address: int) -> DcrSlave:
+        if address not in self._slaves:
+            raise DcrError(f"no DCR slave at 0x{address:x}")
+        return self._slaves[address]
+
+    @property
+    def mapped_addresses(self) -> list:
+        return sorted(self._slaves)
+
+
+class DcrBridge:
+    """PLB-to-DCR bridge: the MicroBlaze's window onto the DCR bus.
+
+    Carries the fixed bridge latencies used by the software cost model.
+    """
+
+    def __init__(self, bus: DcrBus) -> None:
+        self.bus = bus
+
+    def read(self, address: int) -> int:
+        return self.bus.read(address)
+
+    def write(self, address: int, value: int) -> None:
+        self.bus.write(address, value)
+
+    @property
+    def read_cycles(self) -> int:
+        return BRIDGE_READ_CYCLES
+
+    @property
+    def write_cycles(self) -> int:
+        return BRIDGE_WRITE_CYCLES

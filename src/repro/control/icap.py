@@ -1,0 +1,126 @@
+"""Internal Configuration Access Port (ICAP) controller.
+
+The ICAP is the on-chip port through which the MicroBlaze writes partial
+bitstreams into the configuration memory of the reconfigured PRR.  Only
+one transfer may be in flight at a time; while a PRR is being written its
+slice macros must be disabled (``SM_en`` = 0) so that garbage from the
+half-configured region cannot reach the static region -- the reconfigure
+engine in :mod:`repro.pr.reconfig` enforces that protocol.
+
+Transfers are modelled as timed operations: the duration is computed from
+the bitstream size and the source memory's calibrated path rate, and a
+completion callback fires when the simulated time has elapsed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.sim.kernel import Simulator, seconds_to_ps
+
+
+class IcapError(Exception):
+    """Raised when a transfer is started while the ICAP is busy."""
+
+
+@dataclass
+class IcapTransfer:
+    """One completed or in-flight ICAP write."""
+
+    target: str
+    size_bytes: int
+    start_ps: int
+    duration_ps: int
+    done: bool = False
+    segments: List[str] = field(default_factory=list)
+    callbacks: List[Callable[["IcapTransfer"], None]] = field(default_factory=list)
+
+    def add_done_callback(self, callback: Callable[[], None]) -> None:
+        """Invoke ``callback`` (no args) when the transfer completes."""
+        if self.done:
+            callback()
+        else:
+            self.callbacks.append(lambda _transfer: callback())
+
+    @property
+    def end_ps(self) -> int:
+        return self.start_ps + self.duration_ps
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.duration_ps / 1e12
+
+
+class IcapController:
+    """Serialises and times bitstream writes into configuration memory."""
+
+    def __init__(self, sim: Simulator, name: str = "icap") -> None:
+        self.sim = sim
+        self.name = name
+        self._current: Optional[IcapTransfer] = None
+        self.history: List[IcapTransfer] = []
+        self.bytes_written = 0
+
+    @property
+    def busy(self) -> bool:
+        return self._current is not None
+
+    @property
+    def current(self) -> Optional[IcapTransfer]:
+        return self._current
+
+    def start_transfer(
+        self,
+        target: str,
+        size_bytes: int,
+        duration_seconds: float,
+        on_done: Optional[Callable[[IcapTransfer], None]] = None,
+        segments: Optional[List[str]] = None,
+    ) -> IcapTransfer:
+        """Begin writing ``size_bytes`` to PRR ``target``.
+
+        ``duration_seconds`` is supplied by the caller, computed from the
+        source memory path (CF streaming, BRAM buffer, or SDRAM copy loop).
+        Raises :class:`IcapError` if a transfer is already active.
+        """
+        if self.busy:
+            raise IcapError(
+                f"ICAP busy writing {self._current.target!r}; cannot start "
+                f"{target!r}"
+            )
+        if size_bytes <= 0:
+            raise IcapError(f"bitstream size must be positive, got {size_bytes}")
+        transfer = IcapTransfer(
+            target=target,
+            size_bytes=size_bytes,
+            start_ps=self.sim.now,
+            duration_ps=seconds_to_ps(duration_seconds),
+            segments=list(segments or []),
+        )
+        self._current = transfer
+
+        def _complete() -> None:
+            transfer.done = True
+            self._current = None
+            self.history.append(transfer)
+            self.bytes_written += transfer.size_bytes
+            self.sim.log(
+                "icap",
+                f"reconfiguration of {transfer.target} complete",
+                bytes=transfer.size_bytes,
+                ms=transfer.duration_ps / 1e9,
+            )
+            if on_done is not None:
+                on_done(transfer)
+            pending, transfer.callbacks = transfer.callbacks, []
+            for callback in pending:
+                callback(transfer)
+
+        self.sim.schedule(transfer.duration_ps, _complete)
+        self.sim.log(
+            "icap",
+            f"reconfiguration of {target} started",
+            bytes=size_bytes,
+        )
+        return transfer

@@ -1,0 +1,202 @@
+"""PRSockets: the DCR-mapped control points of the data processing region.
+
+One PRSocket exists per switch box/PRR (or IOM) pair.  Its single device
+control register implements Table 1 of the paper bit-for-bit:
+
+====  =========  =====================================================
+Bit   Name       Function
+====  =========  =====================================================
+0     SM_en      enable slice macros between the PRR and static region
+1     PRR_reset  reset the hardware module inside the PRR
+2     FIFO_reset reset the module-interface FIFOs
+3     FSL_reset  reset the FSL FIFOs
+4     FIFO_wen   let the switch box write into the consumer interface
+5     FIFO_ren   let the switch box read from the producer interface
+6     CLK_en     enable the PRR's regional clock buffer (BUFR)
+7     CLK_sel    BUFGMUX select for the PRR clock
+8..   MUX_sel    switch-box output multiplexer selects
+====  =========  =====================================================
+
+Reads return the *live* hardware state (e.g. ``MUX_sel`` reflects the
+switch box as programmed by the channel router), so software can always
+observe what the fabric is actually doing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.comm.fsl import FslLink
+from repro.comm.interfaces import ConsumerInterface, ProducerInterface
+from repro.comm.switchbox import SwitchBox
+from repro.fabric.slice_macro import SliceMacro
+from repro.sim.clock import Bufgmux, Bufr
+
+BIT_SM_EN = 0
+BIT_PRR_RESET = 1
+BIT_FIFO_RESET = 2
+BIT_FSL_RESET = 3
+BIT_FIFO_WEN = 4
+BIT_FIFO_REN = 5
+BIT_CLK_EN = 6
+BIT_CLK_SEL = 7
+MUX_SEL_SHIFT = 8
+
+#: name -> bit position, mirroring Table 1 of the paper.
+DCR_BITS = {
+    "SM_en": BIT_SM_EN,
+    "PRR_reset": BIT_PRR_RESET,
+    "FIFO_reset": BIT_FIFO_RESET,
+    "FSL_reset": BIT_FSL_RESET,
+    "FIFO_wen": BIT_FIFO_WEN,
+    "FIFO_ren": BIT_FIFO_REN,
+    "CLK_en": BIT_CLK_EN,
+    "CLK_sel": BIT_CLK_SEL,
+}
+
+
+def _bit(value: int, position: int) -> bool:
+    return bool((value >> position) & 1)
+
+
+class PRSocket:
+    """Control socket for one switch box/module pair."""
+
+    def __init__(self, name: str, dcr_address: int) -> None:
+        self.name = name
+        self.dcr_address = dcr_address
+        # connected hardware (injected by the RSB builder)
+        self.slice_macros: List[SliceMacro] = []
+        self.producers: List[ProducerInterface] = []
+        self.consumers: List[ConsumerInterface] = []
+        self.fsl_to_module: Optional[FslLink] = None
+        self.fsl_to_processor: Optional[FslLink] = None
+        self.bufr: Optional[Bufr] = None
+        self.bufgmux: Optional[Bufgmux] = None
+        self.switchbox: Optional[SwitchBox] = None
+        self.reset_target: Optional[Callable[[], None]] = None
+        # latched level bits not derivable from components
+        self._prr_reset = False
+        self._fifo_reset = False
+        self._fsl_reset = False
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def connect(
+        self,
+        slice_macros: Optional[List[SliceMacro]] = None,
+        producers: Optional[List[ProducerInterface]] = None,
+        consumers: Optional[List[ConsumerInterface]] = None,
+        fsl_to_module: Optional[FslLink] = None,
+        fsl_to_processor: Optional[FslLink] = None,
+        bufr: Optional[Bufr] = None,
+        bufgmux: Optional[Bufgmux] = None,
+        switchbox: Optional[SwitchBox] = None,
+        reset_target: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if slice_macros is not None:
+            self.slice_macros = slice_macros
+        if producers is not None:
+            self.producers = producers
+        if consumers is not None:
+            self.consumers = consumers
+        if fsl_to_module is not None:
+            self.fsl_to_module = fsl_to_module
+        if fsl_to_processor is not None:
+            self.fsl_to_processor = fsl_to_processor
+        if bufr is not None:
+            self.bufr = bufr
+        if bufgmux is not None:
+            self.bufgmux = bufgmux
+        if switchbox is not None:
+            self.switchbox = switchbox
+        if reset_target is not None:
+            self.reset_target = reset_target
+
+    # ------------------------------------------------------------------
+    # DCR slave interface
+    # ------------------------------------------------------------------
+    def dcr_write(self, value: int) -> None:
+        """Apply a full register write, fanning bits out to the hardware."""
+        for macro in self.slice_macros:
+            macro.set_enabled(_bit(value, BIT_SM_EN))
+
+        new_prr_reset = _bit(value, BIT_PRR_RESET)
+        if new_prr_reset and not self._prr_reset and self.reset_target:
+            self.reset_target()
+        self._prr_reset = new_prr_reset
+
+        new_fifo_reset = _bit(value, BIT_FIFO_RESET)
+        if new_fifo_reset and not self._fifo_reset:
+            for interface in [*self.producers, *self.consumers]:
+                interface.reset()
+        self._fifo_reset = new_fifo_reset
+
+        new_fsl_reset = _bit(value, BIT_FSL_RESET)
+        if new_fsl_reset and not self._fsl_reset:
+            for link in (self.fsl_to_module, self.fsl_to_processor):
+                if link is not None:
+                    link.reset()
+        self._fsl_reset = new_fsl_reset
+
+        for consumer in self.consumers:
+            consumer.fifo_wen = _bit(value, BIT_FIFO_WEN)
+        for producer in self.producers:
+            producer.fifo_ren = _bit(value, BIT_FIFO_REN)
+
+        if self.bufr is not None:
+            self.bufr.set_enabled(_bit(value, BIT_CLK_EN))
+        if self.bufgmux is not None:
+            self.bufgmux.select(1 if _bit(value, BIT_CLK_SEL) else 0)
+
+        if self.switchbox is not None:
+            mux_bits = value >> MUX_SEL_SHIFT
+            if mux_bits != self.switchbox.mux_select_bits():
+                self.switchbox.set_mux_from_bits(mux_bits)
+
+    def dcr_read(self) -> int:
+        """Compose the register value from live hardware state."""
+        value = 0
+        if self.slice_macros and self.slice_macros[0].enabled:
+            value |= 1 << BIT_SM_EN
+        if self._prr_reset:
+            value |= 1 << BIT_PRR_RESET
+        if self._fifo_reset:
+            value |= 1 << BIT_FIFO_RESET
+        if self._fsl_reset:
+            value |= 1 << BIT_FSL_RESET
+        if self.consumers and self.consumers[0].fifo_wen:
+            value |= 1 << BIT_FIFO_WEN
+        if self.producers and self.producers[0].fifo_ren:
+            value |= 1 << BIT_FIFO_REN
+        if self.bufr is not None and self.bufr.enabled:
+            value |= 1 << BIT_CLK_EN
+        if self.bufgmux is not None and self.bufgmux.selected:
+            value |= 1 << BIT_CLK_SEL
+        if self.switchbox is not None:
+            value |= self.switchbox.mux_select_bits() << MUX_SEL_SHIFT
+        return value
+
+    # ------------------------------------------------------------------
+    # convenience field accessors (software-facing)
+    # ------------------------------------------------------------------
+    def write_field(self, field: str, enabled: bool) -> None:
+        """Read-modify-write a single named Table-1 bit."""
+        if field not in DCR_BITS:
+            raise KeyError(f"unknown PRSocket field {field!r}")
+        value = self.dcr_read()
+        bit = 1 << DCR_BITS[field]
+        self.dcr_write((value | bit) if enabled else (value & ~bit))
+
+    def read_field(self, field: str) -> bool:
+        if field not in DCR_BITS:
+            raise KeyError(f"unknown PRSocket field {field!r}")
+        return _bit(self.dcr_read(), DCR_BITS[field])
+
+    @property
+    def in_reset(self) -> bool:
+        return self._prr_reset
+
+    def __repr__(self) -> str:
+        return f"PRSocket({self.name}, dcr=0x{self.dcr_address:x}, value=0x{self.dcr_read():x})"

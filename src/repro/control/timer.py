@@ -1,0 +1,40 @@
+"""``xps_timer`` model: the peripheral the paper used to measure
+reconfiguration time (Section V.B).
+
+The timer counts cycles of the clock it is attached to; because the kernel
+keeps exact picosecond time, elapsed cycles are derived from the time delta
+rather than counted one by one.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.clock import Clock
+from repro.sim.kernel import Simulator
+
+
+class XpsTimer:
+    """A free-running cycle counter with capture semantics."""
+
+    def __init__(self, sim: Simulator, clock: Clock, name: str = "xps_timer") -> None:
+        self.sim = sim
+        self.clock = clock
+        self.name = name
+        self._start_ps: Optional[int] = None
+        self.last_elapsed_cycles: Optional[int] = None
+
+    def start(self) -> None:
+        self._start_ps = self.sim.now
+
+    def stop(self) -> int:
+        """Capture and return the elapsed cycle count since :meth:`start`."""
+        if self._start_ps is None:
+            raise RuntimeError(f"{self.name}: stop() without start()")
+        elapsed_ps = self.sim.now - self._start_ps
+        self.last_elapsed_cycles = elapsed_ps // self.clock.period_ps
+        self._start_ps = None
+        return self.last_elapsed_cycles
+
+    def cycles_to_seconds(self, cycles: int) -> float:
+        return cycles * self.clock.period_ps / 1e12

@@ -1,0 +1,46 @@
+"""VAPRES core: parameterised system assembly, API and switching.
+
+* :mod:`repro.core.params` -- the architectural parameters of Figure 7
+  (N, w, kr, kl, ki, ko, ...) plus system-level configuration;
+* :mod:`repro.core.rsb` -- reconfigurable streaming blocks: PRR slots,
+  IOM slots, switch boxes, PRSockets and local clock domains;
+* :mod:`repro.core.system` -- :class:`~repro.core.system.VapresSystem`,
+  the complete SoC (controlling region + data processing region);
+* :mod:`repro.core.api` -- the Table 2 software API;
+* :mod:`repro.core.switching` -- the 9-step hardware-module switching
+  methodology of Figure 5;
+* :mod:`repro.core.kpn` / :mod:`repro.core.assembly` -- Kahn process
+  network applications and their runtime assembly onto an RSB.
+"""
+
+from repro.core.params import RsbParameters, SystemParameters
+from repro.core.rsb import IomSlot, PrrSlot, ReconfigurableStreamingBlock, RsbError
+from repro.core.system import SystemError_, VapresSystem
+from repro.core.api import VapresApi
+from repro.core.switching import ModuleSwitcher, SwitchReport
+from repro.core.kpn import KahnProcessNetwork, KpnEdge, KpnError, KpnNode
+from repro.core.assembly import AssembledApplication, AssemblyError, RuntimeAssembler
+from repro.core.spanning import SpanningError, SpanningRegion
+
+__all__ = [
+    "AssembledApplication",
+    "AssemblyError",
+    "IomSlot",
+    "KahnProcessNetwork",
+    "KpnEdge",
+    "KpnError",
+    "KpnNode",
+    "ModuleSwitcher",
+    "PrrSlot",
+    "ReconfigurableStreamingBlock",
+    "RsbError",
+    "RsbParameters",
+    "RuntimeAssembler",
+    "SpanningError",
+    "SpanningRegion",
+    "SwitchReport",
+    "SystemError_",
+    "SystemParameters",
+    "VapresApi",
+    "VapresSystem",
+]

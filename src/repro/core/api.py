@@ -1,0 +1,252 @@
+"""The VAPRES software API (paper Table 2).
+
+These are the functions application software running on the MicroBlaze
+calls.  Each is a *generator* yielding MicroBlaze effects so that calls
+are charged realistic cycle costs and interleave with the hardware
+simulation; run them with ``yield from`` inside a software module, or via
+``system.microblaze.run_to_completion(api.vapres_...())`` for scripted
+use.
+
+Mapping to the paper's Table 2:
+
+=============================  =========================================
+Paper function                 Here
+=============================  =========================================
+``vapres_cf2icap``             :meth:`VapresApi.vapres_cf2icap`
+``vapres_array2icap``          :meth:`VapresApi.vapres_array2icap`
+``vapres_cf2array``            :meth:`VapresApi.vapres_cf2array`
+``vapres_module_clock``        :meth:`VapresApi.vapres_module_clock`
+``vapres_module_reset``        :meth:`VapresApi.vapres_module_reset`
+``vapres_module_write``        :meth:`VapresApi.vapres_module_write`
+``vapres_module_read``         :meth:`VapresApi.vapres_module_read`
+``vapres_establish_channel``   :meth:`VapresApi.vapres_establish_channel`
+=============================  =========================================
+
+plus ``vapres_release_channel`` and ``vapres_module_clock_select``
+(runtime LCD frequency selection), which the paper describes in the text.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from repro.comm.channel import StreamingChannel
+from repro.comm.router import CommState
+from repro.control.microblaze import (
+    DcrWrite,
+    Delay,
+    FslGet,
+    FslPut,
+    Suspend,
+)
+from repro.control.prsocket import DCR_BITS
+
+#: Software overhead (cycles) for opening a CF file / setting up a copy.
+CF_SETUP_CYCLES = 400
+#: Software overhead for kicking off an SDRAM->ICAP copy loop.
+SDRAM_SETUP_CYCLES = 60
+
+
+class VapresApi:
+    """Software-facing API bound to one :class:`VapresSystem`."""
+
+    def __init__(self, system) -> None:
+        self.system = system
+
+    # ------------------------------------------------------------------
+    # reconfiguration (Table 2 rows 1-3)
+    # ------------------------------------------------------------------
+    def vapres_cf2icap(self, module_name: str, prr_name: str) -> Generator:
+        """Reconfigure ``prr_name`` from the module's CF bitstream file.
+
+        Returns the completed :class:`IcapTransfer`.
+        """
+        yield Delay(CF_SETUP_CYCLES)
+        transfer = self.system.engine.cf2icap(module_name, prr_name)
+        yield Suspend(transfer.add_done_callback)
+        return transfer
+
+    def vapres_array2icap(self, module_name: str, prr_name: str) -> Generator:
+        """Reconfigure from the SDRAM-resident bitstream array."""
+        yield Delay(SDRAM_SETUP_CYCLES)
+        transfer = self.system.engine.array2icap(module_name, prr_name)
+        yield Suspend(transfer.add_done_callback)
+        return transfer
+
+    def vapres_cf2array(self, module_name: str, prr_name: str) -> Generator:
+        """Copy a CF bitstream file into SDRAM (run once at startup).
+
+        Returns the bitstream size in bytes, as the paper's signature does
+        through its ``size`` out-argument.
+        """
+        yield Delay(CF_SETUP_CYCLES)
+        seconds = self.system.repository.preload_to_sdram(module_name, prr_name)
+        yield Delay(int(seconds * self.system.system_clock.frequency_hz))
+        return self.system.repository.lookup(module_name, prr_name).size_bytes
+
+    # ------------------------------------------------------------------
+    # module control (Table 2 rows 4-7)
+    # ------------------------------------------------------------------
+    def vapres_module_clock(self, num: int, enable: bool) -> Generator:
+        """Enable/disable the BUFR of module ``num`` (CLK_en)."""
+        yield from self._write_fields(num, CLK_en=enable)
+
+    def vapres_module_clock_select(self, num: int, select: int) -> Generator:
+        """Choose the BUFGMUX input for module ``num``'s LCD (CLK_sel)."""
+        yield from self._write_fields(num, CLK_sel=bool(select))
+
+    def vapres_module_reset(self, num: int, assert_reset: bool) -> Generator:
+        """Assert/deassert the PRR_reset bit of module ``num``."""
+        yield from self._write_fields(num, PRR_reset=assert_reset)
+
+    def vapres_module_write(
+        self, num: int, value: int, control: bool = False
+    ) -> Generator:
+        """Write a word to module ``num`` over its FSL (t link)."""
+        slot = self.system.slot_by_id(num)
+        yield FslPut(slot.fsl_to_module, value, control)
+        return True
+
+    def vapres_module_read(
+        self, num: int, blocking: bool = True
+    ) -> Generator:
+        """Read ``(data, control)`` from module ``num``'s FSL (r link)."""
+        slot = self.system.slot_by_id(num)
+        word = yield FslGet(slot.fsl_to_processor, blocking=blocking)
+        return word
+
+    # ------------------------------------------------------------------
+    # streaming channels (Table 2 row 8)
+    # ------------------------------------------------------------------
+    def vapres_establish_channel(
+        self,
+        current_state: Optional[CommState],
+        src_slot: str,
+        dst_slot: str,
+        src_port: int = 0,
+        dst_port: int = 0,
+        enable: bool = True,
+    ) -> Generator:
+        """Establish a streaming channel between two slots.
+
+        Mirrors the paper's semantics: returns the channel on success and
+        ``None`` when no switch-box lanes are available (the paper returns
+        1/0).  ``current_state`` (the paper's ``comm_state``) is consulted
+        first when provided; pass ``None`` to skip the feasibility check.
+        """
+        src = self.system.slot(src_slot)
+        dst = self.system.slot(dst_slot)
+        rsb = src.rsb
+        if dst.rsb is not rsb:
+            return None
+        if current_state is not None and not current_state.can_route(
+            src.position, dst.position
+        ):
+            return None
+        channel = rsb.router.try_establish(
+            src.position,
+            dst.position,
+            src.producers[src_port],
+            dst.consumers[dst_port],
+            src_port=src_port,
+            dst_port=dst_port,
+        )
+        if channel is None:
+            return None
+        # the MicroBlaze programs MUX_sel in each switch box on the path:
+        # write back the (already routed) register value, one DCR write per
+        # hop, which charges the real bus cost
+        for hop in channel.hops:
+            socket = rsb.slots[hop.box].prsocket
+            yield DcrWrite(socket, socket.dcr_read())
+        if enable:
+            # consumer write-enable first: the moment FIFO_ren opens the
+            # producer, words enter the pipeline, so the far end must
+            # already be accepting
+            yield from self._write_fields(dst.module_id, FIFO_wen=True)
+            yield from self._write_fields(src.module_id, FIFO_ren=True)
+        self.system.sim.log(
+            "channel",
+            f"API established {src_slot}.p{src_port} -> {dst_slot}.c{dst_port}",
+            d=channel.d,
+        )
+        return channel
+
+    def vapres_release_channel(self, channel: StreamingChannel) -> Generator:
+        """Release a channel (one DCR write per hop to clear MUX_sel)."""
+        rsb = self._rsb_of(channel)
+        hops = rsb.router.hops_of(channel)
+        lost = rsb.router.release(channel)
+        for hop in hops:
+            socket = rsb.slots[hop.box].prsocket
+            yield DcrWrite(socket, socket.dcr_read())
+        self.system.sim.log(
+            "channel",
+            f"API released {channel.producer.name} -> {channel.consumer.name}",
+            lost=lost,
+        )
+        return lost
+
+    def comm_state(self, rsb_index: int = 0) -> CommState:
+        """Snapshot lane availability (the ``comm_state`` structure)."""
+        return self.system.rsbs[rsb_index].router.comm_state()
+
+    # ------------------------------------------------------------------
+    # extended helpers used by the switching controller
+    # ------------------------------------------------------------------
+    def vapres_fifo_control(
+        self, num: int, wen: Optional[bool] = None, ren: Optional[bool] = None
+    ) -> Generator:
+        """Set FIFO_wen / FIFO_ren of module ``num``'s interfaces."""
+        fields = {}
+        if wen is not None:
+            fields["FIFO_wen"] = wen
+        if ren is not None:
+            fields["FIFO_ren"] = ren
+        yield from self._write_fields(num, **fields)
+
+    def vapres_fifo_reset(self, num: int) -> Generator:
+        """Pulse FIFO_reset for module ``num``'s interfaces."""
+        yield from self._write_fields(num, FIFO_reset=True)
+        yield from self._write_fields(num, FIFO_reset=False)
+
+    def read_state_words(self, num: int, count: int) -> Generator:
+        """Collect ``count`` control-flagged state words from module ``num``.
+
+        Skips interleaved monitoring words (control bit clear).
+        """
+        slot = self.system.slot_by_id(num)
+        words: List[int] = []
+        while len(words) < count:
+            data, control = yield FslGet(slot.fsl_to_processor)
+            if control:
+                words.append(data)
+        return words
+
+    def send_state_words(self, num: int, words: List[int]) -> Generator:
+        """Send restored state to a freshly placed module (data words)."""
+        slot = self.system.slot_by_id(num)
+        for word in words:
+            yield FslPut(slot.fsl_to_module, word, control=False)
+
+    # ------------------------------------------------------------------
+    def _write_fields(self, num: int, **fields: bool) -> Generator:
+        """Read-modify-write named Table 1 bits of a module's PRSocket."""
+        slot = self.system.slot_by_id(num)
+        socket = slot.prsocket
+        value = socket.dcr_read()
+        for field, enabled in fields.items():
+            bit = 1 << DCR_BITS[field]
+            value = (value | bit) if enabled else (value & ~bit)
+        yield DcrWrite(socket, value)
+
+    def _rsb_of(self, channel: StreamingChannel):
+        from repro.comm.router import RoutingError
+
+        for rsb in self.system.rsbs:
+            if channel.channel_id in rsb.fabric.channels:
+                return rsb
+        raise RoutingError(
+            "channel is not established on any RSB (stale handle, or "
+            "already released)"
+        )

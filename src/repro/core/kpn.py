@@ -1,0 +1,152 @@
+"""Kahn process networks (paper Section III.B.1, Figure 4).
+
+An RSPS assembled on the inter-module communication architecture
+approximates a KPN: hardware modules map to KPN nodes, module-interface
+FIFOs and FSLs map to stream buffers, and the FIFO blocking-read /
+blocking-write protocol provides the KPN synchronisation for free.
+
+:class:`KahnProcessNetwork` describes an application as a graph; the
+:class:`~repro.core.assembly.RuntimeAssembler` maps it onto an RSB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.modules.base import HardwareModule
+
+
+class KpnError(Exception):
+    """Raised on malformed networks."""
+
+
+@dataclass
+class KpnNode:
+    """One KPN node: a hardware module or an IOM endpoint."""
+
+    name: str
+    factory: Optional[Callable[[], HardwareModule]] = None
+    is_iom: bool = False
+    #: port counts the node requires of its slot
+    inputs: int = 1
+    outputs: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.is_iom and self.factory is None:
+            raise KpnError(f"module node {self.name!r} needs a factory")
+
+
+@dataclass(frozen=True)
+class KpnEdge:
+    """A directed stream buffer between node ports."""
+
+    src: str
+    dst: str
+    src_port: int = 0
+    dst_port: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.src}.out{self.src_port} -> {self.dst}.in{self.dst_port}"
+
+
+class KahnProcessNetwork:
+    """An application graph to be assembled inside an RSB."""
+
+    def __init__(self, name: str = "app") -> None:
+        self.name = name
+        self.nodes: Dict[str, KpnNode] = {}
+        self.edges: List[KpnEdge] = []
+
+    # ------------------------------------------------------------------
+    def add_module(
+        self,
+        name: str,
+        factory: Callable[[], HardwareModule],
+        inputs: int = 1,
+        outputs: int = 1,
+    ) -> KpnNode:
+        return self._add(KpnNode(name, factory, False, inputs, outputs))
+
+    def add_iom(self, name: str, inputs: int = 1, outputs: int = 1) -> KpnNode:
+        return self._add(KpnNode(name, None, True, inputs, outputs))
+
+    def _add(self, node: KpnNode) -> KpnNode:
+        if node.name in self.nodes:
+            raise KpnError(f"duplicate node {node.name!r}")
+        self.nodes[node.name] = node
+        return node
+
+    def connect(
+        self, src: str, dst: str, src_port: int = 0, dst_port: int = 0
+    ) -> KpnEdge:
+        for endpoint in (src, dst):
+            if endpoint not in self.nodes:
+                raise KpnError(f"edge references unknown node {endpoint!r}")
+        edge = KpnEdge(src, dst, src_port, dst_port)
+        if edge in self.edges:
+            raise KpnError(f"duplicate edge {edge}")
+        src_node, dst_node = self.nodes[src], self.nodes[dst]
+        if not 0 <= src_port < src_node.outputs:
+            raise KpnError(f"{src!r} has no output port {src_port}")
+        if not 0 <= dst_port < dst_node.inputs:
+            raise KpnError(f"{dst!r} has no input port {dst_port}")
+        if any(
+            e.src == src and e.src_port == src_port for e in self.edges
+        ):
+            raise KpnError(f"output port {src}.{src_port} already connected")
+        if any(
+            e.dst == dst and e.dst_port == dst_port for e in self.edges
+        ):
+            raise KpnError(f"input port {dst}.{dst_port} already connected")
+        self.edges.append(edge)
+        return edge
+
+    # ------------------------------------------------------------------
+    def module_nodes(self) -> List[KpnNode]:
+        return [n for n in self.nodes.values() if not n.is_iom]
+
+    def iom_nodes(self) -> List[KpnNode]:
+        return [n for n in self.nodes.values() if n.is_iom]
+
+    def predecessors(self, name: str) -> List[KpnEdge]:
+        return [e for e in self.edges if e.dst == name]
+
+    def successors(self, name: str) -> List[KpnEdge]:
+        return [e for e in self.edges if e.src == name]
+
+    def validate(self) -> None:
+        """Basic well-formedness: every module node reachable and wired."""
+        if not self.nodes:
+            raise KpnError("empty network")
+        for node in self.module_nodes():
+            if not self.predecessors(node.name) and node.inputs:
+                raise KpnError(
+                    f"module node {node.name!r} has unconnected inputs"
+                )
+
+    def topological_order(self) -> List[str]:
+        """Kahn's algorithm; raises on cycles (feedback needs FSL routing)."""
+        in_degree = {name: len(self.predecessors(name)) for name in self.nodes}
+        ready = sorted(n for n, d in in_degree.items() if d == 0)
+        order: List[str] = []
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            for edge in self.successors(name):
+                in_degree[edge.dst] -= 1
+                if in_degree[edge.dst] == 0:
+                    ready.append(edge.dst)
+            ready.sort()
+        if len(order) != len(self.nodes):
+            raise KpnError(
+                "network has a cycle; VAPRES streaming channels are acyclic "
+                "(close feedback loops through MicroBlaze software instead)"
+            )
+        return order
+
+    def __repr__(self) -> str:
+        return (
+            f"KPN({self.name}: {len(self.nodes)} nodes, "
+            f"{len(self.edges)} edges)"
+        )

@@ -1,0 +1,178 @@
+"""Architectural parameters (paper Figure 7 and Section IV.A).
+
+A VAPRES base system is specialised by its architectural parameters:
+
+* per RSB -- the maximum number of PRRs ``N``, communication channel width
+  ``w``, directional switch-box lane counts ``kr``/``kl``, per-module port
+  counts ``ki``/``ko``, FIFO depths and the physical PRR sizing used for
+  floorplanning and bitstream generation;
+* per system -- board/device, system clock, LCD frequency choices and the
+  list of RSBs.
+
+``SystemParameters.prototype()`` reproduces the paper's Section V.A
+evaluation configuration exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+
+class ParameterError(Exception):
+    """Raised on inconsistent architectural parameters."""
+
+
+@dataclass
+class RsbParameters:
+    """Specialisation of one reconfigurable streaming block."""
+
+    name: str = "rsb0"
+    num_prrs: int = 2                 # N
+    num_ioms: int = 1
+    channel_width: int = 32           # w
+    kr: int = 2                       # right-flowing lanes per switch box
+    kl: int = 2                       # left-flowing lanes per switch box
+    ki: int = 1                       # input channels into each PRR
+    ko: int = 1                       # output channels out of each PRR
+    fifo_depth: int = 512             # module-interface FIFO words
+    fsl_depth: int = 512              # FSL FIFO words
+    prr_slices: int = 640             # physical PRR size (prototype: 640)
+    regions_per_prr: int = 1          # clock regions per PRR (1..3)
+    iom_positions: Optional[List[int]] = None
+
+    def __post_init__(self) -> None:
+        if self.num_prrs < 1:
+            raise ParameterError("an RSB needs at least one PRR")
+        if self.num_ioms < 0:
+            raise ParameterError("num_ioms must be >= 0")
+        if self.channel_width < 1:
+            raise ParameterError("channel width must be >= 1 bit")
+        if min(self.kr, self.kl) < 1 and self.attachment_count > 1:
+            raise ParameterError(
+                "kr and kl must be >= 1 for multi-attachment RSBs"
+            )
+        if min(self.ki, self.ko) < 1:
+            raise ParameterError("ki and ko must be >= 1")
+        if self.fifo_depth < 4 or self.fsl_depth < 4:
+            raise ParameterError("FIFO depths must be >= 4")
+        if not 1 <= self.regions_per_prr <= 3:
+            raise ParameterError("regions_per_prr must be 1..3 (BUFR reach)")
+        if self.iom_positions is not None:
+            if len(self.iom_positions) != self.num_ioms:
+                raise ParameterError(
+                    "iom_positions must list one position per IOM"
+                )
+            if sorted(self.iom_positions) != sorted(set(self.iom_positions)):
+                raise ParameterError("iom_positions must be distinct")
+            if any(
+                not 0 <= p < self.attachment_count for p in self.iom_positions
+            ):
+                raise ParameterError("iom_positions out of range")
+
+    @property
+    def attachment_count(self) -> int:
+        """Total switch boxes (= PRRs + IOMs) in this RSB."""
+        return self.num_prrs + self.num_ioms
+
+    def resolved_iom_positions(self) -> List[int]:
+        """IOM attachment indices (default: leftmost positions)."""
+        if self.iom_positions is not None:
+            return list(self.iom_positions)
+        return list(range(self.num_ioms))
+
+    def prr_positions(self) -> List[int]:
+        ioms = set(self.resolved_iom_positions())
+        return [p for p in range(self.attachment_count) if p not in ioms]
+
+
+@dataclass
+class SystemParameters:
+    """Full base-system specification."""
+
+    name: str = "vapres"
+    board: str = "ML401"
+    system_clock_hz: float = 100e6
+    #: LCD candidate frequencies as divisors of the system clock; the
+    #: BUFGMUX selects between the first (CLK_sel=0) and second (CLK_sel=1).
+    lcd_divisors: Tuple[int, int] = (1, 2)
+    #: Simulation-only scaling of the bitstream memory path rates.  The
+    #: calibrated reconfiguration times (1.043 s / 71.94 ms for the
+    #: prototype PRR) cost millions of simulated fabric cycles; functional
+    #: scenarios that only care about protocol ordering set this > 1 to
+    #: shrink reconfiguration wall time while preserving every rate ratio
+    #: (CF vs SDRAM vs ICAP).  Timing experiments must keep it at 1.0.
+    pr_speedup: float = 1.0
+    rsbs: List[RsbParameters] = field(default_factory=lambda: [RsbParameters()])
+
+    def __post_init__(self) -> None:
+        if self.system_clock_hz <= 0:
+            raise ParameterError("system clock must be positive")
+        if self.pr_speedup <= 0:
+            raise ParameterError("pr_speedup must be positive")
+        if len(self.lcd_divisors) != 2 or min(self.lcd_divisors) < 1:
+            raise ParameterError("lcd_divisors must be two divisors >= 1")
+        if not self.rsbs:
+            raise ParameterError("a system needs at least one RSB")
+        names = [r.name for r in self.rsbs]
+        if len(names) != len(set(names)):
+            raise ParameterError("RSB names must be unique")
+
+    @classmethod
+    def prototype(cls) -> "SystemParameters":
+        """The paper's Section V.A prototype: ML401, one RSB with two
+        640-slice PRRs and one IOM, w=32, kr=kl=2, ki=ko=1, 512-word
+        BRAM FIFOs, 100 MHz static clock."""
+        return cls(
+            name="vapres-prototype",
+            board="ML401",
+            system_clock_hz=100e6,
+            lcd_divisors=(1, 2),
+            rsbs=[
+                RsbParameters(
+                    name="rsb0",
+                    num_prrs=2,
+                    num_ioms=1,
+                    channel_width=32,
+                    kr=2,
+                    kl=2,
+                    ki=1,
+                    ko=1,
+                    fifo_depth=512,
+                    fsl_depth=512,
+                    prr_slices=640,
+                    regions_per_prr=1,
+                    iom_positions=[0],
+                )
+            ],
+        )
+
+    @classmethod
+    def figure7(cls) -> "SystemParameters":
+        """The sample RSB of Figure 7: N=4, w=32, kr=2, kl=2, ki=1, ko=1."""
+        return cls(
+            name="vapres-fig7",
+            rsbs=[
+                RsbParameters(
+                    name="rsb0",
+                    num_prrs=4,
+                    num_ioms=2,
+                    channel_width=32,
+                    kr=2,
+                    kl=2,
+                    ki=1,
+                    ko=1,
+                    iom_positions=[0, 5],
+                )
+            ],
+        )
+
+    def with_rsb(self, **overrides) -> "SystemParameters":
+        """Copy with the (single) RSB's parameters overridden."""
+        if len(self.rsbs) != 1:
+            raise ParameterError("with_rsb only supports single-RSB systems")
+        return replace(self, rsbs=[replace(self.rsbs[0], **overrides)])
+
+    @property
+    def total_prrs(self) -> int:
+        return sum(r.num_prrs for r in self.rsbs)

@@ -1,0 +1,280 @@
+"""Reconfigurable streaming blocks (RSBs): the data processing region.
+
+An RSB (paper Figure 1/7) is a linear array of switch boxes, each paired
+with either a PRR slot (holding a swappable hardware module, with its own
+local clock domain) or an IOM slot (static-region I/O module).  Every
+pairing owns producer/consumer module interfaces, an FSL pair to the
+MicroBlaze, slice macros across the region boundary and a PRSocket mapped
+on the DCR bus.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.comm.channel import SwitchFabric
+from repro.comm.fsl import FslLink
+from repro.comm.interfaces import ConsumerInterface, ProducerInterface
+from repro.comm.router import ChannelRouter
+from repro.comm.switchbox import SwitchBox
+from repro.control.dcr import DcrBus
+from repro.control.prsocket import PRSocket
+from repro.core.params import RsbParameters
+from repro.fabric.slice_macro import SliceMacro, macros_for_signals
+from repro.modules.base import HardwareModule, ModulePorts
+from repro.modules.iom import Iom
+from repro.sim.clock import Bufgmux, Bufr, Clock, ClockSource
+from repro.sim.kernel import Simulator
+
+
+class RsbError(Exception):
+    """Raised on slot misuse (loading an occupied PRR, ...)."""
+
+
+class _Slot:
+    """Common interface/FSL plumbing of PRR and IOM slots."""
+
+    def __init__(
+        self,
+        rsb: "ReconfigurableStreamingBlock",
+        name: str,
+        position: int,
+        params: RsbParameters,
+        domain: str,
+    ) -> None:
+        self.rsb = rsb
+        self.name = name
+        self.position = position
+        width = params.channel_width
+        self.consumers = [
+            ConsumerInterface(
+                f"{name}.c{i}", width, params.fifo_depth, module_domain=domain
+            )
+            for i in range(params.ki)
+        ]
+        self.producers = [
+            ProducerInterface(
+                f"{name}.p{i}", width, params.fifo_depth, module_domain=domain
+            )
+            for i in range(params.ko)
+        ]
+        # t: MicroBlaze -> module, r: module -> MicroBlaze (Figure 5 naming)
+        self.fsl_to_module = FslLink(
+            f"{name}.t", params.fsl_depth, master_domain="static", slave_domain=domain
+        )
+        self.fsl_to_processor = FslLink(
+            f"{name}.r", params.fsl_depth, master_domain=domain, slave_domain="static"
+        )
+        self.prsocket = PRSocket(f"{name}.socket", dcr_address=0)
+        self.module_id: int = -1  # assigned by the system (API numbering)
+
+    @property
+    def switchbox(self) -> SwitchBox:
+        return self.rsb.switchboxes[self.position]
+
+    def ports(self) -> ModulePorts:
+        return ModulePorts(
+            consumers=self.consumers,
+            producers=self.producers,
+            fsl_in=self.fsl_to_module,
+            fsl_out=self.fsl_to_processor,
+        )
+
+
+class PrrSlot(_Slot):
+    """One partially reconfigurable region and its local clock domain."""
+
+    def __init__(
+        self,
+        rsb: "ReconfigurableStreamingBlock",
+        name: str,
+        position: int,
+        params: RsbParameters,
+        fast_source: ClockSource,
+        slow_source: ClockSource,
+    ) -> None:
+        super().__init__(rsb, name, position, params, domain=name)
+        self.bufgmux = Bufgmux(fast_source, slow_source, name=f"{name}.bufgmux")
+        self.bufr = Bufr(self.bufgmux, name=f"{name}.bufr")
+        self.lcd_clock = Clock(rsb.sim, source=self.bufr, name=f"{name}.lcd")
+        signals = (params.channel_width + 1) * (params.ki + params.ko) + 8
+        self.boundary_signals = signals
+        self.slice_macros = [
+            SliceMacro(f"{name}.sm{i}", col=0, row=0, enabled=True)
+            for i in range(macros_for_signals(signals))
+        ]
+        self.module: Optional[HardwareModule] = None
+        self.reconfiguring = False
+        #: set by a SpanningRegion while this slot is part of a span;
+        #: individual load/unload is illegal until the span dissolves
+        self.spanned_by = None
+        self.prsocket.connect(
+            slice_macros=self.slice_macros,
+            producers=self.producers,
+            consumers=self.consumers,
+            fsl_to_module=self.fsl_to_module,
+            fsl_to_processor=self.fsl_to_processor,
+            bufr=self.bufr,
+            bufgmux=self.bufgmux,
+            switchbox=self.switchbox,
+            reset_target=self.reset_module,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def occupied(self) -> bool:
+        return self.module is not None
+
+    def load(self, module: HardwareModule) -> None:
+        """Instantiate a hardware module in this PRR (post-reconfiguration)."""
+        self._check_not_spanned()
+        if self.module is not None:
+            self.unload()
+        module.bind(self.ports())
+        self.lcd_clock.attach(module)
+        self.module = module
+
+    def unload(self) -> Optional[HardwareModule]:
+        """Remove the resident module (its logic is overwritten by PR)."""
+        self._check_not_spanned()
+        module = self.module
+        if module is not None:
+            self.lcd_clock.detach(module)
+            self.module = None
+        return module
+
+    def _check_not_spanned(self) -> None:
+        if self.spanned_by is not None:
+            raise RsbError(
+                f"PRR {self.name} is part of spanning region "
+                f"{self.spanned_by.name!r}; reconfigure the span, not a "
+                "member PRR"
+            )
+
+    def reset_module(self) -> None:
+        if self.module is not None:
+            self.module.reset()
+
+    def __repr__(self) -> str:
+        resident = self.module.name if self.module else "<empty>"
+        return f"PrrSlot({self.name}@{self.position}, module={resident})"
+
+
+class IomSlot(_Slot):
+    """One static-region I/O module attachment."""
+
+    def __init__(
+        self,
+        rsb: "ReconfigurableStreamingBlock",
+        name: str,
+        position: int,
+        params: RsbParameters,
+    ) -> None:
+        super().__init__(rsb, name, position, params, domain="static")
+        self.iom: Optional[Iom] = None
+        self.prsocket.connect(
+            producers=self.producers,
+            consumers=self.consumers,
+            fsl_to_module=self.fsl_to_module,
+            fsl_to_processor=self.fsl_to_processor,
+            switchbox=self.switchbox,
+        )
+
+    def attach_iom(self, iom: Iom) -> None:
+        if self.iom is not None:
+            self.rsb.system_clock.detach(self.iom)
+        iom.bind(self.ports())
+        self.rsb.system_clock.attach(iom)
+        self.iom = iom
+        # the IOM accepts arriving stream data immediately, but its producer
+        # is only read once a channel is established and enabled (FIFO_ren),
+        # otherwise words would pour into a half-configured path
+        for consumer in self.consumers:
+            consumer.fifo_wen = True
+
+    def __repr__(self) -> str:
+        resident = self.iom.name if self.iom else "<none>"
+        return f"IomSlot({self.name}@{self.position}, iom={resident})"
+
+
+class ReconfigurableStreamingBlock:
+    """One RSB: switch boxes, slots, fabric and router."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: RsbParameters,
+        system_clock: Clock,
+        fast_source: ClockSource,
+        slow_source: ClockSource,
+        dcr_bus: DcrBus,
+        dcr_base: int,
+    ) -> None:
+        self.sim = sim
+        self.params = params
+        self.name = params.name
+        self.system_clock = system_clock
+        self.switchboxes = [
+            SwitchBox(
+                index=i,
+                kr=params.kr,
+                kl=params.kl,
+                ki=params.ki,
+                ko=params.ko,
+                width=params.channel_width,
+            )
+            for i in range(params.attachment_count)
+        ]
+        self.fabric = SwitchFabric(name=f"{self.name}.fabric")
+        system_clock.attach(self.fabric)
+        self.router = ChannelRouter(self.switchboxes, self.fabric)
+
+        iom_positions = params.resolved_iom_positions()
+        self.slots: List[Union[PrrSlot, IomSlot]] = []
+        prr_counter = 0
+        iom_counter = 0
+        for position in range(params.attachment_count):
+            if position in iom_positions:
+                slot = IomSlot(
+                    self, f"{self.name}.iom{iom_counter}", position, params
+                )
+                iom_counter += 1
+            else:
+                slot = PrrSlot(
+                    self,
+                    f"{self.name}.prr{prr_counter}",
+                    position,
+                    params,
+                    fast_source,
+                    slow_source,
+                )
+                prr_counter += 1
+            slot.prsocket.dcr_address = dcr_base + position
+            dcr_bus.attach(slot.prsocket.dcr_address, slot.prsocket)
+            self.slots.append(slot)
+
+    # ------------------------------------------------------------------
+    @property
+    def prr_slots(self) -> List[PrrSlot]:
+        return [s for s in self.slots if isinstance(s, PrrSlot)]
+
+    @property
+    def iom_slots(self) -> List[IomSlot]:
+        return [s for s in self.slots if isinstance(s, IomSlot)]
+
+    def slot_by_name(self, name: str) -> Union[PrrSlot, IomSlot]:
+        for slot in self.slots:
+            if slot.name == name:
+                return slot
+        raise RsbError(f"no slot named {name!r} in {self.name}")
+
+    def start_clocks(self) -> None:
+        for slot in self.prr_slots:
+            slot.lcd_clock.start()
+
+    def __repr__(self) -> str:
+        return (
+            f"RSB({self.name}: {len(self.prr_slots)} PRRs, "
+            f"{len(self.iom_slots)} IOMs, "
+            f"{self.router.established_count} channels)"
+        )

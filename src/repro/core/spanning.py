@@ -1,0 +1,179 @@
+"""Multi-PRR spanning placements (paper Section IV.A).
+
+For floorplans with small PRRs (low fragmentation), "hardware modules
+that require more resources than a PRR provides can span multiple
+adjacent PRRs".  A :class:`SpanningRegion` groups adjacent PRR slots into
+one placement target:
+
+* the spanned PRRs must be *adjacent attachments of the same RSB* and
+  their floorplan rectangles must sit in contiguous clock-region bands of
+  one device half covering at most the three regions a single BUFR can
+  drive -- the spanning module still forms one local clock domain, driven
+  by the primary (first) slot's BUFR/BUFGMUX;
+* the module sees the *combined* port set: every spanned slot's consumer
+  and producer interfaces (so an N-span module gets N*ki inputs and N*ko
+  outputs on distinct switch boxes), with the primary slot's FSL pair;
+* its partial bitstream covers every spanned rectangle, so
+  reconfiguration time scales with the full spanned area;
+* during reconfiguration all spanned slots are isolated (slice macros
+  off, clocks gated), exactly like a single PRR.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.fabric.floorplan import MAX_PRR_REGIONS
+from repro.modules.base import HardwareModule, ModulePorts
+from repro.pr.bitstream import bitstream_for_rects
+
+#: Separator used in spanning region names ("rsb0.prr0+rsb0.prr1").
+SPAN_SEPARATOR = "+"
+
+
+class SpanningError(Exception):
+    """Raised for illegal spans (non-adjacent PRRs, BUFR overreach...)."""
+
+
+class SpanningRegion:
+    """A group of adjacent PRRs acting as one placement target."""
+
+    def __init__(self, system, prr_names: List[str]) -> None:
+        if len(prr_names) < 2:
+            raise SpanningError("a span needs at least two PRRs")
+        self.system = system
+        self.slots = [system.prr(name) for name in prr_names]
+        self.name = SPAN_SEPARATOR.join(prr_names)
+        self._validate()
+        self.module: Optional[HardwareModule] = None
+        self.reconfiguring = False
+        system.register_spanning_region(self)
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        rsbs = {slot.rsb for slot in self.slots}
+        if len(rsbs) != 1:
+            raise SpanningError("spanned PRRs must belong to one RSB")
+        positions = [slot.position for slot in self.slots]
+        if positions != list(range(positions[0], positions[0] + len(positions))):
+            raise SpanningError(
+                f"spanned PRRs must be adjacent attachments; got {positions}"
+            )
+        regions: set = set()
+        for slot in self.slots:
+            placement = self.system.floorplan.prrs[slot.name]
+            regions |= placement.clock_regions
+        halves = {region.half for region in regions}
+        if len(halves) != 1:
+            raise SpanningError("spanned PRRs must share a device half")
+        bands = sorted(region.band for region in regions)
+        if bands != list(range(bands[0], bands[0] + len(bands))):
+            raise SpanningError(
+                "spanned PRRs must occupy contiguous clock regions"
+            )
+        if len(bands) > MAX_PRR_REGIONS:
+            raise SpanningError(
+                f"span covers {len(bands)} clock regions; one BUFR drives at "
+                f"most {MAX_PRR_REGIONS} (paper Section III.B.2)"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def primary(self):
+        return self.slots[0]
+
+    @property
+    def slices(self) -> int:
+        return sum(
+            self.system.floorplan.prrs[slot.name].slices for slot in self.slots
+        )
+
+    @property
+    def occupied(self) -> bool:
+        return self.module is not None
+
+    def ports(self) -> ModulePorts:
+        consumers = [c for slot in self.slots for c in slot.consumers]
+        producers = [p for slot in self.slots for p in slot.producers]
+        return ModulePorts(
+            consumers=consumers,
+            producers=producers,
+            fsl_in=self.primary.fsl_to_module,
+            fsl_out=self.primary.fsl_to_processor,
+        )
+
+    def positions(self) -> List[int]:
+        return [slot.position for slot in self.slots]
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def load(self, module: HardwareModule) -> None:
+        """Instantiate a module across the span (post-reconfiguration)."""
+        for slot in self.slots:
+            if slot.module is not None and slot.module is not self.module:
+                raise SpanningError(
+                    f"PRR {slot.name} already holds {slot.module.name!r}"
+                )
+        if self.module is not None:
+            self.unload()
+        module.bind(self.ports())
+        self.primary.lcd_clock.attach(module)
+        self.module = module
+        for slot in self.slots:
+            slot.module = module  # occupancy bookkeeping
+            slot.spanned_by = self
+
+    def unload(self) -> Optional[HardwareModule]:
+        module = self.module
+        if module is not None:
+            self.primary.lcd_clock.detach(module)
+            for slot in self.slots:
+                slot.module = None
+                slot.spanned_by = None
+            self.module = None
+        return module
+
+    # ------------------------------------------------------------------
+    # partial reconfiguration
+    # ------------------------------------------------------------------
+    def register_module(
+        self, module_name: str, factory: Callable[[], HardwareModule]
+    ) -> None:
+        """Generate and register the spanning bitstream for a module."""
+        rects = [
+            self.system.floorplan.prrs[slot.name].rect for slot in self.slots
+        ]
+        self.system.repository.register_factory(module_name, factory)
+        if not self.system.repository.has(module_name, self.name):
+            self.system.repository.register(
+                bitstream_for_rects(module_name, self.name, rects)
+            )
+
+    def isolate(self) -> None:
+        """Pre-reconfiguration: disable macros and gate clocks."""
+        self.reconfiguring = True
+        self.unload()
+        for slot in self.slots:
+            for macro in slot.slice_macros:
+                macro.set_enabled(False)
+            slot.bufr.set_enabled(False)
+            slot.reconfiguring = True
+
+    def reconnect(self, module_name: str) -> None:
+        """Post-reconfiguration: instantiate and re-enable the span."""
+        factory = self.system.repository.factory(module_name)
+        self.load(factory())
+        for slot in self.slots:
+            for macro in slot.slice_macros:
+                macro.set_enabled(True)
+            slot.reconfiguring = False
+        # one local clock domain: only the primary BUFR is re-enabled
+        self.primary.bufr.set_enabled(True)
+        self.reconfiguring = False
+
+    def __repr__(self) -> str:
+        resident = self.module.name if self.module else "<empty>"
+        return f"SpanningRegion({self.name}, {self.slices} slices, {resident})"

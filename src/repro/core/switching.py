@@ -1,0 +1,226 @@
+"""The hardware-module switching methodology (paper Section III.B.3).
+
+Replaces a running hardware module with a new one **without stream
+processing interruption** by overlapping the new module's partial
+reconfiguration with continued operation of the old module, then handing
+the stream over through a drain protocol (Figure 5, steps 1-9):
+
+1. the RSPS operates normally (old module processing);
+2. the old module streams monitoring words to the MicroBlaze;
+3. the MicroBlaze reconfigures a *different* PRR with the new module while
+   the old one keeps processing;
+4. the input channel is re-pointed: the channel into the old module is
+   drained and released, and a new channel from the upstream producer to
+   the new module's consumer FIFO is established (the new module is not
+   started yet -- its FIFO simply buffers);
+5. the old module drains the words remaining in its consumer FIFO and
+   emits the end-of-stream word downstream;
+6. the old module pushes its state registers to the MicroBlaze (FSL);
+7. the MicroBlaze initialises the new module with those state registers
+   and starts it;
+8. the downstream IOM sees the EOS word and notifies the MicroBlaze;
+9. the MicroBlaze connects the new module's producer to the downstream
+   consumer, completing the switch.
+
+The controller below is MicroBlaze software (a generator of effects); it
+returns a :class:`SwitchReport` with per-step timestamps.  Step 4 differs
+from a literal mux re-pointing in one deliberate way: the upstream
+producer is paused for ``2*d`` fabric cycles so the channel pipeline
+drains into the old module before release -- in hardware the in-flight
+registered words would keep flowing to the old consumer, in this model a
+released channel drops them, so the explicit drain keeps the protocol
+loss-free (the report asserts zero lost words).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional, Tuple
+
+from repro.comm.channel import StreamingChannel
+from repro.control.microblaze import Delay, FslGet, FslPut
+from repro.modules.base import CMD_FLUSH, CMD_START
+from repro.modules.iom import CMD_ARM_EOS, MSG_EOS
+
+
+@dataclass
+class SwitchReport:
+    """Outcome of one module switch."""
+
+    old_prr: str
+    new_prr: str
+    new_module: str
+    steps: List[Tuple[int, int, str]] = field(default_factory=list)  # (step, ps, text)
+    reconfig_seconds: float = 0.0
+    state_words: List[int] = field(default_factory=list)
+    words_lost: int = 0
+    input_channel: Optional[StreamingChannel] = None
+    output_channel: Optional[StreamingChannel] = None
+
+    @property
+    def start_ps(self) -> int:
+        return self.steps[0][1] if self.steps else 0
+
+    @property
+    def end_ps(self) -> int:
+        return self.steps[-1][1] if self.steps else 0
+
+    @property
+    def duration_seconds(self) -> float:
+        return (self.end_ps - self.start_ps) / 1e12
+
+    def describe(self) -> str:
+        lines = [
+            f"switch {self.old_prr} -> {self.new_module}@{self.new_prr} "
+            f"({self.duration_seconds * 1e3:.3f} ms total, "
+            f"{self.reconfig_seconds * 1e3:.3f} ms reconfiguration, "
+            f"{self.words_lost} words lost)"
+        ]
+        for step, ps, text in self.steps:
+            lines.append(f"  step {step}: [{ps / 1e6:10.3f} us] {text}")
+        return "\n".join(lines)
+
+
+class ModuleSwitcher:
+    """Runs the 9-step methodology on a :class:`VapresSystem`.
+
+    The replacement target may be a single PRR or a multi-PRR spanning
+    region (Section IV.A); spanning targets are addressed by their
+    region name (``"rsb0.prr1+rsb0.prr2"``) and stream through their
+    primary slot's interfaces.
+    """
+
+    def __init__(self, system) -> None:
+        self.system = system
+        self.api = system.api
+
+    def _resolve_target(self, name: str):
+        try:
+            return self.system.spanning_region(name)
+        except Exception:
+            return self.system.prr(name)
+
+    def switch(
+        self,
+        old_prr: str,
+        new_prr: str,
+        new_module: str,
+        upstream_slot: str,
+        downstream_slot: str,
+        input_channel: StreamingChannel,
+        output_channel: StreamingChannel,
+        reconfig_path: str = "array2icap",
+        upstream_port: int = 0,
+        downstream_port: int = 0,
+    ) -> Generator:
+        """MicroBlaze software performing the switch.
+
+        ``input_channel`` currently feeds the old module from
+        ``upstream_slot``; ``output_channel`` carries the old module's
+        output to ``downstream_slot``.  Returns a :class:`SwitchReport`.
+        """
+        sim = self.system.sim
+        old_slot = self.system.prr(old_prr)
+        new_slot = self._resolve_target(new_prr)
+        upstream = self.system.slot(upstream_slot)
+        downstream = self.system.slot(downstream_slot)
+        old_module = old_slot.module
+        if old_module is None:
+            raise ValueError(f"PRR {old_prr!r} has no module to replace")
+        report = SwitchReport(old_prr=old_prr, new_prr=new_prr, new_module=new_module)
+
+        def mark(step: int, text: str) -> None:
+            report.steps.append((step, sim.now, text))
+            sim.log("switch", f"step {step}: {text}", prr=old_prr)
+
+        mark(1, f"RSPS operating through {old_module.name} in {old_prr}")
+        mark(2, "monitoring words flowing to the MicroBlaze")
+
+        # ---- step 3: reconfigure the spare PRR while A keeps working --
+        if reconfig_path == "array2icap":
+            transfer = yield from self.api.vapres_array2icap(new_module, new_prr)
+        elif reconfig_path == "cf2icap":
+            transfer = yield from self.api.vapres_cf2icap(new_module, new_prr)
+        else:
+            raise ValueError(f"unknown reconfig path {reconfig_path!r}")
+        report.reconfig_seconds = transfer.duration_seconds
+        mark(3, f"{new_prr} reconfigured with {new_module} "
+                f"({transfer.duration_seconds * 1e3:.2f} ms, overlapped)")
+
+        # for a spanning target, streaming endpoints use its primary slot
+        new_endpoint = getattr(new_slot, "primary", new_slot)
+
+        # ---- step 4: re-point the input channel ------------------------
+        # pause the upstream producer and let the pipeline drain into the
+        # old consumer so that releasing the channel loses nothing
+        yield from self.api.vapres_fifo_control(upstream.module_id, ren=False)
+        yield Delay(2 * input_channel.d + 4)
+        report.words_lost += yield from self.api.vapres_release_channel(input_channel)
+        new_input = yield from self.api.vapres_establish_channel(
+            None,
+            upstream_slot,
+            new_endpoint.name,
+            src_port=upstream_port,
+            dst_port=0,
+        )
+        if new_input is None:
+            raise RuntimeError(
+                f"no switch-box lanes available for {upstream_slot} -> {new_prr}"
+            )
+        report.input_channel = new_input
+        yield from self.api.vapres_fifo_control(upstream.module_id, ren=True)
+        mark(4, f"input re-pointed: {upstream_slot} now feeds {new_prr} "
+                f"(buffering; {new_module} not yet started)")
+
+        # ---- step 5: tell A to drain and emit the end-of-stream word ---
+        # arm the downstream IOM's one-shot EOS detector first (the EOS
+        # word is in-band, so detection only runs while a switch expects it)
+        yield FslPut(downstream.fsl_to_module, CMD_ARM_EOS, True)
+        yield FslPut(old_slot.fsl_to_module, CMD_FLUSH, True)
+        mark(5, f"{old_module.name} draining its consumer FIFO, "
+                "EOS word will follow the last result")
+
+        # ---- step 6: collect A's state registers -----------------------
+        state_count = old_module.state_word_count
+        report.state_words = yield from self.api.read_state_words(
+            old_slot.module_id, state_count
+        )
+        mark(6, f"received {state_count} state words from {old_module.name}")
+
+        # ---- step 7: initialise and start B -----------------------------
+        yield from self.api.send_state_words(
+            new_endpoint.module_id, report.state_words
+        )
+        yield FslPut(new_endpoint.fsl_to_module, CMD_START, True)
+        mark(7, f"{new_module} initialised with {state_count} state words "
+                "and started")
+
+        # ---- step 8: wait for the IOM to report the EOS arrival --------
+        while True:
+            data, control = yield FslGet(downstream.fsl_to_processor)
+            if control and data == MSG_EOS:
+                break
+        mark(8, f"{downstream_slot} reported end-of-stream from {old_prr}")
+
+        # ---- step 9: connect B's output, completing the switch ---------
+        report.words_lost += yield from self.api.vapres_release_channel(
+            output_channel
+        )
+        new_output = yield from self.api.vapres_establish_channel(
+            None,
+            new_endpoint.name,
+            downstream_slot,
+            src_port=0,
+            dst_port=downstream_port,
+        )
+        if new_output is None:
+            raise RuntimeError(
+                f"no switch-box lanes available for {new_prr} -> {downstream_slot}"
+            )
+        report.output_channel = new_output
+        mark(9, f"{new_prr} connected to {downstream_slot}; switch complete")
+
+        # housekeeping: power down the vacated PRR (not a numbered step)
+        yield from self.api.vapres_module_clock(old_slot.module_id, False)
+        yield from self.api.vapres_fifo_reset(old_slot.module_id)
+        return report

@@ -1,0 +1,375 @@
+"""`VapresSystem`: the complete multipurpose PR FPGA SoC.
+
+Instantiates and wires every subsystem of the paper's Figure 1: the
+controlling region (MicroBlaze, DCR bus/bridge, ICAP, CompactFlash, SDRAM,
+timer), the data processing region (one or more RSBs) and the PR substrate
+(bitstream repository + reconfiguration engine), all bound to a legal
+floorplan of the target device.
+
+The system enforces the reconfiguration isolation protocol: when a PRR's
+reconfiguration starts, its slice macros are disabled and its local clock
+gated; when it completes, the new behavioural module is instantiated from
+the registered module factory, the macros re-enabled and the clock
+ungated.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.comm.channel import StreamingChannel
+from repro.control.dcr import DcrBridge, DcrBus
+from repro.control.icap import IcapController, IcapTransfer
+from repro.control.memory import BramBuffer, CompactFlash, Sdram
+from repro.control.microblaze import Microblaze
+from repro.control.timer import XpsTimer
+from repro.core.params import SystemParameters
+from repro.core.rsb import IomSlot, PrrSlot, ReconfigurableStreamingBlock
+from repro.fabric.device import get_board
+from repro.fabric.floorplan import Floorplan, auto_floorplan
+from repro.modules.base import HardwareModule
+from repro.modules.iom import Iom
+from repro.pr.bitstream import bitstream_for_rect
+from repro.pr.reconfig import ReconfigurationEngine
+from repro.pr.repository import BitstreamRepository
+from repro.sim.clock import Clock, Dcm, FixedSource, Pmcd
+from repro.sim.kernel import Simulator
+
+Slot = Union[PrrSlot, IomSlot]
+
+
+class SystemError_(Exception):
+    """Raised on system-level misuse (unknown slots, bad placement, ...).
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class VapresSystem:
+    """A fully assembled VAPRES base system."""
+
+    DCR_BASE = 0x80
+    DCR_STRIDE = 0x10
+
+    def __init__(
+        self,
+        params: Optional[SystemParameters] = None,
+        floorplan: Optional[Floorplan] = None,
+    ) -> None:
+        self.params = params or SystemParameters.prototype()
+        self.board = get_board(self.params.board)
+        self.device = self.board.device
+        self.sim = Simulator()
+
+        # ---- clocking: oscillator -> DCM -> (PMCD dividers) ----------
+        self.oscillator = FixedSource(self.board.oscillator_hz, name="osc")
+        self.dcm = Dcm(self.oscillator, name="sys_dcm")
+        self._system_source = self._derived_source(1)
+        self.system_clock = Clock(
+            self.sim, source=self._system_source, name="sys_clk"
+        )
+        fast_div, slow_div = self.params.lcd_divisors
+        self._lcd_fast = self._derived_source(fast_div)
+        self._lcd_slow = self._derived_source(slow_div)
+
+        # ---- controlling region --------------------------------------
+        self.dcr_bus = DcrBus()
+        self.dcr_bridge = DcrBridge(self.dcr_bus)
+        self.microblaze = Microblaze(self.sim, self.system_clock)
+        self.timer = XpsTimer(self.sim, self.system_clock)
+        speedup = self.params.pr_speedup
+        self.cf = CompactFlash(
+            bytes_per_second=CompactFlash().bytes_per_second * speedup
+        )
+        self.sdram = Sdram(
+            self.board.sdram_bytes,
+            icap_path_bytes_per_second=Sdram(1).icap_path_bytes_per_second
+            * speedup,
+        )
+        self.bram_buffer = BramBuffer(
+            icap_bytes_per_second=BramBuffer().icap_bytes_per_second * speedup
+        )
+        self.icap = IcapController(self.sim)
+        self.repository = BitstreamRepository(self.cf, self.sdram)
+        self.engine = ReconfigurationEngine(
+            self.sim, self.icap, self.repository, self.bram_buffer
+        )
+        self.engine.on_started.append(self._on_reconfig_started)
+        self.engine.on_complete.append(self._on_reconfig_complete)
+
+        # ---- data processing region ----------------------------------
+        self.rsbs: List[ReconfigurableStreamingBlock] = []
+        for index, rsb_params in enumerate(self.params.rsbs):
+            self.rsbs.append(
+                ReconfigurableStreamingBlock(
+                    sim=self.sim,
+                    params=rsb_params,
+                    system_clock=self.system_clock,
+                    fast_source=self._lcd_fast,
+                    slow_source=self._lcd_slow,
+                    dcr_bus=self.dcr_bus,
+                    dcr_base=self.DCR_BASE + index * self.DCR_STRIDE,
+                )
+            )
+        self._slots: Dict[str, Slot] = {}
+        for rsb in self.rsbs:
+            for slot in rsb.slots:
+                slot.module_id = len(self._slots)
+                self._slots[slot.name] = slot
+
+        # ---- floorplan -----------------------------------------------
+        self.floorplan = floorplan or self._default_floorplan()
+        self._check_floorplan_covers_prrs()
+
+        self._started = False
+        self._spanning_regions: Dict[str, object] = {}
+
+        # deferred import to avoid a cycle (api imports system types)
+        from repro.core.api import VapresApi
+
+        self.api = VapresApi(self)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _derived_source(self, divisor: int):
+        if divisor == 1:
+            return self.dcm.clk0
+        pmcd_divs = {2, 4, 8}
+        if divisor in pmcd_divs:
+            pmcd = Pmcd(self.dcm.clk0, name=f"pmcd_div{divisor}")
+            return getattr(pmcd, f"clkdiv{divisor}")
+        return self.dcm.clkdv(divisor)
+
+    def _default_floorplan(self) -> Floorplan:
+        requirements = []
+        regions = 1
+        boundary = 0
+        for rsb in self.rsbs:
+            regions = max(regions, rsb.params.regions_per_prr)
+            for slot in rsb.prr_slots:
+                requirements.append((slot.name, rsb.params.prr_slices))
+                boundary = max(boundary, slot.boundary_signals)
+        return auto_floorplan(
+            self.device,
+            requirements,
+            regions_per_prr=regions,
+            boundary_signals=boundary,
+        )
+
+    def _check_floorplan_covers_prrs(self) -> None:
+        for rsb in self.rsbs:
+            for slot in rsb.prr_slots:
+                if slot.name not in self.floorplan.prrs:
+                    raise SystemError_(
+                        f"floorplan has no placement for PRR {slot.name!r}"
+                    )
+
+    # ------------------------------------------------------------------
+    # slots and modules
+    # ------------------------------------------------------------------
+    def slot(self, name: str) -> Slot:
+        if name not in self._slots:
+            raise SystemError_(
+                f"unknown slot {name!r}; have {sorted(self._slots)}"
+            )
+        return self._slots[name]
+
+    def prr(self, name: str) -> PrrSlot:
+        slot = self.slot(name)
+        if not isinstance(slot, PrrSlot):
+            raise SystemError_(f"slot {name!r} is an IOM, not a PRR")
+        return slot
+
+    def iom_slot(self, name: str) -> IomSlot:
+        slot = self.slot(name)
+        if not isinstance(slot, IomSlot):
+            raise SystemError_(f"slot {name!r} is a PRR, not an IOM")
+        return slot
+
+    def slot_by_id(self, module_id: int) -> Slot:
+        for slot in self._slots.values():
+            if slot.module_id == module_id:
+                return slot
+        raise SystemError_(f"no slot with module id {module_id}")
+
+    @property
+    def prr_slots(self) -> List[PrrSlot]:
+        return [s for s in self._slots.values() if isinstance(s, PrrSlot)]
+
+    @property
+    def iom_slots(self) -> List[IomSlot]:
+        return [s for s in self._slots.values() if isinstance(s, IomSlot)]
+
+    def attach_iom(self, slot_name: str, iom: Iom) -> IomSlot:
+        slot = self.iom_slot(slot_name)
+        iom.sim = self.sim  # enables receive timestamping for analysis
+        slot.attach_iom(iom)
+        return slot
+
+    # ------------------------------------------------------------------
+    # application registration (output of the application flow)
+    # ------------------------------------------------------------------
+    def register_module(
+        self,
+        module_name: str,
+        factory: Callable[[], HardwareModule],
+        prr_names: Optional[List[str]] = None,
+    ) -> None:
+        """Register a hardware module and its per-PRR partial bitstreams.
+
+        The EAPR flow emits one bitstream per (module, PRR) pair; by
+        default bitstreams are generated for every PRR in the system.
+        """
+        targets = prr_names or [s.name for s in self.prr_slots]
+        self.repository.register_factory(module_name, factory)
+        for prr_name in targets:
+            placement = self.floorplan.prrs[self.prr(prr_name).name]
+            bitstream = bitstream_for_rect(module_name, prr_name, placement.rect)
+            if not self.repository.has(module_name, prr_name):
+                self.repository.register(bitstream)
+
+    def place_module_directly(
+        self, module: HardwareModule, prr_name: str
+    ) -> PrrSlot:
+        """Load a module instantly, bypassing PR timing.
+
+        Models the initial full-bitstream configuration (modules present at
+        power-up) and is the standard testing shortcut.
+        """
+        slot = self.prr(prr_name)
+        slot.load(module)
+        return slot
+
+    # ------------------------------------------------------------------
+    # reconfiguration isolation protocol
+    # ------------------------------------------------------------------
+    def register_spanning_region(self, region) -> None:
+        """Track a multi-PRR spanning region (paper Section IV.A)."""
+        self._spanning_regions[region.name] = region
+
+    def spanning_region(self, name: str):
+        if name not in self._spanning_regions:
+            raise SystemError_(f"unknown spanning region {name!r}")
+        return self._spanning_regions[name]
+
+    def _on_reconfig_started(
+        self, prr_name: str, module_name: str, _transfer: Optional[IcapTransfer]
+    ) -> None:
+        if prr_name in self._spanning_regions:
+            self._spanning_regions[prr_name].isolate()
+            self.sim.log(
+                "pr", f"span {prr_name} isolated for reconfiguration",
+                module=module_name,
+            )
+            return
+        slot = self.prr(prr_name)
+        slot.reconfiguring = True
+        slot.unload()
+        for macro in slot.slice_macros:
+            macro.set_enabled(False)
+        slot.bufr.set_enabled(False)
+        self.sim.log(
+            "pr", f"PRR {prr_name} isolated for reconfiguration",
+            module=module_name,
+        )
+
+    def _on_reconfig_complete(
+        self, prr_name: str, module_name: str, _transfer: IcapTransfer
+    ) -> None:
+        if prr_name in self._spanning_regions:
+            self._spanning_regions[prr_name].reconnect(module_name)
+            self.sim.log(
+                "pr", f"span {prr_name} now hosts {module_name}",
+                module=module_name,
+            )
+            return
+        slot = self.prr(prr_name)
+        factory = self.repository.factory(module_name)
+        module = factory()
+        slot.load(module)
+        for macro in slot.slice_macros:
+            macro.set_enabled(True)
+        slot.bufr.set_enabled(True)
+        slot.reconfiguring = False
+        self.sim.log(
+            "pr", f"PRR {prr_name} now hosts {module_name}", module=module_name
+        )
+
+    # ------------------------------------------------------------------
+    # streaming convenience (wraps the router; the API adds SW costs)
+    # ------------------------------------------------------------------
+    def open_stream(
+        self,
+        src_slot: str,
+        dst_slot: str,
+        src_port: int = 0,
+        dst_port: int = 0,
+    ) -> StreamingChannel:
+        """Establish a channel and enable its endpoint interfaces."""
+        src = self.slot(src_slot)
+        dst = self.slot(dst_slot)
+        rsb = src.rsb
+        if dst.rsb is not rsb:
+            raise SystemError_(
+                "streaming channels cannot cross RSBs; route through the "
+                "MicroBlaze FSLs instead"
+            )
+        channel = rsb.router.establish(
+            src.position,
+            dst.position,
+            src.producers[src_port],
+            dst.consumers[dst_port],
+            src_port=src_port,
+            dst_port=dst_port,
+        )
+        src.producers[src_port].fifo_ren = True
+        dst.consumers[dst_port].fifo_wen = True
+        self.sim.log(
+            "channel",
+            f"established {src_slot}.p{src_port} -> {dst_slot}.c{dst_port}",
+            d=channel.d,
+        )
+        return channel
+
+    def close_stream(self, channel: StreamingChannel) -> int:
+        for rsb in self.rsbs:
+            if channel.channel_id in rsb.fabric.channels:
+                lost = rsb.router.release(channel)
+                self.sim.log(
+                    "channel",
+                    f"released {channel.producer.name} -> {channel.consumer.name}",
+                    lost=lost,
+                )
+                return lost
+        raise SystemError_("channel does not belong to this system")
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start all clocks (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.system_clock.start()
+        for rsb in self.rsbs:
+            rsb.start_clocks()
+
+    def run_for_cycles(self, cycles: int) -> None:
+        self.start()
+        self.sim.run_for(cycles * self.system_clock.period_ps)
+
+    def run_for_us(self, microseconds: float) -> None:
+        self.start()
+        self.sim.run_for(int(microseconds * 1e6))
+
+    def run_for_ms(self, milliseconds: float) -> None:
+        self.run_for_us(milliseconds * 1e3)
+
+    def __repr__(self) -> str:
+        return (
+            f"VapresSystem({self.params.name} on {self.device.name}, "
+            f"{len(self.rsbs)} RSB(s), {len(self.prr_slots)} PRRs, "
+            f"{len(self.iom_slots)} IOMs)"
+        )

@@ -1,0 +1,53 @@
+"""Virtex-4 FPGA fabric model.
+
+The paper prototypes VAPRES on a Xilinx ML401 board (Virtex-4 XC4VLX25).
+This package substitutes the physical device with a geometric and resource
+model detailed enough to reproduce the paper's floorplanning constraints
+(Section III.B.2 / IV.A) and resource results (Section V.B):
+
+* :mod:`repro.fabric.geometry` -- CLB-grid rectangles and local clock
+  regions (16 CLB rows tall, half the device wide);
+* :mod:`repro.fabric.device` -- the Virtex-4 LX device catalogue and boards;
+* :mod:`repro.fabric.resources` -- resource vectors and utilisation;
+* :mod:`repro.fabric.floorplan` -- PRR placement honouring the paper's
+  clock-region rules, plus the automatic floorplanner and the ASCII
+  rendering used to regenerate Figure 8;
+* :mod:`repro.fabric.slice_macro` -- the slice macros that carry signals
+  across the static/PRR boundary (PRSocket ``SM_en`` bit).
+"""
+
+from repro.fabric.device import (
+    BOARDS,
+    Board,
+    DEVICES,
+    Virtex4Device,
+    get_board,
+    get_device,
+)
+from repro.fabric.geometry import ClockRegion, GeometryError, Rect
+from repro.fabric.resources import ResourceVector
+from repro.fabric.floorplan import (
+    Floorplan,
+    FloorplanError,
+    PrrPlacement,
+    auto_floorplan,
+)
+from repro.fabric.slice_macro import SliceMacro
+
+__all__ = [
+    "BOARDS",
+    "Board",
+    "ClockRegion",
+    "DEVICES",
+    "Floorplan",
+    "FloorplanError",
+    "GeometryError",
+    "PrrPlacement",
+    "Rect",
+    "ResourceVector",
+    "SliceMacro",
+    "Virtex4Device",
+    "auto_floorplan",
+    "get_board",
+    "get_device",
+]

@@ -1,0 +1,161 @@
+"""Virtex-4 LX device catalogue and evaluation boards.
+
+Geometry and resource counts follow the Virtex-4 family overview (Xilinx
+DS112): 4 slices per CLB, local clock regions 16 CLB rows tall and half the
+device wide, one BUFR pair per clock region, 32 global BUFGs.  The paper's
+prototype device is the XC4VLX25 on the ML401 board.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.fabric.geometry import CLOCK_REGION_ROWS, ClockRegion, GeometryError, Rect
+
+SLICES_PER_CLB = 4
+#: Flip-flops / 4-input LUTs per slice on Virtex-4.
+FLIPFLOPS_PER_SLICE = 2
+LUTS_PER_SLICE = 2
+#: Bits per BlockRAM (18 kb blocks on Virtex-4).
+BRAM18_BITS = 18 * 1024
+BUFR_PER_REGION = 2
+GLOBAL_BUFG = 32
+
+
+@dataclass(frozen=True)
+class Virtex4Device:
+    """Static description of one Virtex-4 LX part."""
+
+    name: str
+    clb_cols: int
+    clb_rows: int
+    bram18: int
+    dsp48: int
+
+    def __post_init__(self) -> None:
+        if self.clb_rows % CLOCK_REGION_ROWS:
+            raise GeometryError(
+                f"{self.name}: row count {self.clb_rows} is not a multiple of "
+                f"the {CLOCK_REGION_ROWS}-row clock region height"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def clbs(self) -> int:
+        return self.clb_cols * self.clb_rows
+
+    @property
+    def slices(self) -> int:
+        return self.clbs * SLICES_PER_CLB
+
+    @property
+    def flipflops(self) -> int:
+        return self.slices * FLIPFLOPS_PER_SLICE
+
+    @property
+    def luts(self) -> int:
+        return self.slices * LUTS_PER_SLICE
+
+    @property
+    def clock_region_bands(self) -> int:
+        return self.clb_rows // CLOCK_REGION_ROWS
+
+    @property
+    def clock_region_count(self) -> int:
+        return self.clock_region_bands * 2
+
+    @property
+    def bufr_count(self) -> int:
+        return self.clock_region_count * BUFR_PER_REGION
+
+    @property
+    def bounds(self) -> Rect:
+        return Rect(0, 0, self.clb_cols, self.clb_rows)
+
+    @property
+    def center_col(self) -> int:
+        return self.clb_cols // 2
+
+    def clock_regions(self) -> List[ClockRegion]:
+        return [
+            ClockRegion(half, band)
+            for half in (0, 1)
+            for band in range(self.clock_region_bands)
+        ]
+
+    def region_rect(self, region: ClockRegion) -> Rect:
+        """The CLB rectangle covered by one local clock region."""
+        half_width = self.clb_cols - self.center_col if region.half else self.center_col
+        col = self.center_col if region.half else 0
+        if not 0 <= region.band < self.clock_region_bands:
+            raise GeometryError(f"{region} outside {self.name}")
+        return Rect(col, region.band * CLOCK_REGION_ROWS, half_width, CLOCK_REGION_ROWS)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.clb_cols}x{self.clb_rows} CLBs, "
+            f"{self.slices} slices, {self.bram18} BRAM18, {self.dsp48} DSP48, "
+            f"{self.clock_region_count} clock regions"
+        )
+
+
+DEVICES: Dict[str, Virtex4Device] = {
+    d.name: d
+    for d in [
+        Virtex4Device("XC4VLX15", clb_cols=24, clb_rows=64, bram18=48, dsp48=32),
+        Virtex4Device("XC4VLX25", clb_cols=28, clb_rows=96, bram18=72, dsp48=48),
+        Virtex4Device("XC4VLX40", clb_cols=36, clb_rows=128, bram18=96, dsp48=64),
+        Virtex4Device("XC4VLX60", clb_cols=52, clb_rows=128, bram18=160, dsp48=64),
+        Virtex4Device("XC4VLX80", clb_cols=56, clb_rows=160, bram18=200, dsp48=80),
+        Virtex4Device("XC4VLX100", clb_cols=64, clb_rows=192, bram18=240, dsp48=96),
+        Virtex4Device("XC4VLX160", clb_cols=88, clb_rows=192, bram18=288, dsp48=96),
+        Virtex4Device("XC4VLX200", clb_cols=116, clb_rows=192, bram18=336, dsp48=96),
+    ]
+}
+
+
+@dataclass(frozen=True)
+class Board:
+    """An evaluation board: device plus off-chip memory for bitstreams."""
+
+    name: str
+    device_name: str
+    sdram_bytes: int
+    compact_flash: bool = True
+    oscillator_hz: float = 100e6
+    notes: str = ""
+
+    @property
+    def device(self) -> Virtex4Device:
+        return DEVICES[self.device_name]
+
+
+BOARDS: Dict[str, Board] = {
+    b.name: b
+    for b in [
+        Board(
+            "ML401",
+            "XC4VLX25",
+            sdram_bytes=64 * 1024 * 1024,
+            notes="paper's prototype platform (Section V.A)",
+        ),
+        Board("ML402", "XC4VLX60", sdram_bytes=64 * 1024 * 1024),
+        Board("ML403", "XC4VLX60", sdram_bytes=64 * 1024 * 1024),
+    ]
+}
+
+
+def get_device(name: str) -> Virtex4Device:
+    """Look up a device by part name (case-insensitive)."""
+    key = name.upper()
+    if key not in DEVICES:
+        raise KeyError(f"unknown Virtex-4 device {name!r}; have {sorted(DEVICES)}")
+    return DEVICES[key]
+
+
+def get_board(name: str) -> Board:
+    key = name.upper()
+    if key not in BOARDS:
+        raise KeyError(f"unknown board {name!r}; have {sorted(BOARDS)}")
+    return BOARDS[key]

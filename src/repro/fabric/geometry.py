@@ -1,0 +1,127 @@
+"""CLB-grid geometry: rectangles and Virtex-4 local clock regions.
+
+Coordinates are CLB units.  Column 0 is the left edge, row 0 the bottom.
+A Virtex-4 *local clock region* spans 16 CLB rows vertically and half the
+device horizontally; a BUFR placed in a region can drive that region plus
+the regions immediately above and below it (three total), which is where
+the paper's 48-CLB PRR height limit comes from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, Tuple
+
+#: Height of a Virtex-4 local clock region in CLB rows.
+CLOCK_REGION_ROWS = 16
+
+
+class GeometryError(Exception):
+    """Raised for malformed or out-of-bounds geometry."""
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle of CLBs: ``[col, col+width) x [row, row+height)``."""
+
+    col: int
+    row: int
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise GeometryError(f"rect must have positive size: {self}")
+        if self.col < 0 or self.row < 0:
+            raise GeometryError(f"rect origin must be non-negative: {self}")
+
+    @property
+    def col_end(self) -> int:
+        return self.col + self.width
+
+    @property
+    def row_end(self) -> int:
+        return self.row + self.height
+
+    @property
+    def clbs(self) -> int:
+        return self.width * self.height
+
+    def intersects(self, other: "Rect") -> bool:
+        return (
+            self.col < other.col_end
+            and other.col < self.col_end
+            and self.row < other.row_end
+            and other.row < self.row_end
+        )
+
+    def contains(self, other: "Rect") -> bool:
+        return (
+            self.col <= other.col
+            and other.col_end <= self.col_end
+            and self.row <= other.row
+            and other.row_end <= self.row_end
+        )
+
+    def cells(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over ``(col, row)`` of every CLB in the rectangle."""
+        for row in range(self.row, self.row_end):
+            for col in range(self.col, self.col_end):
+                yield col, row
+
+    def __str__(self) -> str:
+        return (
+            f"CLB[{self.col}:{self.col_end})x[{self.row}:{self.row_end})"
+            f" ({self.width}x{self.height})"
+        )
+
+
+@dataclass(frozen=True)
+class ClockRegion:
+    """One local clock region, identified by device half and vertical band.
+
+    ``half`` is 0 for the left half of the device and 1 for the right;
+    ``band`` is ``row // CLOCK_REGION_ROWS``.
+    """
+
+    half: int
+    band: int
+
+    def __str__(self) -> str:
+        side = "L" if self.half == 0 else "R"
+        return f"CR-{side}{self.band}"
+
+    def is_vertically_adjacent(self, other: "ClockRegion") -> bool:
+        return self.half == other.half and abs(self.band - other.band) == 1
+
+
+def clock_regions_of(rect: Rect, device_cols: int) -> FrozenSet[ClockRegion]:
+    """Return the set of clock regions a rectangle occupies.
+
+    ``device_cols`` is the device's CLB column count; the half boundary is
+    at ``device_cols // 2``.
+    """
+    center = device_cols // 2
+    halves = set()
+    if rect.col < center:
+        halves.add(0)
+    if rect.col_end > center:
+        halves.add(1)
+    first_band = rect.row // CLOCK_REGION_ROWS
+    last_band = (rect.row_end - 1) // CLOCK_REGION_ROWS
+    return frozenset(
+        ClockRegion(half, band)
+        for half in halves
+        for band in range(first_band, last_band + 1)
+    )
+
+
+def bands_are_contiguous(regions: FrozenSet[ClockRegion]) -> bool:
+    """True when the regions occupy one half in consecutive vertical bands."""
+    if not regions:
+        return False
+    halves = {r.half for r in regions}
+    if len(halves) != 1:
+        return False
+    bands = sorted(r.band for r in regions)
+    return bands == list(range(bands[0], bands[0] + len(bands)))

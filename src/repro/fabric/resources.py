@@ -1,0 +1,91 @@
+"""Resource vectors and utilisation accounting.
+
+Used by the design flows (:mod:`repro.flows.estimate`) to reproduce the
+paper's Section V.B numbers (static region 9,421 slices on the XC4VLX25,
+inter-module communication architecture 1,020 slices) and by the
+fragmentation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict
+
+from repro.fabric.device import Virtex4Device
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """A bundle of FPGA resources (all counts are whole units)."""
+
+    slices: int = 0
+    bram18: int = 0
+    dsp48: int = 0
+    bufr: int = 0
+    bufg: int = 0
+    dcm: int = 0
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def __sub__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            **{
+                f.name: getattr(self, f.name) - getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def __mul__(self, factor: int) -> "ResourceVector":
+        return ResourceVector(
+            **{f.name: getattr(self, f.name) * factor for f in fields(self)}
+        )
+
+    __rmul__ = __mul__
+
+    def fits_in(self, other: "ResourceVector") -> bool:
+        """True when every component is <= the corresponding one in ``other``."""
+        return all(
+            getattr(self, f.name) <= getattr(other, f.name) for f in fields(self)
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def utilization(self, device: Virtex4Device) -> Dict[str, float]:
+        """Fractional utilisation of ``device`` per resource class."""
+        totals = {
+            "slices": device.slices,
+            "bram18": device.bram18,
+            "dsp48": device.dsp48,
+            "bufr": device.bufr_count,
+            "bufg": 32,
+            "dcm": 8,
+        }
+        return {
+            name: (getattr(self, name) / totals[name] if totals[name] else 0.0)
+            for name in totals
+        }
+
+    def __str__(self) -> str:
+        parts = [
+            f"{name}={value}" for name, value in self.as_dict().items() if value
+        ]
+        return "Resources(" + ", ".join(parts or ["empty"]) + ")"
+
+
+def device_capacity(device: Virtex4Device) -> ResourceVector:
+    """The total resource vector of a device."""
+    return ResourceVector(
+        slices=device.slices,
+        bram18=device.bram18,
+        dsp48=device.dsp48,
+        bufr=device.bufr_count,
+        bufg=32,
+        dcm=8,
+    )

@@ -1,0 +1,42 @@
+"""VAPRES design and implementation flows (paper Section IV, Figure 6).
+
+* :mod:`repro.flows.estimate` -- the analytic resource model calibrated
+  against the paper's Section V.B results;
+* :mod:`repro.flows.sysdef` -- system definition file generators (MHS,
+  MSS, UCF) mirroring the Xilinx EDK artefacts the base system flow emits;
+* :mod:`repro.flows.base_system` -- the base system flow: architectural
+  specialisation -> floorplan -> system definition files -> "synthesis"
+  (resource estimation + static bitstream record);
+* :mod:`repro.flows.application` -- the application flow: KPN
+  decomposition, module wrapper generation, per-(module, PRR) partial
+  bitstream generation and registration.
+"""
+
+from repro.flows.estimate import (
+    comm_architecture_slices,
+    comm_architecture_resources,
+    module_slice_estimate,
+    static_region_resources,
+    switchbox_slices,
+    system_resource_report,
+)
+from repro.flows.sysdef import generate_mhs, generate_mss, generate_ucf
+from repro.flows.base_system import BaseSystemBuild, BaseSystemFlow, FlowError
+from repro.flows.application import ApplicationBuild, ApplicationFlow
+
+__all__ = [
+    "ApplicationBuild",
+    "ApplicationFlow",
+    "BaseSystemBuild",
+    "BaseSystemFlow",
+    "FlowError",
+    "comm_architecture_resources",
+    "comm_architecture_slices",
+    "generate_mhs",
+    "generate_mss",
+    "generate_ucf",
+    "module_slice_estimate",
+    "static_region_resources",
+    "switchbox_slices",
+    "system_resource_report",
+]

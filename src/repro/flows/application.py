@@ -1,0 +1,135 @@
+"""The application flow (paper Figure 6, left side).
+
+Application designers target an existing base system:
+
+1. **decomposition** -- express the application as a KPN of hardware
+   modules plus software modules;
+2. **hardware module flow** -- "synthesize" each module (slice estimate),
+   verify it fits the base system's PRRs, and generate one partial
+   bitstream per (module, PRR) pair;
+3. **software module flow** -- collect the MicroBlaze software
+   (generators) that orchestrates the application through the VAPRES API.
+
+Only module logic is processed; the base design is untouched, which is
+the isolation between flows the paper credits with cutting iteration
+time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List, Optional, Tuple
+
+from repro.core.kpn import KahnProcessNetwork
+from repro.core.system import VapresSystem
+from repro.flows.base_system import BaseSystemBuild, FlowError
+from repro.flows.estimate import module_slice_estimate
+from repro.pr.bitstream import PartialBitstream, bitstream_for_rect
+
+SoftwareFactory = Callable[..., Generator]
+
+
+@dataclass
+class ApplicationBuild:
+    """Artefacts of one application flow run."""
+
+    name: str
+    kpn: KahnProcessNetwork
+    module_slices: Dict[str, int]
+    bitstreams: List[PartialBitstream] = field(default_factory=list)
+    software: Dict[str, SoftwareFactory] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        lines = [f"application {self.name!r}:"]
+        for module, slices in sorted(self.module_slices.items()):
+            count = sum(1 for b in self.bitstreams if b.module_name == module)
+            lines.append(
+                f"  {module}: {slices} slices, {count} partial bitstream(s)"
+            )
+        lines.append(f"  software modules: {sorted(self.software) or 'none'}")
+        return "\n".join(lines)
+
+
+class ApplicationFlow:
+    """Builds an application against a base system build."""
+
+    def __init__(self, base: BaseSystemBuild) -> None:
+        self.base = base
+        self._software: Dict[str, SoftwareFactory] = {}
+
+    def add_software_module(self, name: str, factory: SoftwareFactory) -> None:
+        self._software[name] = factory
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        kpn: KahnProcessNetwork,
+        target_prrs: Optional[Dict[str, List[str]]] = None,
+    ) -> ApplicationBuild:
+        """Run the hardware module flow for every module node.
+
+        ``target_prrs`` optionally restricts which PRRs each module may
+        occupy (fewer bitstreams, less CF space); default is every PRR.
+        """
+        kpn.validate()
+        prr_names = list(self.base.floorplan.prrs)
+        module_slices: Dict[str, int] = {}
+        bitstreams: List[PartialBitstream] = []
+        for node in kpn.module_nodes():
+            module = node.factory()
+            slices = module_slice_estimate(module)
+            module_slices[node.name] = slices
+            targets = (target_prrs or {}).get(node.name, prr_names)
+            for prr_name in targets:
+                placement = self.base.floorplan.prrs.get(prr_name)
+                if placement is None:
+                    raise FlowError(f"unknown PRR {prr_name!r}")
+                if slices > placement.slices:
+                    raise FlowError(
+                        f"module {node.name!r} needs {slices} slices but PRR "
+                        f"{prr_name!r} only provides {placement.slices}; "
+                        "enlarge the PRR or span multiple PRRs (Section IV.A)"
+                    )
+                bitstreams.append(
+                    bitstream_for_rect(
+                        node.name,
+                        prr_name,
+                        placement.rect,
+                        metadata={"module_slices": slices},
+                    )
+                )
+        return ApplicationBuild(
+            name=kpn.name,
+            kpn=kpn,
+            module_slices=module_slices,
+            bitstreams=bitstreams,
+            software=dict(self._software),
+        )
+
+    # ------------------------------------------------------------------
+    def install(
+        self, build: ApplicationBuild, system: VapresSystem
+    ) -> None:
+        """Register the build's bitstreams and factories on a live system."""
+        for node in build.kpn.module_nodes():
+            system.repository.register_factory(node.name, node.factory)
+        for bitstream in build.bitstreams:
+            if not system.repository.has(
+                bitstream.module_name, bitstream.prr_name
+            ):
+                system.repository.register(bitstream)
+
+    def fragmentation_report(
+        self, build: ApplicationBuild
+    ) -> Dict[str, Tuple[int, int, float]]:
+        """Per-module ``(module_slices, prr_slices, wasted_fraction)`` for
+        the first PRR target -- the paper's resource fragmentation metric."""
+        report = {}
+        for module, slices in build.module_slices.items():
+            first = next(
+                b for b in build.bitstreams if b.module_name == module
+            )
+            prr_slices = self.base.floorplan.prrs[first.prr_name].slices
+            wasted = (prr_slices - slices) / prr_slices
+            report[module] = (slices, prr_slices, wasted)
+        return report

@@ -1,0 +1,124 @@
+"""The base system flow (paper Figure 6, right side).
+
+System designers run this flow once to produce a VAPRES base system:
+
+1. **base system specification** -- choose the architectural parameters
+   (:class:`~repro.core.params.SystemParameters`);
+2. **base system design** -- floorplan the PRRs and generate the system
+   definition files (MHS, MSS, UCF);
+3. **synthesis & implementation** -- here: run the calibrated resource
+   model, check the design fits the device, and record the "static
+   bitstream" (a build manifest the application flow targets).
+
+The result, :class:`BaseSystemBuild`, can instantiate a live
+:class:`~repro.core.system.VapresSystem`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.params import SystemParameters
+from repro.core.system import VapresSystem
+from repro.fabric.device import Virtex4Device, get_board
+from repro.fabric.floorplan import Floorplan, auto_floorplan
+from repro.fabric.resources import ResourceVector
+from repro.flows.estimate import static_region_resources, system_resource_report
+from repro.flows.sysdef import generate_mhs, generate_mss, generate_ucf
+
+
+class FlowError(Exception):
+    """Raised when a flow step fails (overfull device, bad floorplan...)."""
+
+
+@dataclass
+class BaseSystemBuild:
+    """The artefacts of one base system flow run."""
+
+    params: SystemParameters
+    device: Virtex4Device
+    floorplan: Floorplan
+    mhs: str
+    mss: str
+    ucf: str
+    static_resources: ResourceVector
+    report: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def static_bitstream_name(self) -> str:
+        return f"{self.params.name}_static.bit"
+
+    def instantiate(self) -> VapresSystem:
+        """Bring up a live system on this build's floorplan."""
+        return VapresSystem(self.params, floorplan=self.floorplan)
+
+    def summary(self) -> str:
+        report = self.report
+        return "\n".join(
+            [
+                f"base system {self.params.name!r} on {self.device.name}:",
+                f"  static region : {report['static_slices']} slices "
+                f"({report['static_utilization']:.1%} of device)",
+                f"  comm fabric   : {report['comm_architecture_slices']} slices",
+                f"  PRR area      : {report['prr_slices']} slices",
+                f"  BRAM18        : {report['bram18']}",
+                f"  fits device   : {report['fits']}",
+            ]
+        )
+
+
+class BaseSystemFlow:
+    """Runs the three steps of the base system flow."""
+
+    def __init__(self, params: SystemParameters) -> None:
+        self.params = params
+        self.board = get_board(params.board)
+        self.device = self.board.device
+
+    # ------------------------------------------------------------------
+    def design_floorplan(self) -> Floorplan:
+        """Step 2a: place every PRR under the clock-region constraints."""
+        requirements = []
+        regions = 1
+        boundary = 0
+        for rsb in self.params.rsbs:
+            regions = max(regions, rsb.regions_per_prr)
+            for index in range(rsb.num_prrs):
+                requirements.append((f"{rsb.name}.prr{index}", rsb.prr_slices))
+            boundary = max(
+                boundary, (rsb.channel_width + 1) * (rsb.ki + rsb.ko) + 8
+            )
+        return auto_floorplan(
+            self.device,
+            requirements,
+            regions_per_prr=regions,
+            boundary_signals=boundary,
+        )
+
+    def run(self, floorplan: Optional[Floorplan] = None) -> BaseSystemBuild:
+        """Run the complete flow; raises :class:`FlowError` on misfits."""
+        floorplan = floorplan or self.design_floorplan()
+        report = system_resource_report(self.params, self.device)
+        if not report["fits"]:
+            raise FlowError(
+                f"design needs {report['total_slices']} slices; "
+                f"{self.device.name} has {self.device.slices}"
+            )
+        static = static_region_resources(self.params)
+        if floorplan.static_slices_available < static.slices:
+            raise FlowError(
+                f"floorplan leaves {floorplan.static_slices_available} "
+                f"slices outside PRRs but the static region needs "
+                f"{static.slices}"
+            )
+        return BaseSystemBuild(
+            params=self.params,
+            device=self.device,
+            floorplan=floorplan,
+            mhs=generate_mhs(self.params),
+            mss=generate_mss(self.params),
+            ucf=generate_ucf(floorplan),
+            static_resources=static,
+            report=report,
+        )

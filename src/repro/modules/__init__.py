@@ -1,0 +1,84 @@
+"""Behavioural hardware-module library.
+
+Hardware modules are the KPN nodes of a reconfigurable stream processing
+system (paper Section III.B.1): they read and write 32-bit words through
+FIFO-based consumer/producer ports with blocking semantics, carry explicit
+*state registers* that the switching methodology saves and restores, and
+emit monitoring words towards the MicroBlaze over their FSL.
+
+* :mod:`repro.modules.base` -- the module contract, the wrapper FSM
+  (fetch/process/emit, drain-and-terminate protocol, end-of-stream word);
+* :mod:`repro.modules.filters` -- digital filters (FIR, biquad IIR,
+  moving average, median) like the paper's filter-swap example;
+* :mod:`repro.modules.transforms` -- scalers, threshold/peak detectors,
+  decimators, delta codecs, CRC, min/max trackers, mergers/splitters;
+* :mod:`repro.modules.iom` -- I/O modules bridging external pins (here:
+  Python sample sources/sinks) onto the streaming fabric;
+* :mod:`repro.modules.sources` -- synthetic signal generators;
+* :mod:`repro.modules.state` -- 32-bit two's-complement wire encoding.
+"""
+
+from repro.modules.base import (
+    EOS_WORD,
+    CMD_FLUSH,
+    CMD_START,
+    HardwareModule,
+    ModuleError,
+    ModulePorts,
+)
+from repro.modules.filters import BiquadIir, FirFilter, MedianFilter, MovingAverage
+from repro.modules.transforms import (
+    Crc32,
+    Decimator,
+    DeltaDecoder,
+    DeltaEncoder,
+    MinMaxTracker,
+    PassThrough,
+    Scaler,
+    StreamMerger,
+    StreamSplitter,
+    ThresholdDetector,
+)
+from repro.modules.adapters import FslToStream, StreamToFsl
+from repro.modules.conditioning import (
+    AbsValue,
+    Accumulator,
+    NoiseGate,
+    PeakHold,
+    Upsampler,
+)
+from repro.modules.iom import Iom
+from repro.modules.state import from_u32, to_u32
+
+__all__ = [
+    "AbsValue",
+    "Accumulator",
+    "BiquadIir",
+    "FslToStream",
+    "NoiseGate",
+    "PeakHold",
+    "StreamToFsl",
+    "Upsampler",
+    "CMD_FLUSH",
+    "CMD_START",
+    "Crc32",
+    "Decimator",
+    "DeltaDecoder",
+    "DeltaEncoder",
+    "EOS_WORD",
+    "FirFilter",
+    "HardwareModule",
+    "Iom",
+    "MedianFilter",
+    "MinMaxTracker",
+    "ModuleError",
+    "ModulePorts",
+    "MovingAverage",
+    "PassThrough",
+    "Scaler",
+    "StreamMerger",
+    "StreamSplitter",
+    "ThresholdDetector",
+    "from_u32",
+    "to_u32",
+]

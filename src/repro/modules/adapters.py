@@ -1,0 +1,127 @@
+"""Adapters wiring software modules into a streaming RSPS.
+
+The paper defines an RSPS as "a set of hardware and software modules
+(software modules execute on an embedded microprocessor core) connected
+together" (Section I), with FSLs as the KPN buffers between hardware and
+the MicroBlaze.  These wrapper modules occupy a PRR like any hardware
+module but bridge between the streaming fabric and the FSL pair, so a
+software stage can sit in the middle of a hardware pipeline:
+
+    hw producer -> [StreamToFsl] -> r-FSL -> software -> t-FSL
+                 -> [FslToStream] -> hw consumer
+
+``StreamToFsl`` forwards its consumer-port stream onto the FSL towards
+the MicroBlaze with blocking-write semantics; ``FslToStream`` pulls data
+words off the FSL from the MicroBlaze and emits them on its producer
+port.  Both honour the flush protocol so they participate in module
+switching like any other module.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.modules.base import HardwareModule
+from repro.modules.state import to_u32
+
+
+class StreamToFsl(HardwareModule):
+    """Forward the input stream to the MicroBlaze over the r-FSL.
+
+    One word per LCD cycle at most; when the FSL is full the module
+    blocks (KPN blocking-write), back-pressuring the upstream channel.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.words_forwarded = 0
+        self._pending_fsl: Optional[int] = None
+
+    def process(self, sample: int) -> Optional[int]:
+        self._pending_fsl = to_u32(sample)
+        return None
+
+    def commit(self) -> None:
+        # retry a blocked FSL write before fetching anything new
+        if self._pending_fsl is not None and not (
+            self.in_reset or self.halted
+        ):
+            link = self.ports.fsl_out if self.ports else None
+            if link is None or not link.master_write(self._pending_fsl):
+                self.stall_cycles += 1
+                self.lcd_cycles += 1
+                return
+            self.words_forwarded += 1
+            self._pending_fsl = None
+        super().commit()
+
+    def on_reset(self) -> None:
+        self._pending_fsl = None
+
+
+class FslToStream(HardwareModule):
+    """Emit data words arriving from the MicroBlaze (t-FSL) as a stream.
+
+    Post-start plain data words on the FSL slave port -- which the base
+    wrapper would discard -- become the module's output stream here.
+    Command words (control bit set) keep their usual meaning.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.words_injected = 0
+
+    def select_input(self) -> Optional[int]:
+        return None  # no consumer-port fetch; input comes from the FSL
+
+    def process(self, sample: int) -> Optional[int]:  # pragma: no cover
+        return None
+
+    def commit(self) -> None:
+        if self.in_reset or self.halted or self.ports is None:
+            return
+        self.lcd_cycles += 1
+        self._poll_commands_only()
+        if not self.started:
+            return
+        if self._drain_pending():
+            return
+        link = self.ports.fsl_in
+        if link is None or not link.can_read:
+            if self.flushing:
+                self._finish_flush()
+            else:
+                self.stall_cycles += 1
+            return
+        head = link.slave_peek()
+        if head is None or head[1]:
+            self.stall_cycles += 1
+            return
+        data, _control = link.slave_read()
+        producer = self._producer(0)
+        if producer.module_write(to_u32(data)):
+            self.words_injected += 1
+            self.samples_out += 1
+        else:
+            # producer FIFO full: queue as pending output (blocking-write)
+            self._pending_out.append((0, to_u32(data)))
+
+    def _poll_commands_only(self) -> None:
+        """Consume leading command words; data words stay for streaming."""
+        from repro.modules.base import CMD_FLUSH, CMD_START
+
+        link = self.ports.fsl_in
+        if link is None:
+            return
+        while link.can_read:
+            data, control = link.slave_peek()
+            if not control:
+                break
+            link.slave_read()
+            if data == CMD_FLUSH:
+                self.flushing = True
+            elif data == CMD_START:
+                self.started = True
+
+    def on_reset(self) -> None:
+        self.words_injected = 0

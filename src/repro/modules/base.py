@@ -1,0 +1,330 @@
+"""The hardware-module contract and wrapper FSM.
+
+Application designers encapsulate their logic inside a *module wrapper*
+(paper Section III.B.1) that adapts it to the VAPRES port types: consumer
+ports (read from a consumer interface), producer ports (write to a
+producer interface), an FSL slave port (commands and restored state from
+the MicroBlaze) and an FSL master port (monitoring words, saved state and
+completion messages towards the MicroBlaze).
+
+:class:`HardwareModule` is that wrapper.  Subclasses implement
+:meth:`~HardwareModule.process` (and optionally declare state registers);
+the base class provides the per-cycle FSM with blocking-read /
+blocking-write KPN semantics and the drain-and-terminate protocol of the
+switching methodology (Figure 5):
+
+* on ``CMD_FLUSH`` the module finishes the words remaining in its consumer
+  FIFO, emits the special end-of-stream word :data:`EOS_WORD` downstream
+  (step 5), pushes its state-register values to the MicroBlaze over the
+  FSL (step 6) and halts;
+* a freshly placed module accepts state words over its FSL slave port and
+  begins processing on ``CMD_START`` (step 7).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.comm.fsl import FslLink
+from repro.comm.interfaces import ConsumerInterface, ProducerInterface
+from repro.modules.state import from_u32, to_u32
+from repro.sim.clock import ClockedComponent
+
+#: Special end-of-stream word (the paper's 0xFFFFFFFF marker, step 5).
+EOS_WORD = 0xFFFFFFFF
+#: FSL command words (sent with the control bit set).
+CMD_FLUSH = 0x00000001
+CMD_START = 0x00000002
+
+ProcessResult = Union[None, int, Sequence[Tuple[int, int]]]
+
+
+def staged(module: "HardwareModule") -> "HardwareModule":
+    """Mark a module to wait for ``CMD_START`` instead of free-running.
+
+    Used for the replacement module of the switching methodology: it is
+    placed, receives restored state over its FSL, and only then starts.
+    """
+    module.auto_start = False
+    module.started = False
+    return module
+
+
+class ModuleError(Exception):
+    """Raised on contract violations (unbound ports, bad state size, ...)."""
+
+
+class ModulePorts:
+    """The bundle of interfaces a PRR slot hands to its resident module."""
+
+    def __init__(
+        self,
+        consumers: Optional[List[ConsumerInterface]] = None,
+        producers: Optional[List[ProducerInterface]] = None,
+        fsl_in: Optional[FslLink] = None,
+        fsl_out: Optional[FslLink] = None,
+    ) -> None:
+        self.consumers = consumers or []
+        self.producers = producers or []
+        self.fsl_in = fsl_in
+        self.fsl_out = fsl_out
+
+
+class HardwareModule(ClockedComponent):
+    """Base behavioural hardware module (one KPN node).
+
+    Class attributes subclasses may override:
+
+    ``cycles_per_sample``
+        processing latency per input word in LCD cycles (>= 1);
+    ``state_register_names``
+        ordered attribute names forming the save/restore state;
+    ``monitor_interval``
+        emit a monitoring word every N processed samples (0 = never);
+    ``auto_start``
+        when False the module stays idle until ``CMD_START`` arrives
+        (used for the pre-initialised replacement module of Figure 5).
+    """
+
+    cycles_per_sample: int = 1
+    state_register_names: Tuple[str, ...] = ()
+    monitor_interval: int = 0
+    auto_start: bool = True
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.ports: Optional[ModulePorts] = None
+        self.in_reset = False
+        self.halted = False
+        self.flushing = False
+        self.flush_complete = False
+        self.started = self.auto_start
+        # FSM internals
+        self._busy_cycles = 0
+        self._in_flight: Optional[int] = None
+        self._pending_out: List[Tuple[int, int]] = []
+        self._eos_pending = False
+        self._state_to_send: List[int] = []
+        self._restore_buffer: List[int] = []
+        # statistics
+        self.lcd_cycles = 0
+        self.samples_in = 0
+        self.samples_out = 0
+        self.stall_cycles = 0
+
+    # ------------------------------------------------------------------
+    # subclass hooks
+    # ------------------------------------------------------------------
+    def process(self, sample: int) -> ProcessResult:
+        """Transform one input word.
+
+        May return ``None`` (no output), a single word (emitted on
+        producer port 0) or a sequence of ``(port_index, word)`` pairs.
+        """
+        raise NotImplementedError
+
+    def monitor_value(self) -> int:
+        """The monitoring word periodically sent to the MicroBlaze."""
+        return self.samples_in & 0xFFFFFFFF
+
+    def select_input(self) -> int:
+        """Which consumer port to fetch from this cycle (default: 0)."""
+        return 0
+
+    def on_reset(self) -> None:
+        """Subclass hook to clear algorithmic state."""
+
+    # ------------------------------------------------------------------
+    # binding and lifecycle
+    # ------------------------------------------------------------------
+    def bind(self, ports: ModulePorts) -> None:
+        self.ports = ports
+
+    def reset(self) -> None:
+        """PRSocket ``PRR_reset`` semantics: back to the power-on state."""
+        self.flushing = False
+        self.flush_complete = False
+        self.halted = False
+        self.started = self.auto_start
+        self._busy_cycles = 0
+        self._in_flight = None
+        self._pending_out = []
+        self._eos_pending = False
+        self._state_to_send = []
+        self._restore_buffer = []
+        self.on_reset()
+
+    # ------------------------------------------------------------------
+    # state save / restore (switching methodology steps 6-7)
+    # ------------------------------------------------------------------
+    def save_state(self) -> List[int]:
+        return [to_u32(int(getattr(self, n))) for n in self.state_register_names]
+
+    def restore_state(self, words: Sequence[int]) -> None:
+        if len(words) != len(self.state_register_names):
+            raise ModuleError(
+                f"{self.name}: restore_state got {len(words)} words, "
+                f"expected {len(self.state_register_names)}"
+            )
+        for attr, word in zip(self.state_register_names, words):
+            setattr(self, attr, from_u32(word))
+
+    @property
+    def state_word_count(self) -> int:
+        return len(self.state_register_names)
+
+    # ------------------------------------------------------------------
+    # per-LCD-cycle FSM
+    # ------------------------------------------------------------------
+    def commit(self) -> None:
+        if self.in_reset or self.halted or self.ports is None:
+            return
+        self.lcd_cycles += 1
+        self._poll_fsl_commands()
+        if not self.started:
+            return
+        if self._drain_pending():
+            return
+        if self._busy_cycles > 0:
+            self._busy_cycles -= 1
+            if self._busy_cycles == 0:
+                self._complete_sample()
+            return
+        if self._fetch():
+            return
+        if self.flushing:
+            self._finish_flush()
+        else:
+            self.stall_cycles += 1
+
+    # -- FSM pieces -----------------------------------------------------
+    def _poll_fsl_commands(self) -> None:
+        link = self.ports.fsl_in
+        if link is None:
+            return
+        while link.can_read:
+            data, control = link.slave_read()
+            if control:
+                if data == CMD_FLUSH:
+                    self.flushing = True
+                elif data == CMD_START:
+                    self.started = True
+                # unknown commands are ignored, as unknown opcodes would be
+            elif not self.started and self.state_word_count:
+                # pre-start data words are restored state (step 7)
+                self._restore_buffer.append(data)
+                if len(self._restore_buffer) == self.state_word_count:
+                    self.restore_state(self._restore_buffer)
+                    self._restore_buffer = []
+            # post-start plain data words are module-specific; default: drop
+
+    def _drain_pending(self) -> bool:
+        """Push queued outputs, one word per cycle.  True if work was done."""
+        if self._pending_out:
+            port, word = self._pending_out[0]
+            if self._producer(port).module_write(word):
+                self._pending_out.pop(0)
+                self.samples_out += 1
+            else:
+                self.stall_cycles += 1
+            return True
+        if self._eos_pending:
+            if self._producer(0).module_write(EOS_WORD):
+                self._eos_pending = False
+                self._state_to_send = self.save_state()
+                self._push_saved_state()
+            else:
+                self.stall_cycles += 1
+            return True
+        if self._state_to_send:
+            self._push_saved_state()
+            return True
+        return False
+
+    def _fetch(self) -> bool:
+        port = self.select_input()
+        if port is None:
+            return False
+        consumer = self._consumer(port)
+        word = consumer.module_read()
+        if word is None:
+            return False
+        self.samples_in += 1
+        self._in_flight = word
+        if self.cycles_per_sample <= 1:
+            self._complete_sample()
+        else:
+            self._busy_cycles = self.cycles_per_sample - 1
+        return True
+
+    def _complete_sample(self) -> None:
+        result = self.process(self._in_flight)
+        self._in_flight = None
+        if result is None:
+            outputs: List[Tuple[int, int]] = []
+        elif isinstance(result, int):
+            outputs = [(0, to_u32(result))]
+        else:
+            outputs = [(port, to_u32(word)) for port, word in result]
+        self._pending_out.extend(outputs)
+        self._emit_monitoring()
+        # same-cycle emit keeps 1-word/cycle throughput for 1-cycle modules
+        self._drain_pending()
+
+    def _finish_flush(self) -> None:
+        """Input drained while flushing: emit EOS then save state."""
+        self._eos_pending = True
+        self._drain_pending()
+
+    def _push_saved_state(self) -> None:
+        """Write pending state words with blocking-write semantics.
+
+        The r-FSL may be backed up with monitoring words; state words
+        (steps 6-7 of the methodology) must not be dropped, so the module
+        retries each cycle and only halts once every word is out.
+        """
+        link = self.ports.fsl_out
+        if link is None:
+            self._state_to_send = []
+        while self._state_to_send:
+            if not link.master_write(self._state_to_send[0], control=True):
+                self.stall_cycles += 1
+                return
+            self._state_to_send.pop(0)
+        self.halted = True
+        self.flush_complete = True
+
+    def _emit_monitoring(self) -> None:
+        if not self.monitor_interval:
+            return
+        if self.samples_in % self.monitor_interval:
+            return
+        link = self.ports.fsl_out
+        if link is not None:
+            link.master_write(to_u32(self.monitor_value()))  # best effort
+
+    # ------------------------------------------------------------------
+    def _consumer(self, index: int) -> ConsumerInterface:
+        try:
+            return self.ports.consumers[index]
+        except IndexError:
+            raise ModuleError(f"{self.name}: no consumer port {index}") from None
+
+    def _producer(self, index: int) -> ProducerInterface:
+        try:
+            return self.ports.producers[index]
+        except IndexError:
+            raise ModuleError(f"{self.name}: no producer port {index}") from None
+
+    def __repr__(self) -> str:
+        state = (
+            "reset" if self.in_reset
+            else "halted" if self.halted
+            else "flushing" if self.flushing
+            else "running" if self.started
+            else "waiting"
+        )
+        return (
+            f"{type(self).__name__}({self.name}, {state}, "
+            f"in={self.samples_in}, out={self.samples_out})"
+        )

@@ -1,0 +1,137 @@
+"""I/O modules (IOMs): the stream endpoints of an RSB.
+
+IOMs live in the static region and interface directly to external pins or
+peripherals (ADCs, DACs...).  Here the external world is a Python sample
+iterator on the input side and a capture list on the output side.  Like a
+PRR, an IOM pairs with one switch box through producer/consumer module
+interfaces and owns an FSL pair to the MicroBlaze.
+
+The IOM implements step 8 of the switching methodology: when it sees the
+special end-of-stream word arrive on its consumer interface it notifies
+the MicroBlaze with :data:`MSG_EOS` over its FSL.
+
+Because the EOS word travels *in band* (0xFFFFFFFF is also the data value
+-1), detection is **armed** explicitly: the MicroBlaze sends
+:data:`CMD_ARM_EOS` over the IOM's t-FSL before commanding the old module
+to flush, and the detector disarms itself after one hit.  While disarmed,
+0xFFFFFFFF passes through as ordinary data -- a stream of -1 samples can
+never falsely terminate a switch.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from repro.modules.base import EOS_WORD, ModulePorts
+from repro.modules.state import from_u32, to_u32
+from repro.sim.clock import ClockedComponent
+
+#: FSL message (control bit set): an EOS word reached this IOM.
+MSG_EOS = 0x000000E0
+#: FSL command (control bit set): arm one-shot EOS detection (step 8).
+CMD_ARM_EOS = 0x00000003
+
+
+class Iom(ClockedComponent):
+    """One I/O module, optionally sourcing and/or sinking a stream."""
+
+    def __init__(
+        self,
+        name: str,
+        source: Optional[Iterable[int]] = None,
+        words_per_push: int = 1,
+        push_interval: int = 1,
+    ) -> None:
+        if push_interval < 1 or words_per_push < 1:
+            raise ValueError("push_interval and words_per_push must be >= 1")
+        self.name = name
+        self.ports: Optional[ModulePorts] = None
+        self._source: Optional[Iterator[int]] = iter(source) if source is not None else None
+        self.words_per_push = words_per_push
+        self.push_interval = push_interval
+        self.received: List[int] = []
+        #: simulation timestamps (ps) per received word, when ``sim`` is set;
+        #: the interruption analysis derives output gaps from these
+        self.receive_times: List[int] = []
+        #: timestamps per emitted word (same condition); with
+        #: ``receive_times`` this yields end-to-end loop latency
+        self.emit_times: List[int] = []
+        self.sim = None
+        self.words_emitted = 0
+        self.eos_count = 0
+        self.eos_armed = False
+        self.source_exhausted = source is None
+        self.cycles = 0
+
+    def bind(self, ports: ModulePorts) -> None:
+        self.ports = ports
+
+    def set_source(self, source: Iterable[int]) -> None:
+        """Swap in a new external sample stream."""
+        self._source = iter(source)
+        self.source_exhausted = False
+
+    # ------------------------------------------------------------------
+    def arm_eos(self) -> None:
+        """Arm one-shot end-of-stream detection (normally via CMD_ARM_EOS)."""
+        self.eos_armed = True
+
+    def commit(self) -> None:
+        if self.ports is None:
+            return
+        self.cycles += 1
+        self._poll_commands()
+        self._push_input()
+        self._pull_output()
+
+    def _poll_commands(self) -> None:
+        link = self.ports.fsl_in
+        if link is None:
+            return
+        while link.can_read:
+            data, control = link.slave_read()
+            if control and data == CMD_ARM_EOS:
+                self.arm_eos()
+            # other words on an IOM's t-FSL are ignored
+
+    def _push_input(self) -> None:
+        if self._source is None or self.source_exhausted or not self.ports.producers:
+            return
+        if self.cycles % self.push_interval:
+            return
+        producer = self.ports.producers[0]
+        for _ in range(self.words_per_push):
+            if not producer.module_can_write:
+                return
+            try:
+                sample = next(self._source)
+            except StopIteration:
+                self.source_exhausted = True
+                return
+            producer.module_write(to_u32(sample))
+            self.words_emitted += 1
+            if self.sim is not None:
+                self.emit_times.append(self.sim.now)
+
+    def _pull_output(self) -> None:
+        if not self.ports.consumers:
+            return
+        consumer = self.ports.consumers[0]
+        word = consumer.module_read()
+        if word is None:
+            return
+        if word == EOS_WORD and self.eos_armed:
+            self.eos_count += 1
+            self.eos_armed = False  # one-shot
+            if self.ports.fsl_out is not None:
+                self.ports.fsl_out.master_write(MSG_EOS, control=True)
+        else:
+            self.received.append(from_u32(word))
+            if self.sim is not None:
+                self.receive_times.append(self.sim.now)
+
+    def __repr__(self) -> str:
+        return (
+            f"Iom({self.name}, emitted={self.words_emitted}, "
+            f"received={len(self.received)}, eos={self.eos_count})"
+        )

@@ -1,0 +1,94 @@
+"""Synthetic signal sources feeding IOMs.
+
+The paper's prototype streams sensor-style data through its IOMs; these
+generators provide deterministic integer sample streams (the substitution
+for external ADC traffic).  All are plain iterators of signed ints.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterator, Optional, Sequence
+
+
+def ramp(count: Optional[int] = None, start: int = 0, step: int = 1) -> Iterator[int]:
+    """A linear ramp; infinite when ``count`` is None."""
+    value = start
+    produced = 0
+    while count is None or produced < count:
+        yield value
+        value += step
+        produced += 1
+
+
+def sine_wave(
+    amplitude: int = 10_000,
+    period: int = 64,
+    count: Optional[int] = None,
+    phase: float = 0.0,
+) -> Iterator[int]:
+    """Fixed-point sine samples."""
+    n = 0
+    while count is None or n < count:
+        yield int(round(amplitude * math.sin(2 * math.pi * n / period + phase)))
+        n += 1
+
+
+def noise(
+    amplitude: int = 1_000, count: Optional[int] = None, seed: int = 0xC0FFEE
+) -> Iterator[int]:
+    """Seeded uniform noise in ``[-amplitude, amplitude]``."""
+    rng = random.Random(seed)
+    n = 0
+    while count is None or n < count:
+        yield rng.randint(-amplitude, amplitude)
+        n += 1
+
+
+def noisy_sine(
+    amplitude: int = 10_000,
+    period: int = 64,
+    noise_amplitude: int = 500,
+    count: Optional[int] = None,
+    seed: int = 0xC0FFEE,
+) -> Iterator[int]:
+    """Sine plus uniform noise -- the classic filter-demo input."""
+    rng = random.Random(seed)
+    n = 0
+    while count is None or n < count:
+        clean = amplitude * math.sin(2 * math.pi * n / period)
+        yield int(round(clean)) + rng.randint(-noise_amplitude, noise_amplitude)
+        n += 1
+
+
+def bursty(
+    quiet_level: int = 10,
+    burst_level: int = 20_000,
+    quiet_len: int = 200,
+    burst_len: int = 50,
+    count: Optional[int] = None,
+) -> Iterator[int]:
+    """Alternating quiet/burst amplitude -- drives adaptive filter swaps."""
+    n = 0
+    cycle = quiet_len + burst_len
+    while count is None or n < count:
+        position = n % cycle
+        level = quiet_level if position < quiet_len else burst_level
+        yield level if n % 2 == 0 else -level
+        n += 1
+
+
+def step_change(
+    first_level: int, second_level: int, change_at: int, count: Optional[int] = None
+) -> Iterator[int]:
+    """Constant level with one step change at ``change_at`` samples."""
+    n = 0
+    while count is None or n < count:
+        yield first_level if n < change_at else second_level
+        n += 1
+
+
+def from_samples(samples: Sequence[int]) -> Iterator[int]:
+    """Replay a fixed sample list."""
+    return iter(list(samples))

@@ -1,0 +1,47 @@
+"""Partial reconfiguration substrate.
+
+Substitutes the Xilinx Early-Access PR flow's runtime pieces:
+
+* :mod:`repro.pr.bitstream` -- partial-bitstream sizing from PRR geometry
+  (Virtex-4 configuration frames) and the bitstream objects the memories
+  store;
+* :mod:`repro.pr.repository` -- the per-(module, PRR) bitstream store the
+  EAPR flow produces (a module needs a distinct partial bitstream for every
+  PRR it may occupy);
+* :mod:`repro.pr.reconfig` -- the reconfiguration engine implementing the
+  timing and protocol of ``vapres_cf2icap`` / ``vapres_array2icap``
+  (Table 2, Section V.B).
+"""
+
+from repro.pr.bitstream import (
+    FRAME_BYTES,
+    PartialBitstream,
+    bitstream_for_rect,
+    partial_bitstream_bytes,
+)
+from repro.pr.repository import BitstreamRepository, RepositoryError
+from repro.pr.reconfig import ReconfigError, ReconfigurationEngine
+from repro.pr.relocation import (
+    RelocatingRepository,
+    RelocationError,
+    can_relocate,
+    relocation_classes,
+)
+from repro.pr.scheduler import ReconfigScheduler, ScheduledReconfig
+
+__all__ = [
+    "BitstreamRepository",
+    "ReconfigScheduler",
+    "RelocatingRepository",
+    "RelocationError",
+    "ScheduledReconfig",
+    "can_relocate",
+    "relocation_classes",
+    "FRAME_BYTES",
+    "PartialBitstream",
+    "ReconfigError",
+    "ReconfigurationEngine",
+    "RepositoryError",
+    "bitstream_for_rect",
+    "partial_bitstream_bytes",
+]

@@ -1,0 +1,145 @@
+"""Reconfiguration engine: the timed `vapres_cf2icap` / `vapres_array2icap`.
+
+Timing model (calibrated against Section V.B, see
+:mod:`repro.control.memory` and :mod:`repro.pr.bitstream`):
+
+* ``cf2icap``  -- stream the bitstream file from CompactFlash into the
+  ICAP BRAM buffer (95.3% of the time) then write it through the ICAP
+  (4.7%).  For the prototype PRR: 1.043 s.
+* ``array2icap`` -- MicroBlaze copy loop from a preloaded SDRAM array
+  straight into the ICAP.  For the prototype PRR: 71.94 ms.
+
+Both paths are linear in bitstream size, so the fragmentation/PRR-size
+trade-off the paper flags as future work falls out of the model.
+
+The engine also enforces the isolation protocol: callers register
+``on_started`` / ``on_complete`` hooks (the :class:`~repro.core.system.
+VapresSystem` uses them to disable the PRR's slice macros and gate its
+clock during the write, and to instantiate the new behavioural module
+afterwards).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.control.icap import IcapController, IcapTransfer
+from repro.control.memory import BramBuffer, CompactFlash, Sdram
+from repro.pr.bitstream import PartialBitstream
+from repro.pr.repository import BitstreamRepository
+from repro.sim.kernel import Simulator
+
+#: hook(prr_name, module_name, transfer)
+ReconfigHook = Callable[[str, str, IcapTransfer], None]
+
+
+class ReconfigError(Exception):
+    """Raised on protocol violations (busy ICAP, missing preload, ...)."""
+
+
+class ReconfigurationEngine:
+    """Loads hardware modules into PRRs through the ICAP."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        icap: IcapController,
+        repository: BitstreamRepository,
+        bram_buffer: Optional[BramBuffer] = None,
+    ) -> None:
+        self.sim = sim
+        self.icap = icap
+        self.repository = repository
+        self.bram_buffer = bram_buffer or BramBuffer()
+        self.on_started: List[ReconfigHook] = []
+        self.on_complete: List[ReconfigHook] = []
+        self.reconfigurations = 0
+
+    # ------------------------------------------------------------------
+    # timing decomposition (used by the Section V.B benchmark)
+    # ------------------------------------------------------------------
+    def cf2icap_breakdown(self, bitstream: PartialBitstream) -> Dict[str, float]:
+        """Per-segment seconds for the CF path (file->buffer, buffer->ICAP)."""
+        cf: CompactFlash = self.repository.cf
+        return {
+            "cf_to_buffer": cf.transfer_seconds(bitstream.size_bytes),
+            "buffer_to_icap": self.bram_buffer.icap_transfer_seconds(
+                bitstream.size_bytes
+            ),
+        }
+
+    def array2icap_breakdown(self, bitstream: PartialBitstream) -> Dict[str, float]:
+        sdram = self._sdram()
+        return {
+            "sdram_to_icap": sdram.icap_transfer_seconds(bitstream.size_bytes)
+        }
+
+    # ------------------------------------------------------------------
+    # the two reconfiguration paths (Table 2 API)
+    # ------------------------------------------------------------------
+    def cf2icap(
+        self,
+        module_name: str,
+        prr_name: str,
+        on_done: Optional[Callable[[IcapTransfer], None]] = None,
+    ) -> IcapTransfer:
+        """Reconfigure ``prr_name`` with ``module_name`` from the CF file."""
+        bitstream = self.repository.lookup(module_name, prr_name)
+        self.repository.cf.read_file(bitstream.filename)
+        self.bram_buffer.load(bitstream)
+        breakdown = self.cf2icap_breakdown(bitstream)
+        return self._start(bitstream, sum(breakdown.values()), breakdown, on_done)
+
+    def array2icap(
+        self,
+        module_name: str,
+        prr_name: str,
+        on_done: Optional[Callable[[IcapTransfer], None]] = None,
+    ) -> IcapTransfer:
+        """Reconfigure from the SDRAM-resident array (must be preloaded)."""
+        bitstream = self.repository.lookup(module_name, prr_name)
+        if not self.repository.is_preloaded(module_name, prr_name):
+            raise ReconfigError(
+                f"bitstream {bitstream.filename!r} is not preloaded in SDRAM; "
+                "call vapres_cf2array (repository.preload_to_sdram) first"
+            )
+        breakdown = self.array2icap_breakdown(bitstream)
+        return self._start(bitstream, sum(breakdown.values()), breakdown, on_done)
+
+    # ------------------------------------------------------------------
+    def _sdram(self) -> Sdram:
+        if self.repository.sdram is None:
+            raise ReconfigError("system has no SDRAM")
+        return self.repository.sdram
+
+    def _start(
+        self,
+        bitstream: PartialBitstream,
+        duration_seconds: float,
+        breakdown: Dict[str, float],
+        on_done: Optional[Callable[[IcapTransfer], None]],
+    ) -> IcapTransfer:
+        if self.icap.busy:
+            # checked before the isolation hooks run, so a rejected request
+            # never leaves a PRR needlessly isolated
+            raise ReconfigError(
+                f"ICAP busy with {self.icap.current.target!r}; serialise "
+                "reconfigurations"
+            )
+        for hook in self.on_started:
+            hook(bitstream.prr_name, bitstream.module_name, None)
+
+        def _complete(transfer: IcapTransfer) -> None:
+            self.reconfigurations += 1
+            for hook in self.on_complete:
+                hook(bitstream.prr_name, bitstream.module_name, transfer)
+            if on_done is not None:
+                on_done(transfer)
+
+        return self.icap.start_transfer(
+            target=f"{bitstream.module_name}@{bitstream.prr_name}",
+            size_bytes=bitstream.size_bytes,
+            duration_seconds=duration_seconds,
+            on_done=_complete,
+            segments=[f"{k}={v * 1e3:.3f}ms" for k, v in breakdown.items()],
+        )

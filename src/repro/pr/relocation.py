@@ -1,0 +1,139 @@
+"""Partial-bitstream relocation (hardware module reuse).
+
+The EAPR flow produces one partial bitstream per (module, PRR) pair, so a
+module targeting N PRRs consumes N bitstream files on the CompactFlash.
+The authors' follow-on work ("Hardware Module Reuse and Runtime Assembly
+for Dynamic Management of Reconfigurable Resources") relocates one
+bitstream between *identically shaped* PRRs by rewriting its frame
+addresses, storing each module once.
+
+This module implements that extension: :func:`can_relocate` checks the
+geometric compatibility rules (same CLB width/height, same column
+resource mix -- here, same shape suffices for the CLB-only PRR model, and
+both PRRs must sit at the same row offset within their clock-region band
+so the frame layout matches), and :class:`RelocatingRepository` wraps the
+bitstream repository to synthesise relocated bitstreams on demand.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.fabric.floorplan import PrrPlacement
+from repro.fabric.geometry import CLOCK_REGION_ROWS
+from repro.pr.bitstream import PartialBitstream
+from repro.pr.repository import BitstreamRepository, RepositoryError
+
+
+class RelocationError(Exception):
+    """Raised when two PRRs are not relocation-compatible."""
+
+
+def can_relocate(source: PrrPlacement, target: PrrPlacement) -> bool:
+    """True when a bitstream for ``source`` can be retargeted to ``target``."""
+    same_shape = (
+        source.rect.width == target.rect.width
+        and source.rect.height == target.rect.height
+    )
+    # frames span clock-region bands; the PRR must sit at the same offset
+    # within its band for the frame contents to line up
+    same_band_offset = (
+        source.rect.row % CLOCK_REGION_ROWS
+        == target.rect.row % CLOCK_REGION_ROWS
+    )
+    return same_shape and same_band_offset
+
+
+def relocation_classes(
+    placements: List[PrrPlacement],
+) -> List[List[PrrPlacement]]:
+    """Group PRRs into relocation-compatibility classes."""
+    classes: List[List[PrrPlacement]] = []
+    for placement in placements:
+        for group in classes:
+            if can_relocate(group[0], placement):
+                group.append(placement)
+                break
+        else:
+            classes.append([placement])
+    return classes
+
+
+class RelocatingRepository:
+    """Repository facade that relocates instead of duplicating.
+
+    Registers each module's bitstream for *one* anchor PRR per
+    compatibility class; lookups for any compatible PRR synthesise a
+    relocated :class:`PartialBitstream` (same size/frames, retargeted)
+    with zero additional CF storage.
+    """
+
+    def __init__(self, repository: BitstreamRepository, floorplan) -> None:
+        self.repository = repository
+        self.floorplan = floorplan
+        self.relocations = 0
+
+    # ------------------------------------------------------------------
+    def _placement(self, prr_name: str) -> PrrPlacement:
+        if prr_name not in self.floorplan.prrs:
+            raise RelocationError(f"unknown PRR {prr_name!r}")
+        return self.floorplan.prrs[prr_name]
+
+    def _anchor_for(self, module_name: str, prr_name: str) -> Optional[str]:
+        """Find a registered PRR whose bitstream relocates to ``prr_name``."""
+        target = self._placement(prr_name)
+        for candidate in self.floorplan.prrs.values():
+            if self.repository.has(module_name, candidate.name) and can_relocate(
+                candidate, target
+            ):
+                return candidate.name
+        return None
+
+    # ------------------------------------------------------------------
+    def lookup(self, module_name: str, prr_name: str) -> PartialBitstream:
+        """Exact bitstream if present, else a relocated one."""
+        if self.repository.has(module_name, prr_name):
+            return self.repository.lookup(module_name, prr_name)
+        anchor = self._anchor_for(module_name, prr_name)
+        if anchor is None:
+            raise RepositoryError(
+                f"no bitstream for {module_name!r} relocatable to "
+                f"{prr_name!r} (incompatible PRR shapes)"
+            )
+        original = self.repository.lookup(module_name, anchor)
+        self.relocations += 1
+        return PartialBitstream(
+            module_name=module_name,
+            prr_name=prr_name,
+            size_bytes=original.size_bytes,
+            frames=original.frames,
+            metadata={**original.metadata, "relocated_from": anchor},
+        )
+
+    def storage_saving_bytes(
+        self, module_names: List[str]
+    ) -> Tuple[int, int]:
+        """(bytes with one-per-PRR storage, bytes with relocation).
+
+        Assumes every module targets every PRR; relocation stores one
+        bitstream per compatibility class instead of one per PRR.
+        """
+        placements = list(self.floorplan.prrs.values())
+        classes = relocation_classes(placements)
+        per_prr = 0
+        per_class = 0
+        for module_name in module_names:
+            for group in classes:
+                anchor = group[0]
+                size = None
+                for member in group:
+                    if self.repository.has(module_name, member.name):
+                        size = self.repository.lookup(
+                            module_name, member.name
+                        ).size_bytes
+                        break
+                if size is None:
+                    continue
+                per_prr += size * len(group)
+                per_class += size
+        return per_prr, per_class

@@ -1,0 +1,104 @@
+"""Bitstream repository: the application flow's output artefacts.
+
+The EAPR flow generates one partial bitstream per (hardware module, PRR)
+pair; the application flow stores them on the CompactFlash card and may
+preload them into SDRAM at startup (the paper's `vapres_cf2array`) to get
+the 14.5x faster `vapres_array2icap` reconfiguration path.
+
+The repository also remembers which *module factory* corresponds to each
+bitstream so that, when a reconfiguration completes in simulation, the
+right behavioural module is instantiated inside the PRR.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.control.memory import CompactFlash, Sdram
+from repro.pr.bitstream import PartialBitstream
+
+ModuleFactory = Callable[[], object]
+
+
+class RepositoryError(Exception):
+    """Raised on missing or duplicate bitstream registrations."""
+
+
+class BitstreamRepository:
+    """All partial bitstreams known to one VAPRES system."""
+
+    def __init__(self, cf: CompactFlash, sdram: Optional[Sdram] = None) -> None:
+        self.cf = cf
+        self.sdram = sdram
+        self._entries: Dict[Tuple[str, str], PartialBitstream] = {}
+        self._factories: Dict[str, ModuleFactory] = {}
+
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        bitstream: PartialBitstream,
+        module_factory: Optional[ModuleFactory] = None,
+    ) -> None:
+        """Add a bitstream (stored as a CF file, as the prototype does)."""
+        key = (bitstream.module_name, bitstream.prr_name)
+        if key in self._entries:
+            raise RepositoryError(
+                f"bitstream for module {key[0]!r} in PRR {key[1]!r} already "
+                "registered"
+            )
+        self._entries[key] = bitstream
+        self.cf.store_file(bitstream.filename, bitstream)
+        if module_factory is not None:
+            self._factories[bitstream.module_name] = module_factory
+
+    def register_factory(self, module_name: str, factory: ModuleFactory) -> None:
+        self._factories[module_name] = factory
+
+    # ------------------------------------------------------------------
+    def lookup(self, module_name: str, prr_name: str) -> PartialBitstream:
+        key = (module_name, prr_name)
+        if key not in self._entries:
+            raise RepositoryError(
+                f"no partial bitstream for module {module_name!r} in PRR "
+                f"{prr_name!r}; the application flow must generate one per "
+                "(module, PRR) pair"
+            )
+        return self._entries[key]
+
+    def factory(self, module_name: str) -> ModuleFactory:
+        if module_name not in self._factories:
+            raise RepositoryError(f"no module factory for {module_name!r}")
+        return self._factories[module_name]
+
+    def has(self, module_name: str, prr_name: str) -> bool:
+        return (module_name, prr_name) in self._entries
+
+    # ------------------------------------------------------------------
+    def preload_to_sdram(self, module_name: str, prr_name: str) -> float:
+        """`vapres_cf2array`: copy a bitstream file into SDRAM.
+
+        Returns the wall-clock seconds the copy takes (CF-rate bound); the
+        caller advances simulated time accordingly.  Typically run at
+        system startup, off the critical path.
+        """
+        if self.sdram is None:
+            raise RepositoryError("system has no SDRAM to preload into")
+        bitstream = self.lookup(module_name, prr_name)
+        self.cf.read_file(bitstream.filename)
+        self.sdram.store_array(bitstream.filename, bitstream)
+        return self.cf.transfer_seconds(bitstream.size_bytes)
+
+    def preload_all(self) -> float:
+        """Preload every registered bitstream; returns total seconds."""
+        total = 0.0
+        for (module_name, prr_name) in list(self._entries):
+            total += self.preload_to_sdram(module_name, prr_name)
+        return total
+
+    def is_preloaded(self, module_name: str, prr_name: str) -> bool:
+        if self.sdram is None:
+            return False
+        return self.lookup(module_name, prr_name).filename in self.sdram
+
+    def __len__(self) -> int:
+        return len(self._entries)

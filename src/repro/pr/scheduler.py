@@ -1,0 +1,103 @@
+"""Reconfiguration scheduler: serialising requests onto the single ICAP.
+
+The device has one ICAP, so concurrent hardware-module placements (e.g. a
+runtime assembler placing several modules, or two independent
+applications swapping at once) must queue.  The paper's prototype
+serialises in software; :class:`ReconfigScheduler` provides that policy
+as a reusable component with FIFO ordering and completion callbacks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from repro.control.icap import IcapTransfer
+from repro.pr.reconfig import ReconfigurationEngine
+
+
+class ScheduledReconfig:
+    """Handle for one queued reconfiguration request."""
+
+    def __init__(self, module_name: str, prr_name: str, path: str) -> None:
+        self.module_name = module_name
+        self.prr_name = prr_name
+        self.path = path
+        self.transfer: Optional[IcapTransfer] = None
+        self.done = False
+        self._callbacks: List[Callable[["ScheduledReconfig"], None]] = []
+
+    @property
+    def started(self) -> bool:
+        return self.transfer is not None
+
+    def add_done_callback(self, callback: Callable[[], None]) -> None:
+        if self.done:
+            callback()
+        else:
+            self._callbacks.append(lambda _req: callback())
+
+    def _finish(self) -> None:
+        self.done = True
+        pending, self._callbacks = self._callbacks, []
+        for callback in pending:
+            callback(self)
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "started" if self.started else "queued"
+        return (
+            f"ScheduledReconfig({self.module_name}@{self.prr_name}, "
+            f"{self.path}, {state})"
+        )
+
+
+class ReconfigScheduler:
+    """FIFO scheduler over a :class:`ReconfigurationEngine`."""
+
+    def __init__(self, engine: ReconfigurationEngine) -> None:
+        self.engine = engine
+        self._queue: Deque[ScheduledReconfig] = deque()
+        self._active: Optional[ScheduledReconfig] = None
+        self.completed: List[ScheduledReconfig] = []
+
+    # ------------------------------------------------------------------
+    def submit(
+        self, module_name: str, prr_name: str, path: str = "array2icap"
+    ) -> ScheduledReconfig:
+        """Queue a reconfiguration; starts immediately if the ICAP is idle."""
+        if path not in ("array2icap", "cf2icap"):
+            raise ValueError(f"unknown reconfiguration path {path!r}")
+        request = ScheduledReconfig(module_name, prr_name, path)
+        self._queue.append(request)
+        self._pump()
+        return request
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue) + (1 if self._active else 0)
+
+    @property
+    def busy(self) -> bool:
+        return self._active is not None
+
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        if self._active is not None or not self._queue:
+            return
+        request = self._queue.popleft()
+        self._active = request
+
+        def _complete(transfer: IcapTransfer) -> None:
+            self._active = None
+            self.completed.append(request)
+            request._finish()
+            self._pump()
+
+        start = (
+            self.engine.array2icap
+            if request.path == "array2icap"
+            else self.engine.cf2icap
+        )
+        request.transfer = start(
+            request.module_name, request.prr_name, on_done=_complete
+        )

@@ -1,0 +1,48 @@
+"""Deterministic cycle-based simulation kernel.
+
+This package is the substrate on which every VAPRES component runs.  It
+provides:
+
+* :class:`~repro.sim.kernel.Simulator` -- a deterministic event queue keyed
+  by picosecond timestamps with a three-level priority scheme (*sample*,
+  *commit*, *normal*) so that all clocked components observe classic
+  register semantics: every component samples its inputs before any
+  component commits new outputs at the same instant.
+* :class:`~repro.sim.clock.Clock` and the Virtex-4 clocking primitives
+  (:class:`~repro.sim.clock.Dcm`, :class:`~repro.sim.clock.Pmcd`,
+  :class:`~repro.sim.clock.Bufgmux`, :class:`~repro.sim.clock.Bufr`) used to
+  build VAPRES local clock domains (paper Section III.B.2).
+* :class:`~repro.sim.fifo.SyncFifo` / :class:`~repro.sim.fifo.AsyncFifo` --
+  the FIFO primitives behind module interfaces and FSL links.
+"""
+
+from repro.sim.kernel import (
+    Event,
+    PRIORITY_COMMIT,
+    PRIORITY_NORMAL,
+    PRIORITY_SAMPLE,
+    SimulationError,
+    Simulator,
+    TraceEvent,
+)
+from repro.sim.clock import Bufgmux, Bufr, Clock, ClockSource, Dcm, Pmcd
+from repro.sim.fifo import AsyncFifo, FifoError, SyncFifo
+
+__all__ = [
+    "AsyncFifo",
+    "Bufgmux",
+    "Bufr",
+    "Clock",
+    "ClockSource",
+    "Dcm",
+    "Event",
+    "FifoError",
+    "Pmcd",
+    "PRIORITY_COMMIT",
+    "PRIORITY_NORMAL",
+    "PRIORITY_SAMPLE",
+    "SimulationError",
+    "Simulator",
+    "SyncFifo",
+    "TraceEvent",
+]

@@ -1,0 +1,185 @@
+"""FIFO primitives backing module interfaces and FSL links.
+
+The paper's module interfaces and FSLs are built from Virtex-4 BlockRAM
+FIFOs.  Two flavours are modelled:
+
+* :class:`SyncFifo` -- single clock domain.
+* :class:`AsyncFifo` -- dual clock domain, providing the isolation between a
+  PRR local clock domain and the static-region clock (paper Section
+  III.B.2).  Because the kernel serialises all events deterministically the
+  data path is identical to the synchronous FIFO; the class additionally
+  records its two clock domains and models the gray-code flag-synchroniser
+  latency on the *flags* (a reader may observe empty for
+  ``sync_stages`` reader-side cycles after a cross-domain write).
+
+FIFOs count pushes, pops and *drops* (pushes while full).  The consumer
+interface of the paper discards words arriving at a full FIFO; the drop
+counter is what the back-pressure benchmarks assert to be zero.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Tuple
+
+
+class FifoError(Exception):
+    """Raised on misuse (popping an empty FIFO, bad capacity, ...)."""
+
+
+class SyncFifo:
+    """A bounded FIFO with occupancy flags and statistics.
+
+    ``almost_full_slack`` configures the *remaining-space* threshold at
+    which :attr:`almost_full` asserts; the consumer module interface sets it
+    to ``2 * d`` (twice the number of switch boxes on the channel) so that
+    the words already in flight on the pipelined streaming channel can still
+    land after back-pressure asserts (paper Section III.B).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        name: str = "fifo",
+        almost_full_slack: int = 0,
+    ) -> None:
+        if capacity <= 0:
+            raise FifoError(f"FIFO capacity must be positive, got {capacity}")
+        if almost_full_slack < 0:
+            raise FifoError("almost_full_slack must be >= 0")
+        self.capacity = capacity
+        self.name = name
+        self.almost_full_slack = almost_full_slack
+        self._data: Deque[Any] = deque()
+        self.pushes = 0
+        self.pops = 0
+        self.drops = 0
+        self.max_occupancy = 0
+
+    # ------------------------------------------------------------------
+    # flags
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def empty(self) -> bool:
+        return not self._data
+
+    @property
+    def full(self) -> bool:
+        return len(self._data) >= self.capacity
+
+    @property
+    def remaining(self) -> int:
+        return self.capacity - len(self._data)
+
+    @property
+    def almost_full(self) -> bool:
+        """True when remaining space has shrunk to the configured slack."""
+        return self.remaining <= self.almost_full_slack
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+    def push(self, word: Any) -> bool:
+        """Append ``word``; returns False (and counts a drop) when full."""
+        if self.full:
+            self.drops += 1
+            return False
+        self._data.append(word)
+        self.pushes += 1
+        if len(self._data) > self.max_occupancy:
+            self.max_occupancy = len(self._data)
+        return True
+
+    def pop(self) -> Any:
+        """Remove and return the oldest word."""
+        if not self._data:
+            raise FifoError(f"pop from empty FIFO {self.name!r}")
+        self.pops += 1
+        return self._data.popleft()
+
+    def peek(self) -> Any:
+        if not self._data:
+            raise FifoError(f"peek at empty FIFO {self.name!r}")
+        return self._data[0]
+
+    def clear(self) -> None:
+        """Reset the FIFO contents (PRSocket ``FIFO_reset`` semantics)."""
+        self._data.clear()
+
+    def drain(self) -> List[Any]:
+        """Pop everything, returning the words in order."""
+        words = []
+        while self._data:
+            words.append(self.pop())
+        return words
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({self.name}, {len(self._data)}/{self.capacity}"
+            f", drops={self.drops})"
+        )
+
+
+class AsyncFifo(SyncFifo):
+    """Dual-clock FIFO providing clock-domain isolation.
+
+    ``write_domain`` / ``read_domain`` are informational names (e.g. the
+    static-region clock and a PRR LCD).  ``sync_stages`` models the
+    flag-synchroniser depth: a word written at reader-cycle *c* becomes
+    visible to :attr:`sync_empty` only at reader cycle ``c + sync_stages``.
+    The visibility clock is advanced by the reading component calling
+    :meth:`reader_tick` once per read-side cycle; components that do not
+    care about synchroniser latency simply use the base-class flags.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        name: str = "afifo",
+        write_domain: str = "wr",
+        read_domain: str = "rd",
+        almost_full_slack: int = 0,
+        sync_stages: int = 2,
+    ) -> None:
+        super().__init__(capacity, name, almost_full_slack)
+        self.write_domain = write_domain
+        self.read_domain = read_domain
+        self.sync_stages = sync_stages
+        self._reader_cycle = 0
+        # (reader_cycle_at_write + sync_stages) for each resident word
+        self._visible_at: Deque[int] = deque()
+
+    def push(self, word: Any) -> bool:
+        ok = super().push(word)
+        if ok:
+            self._visible_at.append(self._reader_cycle + self.sync_stages)
+        return ok
+
+    def pop(self) -> Any:
+        word = super().pop()
+        if self._visible_at:
+            self._visible_at.popleft()
+        return word
+
+    def clear(self) -> None:
+        super().clear()
+        self._visible_at.clear()
+
+    def reader_tick(self) -> None:
+        """Advance the read-side cycle used for flag synchronisation."""
+        self._reader_cycle += 1
+
+    @property
+    def sync_empty(self) -> bool:
+        """Empty flag as seen through the read-side synchroniser."""
+        if not self._visible_at:
+            return True
+        return self._visible_at[0] > self._reader_cycle
+
+
+def interleave_status(fifos: List[SyncFifo]) -> List[Tuple[str, int, int, int]]:
+    """Summarise a set of FIFOs as ``(name, occupancy, capacity, drops)``."""
+    return [(f.name, len(f), f.capacity, f.drops) for f in fifos]

@@ -1,0 +1,207 @@
+"""Deterministic discrete-event simulation kernel.
+
+Time is measured in integer picoseconds so that arbitrary clock frequencies
+(100 MHz system clock, 50 MHz shared bus, runtime-retuned local clock
+domains) coexist without floating-point drift.
+
+Events carry a *priority* in addition to a timestamp.  Clock edges are split
+into a *sample* phase (priority ``PRIORITY_SAMPLE``) and a *commit* phase
+(priority ``PRIORITY_COMMIT``): at any instant every clocked component first
+samples the outputs its neighbours committed on the previous cycle, and only
+then do components commit new values.  This reproduces synchronous register
+semantics without delta cycles.  Ordinary timed callbacks (timers, DMA
+completions, reconfiguration done events) use ``PRIORITY_NORMAL`` and run
+after the clock phases of the same instant.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+#: Phase in which clocked components read their inputs.
+PRIORITY_SAMPLE = 0
+#: Phase in which clocked components update their registered outputs.
+PRIORITY_COMMIT = 1
+#: Ordinary timed callbacks (timers, transfer completions, software).
+PRIORITY_NORMAL = 2
+
+PS_PER_SECOND = 1_000_000_000_000
+
+
+class SimulationError(Exception):
+    """Raised for scheduling errors and exhausted simulations."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordered by ``(time, priority, seq)``."""
+
+    time: int
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when popped."""
+        self.cancelled = True
+
+
+@dataclass
+class TraceEvent:
+    """One annotated occurrence recorded through :meth:`Simulator.log`.
+
+    Used by the switching-methodology benchmarks to reconstruct the paper's
+    Figure 5 step sequence.
+    """
+
+    time: int
+    category: str
+    message: str
+    fields: Dict[str, Any]
+
+    @property
+    def time_ns(self) -> float:
+        return self.time / 1_000.0
+
+    @property
+    def time_us(self) -> float:
+        return self.time / 1_000_000.0
+
+    def __str__(self) -> str:
+        extra = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        return f"[{self.time_us:12.3f} us] {self.category:<12s} {self.message} {extra}".rstrip()
+
+
+class Simulator:
+    """Deterministic event-driven simulator.
+
+    The simulator owns global time, the event queue and the trace log.  All
+    VAPRES components receive a reference to one ``Simulator`` and schedule
+    their activity on it.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self.trace: List[TraceEvent] = []
+        self._trace_enabled = True
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulation time in picoseconds."""
+        return self._now
+
+    @property
+    def now_seconds(self) -> float:
+        return self._now / PS_PER_SECOND
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay_ps: int,
+        callback: Callable[[], None],
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay_ps`` from now."""
+        if delay_ps < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay_ps})")
+        return self.schedule_at(self._now + int(delay_ps), callback, priority)
+
+    def schedule_at(
+        self,
+        time_ps: int,
+        callback: Callable[[], None],
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Schedule ``callback`` at absolute time ``time_ps``."""
+        if time_ps < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time_ps} ps, now is {self._now} ps"
+            )
+        event = Event(int(time_ps), priority, next(self._seq), callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            self.events_processed += 1
+            return True
+        return False
+
+    def run_until(self, time_ps: int) -> None:
+        """Run all events with timestamps ``<= time_ps`` then set now to it."""
+        if time_ps < self._now:
+            raise SimulationError("run_until target is in the past")
+        while self._queue and self._queue[0].time <= time_ps:
+            if not self.step():
+                break
+        self._now = max(self._now, int(time_ps))
+
+    def run_for(self, delay_ps: int) -> None:
+        """Advance the simulation by ``delay_ps`` picoseconds."""
+        self.run_until(self._now + int(delay_ps))
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains (or ``max_events`` fire).
+
+        Returns the number of events processed by this call.
+        """
+        count = 0
+        while self._queue:
+            if max_events is not None and count >= max_events:
+                break
+            if not self.step():
+                break
+            count += 1
+        return count
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    # ------------------------------------------------------------------
+    # tracing
+    # ------------------------------------------------------------------
+    def set_tracing(self, enabled: bool) -> None:
+        self._trace_enabled = enabled
+
+    def log(self, category: str, message: str, **fields: Any) -> None:
+        """Record an annotated trace event at the current time."""
+        if self._trace_enabled:
+            self.trace.append(TraceEvent(self._now, category, message, dict(fields)))
+
+    def trace_by_category(self, category: str) -> List[TraceEvent]:
+        return [t for t in self.trace if t.category == category]
+
+
+def seconds_to_ps(seconds: float) -> int:
+    """Convert seconds to integer picoseconds."""
+    return int(round(seconds * PS_PER_SECOND))
+
+
+def freq_hz_to_period_ps(freq_hz: float) -> int:
+    """Convert a clock frequency to its period in integer picoseconds."""
+    if freq_hz <= 0:
+        raise SimulationError(f"frequency must be positive, got {freq_hz}")
+    return int(round(PS_PER_SECOND / freq_hz))

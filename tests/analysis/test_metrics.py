@@ -1,0 +1,55 @@
+"""Unit tests for stream metrics."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    gap_histogram,
+    interruption_report,
+    max_gap_seconds,
+    stream_gaps_seconds,
+    throughput_words_per_s,
+)
+
+PS = 1_000_000  # 1 us in ps
+
+
+def test_gaps():
+    times = [0, 1 * PS, 3 * PS, 6 * PS]
+    assert stream_gaps_seconds(times) == pytest.approx([1e-6, 2e-6, 3e-6])
+
+
+def test_max_gap_empty_and_single():
+    assert max_gap_seconds([]) == 0.0
+    assert max_gap_seconds([5]) == 0.0
+
+
+def test_max_gap():
+    assert max_gap_seconds([0, PS, 10 * PS]) == pytest.approx(9e-6)
+
+
+def test_throughput():
+    assert throughput_words_per_s(100, int(1e12)) == pytest.approx(100.0)
+    assert throughput_words_per_s(100, 0) == 0.0
+
+
+def test_interruption_report_smooth_stream():
+    times = [i * PS for i in range(100)]
+    report = interruption_report(times, nominal_period_s=1e-6)
+    assert report.max_gap_s == pytest.approx(1e-6)
+    assert report.interruption_s == pytest.approx(0.0)
+    assert not report.interrupted
+
+
+def test_interruption_report_with_stall():
+    times = [0, PS, 2 * PS, 200 * PS, 201 * PS]
+    report = interruption_report(times, nominal_period_s=1e-6)
+    assert report.max_gap_s == pytest.approx(198e-6)
+    assert report.interrupted
+    assert "max gap" in str(report)
+
+
+def test_gap_histogram():
+    times = [0, PS, 2 * PS, 5 * PS]
+    histogram = gap_histogram(times, bucket_s=1e-6)
+    assert histogram[1] == 2
+    assert histogram[3] == 1

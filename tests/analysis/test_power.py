@@ -1,0 +1,100 @@
+"""Unit tests for the first-order power model."""
+
+import pytest
+
+from repro.analysis.power import (
+    ModulePower,
+    module_power,
+    system_power_report,
+    total_dynamic_mw,
+)
+from repro.modules import Iom
+from repro.modules.sources import ramp
+from repro.modules.transforms import PassThrough
+from repro.modules.filters import MovingAverage
+
+from tests.helpers import build_pipeline, build_system
+
+
+def test_gated_clock_is_zero_power():
+    power = ModulePower("p", "m", 100, 100.0, 1.0, clock_gated=True)
+    assert power.dynamic_mw == 0.0
+
+
+def test_power_scales_with_frequency_and_activity():
+    base = ModulePower("p", "m", 100, 100.0, 1.0, False)
+    half_freq = ModulePower("p", "m", 100, 50.0, 1.0, False)
+    half_active = ModulePower("p", "m", 100, 100.0, 0.5, False)
+    assert base.dynamic_mw == pytest.approx(2 * half_freq.dynamic_mw)
+    assert base.dynamic_mw == pytest.approx(2 * half_active.dynamic_mw)
+
+
+def test_module_power_from_live_slot():
+    system, iom, module, _, _ = build_pipeline(source=ramp(count=500))
+    system.run_for_cycles(600)
+    slot = system.prr("rsb0.prr0")
+    power = module_power(slot)
+    assert power.module_name == "ident"
+    assert 0.5 < power.activity <= 1.0  # streaming most cycles
+    assert power.dynamic_mw > 0
+    assert power.frequency_mhz == 100.0
+
+
+def test_empty_slot_rejected():
+    system = build_system()
+    with pytest.raises(ValueError, match="no resident module"):
+        module_power(system.prr("rsb0.prr0"))
+
+
+def test_idle_module_has_zero_activity():
+    system = build_system()
+    system.place_module_directly(PassThrough("idle"), "rsb0.prr0")
+    system.run_for_cycles(200)
+    power = module_power(system.prr("rsb0.prr0"))
+    assert power.activity == 0.0
+    assert power.dynamic_mw == 0.0
+
+
+def test_halving_lcd_halves_power():
+    system, iom, module, _, _ = build_pipeline(source=ramp(count=100_000))
+    system.run_for_cycles(500)
+    slot = system.prr("rsb0.prr0")
+    fast = module_power(slot).dynamic_mw
+    slot.bufgmux.select(1)
+    # restart activity window: use a fresh module measurement by running on
+    module.samples_in = 0
+    module.lcd_cycles = 0
+    system.run_for_cycles(500)
+    slow = module_power(slot).dynamic_mw
+    assert fast / slow == pytest.approx(2.0, rel=0.15)
+
+
+def test_system_report_covers_occupied_slots_only():
+    system = build_system()
+    system.place_module_directly(MovingAverage("avg", window=2), "rsb0.prr0")
+    report = system_power_report(system)
+    assert set(report) == {"rsb0.prr0"}
+    assert total_dynamic_mw(system) == report["rsb0.prr0"].dynamic_mw
+
+
+def test_spanning_module_counted_once():
+    from repro.core import RsbParameters, SpanningRegion, SystemParameters, VapresSystem
+
+    params = SystemParameters(
+        board="ML402",
+        rsbs=[
+            RsbParameters(name="rsb0", num_prrs=2, num_ioms=1, iom_positions=[0])
+        ],
+    )
+    system = VapresSystem(params)
+    span = SpanningRegion(system, ["rsb0.prr0", "rsb0.prr1"])
+    span.load(PassThrough("big"))
+    report = system_power_report(system)
+    assert list(report) == ["rsb0.prr0"]  # primary only, no double count
+
+
+def test_power_row_renders():
+    power = ModulePower("rsb0.prr0", "fir", 300, 100.0, 0.75, False)
+    row = power.row()
+    assert row[0] == "rsb0.prr0"
+    assert "0.75" in row

@@ -1,0 +1,45 @@
+"""Unit tests for report formatting."""
+
+from repro.analysis.report import PaperComparison, comparison_table, format_table
+
+
+def test_format_table_alignment():
+    text = format_table(
+        ["name", "value"], [["a", 1], ["longer", 22]], title="t"
+    )
+    lines = text.splitlines()
+    assert lines[0] == "t"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert all(len(line) == len(lines[1]) for line in lines[2:])
+
+
+def test_paper_comparison_within_tolerance():
+    comparison = PaperComparison("E-RT", "cf2icap", 1.043, 1.0431, "s")
+    assert comparison.relative_error < 1e-3
+    assert comparison.within_tolerance
+    assert "OK" in comparison.row()
+
+
+def test_paper_comparison_mismatch():
+    comparison = PaperComparison("E-RES", "slices", 9421, 5000)
+    assert not comparison.within_tolerance
+    assert "MISMATCH" in comparison.row()
+
+
+def test_paper_comparison_zero_paper_value():
+    exact = PaperComparison("X", "lost words", 0, 0)
+    assert exact.relative_error == 0.0
+    wrong = PaperComparison("X", "lost words", 0, 3)
+    assert wrong.relative_error == float("inf")
+
+
+def test_comparison_table_renders_all_rows():
+    table = comparison_table(
+        [
+            PaperComparison("A", "x", 1.0, 1.0),
+            PaperComparison("B", "y", 2.0, 3.0),
+        ],
+        title="paper vs measured",
+    )
+    assert "paper vs measured" in table
+    assert table.count("\n") >= 3

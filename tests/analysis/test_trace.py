@@ -1,0 +1,42 @@
+"""Unit tests for trace utilities."""
+
+from repro.analysis.trace import events_between, format_trace, switch_step_table
+from repro.core.switching import SwitchReport
+from repro.sim.kernel import Simulator, TraceEvent
+
+
+def make_trace():
+    sim = Simulator()
+    sim.log("a", "first")
+    sim.schedule(100, lambda: sim.log("b", "second", k=1))
+    sim.schedule(200, lambda: sim.log("a", "third"))
+    sim.run()
+    return sim.trace
+
+
+def test_format_trace_all():
+    text = format_trace(make_trace())
+    assert "first" in text and "third" in text
+
+
+def test_format_trace_filtered_and_limited():
+    trace = make_trace()
+    only_a = format_trace(trace, categories=["a"])
+    assert "second" not in only_a
+    limited = format_trace(trace, limit=1)
+    assert limited.count("\n") == 0
+
+
+def test_events_between():
+    trace = make_trace()
+    middle = events_between(trace, 50, 150)
+    assert [e.message for e in middle] == ["second"]
+
+
+def test_switch_step_table():
+    report = SwitchReport("prr0", "prr1", "filterB")
+    report.steps = [(1, 0, "start"), (9, 5_000_000, "done")]
+    table = switch_step_table(report)
+    assert "step" in table
+    assert "filterB@prr1" in table
+    assert "done" in table

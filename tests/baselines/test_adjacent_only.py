@@ -1,0 +1,59 @@
+"""Unit tests for the adjacent-only (PolySAF-style) baseline."""
+
+import pytest
+
+from repro.baselines.adjacent_only import AdjacencyError, AdjacentOnlyRouter
+from repro.comm.channel import SwitchFabric
+from repro.comm.interfaces import ConsumerInterface, ProducerInterface
+from repro.comm.router import ChannelRouter
+from repro.comm.switchbox import SwitchBox
+
+
+def make_router(n=4):
+    boxes = [SwitchBox(i, 2, 2, 1, 1) for i in range(n)]
+    inner = ChannelRouter(boxes, SwitchFabric())
+    return AdjacentOnlyRouter(inner)
+
+
+def endpoints():
+    return ProducerInterface("p"), ConsumerInterface("c")
+
+
+def test_adjacent_channel_allowed():
+    router = make_router()
+    channel = router.establish(1, 2, *endpoints())
+    assert channel.d == 2
+
+
+def test_same_box_allowed():
+    router = make_router()
+    assert router.establish(2, 2, *endpoints()).d == 1
+
+
+def test_distant_channel_rejected():
+    router = make_router()
+    with pytest.raises(AdjacencyError, match="adjacent"):
+        router.establish(0, 3, *endpoints())
+    assert router.rejected == [(0, 3)]
+
+
+def test_try_establish_none_on_distance():
+    router = make_router()
+    assert router.try_establish(0, 2, *endpoints()) is None
+    assert router.try_establish(0, 1, *endpoints()) is not None
+
+
+def test_mappable_fraction():
+    assert AdjacentOnlyRouter.mappable_fraction([]) == 1.0
+    assert AdjacentOnlyRouter.mappable_fraction([1, 1, 1]) == 1.0
+    assert AdjacentOnlyRouter.mappable_fraction([1, 2, 3, 1]) == 0.5
+
+
+def test_vapres_routes_what_polysaf_cannot():
+    """The headline Section II contrast: arbitrary-PRR channels."""
+    boxes = [SwitchBox(i, 2, 2, 1, 1) for i in range(4)]
+    vapres = ChannelRouter(boxes, SwitchFabric())
+    restricted = AdjacentOnlyRouter(vapres)
+    producer, consumer = endpoints()
+    assert restricted.try_establish(0, 3, producer, consumer) is None
+    assert vapres.try_establish(0, 3, producer, consumer) is not None

@@ -1,0 +1,118 @@
+"""Unit tests for the naive halt/reconfigure/resume baseline."""
+
+import pytest
+
+from repro.analysis.metrics import interruption_report
+from repro.baselines.naive_switching import NaiveSwitcher
+from repro.modules import Iom, MovingAverage
+from repro.modules.base import staged
+from repro.modules.sources import sine_wave
+
+from tests.helpers import build_system
+
+
+def make_scenario():
+    system = build_system(pr_speedup=500.0)
+    iom = Iom("io0", source=sine_wave(count=100_000))
+    system.attach_iom("rsb0.iom0", iom)
+    system.place_module_directly(MovingAverage("filterA", window=4), "rsb0.prr0")
+    ch_in = system.open_stream("rsb0.iom0", "rsb0.prr0")
+    ch_out = system.open_stream("rsb0.prr0", "rsb0.iom0")
+    system.register_module(
+        "filterB", lambda: staged(MovingAverage("filterB", window=4))
+    )
+    system.repository.preload_to_sdram("filterB", "rsb0.prr0")
+    return system, iom, ch_in, ch_out
+
+
+def run_naive(system, ch_in, ch_out):
+    switcher = NaiveSwitcher(system)
+    return system.microblaze.run_to_completion(
+        switcher.switch(
+            prr="rsb0.prr0",
+            new_module="filterB",
+            upstream_slot="rsb0.iom0",
+            downstream_slot="rsb0.iom0",
+            input_channel=ch_in,
+            output_channel=ch_out,
+        ),
+        "naive-switch",
+    )
+
+
+def test_naive_switch_replaces_module_in_place():
+    system, iom, ch_in, ch_out = make_scenario()
+    system.run_for_us(20)
+    report = run_naive(system, ch_in, ch_out)
+    assert system.prr("rsb0.prr0").module.name == "filterB"
+    assert report.words_lost == 0
+    system.run_for_us(20)
+    assert len(iom.received) > 0
+
+
+def test_naive_interruption_at_least_reconfig_time():
+    """The baseline's stream interruption is dominated by PR time --
+    exactly what the VAPRES methodology eliminates."""
+    system, iom, ch_in, ch_out = make_scenario()
+    system.run_for_us(20)
+    report = run_naive(system, ch_in, ch_out)
+    assert report.interruption_seconds >= report.reconfig_seconds
+    system.run_for_us(20)
+    nominal = 1 / system.system_clock.frequency_hz
+    stats = interruption_report(iom.receive_times, nominal)
+    assert stats.max_gap_s >= report.reconfig_seconds
+    assert stats.interrupted
+
+
+def test_naive_preserves_state_across_reconfig():
+    system, iom, ch_in, ch_out = make_scenario()
+    system.run_for_us(20)
+    report = run_naive(system, ch_in, ch_out)
+    new_module = system.prr("rsb0.prr0").module
+    assert len(report.state_words) == new_module.state_word_count
+
+
+def test_naive_output_values_continuous():
+    """Even the naive baseline is value-correct (just slow): output equals
+    an unswitched reference."""
+    from repro.modules.state import from_u32, to_u32
+
+    count = 3000
+    system = build_system(pr_speedup=500.0)
+    iom = Iom("io0", source=sine_wave(count=count))
+    system.attach_iom("rsb0.iom0", iom)
+    system.place_module_directly(MovingAverage("filterA", window=4), "rsb0.prr0")
+    ch_in = system.open_stream("rsb0.iom0", "rsb0.prr0")
+    ch_out = system.open_stream("rsb0.prr0", "rsb0.iom0")
+    system.register_module(
+        "filterB", lambda: staged(MovingAverage("filterB", window=4))
+    )
+    system.repository.preload_to_sdram("filterB", "rsb0.prr0")
+    system.run_for_us(10)
+    run_naive(system, ch_in, ch_out)
+    system.run_for_us(200)
+    reference = MovingAverage("ref", window=4)
+    expected = [
+        from_u32(to_u32(reference.process(to_u32(s))))
+        for s in sine_wave(count=count)
+    ]
+    assert iom.received == expected[: len(iom.received)]
+    assert len(iom.received) > 1000
+
+
+def test_naive_requires_resident_module():
+    system, _, ch_in, ch_out = make_scenario()
+    system.prr("rsb0.prr0").unload()
+    switcher = NaiveSwitcher(system)
+    with pytest.raises(ValueError, match="no module"):
+        system.microblaze.run_to_completion(
+            switcher.switch(
+                prr="rsb0.prr0",
+                new_module="filterB",
+                upstream_slot="rsb0.iom0",
+                downstream_slot="rsb0.iom0",
+                input_channel=ch_in,
+                output_channel=ch_out,
+            ),
+            "naive",
+        )

@@ -1,0 +1,97 @@
+"""Unit tests for the time-multiplexed shared-bus baseline."""
+
+import pytest
+
+from repro.baselines.shared_bus import SONIC_BUS_HZ, SharedBus
+from repro.comm.interfaces import ConsumerInterface, ProducerInterface
+from repro.sim.clock import Clock
+from repro.sim.kernel import Simulator
+
+
+def endpoints(n_words=0):
+    producer = ProducerInterface("p", depth=1024)
+    consumer = ConsumerInterface("c", depth=1024)
+    for value in range(n_words):
+        producer.module_write(value)
+    return producer, consumer
+
+
+def test_single_connection_moves_one_word_per_cycle():
+    bus = SharedBus()
+    producer, consumer = endpoints(10)
+    bus.connect(producer, consumer)
+    for _ in range(10):
+        bus.commit()
+    assert consumer.fifo.drain() == list(range(10))
+
+
+def test_connections_share_bus_bandwidth():
+    bus = SharedBus()
+    pairs = [endpoints(100) for _ in range(4)]
+    connections = [bus.connect(p, c) for p, c in pairs]
+    for _ in range(100):
+        bus.commit()
+    moved = [connection.words_moved for connection in connections]
+    assert sum(moved) == 100
+    assert all(m == 25 for m in moved)  # fair round-robin
+
+
+def test_idle_slots_counted():
+    bus = SharedBus()
+    producer, consumer = endpoints(0)  # nothing to send
+    bus.connect(producer, consumer)
+    for _ in range(5):
+        bus.commit()
+    assert bus.idle_cycles == 5
+    bus2 = SharedBus()
+    bus2.commit()  # no connections at all
+    assert bus2.idle_cycles == 1
+
+
+def test_full_consumer_stalls_slot():
+    bus = SharedBus()
+    producer = ProducerInterface("p", depth=16)
+    consumer = ConsumerInterface("c", depth=2)
+    for value in range(5):
+        producer.module_write(value)
+    bus.connect(producer, consumer)
+    for _ in range(10):
+        bus.commit()
+    assert consumer.words_discarded == 0
+    assert len(consumer.fifo) == 2
+
+
+def test_disconnect():
+    bus = SharedBus()
+    producer, consumer = endpoints(10)
+    connection = bus.connect(producer, consumer)
+    bus.commit()
+    bus.disconnect(connection)
+    bus.commit()
+    assert connection.words_moved == 1
+
+
+def test_bus_on_50mhz_clock_vs_vapres_100mhz():
+    """Section II: Sonic-on-a-Chip's bus ran at 50 MHz; VAPRES switch
+    boxes run at 100 MHz and every channel gets full bandwidth."""
+    sim = Simulator()
+    bus_clock = Clock(sim, freq_hz=SONIC_BUS_HZ)
+    bus = SharedBus()
+    bus_clock.attach(bus)
+    pairs = [endpoints(10_000) for _ in range(2)]
+    connections = [bus.connect(p, c) for p, c in pairs]
+    bus_clock.start()
+    sim.run_for(100 * 20_000)  # 100 bus cycles at 20 ns
+    per_connection = connections[0].words_moved
+    # 2 connections on a 50 MHz bus -> 25 Mwords/s each;
+    # VAPRES: 100 Mwords/s per channel -> 4x advantage
+    assert per_connection == 50
+    vapres_words_in_same_time = 100 * 2  # 200 fabric cycles at 10 ns
+    assert vapres_words_in_same_time / per_connection == 4
+
+
+def test_analytic_throughput():
+    bus = SharedBus()
+    assert bus.throughput_words_per_s(active_connections=2) == 25e6
+    with pytest.raises(ValueError):
+        bus.throughput_words_per_s(active_connections=0)

@@ -1,0 +1,88 @@
+"""Unit tests for FSL links."""
+
+from repro.comm.fsl import FslLink
+
+
+def test_write_then_read():
+    link = FslLink("fsl")
+    assert link.master_write(42)
+    assert link.slave_read() == (42, False)
+
+
+def test_control_bit_travels_with_data():
+    link = FslLink("fsl")
+    link.master_write(1, control=True)
+    link.master_write(2, control=False)
+    assert link.slave_read() == (1, True)
+    assert link.slave_read() == (2, False)
+
+
+def test_read_empty_returns_none():
+    assert FslLink("fsl").slave_read() is None
+
+
+def test_peek_does_not_consume():
+    link = FslLink("fsl")
+    link.master_write(5)
+    assert link.slave_peek() == (5, False)
+    assert len(link) == 1
+
+
+def test_full_link_rejects_writes():
+    link = FslLink("fsl", depth=4)
+    for value in range(4):
+        assert link.master_write(value)
+    assert not link.can_write
+    assert not link.master_write(99)
+
+
+def test_data_masked_to_width():
+    link = FslLink("fsl", width=8)
+    link.master_write(0x1FF)
+    assert link.slave_read() == (0xFF, False)
+
+
+def test_reset_clears():
+    link = FslLink("fsl")
+    link.master_write(1)
+    link.reset()
+    assert not link.can_read
+
+
+def test_wait_readable_fires_on_write():
+    link = FslLink("fsl")
+    fired = []
+    link.wait_readable(lambda: fired.append("r"))
+    assert fired == []
+    link.master_write(1)
+    assert fired == ["r"]
+    # waiter is one-shot
+    link.master_write(2)
+    assert fired == ["r"]
+
+
+def test_wait_readable_immediate_when_data_present():
+    link = FslLink("fsl")
+    link.master_write(1)
+    fired = []
+    link.wait_readable(lambda: fired.append("r"))
+    assert fired == ["r"]
+
+
+def test_wait_writable_fires_on_drain():
+    link = FslLink("fsl", depth=1)
+    link.master_write(1)
+    fired = []
+    link.wait_writable(lambda: fired.append("w"))
+    assert fired == []
+    link.slave_read()
+    assert fired == ["w"]
+
+
+def test_wait_writable_fires_on_reset():
+    link = FslLink("fsl", depth=1)
+    link.master_write(1)
+    fired = []
+    link.wait_writable(lambda: fired.append("w"))
+    link.reset()
+    assert fired == ["w"]

@@ -1,0 +1,127 @@
+"""Unit tests for producer/consumer module interfaces."""
+
+from repro.comm.interfaces import ConsumerInterface, ProducerInterface
+
+
+def test_producer_idle_without_ren():
+    producer = ProducerInterface("p")
+    producer.module_write(1)
+    assert producer.drive(backpressured=False) == (False, 0)
+    producer.fifo_ren = True
+    assert producer.drive(backpressured=False) == (True, 1)
+
+
+def test_producer_respects_backpressure():
+    producer = ProducerInterface("p")
+    producer.fifo_ren = True
+    producer.module_write(1)
+    assert producer.drive(backpressured=True) == (False, 0)
+    assert len(producer.fifo) == 1  # the word stays queued
+    assert producer.drive(backpressured=False) == (True, 1)
+
+
+def test_producer_empty_fifo_drives_invalid():
+    producer = ProducerInterface("p")
+    producer.fifo_ren = True
+    assert producer.drive(backpressured=False) == (False, 0)
+
+
+def test_producer_masks_to_width():
+    producer = ProducerInterface("p", width=8)
+    producer.fifo_ren = True
+    producer.module_write(0x1FF)
+    assert producer.drive(backpressured=False) == (True, 0xFF)
+
+
+def test_producer_full_blocks_module():
+    producer = ProducerInterface("p", depth=4)
+    for value in range(4):
+        assert producer.module_write(value)
+    assert not producer.module_can_write
+    assert not producer.module_write(99)
+    assert len(producer.fifo) == 4
+
+
+def test_producer_counts_words_sent():
+    producer = ProducerInterface("p")
+    producer.fifo_ren = True
+    for value in range(3):
+        producer.module_write(value)
+        producer.drive(backpressured=False)
+    assert producer.words_sent == 3
+
+
+def test_producer_reset_clears_fifo():
+    producer = ProducerInterface("p")
+    producer.module_write(1)
+    producer.reset()
+    assert producer.fifo.empty
+
+
+def test_consumer_requires_wen():
+    consumer = ConsumerInterface("c")
+    consumer.receive(True, 42)
+    assert not consumer.module_can_read
+    consumer.fifo_wen = True
+    consumer.receive(True, 42)
+    assert consumer.module_read() == 42
+
+
+def test_consumer_ignores_invalid_words():
+    consumer = ConsumerInterface("c")
+    consumer.fifo_wen = True
+    consumer.receive(False, 42)
+    assert not consumer.module_can_read
+    assert consumer.words_received == 0
+
+
+def test_consumer_discards_when_full():
+    consumer = ConsumerInterface("c", depth=2)
+    consumer.fifo_wen = True
+    for value in range(3):
+        consumer.receive(True, value)
+    assert consumer.words_discarded == 1
+    assert consumer.words_received == 2
+
+
+def test_consumer_full_feedback_threshold():
+    consumer = ConsumerInterface("c", depth=10)
+    consumer.fifo_wen = True
+    consumer.set_backpressure_slack(4)  # 2*d with d=2
+    for value in range(5):
+        consumer.receive(True, value)
+    assert not consumer.full_feedback  # remaining 5 > 4
+    consumer.receive(True, 5)
+    assert consumer.full_feedback  # remaining 4
+
+
+def test_consumer_module_read_empty_returns_none():
+    consumer = ConsumerInterface("c")
+    assert consumer.module_read() is None
+    assert consumer.module_peek() is None
+
+
+def test_consumer_peek_then_read():
+    consumer = ConsumerInterface("c")
+    consumer.fifo_wen = True
+    consumer.receive(True, 7)
+    assert consumer.module_peek() == 7
+    assert consumer.module_read() == 7
+
+
+def test_consumer_reset_clears_discard_counter():
+    consumer = ConsumerInterface("c", depth=1)
+    consumer.fifo_wen = True
+    consumer.receive(True, 1)
+    consumer.receive(True, 2)
+    assert consumer.words_discarded == 1
+    consumer.reset()
+    assert consumer.words_discarded == 0
+    assert consumer.fifo.empty
+
+
+def test_consumer_masks_to_width():
+    consumer = ConsumerInterface("c", width=4)
+    consumer.fifo_wen = True
+    consumer.receive(True, 0xFF)
+    assert consumer.module_read() == 0xF

@@ -1,0 +1,119 @@
+"""Unit tests for switch boxes."""
+
+import pytest
+
+from repro.comm.switchbox import (
+    LEFT,
+    MODULE_IN,
+    MODULE_OUT,
+    RIGHT,
+    LaneRef,
+    SourceRef,
+    SwitchBox,
+    SwitchBoxError,
+)
+
+
+@pytest.fixture
+def box():
+    return SwitchBox(index=1, kr=2, kl=2, ki=1, ko=1)
+
+
+def test_lane_counts(box):
+    assert box.free_lanes(RIGHT) == [0, 1]
+    assert box.free_lanes(LEFT) == [0, 1]
+    assert box.free_lanes(MODULE_OUT) == [0]
+
+
+def test_invalid_construction():
+    with pytest.raises(SwitchBoxError):
+        SwitchBox(0, kr=-1, kl=0, ki=1, ko=1)
+    with pytest.raises(SwitchBoxError):
+        SwitchBox(0, kr=1, kl=1, ki=0, ko=1)
+
+
+def test_allocate_first_free_lane(box):
+    ref = box.allocate(RIGHT, channel_id=7, source=SourceRef(MODULE_IN, 0))
+    assert ref == LaneRef(1, RIGHT, 0)
+    assert box.owner_of(RIGHT, 0) == 7
+    assert box.free_lanes(RIGHT) == [1]
+
+
+def test_allocate_exhaustion(box):
+    box.allocate(RIGHT, 1, SourceRef(MODULE_IN, 0))
+    box.allocate(RIGHT, 2, SourceRef(LEFT, 0))
+    with pytest.raises(SwitchBoxError, match="no free"):
+        box.allocate(RIGHT, 3, SourceRef(LEFT, 1))
+
+
+def test_allocate_specific_lane(box):
+    ref = box.allocate_specific(RIGHT, 1, 5, SourceRef(MODULE_IN, 0))
+    assert ref.lane == 1
+    assert box.free_lanes(RIGHT) == [0]
+    with pytest.raises(SwitchBoxError, match="already owned"):
+        box.allocate_specific(RIGHT, 1, 6, SourceRef(MODULE_IN, 0))
+
+
+def test_allocate_specific_unknown_lane(box):
+    with pytest.raises(SwitchBoxError, match="no lane"):
+        box.allocate_specific(RIGHT, 9, 5, SourceRef(MODULE_IN, 0))
+
+
+def test_bad_source_rejected(box):
+    with pytest.raises(SwitchBoxError):
+        box.allocate(RIGHT, 1, SourceRef(MODULE_IN, 5))
+    with pytest.raises(SwitchBoxError):
+        box.allocate(RIGHT, 1, SourceRef("X", 0))
+
+
+def test_release_frees_lane(box):
+    ref = box.allocate(MODULE_OUT, 1, SourceRef(RIGHT, 0))
+    box.release(ref)
+    assert box.owner_of(MODULE_OUT, 0) is None
+    assert box.mux_source(MODULE_OUT, 0) is None
+
+
+def test_release_unallocated_raises(box):
+    with pytest.raises(SwitchBoxError, match="not allocated"):
+        box.release(LaneRef(1, RIGHT, 0))
+    with pytest.raises(SwitchBoxError, match="unknown lane"):
+        box.release(LaneRef(1, RIGHT, 7))
+
+
+def test_utilization(box):
+    assert box.utilization() == 0.0
+    box.allocate(RIGHT, 1, SourceRef(MODULE_IN, 0))
+    assert 0 < box.utilization() < 1
+
+
+# ----------------------------------------------------------------------
+# DCR MUX_sel encoding
+# ----------------------------------------------------------------------
+def test_mux_bits_empty_is_zero(box):
+    assert box.mux_select_bits() == 0
+
+
+def test_mux_bits_roundtrip(box):
+    box.allocate(RIGHT, 1, SourceRef(MODULE_IN, 0))
+    box.allocate(MODULE_OUT, 2, SourceRef(LEFT, 1))
+    bits = box.mux_select_bits()
+    assert bits != 0
+    clone = SwitchBox(index=1, kr=2, kl=2, ki=1, ko=1)
+    clone.set_mux_from_bits(bits)
+    assert clone.mux_select_bits() == bits
+    assert clone.mux_source(RIGHT, 0) == SourceRef(MODULE_IN, 0)
+    assert clone.mux_source(MODULE_OUT, 0) == SourceRef(LEFT, 1)
+
+
+def test_set_mux_from_bits_rejects_bad_code(box):
+    sources = 2 + 2 + 1  # kr + kl + ko
+    bits_per_lane = (sources).bit_length()
+    bad = (1 << bits_per_lane) - 1  # code 7 > 5 sources
+    with pytest.raises(SwitchBoxError, match="no source"):
+        box.set_mux_from_bits(bad)
+
+
+def test_set_mux_from_bits_clears_with_zero(box):
+    box.allocate(RIGHT, 1, SourceRef(MODULE_IN, 0))
+    box.set_mux_from_bits(0)
+    assert box.mux_source(RIGHT, 0) is None

@@ -1,0 +1,55 @@
+"""Unit tests for the interconnect timing model."""
+
+import pytest
+
+from repro.comm.timing import (
+    channel_latency_cycles,
+    combinational_max_frequency_hz,
+    frequency_table,
+    registered_max_frequency_hz,
+)
+
+
+def test_registered_frequency_is_distance_independent():
+    assert registered_max_frequency_hz(1) == registered_max_frequency_hz(8)
+
+
+def test_registered_fabric_supports_100mhz():
+    """The prototype clocks its switch boxes at 100 MHz (Section V.A)."""
+    assert registered_max_frequency_hz() >= 100e6
+
+
+def test_combinational_frequency_degrades_with_distance():
+    freqs = [combinational_max_frequency_hz(d) for d in range(1, 9)]
+    assert freqs == sorted(freqs, reverse=True)
+    assert freqs[0] > 2 * freqs[3]
+
+
+def test_combinational_matches_sonic_regime():
+    """Around 2-3 hops the unregistered fabric lands near the 50 MHz the
+    paper reports for Sonic-on-a-Chip's shared bus (Section II)."""
+    assert combinational_max_frequency_hz(2) < 70e6
+    assert combinational_max_frequency_hz(3) < 50e6
+
+
+def test_latency_cycles():
+    assert channel_latency_cycles(1) == 2
+    assert channel_latency_cycles(5) == 6
+
+
+def test_validation():
+    for fn in (
+        registered_max_frequency_hz,
+        combinational_max_frequency_hz,
+        channel_latency_cycles,
+    ):
+        with pytest.raises(ValueError):
+            fn(0)
+
+
+def test_frequency_table_shape():
+    table = frequency_table(max_d=4)
+    assert len(table) == 4
+    for d, registered, combinational in table:
+        assert registered >= combinational
+    assert table[0][0] == 1

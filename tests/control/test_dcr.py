@@ -1,0 +1,59 @@
+"""Unit tests for the DCR bus and bridge."""
+
+import pytest
+
+from repro.control.dcr import DcrBridge, DcrBus, DcrError
+
+
+class FakeSlave:
+    def __init__(self):
+        self.value = 0
+
+    def dcr_read(self):
+        return self.value
+
+    def dcr_write(self, value):
+        self.value = value
+
+
+def test_attach_read_write():
+    bus = DcrBus()
+    slave = FakeSlave()
+    bus.attach(0x80, slave)
+    bus.write(0x80, 0xAB)
+    assert bus.read(0x80) == 0xAB
+    assert bus.reads == 1
+    assert bus.writes == 1
+
+
+def test_double_attach_rejected():
+    bus = DcrBus()
+    bus.attach(0x80, FakeSlave())
+    with pytest.raises(DcrError, match="already mapped"):
+        bus.attach(0x80, FakeSlave())
+
+
+def test_unmapped_access_raises():
+    bus = DcrBus()
+    with pytest.raises(DcrError, match="no DCR slave"):
+        bus.read(0x99)
+    with pytest.raises(DcrError):
+        bus.write(0x99, 1)
+
+
+def test_mapped_addresses_sorted():
+    bus = DcrBus()
+    bus.attach(0x90, FakeSlave())
+    bus.attach(0x80, FakeSlave())
+    assert bus.mapped_addresses == [0x80, 0x90]
+
+
+def test_bridge_forwards_and_reports_latency():
+    bus = DcrBus()
+    slave = FakeSlave()
+    bus.attach(0x80, slave)
+    bridge = DcrBridge(bus)
+    bridge.write(0x80, 7)
+    assert bridge.read(0x80) == 7
+    assert bridge.read_cycles > 0
+    assert bridge.write_cycles > 0

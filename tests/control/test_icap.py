@@ -1,0 +1,79 @@
+"""Unit tests for the ICAP controller."""
+
+import pytest
+
+from repro.control.icap import IcapController, IcapError
+from repro.sim.kernel import Simulator
+
+
+def test_transfer_completes_after_duration():
+    sim = Simulator()
+    icap = IcapController(sim)
+    done = []
+    transfer = icap.start_transfer(
+        "mod@prr0", 1000, 0.001, on_done=lambda t: done.append(t)
+    )
+    assert icap.busy
+    sim.run_for(999_999_999)  # just under 1 ms
+    assert not transfer.done
+    sim.run_for(2)
+    assert transfer.done
+    assert done == [transfer]
+    assert not icap.busy
+    assert icap.bytes_written == 1000
+
+
+def test_busy_icap_rejects_second_transfer():
+    sim = Simulator()
+    icap = IcapController(sim)
+    icap.start_transfer("a@p0", 10, 0.01)
+    with pytest.raises(IcapError, match="busy"):
+        icap.start_transfer("b@p1", 10, 0.01)
+    sim.run()
+    icap.start_transfer("b@p1", 10, 0.01)  # fine after completion
+
+
+def test_zero_size_rejected():
+    icap = IcapController(Simulator())
+    with pytest.raises(IcapError, match="positive"):
+        icap.start_transfer("a@p0", 0, 0.01)
+
+
+def test_history_and_trace():
+    sim = Simulator()
+    icap = IcapController(sim)
+    icap.start_transfer("a@p0", 10, 0.001)
+    sim.run()
+    icap.start_transfer("b@p1", 20, 0.002)
+    sim.run()
+    assert [t.target for t in icap.history] == ["a@p0", "b@p1"]
+    categories = {e.category for e in sim.trace}
+    assert "icap" in categories
+
+
+def test_done_callback_after_completion_fires_immediately():
+    sim = Simulator()
+    icap = IcapController(sim)
+    transfer = icap.start_transfer("a@p0", 10, 0.001)
+    sim.run()
+    fired = []
+    transfer.add_done_callback(lambda: fired.append(1))
+    assert fired == [1]
+
+
+def test_done_callback_before_completion_deferred():
+    sim = Simulator()
+    icap = IcapController(sim)
+    transfer = icap.start_transfer("a@p0", 10, 0.001)
+    fired = []
+    transfer.add_done_callback(lambda: fired.append(1))
+    assert fired == []
+    sim.run()
+    assert fired == [1]
+
+
+def test_duration_seconds_property():
+    sim = Simulator()
+    icap = IcapController(sim)
+    transfer = icap.start_transfer("a@p0", 10, 0.07194)
+    assert transfer.duration_seconds == pytest.approx(0.07194)

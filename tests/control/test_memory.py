@@ -1,0 +1,86 @@
+"""Unit tests for the memory models and their calibrated rates."""
+
+import pytest
+
+from repro.control.memory import (
+    CF_BYTES_PER_SECOND,
+    ICAP_BUFFER_BYTES_PER_SECOND,
+    SDRAM_ICAP_BYTES_PER_SECOND,
+    BramBuffer,
+    CompactFlash,
+    MemoryError_,
+    Sdram,
+)
+
+
+class Payload:
+    def __init__(self, size):
+        self.size_bytes = size
+
+
+def test_cf_store_and_read():
+    cf = CompactFlash()
+    cf.store_file("a.bit", Payload(100))
+    assert cf.has_file("a.bit")
+    assert "a.bit" in cf
+    payload = cf.read_file("a.bit")
+    assert payload.size_bytes == 100
+    assert cf.bytes_read == 100
+
+
+def test_cf_missing_file():
+    with pytest.raises(MemoryError_, match="not found"):
+        CompactFlash().read_file("nope.bit")
+
+
+def test_cf_transfer_time_linear():
+    cf = CompactFlash()
+    assert cf.transfer_seconds(2000) == pytest.approx(
+        2 * cf.transfer_seconds(1000)
+    )
+
+
+def test_sdram_store_and_capacity():
+    sdram = Sdram(capacity_bytes=150)
+    sdram.store_array("a", Payload(100))
+    assert sdram.used_bytes == 100
+    with pytest.raises(MemoryError_, match="overflow"):
+        sdram.store_array("b", Payload(100))
+
+
+def test_sdram_replace_same_key_accounts_delta():
+    sdram = Sdram(capacity_bytes=150)
+    sdram.store_array("a", Payload(100))
+    sdram.store_array("a", Payload(120))
+    assert sdram.used_bytes == 120
+
+
+def test_sdram_missing_array():
+    with pytest.raises(MemoryError_):
+        Sdram(100).read_array("x")
+
+
+def test_calibrated_rate_ordering():
+    """CF is the slow path; the buffered ICAP write is the fastest."""
+    assert CF_BYTES_PER_SECOND < SDRAM_ICAP_BYTES_PER_SECOND
+    assert SDRAM_ICAP_BYTES_PER_SECOND < ICAP_BUFFER_BYTES_PER_SECOND
+
+
+def test_calibration_reproduces_paper_times():
+    """36,408-byte prototype bitstream: 1.043 s via CF, 71.94 ms via SDRAM."""
+    size = 36_408
+    cf = CompactFlash()
+    buffer = BramBuffer()
+    sdram = Sdram(1 << 20)
+    cf_path = cf.transfer_seconds(size) + buffer.icap_transfer_seconds(size)
+    assert cf_path == pytest.approx(1.043, rel=0.01)
+    assert sdram.icap_transfer_seconds(size) == pytest.approx(0.07194, rel=0.01)
+    # the 95.3% / 4.7% split of Section V.B
+    assert cf.transfer_seconds(size) / cf_path == pytest.approx(0.953, abs=0.005)
+
+
+def test_bram_buffer_load():
+    buffer = BramBuffer()
+    payload = Payload(10)
+    buffer.load(payload)
+    assert buffer.resident is payload

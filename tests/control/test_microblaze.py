@@ -1,0 +1,275 @@
+"""Unit tests for the behavioural MicroBlaze."""
+
+import pytest
+
+from repro.comm.fsl import FslLink
+from repro.control.dcr import BRIDGE_WRITE_CYCLES
+from repro.control.microblaze import (
+    Call,
+    DcrRead,
+    DcrWrite,
+    Delay,
+    FslGet,
+    FslPut,
+    Join,
+    Microblaze,
+    Suspend,
+    WaitFor,
+)
+from repro.control.prsocket import PRSocket
+from repro.sim.clock import Clock
+from repro.sim.kernel import Simulator
+
+
+def make_cpu():
+    sim = Simulator()
+    clock = Clock(sim, freq_hz=100e6)
+    return sim, Microblaze(sim, clock)
+
+
+def test_delay_advances_time():
+    sim, cpu = make_cpu()
+
+    def software():
+        yield Delay(100)
+        return sim.now
+
+    assert cpu.run_to_completion(software()) == 100 * 10_000
+
+
+def test_return_value_propagates():
+    _, cpu = make_cpu()
+
+    def software():
+        yield Delay(1)
+        return 42
+
+    assert cpu.run_to_completion(software()) == 42
+
+
+def test_exception_reraised():
+    _, cpu = make_cpu()
+
+    def software():
+        yield Delay(1)
+        raise ValueError("boom")
+
+    with pytest.raises(ValueError, match="boom"):
+        cpu.run_to_completion(software())
+
+
+def test_dcr_read_write_effects():
+    _, cpu = make_cpu()
+    socket = PRSocket("s", 0x80)
+
+    def software():
+        yield DcrWrite(socket, 0x02)  # PRR_reset latches even on a bare socket
+        value = yield DcrRead(socket)
+        return value
+
+    value = cpu.run_to_completion(software())
+    assert value & 0x02
+    assert cpu.dcr_writes == 1
+    assert cpu.dcr_reads == 1
+
+
+def test_dcr_write_charges_bridge_cycles():
+    sim, cpu = make_cpu()
+    socket = PRSocket("s", 0x80)
+
+    def software():
+        yield DcrWrite(socket, 0)
+
+    task = cpu.spawn(software())
+    sim.run()
+    assert task.cycles_charged >= BRIDGE_WRITE_CYCLES
+
+
+def test_fsl_roundtrip():
+    _, cpu = make_cpu()
+    link = FslLink("l")
+
+    def software():
+        yield FslPut(link, 7, True)
+        return (yield FslGet(link))
+
+    assert cpu.run_to_completion(software()) == (7, True)
+
+
+def test_fsl_get_blocks_until_data():
+    sim, cpu = make_cpu()
+    link = FslLink("l")
+    result = []
+
+    def reader():
+        word = yield FslGet(link)
+        result.append(word)
+
+    cpu.spawn(reader())
+    sim.run()
+    assert result == []  # blocked, event queue drained
+    link.master_write(9)
+    sim.run()
+    assert result == [(9, False)]
+
+
+def test_fsl_get_nonblocking_returns_none():
+    _, cpu = make_cpu()
+    link = FslLink("l")
+
+    def software():
+        return (yield FslGet(link, blocking=False))
+
+    assert cpu.run_to_completion(software()) is None
+
+
+def test_fsl_put_blocks_until_space():
+    sim, cpu = make_cpu()
+    link = FslLink("l", depth=1)
+    link.master_write(1)
+    done = []
+
+    def writer():
+        yield FslPut(link, 2)
+        done.append(True)
+
+    cpu.spawn(writer())
+    sim.run()
+    assert done == []
+    link.slave_read()
+    sim.run()
+    assert done == [True]
+
+
+def test_wait_for_polls_predicate():
+    sim, cpu = make_cpu()
+    flag = {"ready": False}
+    sim.schedule(5_000_000, lambda: flag.update(ready=True))
+
+    def software():
+        yield WaitFor(lambda: flag["ready"], poll_cycles=100)
+        return sim.now
+
+    assert cpu.run_to_completion(software()) >= 5_000_000
+
+
+def test_suspend_resumes_on_callback():
+    sim, cpu = make_cpu()
+    resume_callbacks = []
+
+    def software():
+        yield Suspend(resume_callbacks.append)
+        return "resumed"
+
+    task = cpu.spawn(software())
+    sim.run()
+    assert not task.done
+    resume_callbacks[0]()
+    sim.run()
+    assert task.result == "resumed"
+
+
+def test_call_subroutine_returns_value():
+    _, cpu = make_cpu()
+
+    def sub():
+        yield Delay(1)
+        return 10
+
+    def software():
+        value = yield Call(sub())
+        return value + 1
+
+    assert cpu.run_to_completion(software()) == 11
+
+
+def test_yield_from_subroutine():
+    _, cpu = make_cpu()
+
+    def sub():
+        yield Delay(1)
+        return 5
+
+    def software():
+        value = yield from sub()
+        return value * 2
+
+    assert cpu.run_to_completion(software()) == 10
+
+
+def test_join_waits_for_other_task():
+    sim, cpu = make_cpu()
+
+    def worker():
+        yield Delay(500)
+        return "payload"
+
+    def boss(worker_task):
+        value = yield Join(worker_task)
+        return value
+
+    worker_task = cpu.spawn(worker(), "worker")
+    assert cpu.run_to_completion(boss(worker_task), "boss") == "payload"
+
+
+def test_join_propagates_error():
+    sim, cpu = make_cpu()
+
+    def worker():
+        yield Delay(1)
+        raise RuntimeError("dead")
+
+    def boss(worker_task):
+        yield Join(worker_task)
+
+    worker_task = cpu.spawn(worker(), "worker")
+    with pytest.raises(RuntimeError, match="dead"):
+        cpu.run_to_completion(boss(worker_task), "boss")
+
+
+def test_unknown_effect_fails_task():
+    _, cpu = make_cpu()
+
+    def software():
+        yield object()
+
+    with pytest.raises(TypeError, match="unknown effect"):
+        cpu.run_to_completion(software())
+
+
+def test_deadlocked_task_raises():
+    _, cpu = make_cpu()
+    link = FslLink("l")
+
+    def software():
+        yield FslGet(link)  # nobody ever writes
+
+    with pytest.raises(RuntimeError, match="did not finish"):
+        cpu.run_to_completion(software())
+
+
+def test_concurrent_tasks_interleave():
+    sim, cpu = make_cpu()
+    link = FslLink("l")
+    order = []
+
+    def producer():
+        for value in range(3):
+            yield Delay(10)
+            yield FslPut(link, value)
+            order.append(("put", value))
+
+    def consumer():
+        for _ in range(3):
+            data, _ = yield FslGet(link)
+            order.append(("got", data))
+
+    cpu.spawn(producer())
+    task = cpu.spawn(consumer())
+    sim.run()
+    assert task.done
+    assert [o for o in order if o[0] == "got"] == [
+        ("got", 0),
+        ("got", 1),
+        ("got", 2),
+    ]

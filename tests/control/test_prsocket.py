@@ -1,0 +1,179 @@
+"""Unit tests for the PRSocket DCR register (paper Table 1)."""
+
+import pytest
+
+from repro.comm.fsl import FslLink
+from repro.comm.interfaces import ConsumerInterface, ProducerInterface
+from repro.comm.switchbox import MODULE_IN, RIGHT, SourceRef, SwitchBox
+from repro.control.prsocket import (
+    BIT_CLK_EN,
+    BIT_CLK_SEL,
+    BIT_FIFO_REN,
+    BIT_FIFO_RESET,
+    BIT_FIFO_WEN,
+    BIT_FSL_RESET,
+    BIT_PRR_RESET,
+    BIT_SM_EN,
+    DCR_BITS,
+    MUX_SEL_SHIFT,
+    PRSocket,
+)
+from repro.fabric.slice_macro import SliceMacro
+from repro.sim.clock import Bufgmux, Bufr, FixedSource
+
+
+def make_socket():
+    socket = PRSocket("sock", 0x80)
+    macros = [SliceMacro(f"sm{i}", 0, 0) for i in range(2)]
+    producer = ProducerInterface("p")
+    consumer = ConsumerInterface("c")
+    fsl_t = FslLink("t")
+    fsl_r = FslLink("r")
+    mux = Bufgmux(FixedSource(100e6), FixedSource(50e6))
+    bufr = Bufr(mux)
+    box = SwitchBox(0, 2, 2, 1, 1)
+    resets = []
+    socket.connect(
+        slice_macros=macros,
+        producers=[producer],
+        consumers=[consumer],
+        fsl_to_module=fsl_t,
+        fsl_to_processor=fsl_r,
+        bufr=bufr,
+        bufgmux=mux,
+        switchbox=box,
+        reset_target=lambda: resets.append(1),
+    )
+    return socket, {
+        "macros": macros,
+        "producer": producer,
+        "consumer": consumer,
+        "fsl_t": fsl_t,
+        "fsl_r": fsl_r,
+        "mux": mux,
+        "bufr": bufr,
+        "box": box,
+        "resets": resets,
+    }
+
+
+def test_table1_bit_positions():
+    """The register layout matches Table 1 of the paper exactly."""
+    assert DCR_BITS == {
+        "SM_en": 0,
+        "PRR_reset": 1,
+        "FIFO_reset": 2,
+        "FSL_reset": 3,
+        "FIFO_wen": 4,
+        "FIFO_ren": 5,
+        "CLK_en": 6,
+        "CLK_sel": 7,
+    }
+    assert MUX_SEL_SHIFT == 8
+
+
+def test_sm_en_controls_slice_macros():
+    socket, hw = make_socket()
+    socket.dcr_write(1 << BIT_SM_EN)
+    assert all(m.enabled for m in hw["macros"])
+    socket.dcr_write(0)
+    assert not any(m.enabled for m in hw["macros"])
+
+
+def test_prr_reset_rising_edge_triggers_target():
+    socket, hw = make_socket()
+    socket.dcr_write(1 << BIT_PRR_RESET)
+    socket.dcr_write(1 << BIT_PRR_RESET)  # level held: no second pulse
+    assert hw["resets"] == [1]
+    socket.dcr_write(0)
+    socket.dcr_write(1 << BIT_PRR_RESET)
+    assert hw["resets"] == [1, 1]
+    assert socket.in_reset
+
+
+def test_fifo_reset_clears_interfaces():
+    socket, hw = make_socket()
+    hw["producer"].module_write(1)
+    hw["consumer"].fifo_wen = True
+    hw["consumer"].receive(True, 2)
+    socket.dcr_write(1 << BIT_FIFO_RESET)
+    assert hw["producer"].fifo.empty
+    assert hw["consumer"].fifo.empty
+
+
+def test_fsl_reset_clears_links():
+    socket, hw = make_socket()
+    hw["fsl_t"].master_write(1)
+    hw["fsl_r"].master_write(2)
+    socket.dcr_write(1 << BIT_FSL_RESET)
+    assert not hw["fsl_t"].can_read
+    assert not hw["fsl_r"].can_read
+
+
+def test_fifo_wen_ren_levels():
+    socket, hw = make_socket()
+    socket.dcr_write((1 << BIT_FIFO_WEN) | (1 << BIT_FIFO_REN))
+    assert hw["consumer"].fifo_wen
+    assert hw["producer"].fifo_ren
+    socket.dcr_write(0)
+    assert not hw["consumer"].fifo_wen
+    assert not hw["producer"].fifo_ren
+
+
+def test_clk_en_gates_bufr():
+    socket, hw = make_socket()
+    socket.dcr_write(1 << BIT_CLK_EN)
+    assert hw["bufr"].enabled
+    socket.dcr_write(0)
+    assert not hw["bufr"].enabled
+
+
+def test_clk_sel_drives_bufgmux():
+    socket, hw = make_socket()
+    socket.dcr_write(1 << BIT_CLK_SEL)
+    assert hw["mux"].selected == 1
+    assert hw["mux"].frequency_hz == 50e6
+    socket.dcr_write(0)
+    assert hw["mux"].selected == 0
+
+
+def test_mux_sel_field_programs_switchbox():
+    socket, hw = make_socket()
+    # program the box externally and check read-back
+    hw["box"].allocate(RIGHT, 1, SourceRef(MODULE_IN, 0))
+    bits = hw["box"].mux_select_bits()
+    assert socket.dcr_read() >> MUX_SEL_SHIFT == bits
+    # clear via a DCR write with MUX field zeroed
+    socket.dcr_write(socket.dcr_read() & 0xFF)
+    assert hw["box"].mux_select_bits() == 0
+
+
+def test_read_reflects_live_state():
+    socket, hw = make_socket()
+    hw["producer"].fifo_ren = True  # set behind the socket's back
+    assert socket.read_field("FIFO_ren")
+
+
+def test_write_field_read_modify_write():
+    socket, _ = make_socket()
+    socket.write_field("CLK_en", True)
+    socket.write_field("FIFO_wen", True)
+    assert socket.read_field("CLK_en")
+    assert socket.read_field("FIFO_wen")
+    socket.write_field("CLK_en", False)
+    assert not socket.read_field("CLK_en")
+    assert socket.read_field("FIFO_wen")
+
+
+def test_unknown_field_rejected():
+    socket, _ = make_socket()
+    with pytest.raises(KeyError):
+        socket.write_field("BOGUS", True)
+    with pytest.raises(KeyError):
+        socket.read_field("BOGUS")
+
+
+def test_unconnected_socket_tolerates_writes():
+    socket = PRSocket("bare", 0x80)
+    socket.dcr_write(0xFF)  # nothing attached; must not raise
+    assert socket.dcr_read() & (1 << BIT_PRR_RESET)

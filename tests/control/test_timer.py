@@ -1,0 +1,44 @@
+"""Unit tests for the xps_timer model."""
+
+import pytest
+
+from repro.control.timer import XpsTimer
+from repro.sim.clock import Clock
+from repro.sim.kernel import Simulator
+
+
+def test_elapsed_cycles():
+    sim = Simulator()
+    clock = Clock(sim, freq_hz=100e6)
+    timer = XpsTimer(sim, clock)
+    timer.start()
+    sim.schedule(1_000_000, lambda: None)  # 1 us
+    sim.run()
+    sim.run_until(1_000_000)
+    assert timer.stop() == 100  # 100 cycles at 10 ns
+
+
+def test_stop_without_start_raises():
+    sim = Simulator()
+    timer = XpsTimer(sim, Clock(sim, freq_hz=100e6))
+    with pytest.raises(RuntimeError):
+        timer.stop()
+
+
+def test_cycles_to_seconds():
+    sim = Simulator()
+    timer = XpsTimer(sim, Clock(sim, freq_hz=100e6))
+    assert timer.cycles_to_seconds(104_338_861) == pytest.approx(1.043, rel=1e-3)
+
+
+def test_restartable():
+    sim = Simulator()
+    timer = XpsTimer(sim, Clock(sim, freq_hz=100e6))
+    timer.start()
+    sim.run_until(10_000)
+    first = timer.stop()
+    timer.start()
+    sim.run_until(30_000)
+    second = timer.stop()
+    assert (first, second) == (1, 2)
+    assert timer.last_elapsed_cycles == 2

@@ -1,0 +1,211 @@
+"""Unit tests for the Table 2 software API."""
+
+import pytest
+
+from repro.modules.iom import Iom
+from repro.modules.transforms import PassThrough, ThresholdDetector
+
+from tests.helpers import build_system
+
+
+def run(system, generator, name="sw"):
+    system.start()
+    return system.microblaze.run_to_completion(generator, name)
+
+
+def test_cf2icap_loads_module_and_takes_scaled_time():
+    system = build_system(pr_speedup=1000.0)
+    system.register_module("mod", lambda: PassThrough("mod"))
+    start = system.sim.now
+    transfer = run(system, system.api.vapres_cf2icap("mod", "rsb0.prr0"))
+    assert system.prr("rsb0.prr0").module.name == "mod"
+    # 1.043 s / 1000 speedup
+    assert transfer.duration_seconds == pytest.approx(1.043e-3, rel=0.02)
+    assert system.sim.now - start >= transfer.duration_ps
+
+
+def test_array2icap_requires_preload_then_works():
+    system = build_system()
+    system.register_module("mod", lambda: PassThrough("mod"))
+    size = run(system, system.api.vapres_cf2array("mod", "rsb0.prr1"))
+    assert size == 36_408
+    transfer = run(system, system.api.vapres_array2icap("mod", "rsb0.prr1"))
+    assert transfer.duration_seconds == pytest.approx(71.94e-6, rel=0.02)
+    assert system.prr("rsb0.prr1").module.name == "mod"
+
+
+def test_cf2array_advances_time_by_cf_transfer():
+    system = build_system(pr_speedup=1000.0)
+    system.register_module("mod", lambda: PassThrough("mod"))
+    start = system.sim.now
+    run(system, system.api.vapres_cf2array("mod", "rsb0.prr0"))
+    elapsed_s = (system.sim.now - start) / 1e12
+    assert elapsed_s == pytest.approx(36_408 / system.cf.bytes_per_second, rel=0.05)
+
+
+def test_module_clock_gates_lcd():
+    system = build_system()
+    slot = system.prr("rsb0.prr0")
+    run(system, system.api.vapres_module_clock(slot.module_id, False))
+    assert not slot.bufr.enabled
+    run(system, system.api.vapres_module_clock(slot.module_id, True))
+    assert slot.bufr.enabled
+
+
+def test_module_clock_select_changes_frequency():
+    system = build_system()
+    slot = system.prr("rsb0.prr0")
+    assert slot.lcd_clock.frequency_hz == 100e6
+    run(system, system.api.vapres_module_clock_select(slot.module_id, 1))
+    assert slot.lcd_clock.frequency_hz == 50e6
+
+
+def test_module_reset_pulses_module():
+    system = build_system()
+    module = ThresholdDetector("t", threshold=1)
+    module.exceed_count = 7
+    slot = system.place_module_directly(module, "rsb0.prr0")
+    run(system, system.api.vapres_module_reset(slot.module_id, True))
+    assert module.exceed_count == 0
+    assert slot.prsocket.in_reset
+    run(system, system.api.vapres_module_reset(slot.module_id, False))
+    assert not slot.prsocket.in_reset
+
+
+def test_module_write_and_read_fsl():
+    system = build_system()
+    slot = system.prr("rsb0.prr0")
+
+    def software():
+        yield from system.api.vapres_module_write(slot.module_id, 0xAB)
+        return "ok"
+
+    run(system, software())
+    assert slot.fsl_to_module.slave_read() == (0xAB, False)
+
+    slot.fsl_to_processor.master_write(0xCD, control=True)
+
+    def reader():
+        return (yield from system.api.vapres_module_read(slot.module_id))
+
+    assert run(system, reader()) == (0xCD, True)
+
+
+def test_establish_channel_success_and_dcr_cost():
+    system = build_system()
+    system.place_module_directly(PassThrough("m"), "rsb0.prr0")
+    state = system.api.comm_state()
+
+    def software():
+        return (
+            yield from system.api.vapres_establish_channel(
+                state, "rsb0.iom0", "rsb0.prr0"
+            )
+        )
+
+    channel = run(system, software())
+    assert channel is not None
+    assert channel.d == 2
+    assert system.microblaze.dcr_writes >= channel.d  # MUX_sel programming
+    # endpoints enabled
+    assert system.iom_slot("rsb0.iom0").producers[0].fifo_ren
+    assert system.prr("rsb0.prr0").consumers[0].fifo_wen
+
+
+def test_establish_channel_fails_when_lanes_exhausted():
+    system = build_system()
+
+    def open_one(dst):
+        return (
+            yield from system.api.vapres_establish_channel(
+                None, "rsb0.iom0", dst
+            )
+        )
+
+    # two channels consume both of SB0's kr=2 rightward lanes
+    assert run(system, open_one("rsb0.prr1")) is not None
+    assert run(system, open_one("rsb0.prr0")) is not None
+    assert run(system, open_one("rsb0.prr1")) is None  # the paper's 0 return
+
+
+def test_establish_channel_fails_when_consumer_port_taken():
+    """ki=1: a slot accepts exactly one incoming channel."""
+    system = build_system()
+
+    def open_one(src):
+        return (
+            yield from system.api.vapres_establish_channel(
+                None, src, "rsb0.prr1"
+            )
+        )
+
+    assert run(system, open_one("rsb0.iom0")) is not None
+    assert run(system, open_one("rsb0.prr0")) is None
+
+
+def test_establish_channel_respects_comm_state_check():
+    system = build_system()
+    run(system, system.api.vapres_establish_channel(None, "rsb0.iom0", "rsb0.prr1"))
+    run(system, system.api.vapres_establish_channel(None, "rsb0.iom0", "rsb0.prr1"))
+    stale = system.api.comm_state()
+
+    def attempt():
+        return (
+            yield from system.api.vapres_establish_channel(
+                stale, "rsb0.iom0", "rsb0.prr1"
+            )
+        )
+
+    assert run(system, attempt()) is None
+
+
+def test_release_channel_frees_lanes():
+    system = build_system()
+
+    def cycle():
+        channel = yield from system.api.vapres_establish_channel(
+            None, "rsb0.iom0", "rsb0.prr0"
+        )
+        lost = yield from system.api.vapres_release_channel(channel)
+        return lost
+
+    assert run(system, cycle()) == 0
+    state = system.api.comm_state()
+    assert state.can_route(0, 1)
+
+
+def test_fifo_control_and_reset_helpers():
+    system = build_system()
+    slot = system.prr("rsb0.prr0")
+    run(system, system.api.vapres_fifo_control(slot.module_id, wen=True, ren=True))
+    assert slot.consumers[0].fifo_wen and slot.producers[0].fifo_ren
+    slot.producers[0].module_write(5)
+    run(system, system.api.vapres_fifo_reset(slot.module_id))
+    assert slot.producers[0].fifo.empty
+    assert not slot.prsocket.read_field("FIFO_reset")
+
+
+def test_state_word_helpers_skip_monitoring():
+    system = build_system()
+    slot = system.prr("rsb0.prr0")
+    slot.fsl_to_processor.master_write(111, control=False)  # monitoring noise
+    slot.fsl_to_processor.master_write(1, control=True)
+    slot.fsl_to_processor.master_write(222, control=False)
+    slot.fsl_to_processor.master_write(2, control=True)
+
+    def software():
+        return (yield from system.api.read_state_words(slot.module_id, 2))
+
+    assert run(system, software()) == [1, 2]
+
+
+def test_send_state_words():
+    system = build_system()
+    slot = system.prr("rsb0.prr0")
+
+    def software():
+        yield from system.api.send_state_words(slot.module_id, [9, 8])
+
+    run(system, software())
+    assert slot.fsl_to_module.slave_read() == (9, False)
+    assert slot.fsl_to_module.slave_read() == (8, False)

@@ -1,0 +1,159 @@
+"""Unit tests for runtime assembly of KPNs onto an RSB."""
+
+import pytest
+
+from repro.core import SystemParameters, VapresSystem
+from repro.core.assembly import AssemblyError, RuntimeAssembler
+from repro.core.kpn import KahnProcessNetwork
+from repro.modules.iom import Iom
+from repro.modules.transforms import PassThrough, Scaler
+from repro.modules.filters import q15
+from repro.modules.sources import ramp
+
+from tests.helpers import build_system
+
+
+def pipeline_kpn(stages=2):
+    kpn = KahnProcessNetwork("pipe")
+    kpn.add_iom("io")
+    previous = "io"
+    for index in range(stages):
+        name = f"stage{index}"
+        kpn.add_module(name, lambda n=name: PassThrough(n))
+        kpn.connect(previous, name)
+        previous = name
+    kpn.connect(previous, "io")
+    return kpn
+
+
+def test_auto_placement_assigns_all_nodes():
+    system = build_system()
+    assembler = RuntimeAssembler(system)
+    kpn = pipeline_kpn(2)
+    placement = assembler.auto_placement(kpn)
+    assert placement["io"] == "rsb0.iom0"
+    assert placement["stage0"] == "rsb0.prr0"
+    assert placement["stage1"] == "rsb0.prr1"
+
+
+def test_auto_placement_rejects_oversubscription():
+    system = build_system()
+    assembler = RuntimeAssembler(system)
+    with pytest.raises(AssemblyError, match="free PRRs"):
+        assembler.auto_placement(pipeline_kpn(3))
+
+
+def test_check_placement_slot_kind_mismatch():
+    system = build_system()
+    assembler = RuntimeAssembler(system)
+    kpn = pipeline_kpn(1)
+    with pytest.raises(AssemblyError, match="wrong slot kind"):
+        assembler.check_placement(
+            kpn, {"io": "rsb0.prr1", "stage0": "rsb0.prr0"}
+        )
+
+
+def test_check_placement_shared_slot():
+    system = build_system()
+    assembler = RuntimeAssembler(system)
+    kpn = pipeline_kpn(2)
+    with pytest.raises(AssemblyError, match="share"):
+        assembler.check_placement(
+            kpn,
+            {
+                "io": "rsb0.iom0",
+                "stage0": "rsb0.prr0",
+                "stage1": "rsb0.prr0",
+            },
+        )
+
+
+def test_check_placement_missing_node():
+    system = build_system()
+    assembler = RuntimeAssembler(system)
+    with pytest.raises(AssemblyError, match="no placement"):
+        assembler.check_placement(pipeline_kpn(1), {"io": "rsb0.iom0"})
+
+
+def test_check_placement_port_counts():
+    system = build_system()  # ki=ko=1
+    assembler = RuntimeAssembler(system)
+    kpn = KahnProcessNetwork()
+    kpn.add_iom("io")
+    kpn.add_module("wide", lambda: PassThrough("w"), inputs=2)
+    kpn.connect("io", "wide")
+    with pytest.raises(AssemblyError, match="ports"):
+        assembler.check_placement(
+            kpn, {"io": "rsb0.iom0", "wide": "rsb0.prr0"}
+        )
+
+
+def test_assemble_runs_data_through_pipeline():
+    system = build_system()
+    iom = Iom("io", source=ramp(count=50))
+    system.attach_iom("rsb0.iom0", iom)
+    assembler = RuntimeAssembler(system)
+    kpn = KahnProcessNetwork("scale2x")
+    kpn.add_iom("io")
+    kpn.add_module("x2", lambda: Scaler("x2", gain=q15(2.0)))
+    kpn.add_module("x3", lambda: Scaler("x3", gain=q15(3.0)))
+    kpn.connect("io", "x2")
+    kpn.connect("x2", "x3")
+    kpn.connect("x3", "io")
+    app = assembler.assemble(kpn)
+    system.run_for_cycles(300)
+    assert iom.received == [6 * v for v in range(50)]
+    summary = app.throughput_summary()
+    assert summary["x2"] == 50
+    assert summary["io"] == 50
+
+
+def test_assemble_teardown_releases_channels():
+    system = build_system()
+    system.attach_iom("rsb0.iom0", Iom("io", source=ramp(count=5)))
+    assembler = RuntimeAssembler(system)
+    app = assembler.assemble(pipeline_kpn(2))
+    system.run_for_cycles(100)
+    assert app.teardown() == 0
+    state = system.rsbs[0].router.comm_state()
+    assert state.can_route(0, 1) and state.can_route(1, 2)
+
+
+def test_assemble_timed_places_via_reconfiguration():
+    system = build_system()
+    system.attach_iom("rsb0.iom0", Iom("io", source=ramp(count=30)))
+    kpn = pipeline_kpn(2)
+    for node in kpn.module_nodes():
+        system.register_module(node.name, node.factory)
+        for prr in ("rsb0.prr0", "rsb0.prr1"):
+            system.repository.preload_to_sdram(node.name, prr)
+    assembler = RuntimeAssembler(system)
+    system.start()
+    app = system.microblaze.run_to_completion(
+        assembler.assemble_timed(kpn), "assemble"
+    )
+    assert system.prr("rsb0.prr0").module is not None
+    assert system.icap.history  # real reconfigurations happened
+    system.run_for_us(10)
+    iom = system.iom_slot("rsb0.iom0").iom
+    assert len(iom.received) == 30
+    assert len(app.channels) == 3
+
+
+def test_assemble_infeasible_edges_detected():
+    """A KPN needing more module-out ports than ki=1 provides."""
+    system = build_system()
+    assembler = RuntimeAssembler(system)
+    kpn = KahnProcessNetwork("converge")
+    kpn.add_iom("io")
+    kpn.add_module("a", lambda: PassThrough("a"))
+    kpn.add_module("b", lambda: PassThrough("b"))
+    kpn.connect("io", "a")
+    kpn.connect("a", "b")
+    kpn.connect("b", "io")
+    # manually route a conflicting channel into prr1 (= b's slot)
+    system.place_module_directly(PassThrough("squatter"), "rsb0.prr1")
+    system.open_stream("rsb0.iom0", "rsb0.prr1")
+    system.prr("rsb0.prr1").unload()
+    with pytest.raises(AssemblyError, match="capacity"):
+        assembler.assemble(kpn)

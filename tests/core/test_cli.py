@@ -1,0 +1,74 @@
+"""Unit tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def test_info_lists_devices(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "XC4VLX25" in out
+    assert "ML401" in out
+
+
+def test_info_single_device(capsys):
+    assert main(["info", "--device", "XC4VLX60"]) == 0
+    out = capsys.readouterr().out
+    assert "26624 slices" in out
+    assert "BUFRs" in out
+
+
+def test_flows_prints_summary_and_floorplan(capsys):
+    assert main(["flows"]) == 0
+    out = capsys.readouterr().out
+    assert "9421 slices" in out
+    assert "floorplan" in out
+
+
+def test_flows_writes_sysdef_files(tmp_path, capsys):
+    assert main(["flows", "--output", str(tmp_path / "out")]) == 0
+    files = sorted(p.name for p in (tmp_path / "out").iterdir())
+    assert files == [
+        "vapres-custom.mhs",
+        "vapres-custom.mss",
+        "vapres-custom.ucf",
+    ]
+
+
+def test_flows_reports_overfull_design(capsys):
+    code = main(["flows", "--prrs", "4", "--board", "ML401"])
+    assert code == 1
+    assert "failed" in capsys.readouterr().err
+
+
+def test_flows_reports_unknown_board(capsys):
+    code = main(["flows", "--board", "NOBOARD"])
+    assert code == 1
+    assert "failed" in capsys.readouterr().err
+
+
+def test_flows_reports_bad_parameters(capsys):
+    code = main(["flows", "--width", "0"])
+    assert code == 1
+    assert "failed" in capsys.readouterr().err
+
+
+def test_demo_runs_switch(capsys):
+    assert main(["demo", "--speedup", "2000"]) == 0
+    out = capsys.readouterr().out
+    assert "step 9" in out or "switch complete" in out
+    assert "words lost: 0" in out
+
+
+def test_experiments_regenerates_section_vb(capsys):
+    assert main(["experiments"]) == 0
+    out = capsys.readouterr().out
+    assert "9421 slices" in out
+    assert "1.043" in out
+    assert "MISMATCH" not in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

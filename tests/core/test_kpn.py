@@ -1,0 +1,127 @@
+"""Unit tests for the KPN application model."""
+
+import pytest
+
+from repro.core.kpn import KahnProcessNetwork, KpnError
+from repro.modules.transforms import PassThrough
+
+
+def factory(name):
+    return lambda: PassThrough(name)
+
+
+def linear_kpn():
+    kpn = KahnProcessNetwork("pipeline")
+    kpn.add_iom("src")
+    kpn.add_module("a", factory("a"))
+    kpn.add_module("b", factory("b"))
+    kpn.add_iom("dst")
+    kpn.connect("src", "a")
+    kpn.connect("a", "b")
+    kpn.connect("b", "dst")
+    return kpn
+
+
+def test_module_node_needs_factory():
+    kpn = KahnProcessNetwork()
+    with pytest.raises(KpnError, match="factory"):
+        kpn.add_module("a", None)
+
+
+def test_duplicate_node_rejected():
+    kpn = KahnProcessNetwork()
+    kpn.add_iom("x")
+    with pytest.raises(KpnError, match="duplicate"):
+        kpn.add_iom("x")
+
+
+def test_connect_unknown_node():
+    kpn = KahnProcessNetwork()
+    kpn.add_iom("x")
+    with pytest.raises(KpnError, match="unknown node"):
+        kpn.connect("x", "y")
+
+
+def test_connect_port_bounds():
+    kpn = KahnProcessNetwork()
+    kpn.add_iom("x", outputs=1)
+    kpn.add_module("m", factory("m"), inputs=1)
+    with pytest.raises(KpnError, match="no output port"):
+        kpn.connect("x", "m", src_port=1)
+    with pytest.raises(KpnError, match="no input port"):
+        kpn.connect("x", "m", dst_port=2)
+
+
+def test_port_exclusivity():
+    kpn = KahnProcessNetwork()
+    kpn.add_iom("x")
+    kpn.add_module("a", factory("a"))
+    kpn.add_module("b", factory("b"))
+    kpn.connect("x", "a")
+    with pytest.raises(KpnError, match="already connected"):
+        kpn.connect("x", "b")  # output port 0 reused
+
+
+def test_duplicate_edge_rejected():
+    kpn = KahnProcessNetwork()
+    kpn.add_iom("x")
+    kpn.add_module("a", factory("a"))
+    kpn.connect("x", "a")
+    with pytest.raises(KpnError):
+        kpn.connect("x", "a")
+
+
+def test_predecessors_successors():
+    kpn = linear_kpn()
+    assert [e.src for e in kpn.predecessors("b")] == ["a"]
+    assert [e.dst for e in kpn.successors("a")] == ["b"]
+
+
+def test_validate_flags_dangling_module_inputs():
+    kpn = KahnProcessNetwork()
+    kpn.add_module("orphan", factory("o"))
+    with pytest.raises(KpnError, match="unconnected"):
+        kpn.validate()
+
+
+def test_validate_empty():
+    with pytest.raises(KpnError, match="empty"):
+        KahnProcessNetwork().validate()
+
+
+def test_topological_order_linear():
+    kpn = linear_kpn()
+    order = kpn.topological_order()
+    assert order.index("src") < order.index("a") < order.index("b")
+
+
+def test_topological_order_detects_cycle():
+    kpn = KahnProcessNetwork()
+    kpn.add_module("a", factory("a"))
+    kpn.add_module("b", factory("b"))
+    kpn.connect("a", "b")
+    with pytest.raises(KpnError, match="cycle"):
+        kpn.connect("b", "a")
+        kpn.topological_order()
+
+
+def test_fork_join_topology():
+    """The Figure 4 shape: a fork and a join node."""
+    kpn = KahnProcessNetwork("fig4")
+    kpn.add_iom("io_in")
+    kpn.add_module("split", factory("s"), inputs=1, outputs=2)
+    kpn.add_module("left", factory("l"))
+    kpn.add_module("right", factory("r"))
+    kpn.add_module("merge", factory("m"), inputs=2, outputs=1)
+    kpn.add_iom("io_out")
+    kpn.connect("io_in", "split")
+    kpn.connect("split", "left", src_port=0)
+    kpn.connect("split", "right", src_port=1)
+    kpn.connect("left", "merge", dst_port=0)
+    kpn.connect("right", "merge", dst_port=1)
+    kpn.connect("merge", "io_out")
+    kpn.validate()
+    order = kpn.topological_order()
+    assert order.index("split") < order.index("merge")
+    assert len(kpn.module_nodes()) == 4
+    assert len(kpn.iom_nodes()) == 2

@@ -1,0 +1,109 @@
+"""Unit tests for architectural parameters."""
+
+import pytest
+
+from repro.core.params import ParameterError, RsbParameters, SystemParameters
+
+
+def test_prototype_matches_paper_section_va():
+    params = SystemParameters.prototype()
+    assert params.board == "ML401"
+    assert params.system_clock_hz == 100e6
+    rsb = params.rsbs[0]
+    assert rsb.num_prrs == 2
+    assert rsb.num_ioms == 1
+    assert rsb.channel_width == 32
+    assert (rsb.kr, rsb.kl, rsb.ki, rsb.ko) == (2, 2, 1, 1)
+    assert rsb.fifo_depth == 512
+    assert rsb.prr_slices == 640
+
+
+def test_figure7_parameters():
+    params = SystemParameters.figure7()
+    rsb = params.rsbs[0]
+    assert rsb.num_prrs == 4
+    assert rsb.attachment_count == 6
+    assert (rsb.kr, rsb.kl, rsb.ki, rsb.ko) == (2, 2, 1, 1)
+
+
+def test_attachment_count():
+    rsb = RsbParameters(num_prrs=3, num_ioms=2)
+    assert rsb.attachment_count == 5
+
+
+def test_default_iom_positions_leftmost():
+    rsb = RsbParameters(num_prrs=2, num_ioms=2)
+    assert rsb.resolved_iom_positions() == [0, 1]
+    assert rsb.prr_positions() == [2, 3]
+
+
+def test_explicit_iom_positions():
+    rsb = RsbParameters(num_prrs=2, num_ioms=2, iom_positions=[0, 3])
+    assert rsb.prr_positions() == [1, 2]
+
+
+def test_validation_errors():
+    with pytest.raises(ParameterError):
+        RsbParameters(num_prrs=0)
+    with pytest.raises(ParameterError):
+        RsbParameters(channel_width=0)
+    with pytest.raises(ParameterError):
+        RsbParameters(ki=0)
+    with pytest.raises(ParameterError):
+        RsbParameters(fifo_depth=2)
+    with pytest.raises(ParameterError):
+        RsbParameters(regions_per_prr=4)
+    with pytest.raises(ParameterError):
+        RsbParameters(num_prrs=2, num_ioms=1, iom_positions=[0, 1])
+    with pytest.raises(ParameterError):
+        RsbParameters(num_prrs=2, num_ioms=1, iom_positions=[9])
+    with pytest.raises(ParameterError):
+        RsbParameters(num_prrs=2, num_ioms=2, iom_positions=[1, 1])
+    with pytest.raises(ParameterError):
+        RsbParameters(num_prrs=2, num_ioms=1, kr=0)
+
+
+def test_single_prr_rsb_may_omit_lanes():
+    rsb = RsbParameters(num_prrs=1, num_ioms=0, kr=0, kl=0)
+    assert rsb.attachment_count == 1
+
+
+def test_system_validation():
+    with pytest.raises(ParameterError):
+        SystemParameters(system_clock_hz=0)
+    with pytest.raises(ParameterError):
+        SystemParameters(rsbs=[])
+    with pytest.raises(ParameterError):
+        SystemParameters(lcd_divisors=(0, 2))
+    with pytest.raises(ParameterError):
+        SystemParameters(pr_speedup=0)
+    with pytest.raises(ParameterError):
+        SystemParameters(
+            rsbs=[RsbParameters(name="x"), RsbParameters(name="x")]
+        )
+
+
+def test_with_rsb_override():
+    params = SystemParameters.prototype().with_rsb(
+        num_prrs=4, num_ioms=2, iom_positions=[0, 5]
+    )
+    assert params.rsbs[0].num_prrs == 4
+    assert params.rsbs[0].channel_width == 32  # untouched fields preserved
+
+
+def test_with_rsb_requires_single_rsb():
+    params = SystemParameters(
+        rsbs=[RsbParameters(name="a"), RsbParameters(name="b")]
+    )
+    with pytest.raises(ParameterError):
+        params.with_rsb(num_prrs=3)
+
+
+def test_total_prrs():
+    params = SystemParameters(
+        rsbs=[
+            RsbParameters(name="a", num_prrs=2),
+            RsbParameters(name="b", num_prrs=3),
+        ]
+    )
+    assert params.total_prrs == 5

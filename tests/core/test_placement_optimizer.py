@@ -1,0 +1,124 @@
+"""Unit tests for the hop-minimising placement optimizer."""
+
+import pytest
+
+from repro.core import RsbParameters, SystemParameters, VapresSystem
+from repro.core.assembly import AssemblyError, RuntimeAssembler
+from repro.core.kpn import KahnProcessNetwork
+from repro.modules import Iom
+from repro.modules.sources import ramp
+from repro.modules.transforms import PassThrough
+
+
+def build_system(num_prrs=4):
+    params = SystemParameters(
+        board="ML402",
+        rsbs=[
+            RsbParameters(
+                name="rsb0",
+                num_prrs=num_prrs,
+                num_ioms=2,
+                iom_positions=[0, num_prrs + 1],
+            )
+        ],
+    )
+    return VapresSystem(params)
+
+
+def chain_kpn(stages):
+    kpn = KahnProcessNetwork("chain")
+    kpn.add_iom("in")
+    kpn.add_iom("out")
+    previous = "in"
+    for index in range(stages):
+        name = f"s{index}"
+        kpn.add_module(name, lambda n=name: PassThrough(n))
+        kpn.connect(previous, name)
+        previous = name
+    kpn.connect(previous, "out")
+    return kpn
+
+
+def test_optimized_never_worse_than_auto():
+    system = build_system()
+    assembler = RuntimeAssembler(system)
+    kpn = chain_kpn(3)
+    auto = assembler.auto_placement(kpn)
+    optimized = assembler.optimized_placement(kpn)
+    assert assembler.placement_hop_cost(kpn, optimized) <= (
+        assembler.placement_hop_cost(kpn, auto)
+    )
+
+
+def test_optimized_chain_is_monotone_along_the_array():
+    """A linear chain ends up placed in array order (minimal hops)."""
+    system = build_system()
+    assembler = RuntimeAssembler(system)
+    kpn = chain_kpn(4)
+    placement = assembler.optimized_placement(kpn)
+    positions = [
+        system.slot(placement[f"s{i}"]).position for i in range(4)
+    ]
+    assert positions == sorted(positions)
+    # total cost: in(0)->s0, s0->..->s3, s3->out(5): all single hops
+    assert assembler.placement_hop_cost(kpn, placement) == 5
+
+
+def test_optimizer_beats_auto_on_reversed_chain():
+    """A KPN declared in reverse order defeats the naive zipper but not
+    the optimizer."""
+    system = build_system()
+    assembler = RuntimeAssembler(system)
+    kpn = KahnProcessNetwork("reversed")
+    kpn.add_iom("in")
+    kpn.add_iom("out")
+    # declare the last stage first: auto placement zips declaration order
+    kpn.add_module("last", lambda: PassThrough("last"))
+    kpn.add_module("first", lambda: PassThrough("first"))
+    kpn.connect("in", "first")
+    kpn.connect("first", "last")
+    kpn.connect("last", "out")
+    auto_cost = assembler.placement_hop_cost(kpn, assembler.auto_placement(kpn))
+    optimized_cost = assembler.placement_hop_cost(
+        kpn, assembler.optimized_placement(kpn)
+    )
+    assert optimized_cost < auto_cost
+
+
+def test_optimized_placement_validates_and_runs():
+    system = build_system()
+    source = Iom("src", source=ramp(count=200))
+    sink = Iom("dst")
+    system.attach_iom("rsb0.iom0", source)
+    system.attach_iom("rsb0.iom1", sink)
+    assembler = RuntimeAssembler(system)
+    kpn = chain_kpn(3)
+    placement = assembler.optimized_placement(kpn)
+    assembler.check_placement(kpn, placement)
+    assembler.assemble(kpn, placement)
+    system.run_for_cycles(900)
+    assert sink.received == list(range(200))
+
+
+def test_optimizer_respects_occupied_slots():
+    system = build_system()
+    system.place_module_directly(PassThrough("squatter"), "rsb0.prr0")
+    assembler = RuntimeAssembler(system)
+    kpn = chain_kpn(3)
+    placement = assembler.optimized_placement(kpn)
+    assert "rsb0.prr0" not in placement.values()
+
+
+def test_optimizer_oversubscription():
+    system = build_system(num_prrs=2)
+    assembler = RuntimeAssembler(system)
+    with pytest.raises(AssemblyError, match="not enough"):
+        assembler.optimized_placement(chain_kpn(3))
+
+
+def test_large_networks_fall_back_to_auto():
+    system = build_system(num_prrs=4)
+    assembler = RuntimeAssembler(system)
+    kpn = chain_kpn(4)
+    fallback = assembler.optimized_placement(kpn, max_exhaustive=2)
+    assert fallback == assembler.auto_placement(kpn)

@@ -1,0 +1,156 @@
+"""Unit tests for the RSB builder."""
+
+import pytest
+
+from repro.control.dcr import DcrBus
+from repro.core.params import RsbParameters
+from repro.core.rsb import IomSlot, PrrSlot, ReconfigurableStreamingBlock, RsbError
+from repro.modules.iom import Iom
+from repro.modules.transforms import PassThrough
+from repro.sim.clock import Clock, Dcm, FixedSource, Pmcd
+from repro.sim.kernel import Simulator
+
+
+def make_rsb(params=None):
+    sim = Simulator()
+    clock = Clock(sim, freq_hz=100e6, name="sys")
+    osc = FixedSource(100e6)
+    dcm = Dcm(osc)
+    pmcd = Pmcd(dcm.clk0)
+    bus = DcrBus()
+    rsb = ReconfigurableStreamingBlock(
+        sim=sim,
+        params=params or RsbParameters(iom_positions=[0]),
+        system_clock=clock,
+        fast_source=dcm.clk0,
+        slow_source=pmcd.clkdiv2,
+        dcr_bus=bus,
+        dcr_base=0x80,
+    )
+    return sim, clock, bus, rsb
+
+
+def test_slot_layout_matches_positions():
+    _, _, _, rsb = make_rsb()
+    assert isinstance(rsb.slots[0], IomSlot)
+    assert isinstance(rsb.slots[1], PrrSlot)
+    assert isinstance(rsb.slots[2], PrrSlot)
+    assert rsb.slots[1].name == "rsb0.prr0"
+    assert rsb.slots[0].name == "rsb0.iom0"
+
+
+def test_switchboxes_one_per_attachment():
+    _, _, _, rsb = make_rsb()
+    assert len(rsb.switchboxes) == 3
+    assert [b.index for b in rsb.switchboxes] == [0, 1, 2]
+
+
+def test_prsockets_mapped_on_dcr_bus():
+    _, _, bus, rsb = make_rsb()
+    assert bus.mapped_addresses == [0x80, 0x81, 0x82]
+    assert rsb.slots[1].prsocket.dcr_address == 0x81
+
+
+def test_slot_by_name():
+    _, _, _, rsb = make_rsb()
+    assert rsb.slot_by_name("rsb0.prr1").position == 2
+    with pytest.raises(RsbError):
+        rsb.slot_by_name("nope")
+
+
+def test_prr_slot_interfaces_and_fsls():
+    _, _, _, rsb = make_rsb()
+    slot = rsb.prr_slots[0]
+    assert len(slot.consumers) == 1
+    assert len(slot.producers) == 1
+    assert slot.fsl_to_module.name.endswith(".t")
+    assert slot.fsl_to_processor.name.endswith(".r")
+    assert slot.slice_macros  # (33*2+8)=74 signals -> 10 macros
+    assert len(slot.slice_macros) == 10
+
+
+def test_prr_lcd_clock_chain():
+    sim, clock, _, rsb = make_rsb()
+    slot = rsb.prr_slots[0]
+    assert slot.lcd_clock.frequency_hz == 100e6
+    slot.bufgmux.select(1)
+    assert slot.lcd_clock.frequency_hz == 50e6
+
+
+def test_load_and_unload_module():
+    sim, clock, _, rsb = make_rsb()
+    slot = rsb.prr_slots[0]
+    module = PassThrough("m")
+    slot.load(module)
+    assert slot.occupied
+    assert module.ports.consumers == slot.consumers
+    rsb.start_clocks()
+    slot.consumers[0].fifo_wen = True
+    slot.consumers[0].receive(True, 5)
+    sim.run_for(50_000)
+    assert module.samples_in == 1
+    removed = slot.unload()
+    assert removed is module
+    assert not slot.occupied
+    sim.run_for(50_000)
+    assert module.samples_in == 1  # detached from the LCD clock
+
+
+def test_load_replaces_existing_module():
+    _, _, _, rsb = make_rsb()
+    slot = rsb.prr_slots[0]
+    slot.load(PassThrough("a"))
+    slot.load(PassThrough("b"))
+    assert slot.module.name == "b"
+
+
+def test_reset_target_wired_to_prsocket():
+    _, _, _, rsb = make_rsb()
+    slot = rsb.prr_slots[0]
+    module = PassThrough("m")
+    module.flushing = True
+    slot.load(module)
+    slot.prsocket.write_field("PRR_reset", True)
+    assert not module.flushing  # reset() ran
+
+
+def test_iom_slot_attach_enables_consumer_only():
+    sim, clock, _, rsb = make_rsb()
+    slot = rsb.iom_slots[0]
+    iom = Iom("io", source=iter([1, 2]))
+    slot.attach_iom(iom)
+    # the producer read-enable belongs to channel establishment, not attach
+    assert not slot.producers[0].fifo_ren
+    assert slot.consumers[0].fifo_wen
+    clock.start()
+    sim.run_for(50_000)
+    assert iom.words_emitted == 2
+
+
+def test_iom_reattach_detaches_old():
+    sim, clock, _, rsb = make_rsb()
+    slot = rsb.iom_slots[0]
+    old = Iom("old", source=iter(range(100)))
+    slot.attach_iom(old)
+    new = Iom("new", source=iter(range(100)))
+    slot.attach_iom(new)
+    clock.start()
+    sim.run_for(20_000)
+    assert old.cycles == 0
+    assert new.cycles == 2
+
+
+def test_module_ids_unassigned_until_system():
+    _, _, _, rsb = make_rsb()
+    assert all(slot.module_id == -1 for slot in rsb.slots)
+
+
+def test_custom_rsb_shape():
+    params = RsbParameters(
+        name="big", num_prrs=4, num_ioms=2, ki=2, ko=2, iom_positions=[0, 5]
+    )
+    _, _, _, rsb = make_rsb(params)
+    assert len(rsb.prr_slots) == 4
+    assert len(rsb.iom_slots) == 2
+    assert len(rsb.prr_slots[0].consumers) == 2
+    assert len(rsb.prr_slots[0].producers) == 2

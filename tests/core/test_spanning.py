@@ -1,0 +1,184 @@
+"""Unit tests for multi-PRR spanning placements (paper Section IV.A)."""
+
+import pytest
+
+from repro.core import RsbParameters, SystemParameters, VapresSystem
+from repro.core.spanning import SpanningError, SpanningRegion
+from repro.modules import Iom, StreamMerger
+from repro.modules.filters import FirFilter, Q15_ONE
+from repro.modules.sources import ramp
+from repro.modules.transforms import PassThrough
+
+from tests.helpers import build_system
+
+
+def build_wide_system(num_prrs=3, pr_speedup=1000.0):
+    from dataclasses import replace
+
+    params = SystemParameters(
+        board="ML402",  # LX60: room for more PRRs
+        pr_speedup=pr_speedup,
+        rsbs=[
+            RsbParameters(
+                name="rsb0",
+                num_prrs=num_prrs,
+                num_ioms=1,
+                iom_positions=[0],
+            )
+        ],
+    )
+    return VapresSystem(params)
+
+
+def test_span_requires_two_prrs():
+    system = build_wide_system()
+    with pytest.raises(SpanningError, match="at least two"):
+        SpanningRegion(system, ["rsb0.prr0"])
+
+
+def test_span_requires_adjacent_attachments():
+    system = build_wide_system()
+    with pytest.raises(SpanningError, match="adjacent"):
+        SpanningRegion(system, ["rsb0.prr0", "rsb0.prr2"])
+
+
+def test_span_combined_resources_and_ports():
+    system = build_wide_system()
+    span = SpanningRegion(system, ["rsb0.prr0", "rsb0.prr1"])
+    assert span.slices == 1280  # two 640-slice PRRs
+    ports = span.ports()
+    assert len(ports.consumers) == 2
+    assert len(ports.producers) == 2
+    assert ports.fsl_in is system.prr("rsb0.prr0").fsl_to_module
+    assert span.positions() == [1, 2]
+
+
+def test_span_clock_region_limit():
+    """Four stacked single-region PRRs exceed the 3-region BUFR reach."""
+    system = build_wide_system(num_prrs=4)
+    with pytest.raises(SpanningError, match="BUFR"):
+        SpanningRegion(
+            system,
+            ["rsb0.prr0", "rsb0.prr1", "rsb0.prr2", "rsb0.prr3"],
+        )
+
+
+def test_span_load_marks_all_slots_occupied():
+    system = build_wide_system()
+    span = SpanningRegion(system, ["rsb0.prr0", "rsb0.prr1"])
+    module = PassThrough("big")
+    span.load(module)
+    assert system.prr("rsb0.prr0").occupied
+    assert system.prr("rsb0.prr1").occupied
+    assert span.occupied
+    removed = span.unload()
+    assert removed is module
+    assert not system.prr("rsb0.prr0").occupied
+
+
+def test_span_load_conflicts_with_resident_module():
+    system = build_wide_system()
+    system.place_module_directly(PassThrough("squatter"), "rsb0.prr1")
+    span = SpanningRegion(system, ["rsb0.prr0", "rsb0.prr1"])
+    with pytest.raises(SpanningError, match="already holds"):
+        span.load(PassThrough("big"))
+
+
+def test_span_module_clocked_by_primary_lcd():
+    system = build_wide_system()
+    span = SpanningRegion(system, ["rsb0.prr0", "rsb0.prr1"])
+    module = PassThrough("big")
+    span.load(module)
+    system.start()
+    consumer = span.ports().consumers[0]
+    consumer.fifo_wen = True
+    consumer.receive(True, 7)
+    system.run_for_cycles(10)
+    assert module.samples_in == 1
+
+
+def test_span_bitstream_covers_both_rects():
+    system = build_wide_system()
+    span = SpanningRegion(system, ["rsb0.prr0", "rsb0.prr1"])
+    span.register_module("big", lambda: PassThrough("big"))
+    bitstream = system.repository.lookup("big", span.name)
+    single = system.repository  # compare against one-PRR bitstream size
+    from repro.pr.bitstream import bitstream_for_rect
+
+    one = bitstream_for_rect(
+        "x", "y", system.floorplan.prrs["rsb0.prr0"].rect
+    )
+    assert bitstream.frames == 2 * one.frames
+    assert bitstream.size_bytes > 1.9 * one.size_bytes
+
+
+def test_span_timed_reconfiguration_isolates_and_loads():
+    system = build_wide_system()
+    span = SpanningRegion(system, ["rsb0.prr1", "rsb0.prr2"])
+    span.register_module("big", lambda: PassThrough("big"))
+    system.repository.preload_to_sdram("big", span.name)
+    system.start()
+    transfer = system.engine.array2icap("big", span.name)
+    # both slots isolated during the write
+    assert span.reconfiguring
+    assert not system.prr("rsb0.prr1").slice_macros[0].enabled
+    assert not system.prr("rsb0.prr2").bufr.enabled
+    system.run_for_ms(0.5)
+    assert not span.reconfiguring
+    assert span.module.name == "big"
+    assert system.prr("rsb0.prr1").module is span.module
+    # one LCD: the primary BUFR runs, the secondary stays gated
+    assert system.prr("rsb0.prr1").bufr.enabled
+    assert not system.prr("rsb0.prr2").bufr.enabled
+    # reconfiguration took ~2x the single-PRR time (area-linear)
+    single_seconds = 0.07194 / 1000.0  # scaled
+    assert transfer.duration_seconds == pytest.approx(
+        2 * single_seconds, rel=0.05
+    )
+
+
+def test_span_streams_through_both_switchboxes():
+    """A spanning module's combined ports live on distinct switch boxes:
+    input arrives at the second spanned box (prr2), output leaves from the
+    first (prr1)."""
+    system = build_wide_system()
+    iom = Iom("io", source=ramp(count=100))
+    system.attach_iom("rsb0.iom0", iom)
+    span = SpanningRegion(system, ["rsb0.prr1", "rsb0.prr2"])
+    merger = StreamMerger("wide-merge")  # scans all consumers; 1 active
+    span.load(merger)
+    # iom -> prr2 consumer = the span's combined consumer index 1
+    system.open_stream("rsb0.iom0", "rsb0.prr2")
+    # merger emits on combined producer 0 = prr1's producer -> iom
+    system.open_stream("rsb0.prr1", "rsb0.iom0")
+    system.run_for_cycles(600)
+    assert iom.received == list(range(100))
+    assert merger.samples_in == 100
+
+
+def test_spanned_slots_reject_individual_load_and_unload():
+    """Loading/unloading a member PRR of a live span is a protocol error
+    (it would detach from the wrong clock and corrupt occupancy)."""
+    from repro.core.rsb import RsbError
+
+    system = build_wide_system()
+    span = SpanningRegion(system, ["rsb0.prr0", "rsb0.prr1"])
+    span.load(PassThrough("big"))
+    with pytest.raises(RsbError, match="spanning region"):
+        system.place_module_directly(PassThrough("intruder"), "rsb0.prr1")
+    with pytest.raises(RsbError, match="spanning region"):
+        system.prr("rsb0.prr0").unload()
+    # dissolving the span restores individual control
+    span.unload()
+    system.place_module_directly(PassThrough("fine"), "rsb0.prr1")
+    assert system.prr("rsb0.prr1").module.name == "fine"
+
+
+def test_spanning_region_lookup():
+    system = build_wide_system()
+    span = SpanningRegion(system, ["rsb0.prr0", "rsb0.prr1"])
+    assert system.spanning_region(span.name) is span
+    import pytest as _pytest
+
+    with _pytest.raises(Exception, match="unknown spanning region"):
+        system.spanning_region("nope")

@@ -1,0 +1,164 @@
+"""Unit tests for VapresSystem assembly and reconfiguration protocol."""
+
+import pytest
+
+from repro.core.params import RsbParameters, SystemParameters
+from repro.core.system import SystemError_, VapresSystem
+from repro.core.rsb import IomSlot, PrrSlot
+from repro.modules.iom import Iom
+from repro.modules.transforms import PassThrough
+
+from tests.helpers import build_system
+
+
+def test_default_system_is_prototype():
+    system = VapresSystem()
+    assert system.device.name == "XC4VLX25"
+    assert len(system.prr_slots) == 2
+    assert len(system.iom_slots) == 1
+
+
+def test_slot_lookup_and_kinds():
+    system = build_system()
+    assert isinstance(system.prr("rsb0.prr0"), PrrSlot)
+    assert isinstance(system.iom_slot("rsb0.iom0"), IomSlot)
+    with pytest.raises(SystemError_):
+        system.slot("nope")
+    with pytest.raises(SystemError_):
+        system.prr("rsb0.iom0")
+    with pytest.raises(SystemError_):
+        system.iom_slot("rsb0.prr0")
+
+
+def test_module_ids_are_dense_and_resolvable():
+    system = build_system()
+    ids = sorted(slot.module_id for slot in system.rsbs[0].slots)
+    assert ids == [0, 1, 2]
+    for module_id in ids:
+        assert system.slot_by_id(module_id).module_id == module_id
+    with pytest.raises(SystemError_):
+        system.slot_by_id(99)
+
+
+def test_floorplan_covers_all_prrs():
+    system = build_system()
+    for slot in system.prr_slots:
+        assert slot.name in system.floorplan.prrs
+        assert system.floorplan.prrs[slot.name].slices >= 640
+
+
+def test_register_module_creates_bitstreams_for_all_prrs():
+    system = build_system()
+    system.register_module("mod", lambda: PassThrough("mod"))
+    assert system.repository.has("mod", "rsb0.prr0")
+    assert system.repository.has("mod", "rsb0.prr1")
+
+
+def test_register_module_specific_prr():
+    system = build_system()
+    system.register_module(
+        "mod", lambda: PassThrough("mod"), prr_names=["rsb0.prr1"]
+    )
+    assert not system.repository.has("mod", "rsb0.prr0")
+    assert system.repository.has("mod", "rsb0.prr1")
+
+
+def test_reconfiguration_isolation_protocol():
+    """SM_en off + clock gated during PR; module loaded after (Section III)."""
+    system = build_system()
+    system.register_module("mod", lambda: PassThrough("mod"))
+    system.repository.preload_to_sdram("mod", "rsb0.prr0")
+    system.start()
+    slot = system.prr("rsb0.prr0")
+    system.engine.array2icap("mod", "rsb0.prr0")
+    assert slot.reconfiguring
+    assert not slot.slice_macros[0].enabled
+    assert not slot.bufr.enabled
+    assert slot.module is None
+    # run past the (scaled) reconfiguration time
+    system.run_for_ms(0.2)
+    assert not slot.reconfiguring
+    assert slot.module is not None
+    assert slot.module.name == "mod"
+    assert slot.slice_macros[0].enabled
+    assert slot.bufr.enabled
+
+
+def test_reconfig_evicts_previous_module():
+    system = build_system()
+    old = PassThrough("old")
+    system.place_module_directly(old, "rsb0.prr0")
+    system.register_module("new", lambda: PassThrough("new"))
+    system.repository.preload_to_sdram("new", "rsb0.prr0")
+    system.start()
+    system.engine.array2icap("new", "rsb0.prr0")
+    system.run_for_ms(0.2)
+    assert system.prr("rsb0.prr0").module.name == "new"
+
+
+def test_open_and_close_stream():
+    system = build_system()
+    iom = Iom("io", source=iter(range(10)))
+    system.attach_iom("rsb0.iom0", iom)
+    module = PassThrough("m")
+    system.place_module_directly(module, "rsb0.prr0")
+    ch = system.open_stream("rsb0.iom0", "rsb0.prr0")
+    assert ch.d == 2
+    system.run_for_cycles(50)
+    assert module.samples_in == 10
+    lost = system.close_stream(ch)
+    assert lost == 0
+
+
+def test_close_foreign_channel_rejected():
+    system_a = build_system()
+    system_b = build_system()
+    system_a.place_module_directly(PassThrough("m"), "rsb0.prr0")
+    channel = system_a.open_stream("rsb0.iom0", "rsb0.prr0")
+    with pytest.raises(SystemError_):
+        system_b.close_stream(channel)
+
+
+def test_cross_rsb_stream_rejected():
+    params = SystemParameters(
+        rsbs=[
+            RsbParameters(name="a", num_prrs=1, num_ioms=1, iom_positions=[0]),
+            RsbParameters(name="b", num_prrs=1, num_ioms=1, iom_positions=[0]),
+        ]
+    )
+    system = VapresSystem(params)
+    with pytest.raises(SystemError_, match="cross RSBs"):
+        system.open_stream("a.prr0", "b.prr0")
+
+
+def test_run_helpers_advance_time():
+    system = build_system()
+    system.run_for_cycles(100)
+    assert system.sim.now == 100 * system.system_clock.period_ps
+    system.run_for_us(1)
+    assert system.sim.now == 100 * system.system_clock.period_ps + 1_000_000
+
+
+def test_pr_speedup_scales_rates():
+    slow = VapresSystem(SystemParameters.prototype())
+    fast = build_system(pr_speedup=100.0)
+    assert fast.cf.bytes_per_second == pytest.approx(
+        100 * slow.cf.bytes_per_second
+    )
+    assert fast.sdram.icap_path_bytes_per_second == pytest.approx(
+        100 * slow.sdram.icap_path_bytes_per_second
+    )
+
+
+def test_multi_rsb_system():
+    params = SystemParameters(
+        rsbs=[
+            RsbParameters(name="a", num_prrs=2, num_ioms=1, iom_positions=[0]),
+            RsbParameters(name="b", num_prrs=1, num_ioms=1, iom_positions=[0]),
+        ]
+    )
+    system = VapresSystem(params)
+    assert len(system.prr_slots) == 3
+    # DCR bases do not collide
+    addresses = sorted(system.dcr_bus.mapped_addresses)
+    assert len(addresses) == len(set(addresses)) == 5

@@ -1,0 +1,92 @@
+"""Unit tests for the Virtex-4 device catalogue."""
+
+import pytest
+
+from repro.fabric.device import (
+    BOARDS,
+    DEVICES,
+    SLICES_PER_CLB,
+    Virtex4Device,
+    get_board,
+    get_device,
+)
+from repro.fabric.geometry import CLOCK_REGION_ROWS, ClockRegion, GeometryError
+
+
+def test_vlx25_is_the_paper_prototype_device():
+    device = get_device("XC4VLX25")
+    assert device.slices == 10_752
+    assert device.clb_cols * device.clb_rows * SLICES_PER_CLB == device.slices
+
+
+def test_vlx60_size():
+    assert get_device("XC4VLX60").slices == 26_624
+
+
+def test_all_devices_have_integral_clock_regions():
+    for device in DEVICES.values():
+        assert device.clb_rows % CLOCK_REGION_ROWS == 0
+        assert device.clock_region_count == 2 * (
+            device.clb_rows // CLOCK_REGION_ROWS
+        )
+
+
+def test_device_lookup_case_insensitive():
+    assert get_device("xc4vlx25") is get_device("XC4VLX25")
+
+
+def test_unknown_device_raises():
+    with pytest.raises(KeyError):
+        get_device("XC7K325T")
+
+
+def test_rows_not_multiple_of_region_height_rejected():
+    with pytest.raises(GeometryError):
+        Virtex4Device("BAD", clb_cols=10, clb_rows=20, bram18=1, dsp48=1)
+
+
+def test_region_rect_tiles_device():
+    device = get_device("XC4VLX25")
+    total = sum(device.region_rect(r).clbs for r in device.clock_regions())
+    assert total == device.clbs
+
+
+def test_region_rect_halves():
+    device = get_device("XC4VLX25")
+    left = device.region_rect(ClockRegion(0, 0))
+    right = device.region_rect(ClockRegion(1, 0))
+    assert left.col == 0
+    assert right.col == device.center_col
+    assert left.width + right.width == device.clb_cols
+
+
+def test_region_rect_out_of_range():
+    device = get_device("XC4VLX25")
+    with pytest.raises(GeometryError):
+        device.region_rect(ClockRegion(0, 99))
+
+
+def test_ml401_board():
+    board = get_board("ML401")
+    assert board.device.name == "XC4VLX25"
+    assert board.compact_flash
+    assert board.oscillator_hz == 100e6
+    assert board.sdram_bytes == 64 * 1024 * 1024
+
+
+def test_unknown_board_raises():
+    with pytest.raises(KeyError):
+        get_board("ZCU102")
+
+
+def test_larger_devices_have_more_resources():
+    ordered = ["XC4VLX15", "XC4VLX25", "XC4VLX40", "XC4VLX60", "XC4VLX200"]
+    slices = [get_device(n).slices for n in ordered]
+    assert slices == sorted(slices)
+    brams = [get_device(n).bram18 for n in ordered]
+    assert brams == sorted(brams)
+
+
+def test_bufr_count():
+    device = get_device("XC4VLX25")
+    assert device.bufr_count == device.clock_region_count * 2

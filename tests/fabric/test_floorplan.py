@@ -1,0 +1,182 @@
+"""Unit tests for the floorplanner and its paper constraints."""
+
+import pytest
+
+from repro.fabric.device import get_device
+from repro.fabric.floorplan import (
+    Floorplan,
+    FloorplanError,
+    MAX_PRR_HEIGHT,
+    auto_floorplan,
+)
+from repro.fabric.geometry import Rect
+
+
+@pytest.fixture
+def device():
+    return get_device("XC4VLX25")
+
+
+def test_place_prototype_prr(device):
+    plan = Floorplan(device)
+    placement = plan.place_prr("prr0", Rect(0, 0, 10, 16))
+    assert placement.slices == 640  # the paper's 640-slice PRR
+    assert len(placement.clock_regions) == 1
+
+
+def test_prr_height_limit(device):
+    plan = Floorplan(device)
+    with pytest.raises(FloorplanError, match="BUFR"):
+        plan.place_prr("tall", Rect(0, 0, 4, MAX_PRR_HEIGHT + 16))
+
+
+def test_prr_three_regions_allowed(device):
+    plan = Floorplan(device)
+    placement = plan.place_prr("big", Rect(0, 0, 4, 48))
+    assert len(placement.clock_regions) == 3
+
+
+def test_prr_may_not_cross_device_halves(device):
+    plan = Floorplan(device)
+    with pytest.raises(FloorplanError, match="halves|non-adjacent"):
+        plan.place_prr("wide", Rect(10, 0, 10, 16))
+
+
+def test_prrs_may_not_share_clock_regions(device):
+    plan = Floorplan(device)
+    plan.place_prr("a", Rect(0, 0, 5, 16))
+    # same band, same half, disjoint rects -> still illegal (shared region)
+    with pytest.raises(FloorplanError, match="clock region"):
+        plan.place_prr("b", Rect(6, 0, 5, 16))
+
+
+def test_prrs_in_different_bands_ok(device):
+    plan = Floorplan(device)
+    plan.place_prr("a", Rect(0, 0, 5, 16))
+    plan.place_prr("b", Rect(0, 16, 5, 16))
+    assert len(plan.prrs) == 2
+
+
+def test_prrs_in_opposite_halves_same_band_ok(device):
+    plan = Floorplan(device)
+    plan.place_prr("a", Rect(0, 0, 5, 16))
+    plan.place_prr("b", Rect(device.center_col, 0, 5, 16))
+    assert len(plan.prrs) == 2
+
+
+def test_duplicate_name_rejected(device):
+    plan = Floorplan(device)
+    plan.place_prr("a", Rect(0, 0, 5, 16))
+    with pytest.raises(FloorplanError, match="already"):
+        plan.place_prr("a", Rect(0, 16, 5, 16))
+
+
+def test_out_of_bounds_rejected(device):
+    plan = Floorplan(device)
+    with pytest.raises(FloorplanError, match="bounds"):
+        plan.place_prr("a", Rect(0, device.clb_rows - 8, 5, 16))
+
+
+def test_overlap_with_static_rejected(device):
+    plan = Floorplan(device)
+    plan.reserve_static(Rect(0, 0, 28, 16))
+    with pytest.raises(FloorplanError, match="static"):
+        plan.place_prr("a", Rect(0, 0, 5, 16))
+
+
+def test_static_overlap_with_prr_rejected(device):
+    plan = Floorplan(device)
+    plan.place_prr("a", Rect(0, 0, 5, 16))
+    with pytest.raises(FloorplanError, match="overlaps PRR"):
+        plan.reserve_static(Rect(0, 0, 28, 16))
+
+
+def test_remove_prr_frees_regions(device):
+    plan = Floorplan(device)
+    plan.place_prr("a", Rect(0, 0, 5, 16))
+    plan.remove_prr("a")
+    plan.place_prr("b", Rect(6, 0, 5, 16))
+    assert list(plan.prrs) == ["b"]
+
+
+def test_static_slices_available(device):
+    plan = Floorplan(device)
+    plan.place_prr("a", Rect(0, 0, 10, 16))
+    assert plan.static_slices_available == device.slices - 640
+
+
+def test_fragmentation_metric(device):
+    plan = Floorplan(device)
+    plan.place_prr("a", Rect(0, 0, 10, 16))
+    waste = plan.fragmentation({"a": 500})
+    assert waste == {"a": 140}
+    with pytest.raises(FloorplanError):
+        plan.fragmentation({"a": 10_000})
+
+
+def test_bufr_region_is_middle_band(device):
+    plan = Floorplan(device)
+    placement = plan.place_prr("a", Rect(0, 0, 4, 48))
+    assert placement.bufr_region.band == 1
+
+
+# ----------------------------------------------------------------------
+# auto floorplanner
+# ----------------------------------------------------------------------
+def test_auto_floorplan_prototype(device):
+    plan = auto_floorplan(device, [("prr0", 640), ("prr1", 640)])
+    assert plan.prrs["prr0"].slices >= 640
+    assert plan.prrs["prr1"].slices >= 640
+    regions0 = plan.prrs["prr0"].clock_regions
+    regions1 = plan.prrs["prr1"].clock_regions
+    assert not (regions0 & regions1)
+
+
+def test_auto_floorplan_runs_out_of_regions(device):
+    too_many = [(f"p{i}", 64) for i in range(device.clock_region_bands + 1)]
+    with pytest.raises(FloorplanError, match="out of clock regions"):
+        auto_floorplan(device, too_many)
+
+
+def test_auto_floorplan_oversized_module(device):
+    huge = device.center_col * 16 * 4 + 1
+    with pytest.raises(FloorplanError, match="at most"):
+        auto_floorplan(device, [("p", huge)])
+
+
+def test_auto_floorplan_multi_region_prrs(device):
+    plan = auto_floorplan(device, [("p0", 1500)], regions_per_prr=2)
+    assert len(plan.prrs["p0"].clock_regions) <= 2
+    assert plan.prrs["p0"].slices >= 1500
+
+
+def test_auto_floorplan_capacity_error_mentions_limit(device):
+    # 2 clock regions x half the LX25 = 14 cols x 32 rows x 4 = 1792 slices
+    with pytest.raises(FloorplanError, match="1792"):
+        auto_floorplan(device, [("p0", 2000)], regions_per_prr=2)
+
+
+def test_auto_floorplan_right_half(device):
+    plan = auto_floorplan(device, [("p0", 640)], half=1)
+    assert all(r.half == 1 for r in plan.prrs["p0"].clock_regions)
+
+
+def test_auto_floorplan_invalid_regions_per_prr(device):
+    with pytest.raises(FloorplanError):
+        auto_floorplan(device, [("p0", 64)], regions_per_prr=4)
+
+
+def test_render_ascii_mentions_prrs(device):
+    plan = auto_floorplan(device, [("prr0", 640), ("prr1", 640)])
+    art = plan.render_ascii()
+    assert "A=prr0" in art
+    assert "B=prr1" in art
+    assert "|" in art  # half boundary
+
+
+def test_slice_macro_sites_on_boundary(device):
+    plan = auto_floorplan(device, [("prr0", 640)], boundary_signals=74)
+    placement = plan.prrs["prr0"]
+    sites = placement.slice_macro_sites()
+    assert len(sites) == 10  # ceil(74 / 8)
+    assert all(col == placement.rect.col for col, _row in sites)

@@ -1,0 +1,95 @@
+"""Unit tests for CLB geometry and clock regions."""
+
+import pytest
+
+from repro.fabric.geometry import (
+    CLOCK_REGION_ROWS,
+    ClockRegion,
+    GeometryError,
+    Rect,
+    bands_are_contiguous,
+    clock_regions_of,
+)
+
+
+def test_rect_basic_properties():
+    rect = Rect(2, 3, 10, 16)
+    assert rect.col_end == 12
+    assert rect.row_end == 19
+    assert rect.clbs == 160
+
+
+def test_rect_rejects_bad_sizes():
+    with pytest.raises(GeometryError):
+        Rect(0, 0, 0, 5)
+    with pytest.raises(GeometryError):
+        Rect(0, 0, 5, -1)
+    with pytest.raises(GeometryError):
+        Rect(-1, 0, 5, 5)
+
+
+def test_intersects_symmetric():
+    a = Rect(0, 0, 10, 10)
+    b = Rect(5, 5, 10, 10)
+    c = Rect(10, 0, 5, 5)
+    assert a.intersects(b) and b.intersects(a)
+    assert not a.intersects(c)  # touching edges do not intersect
+    assert not c.intersects(a)
+
+
+def test_contains():
+    outer = Rect(0, 0, 20, 20)
+    inner = Rect(5, 5, 5, 5)
+    assert outer.contains(inner)
+    assert not inner.contains(outer)
+    assert outer.contains(outer)
+
+
+def test_cells_enumeration():
+    rect = Rect(1, 2, 2, 2)
+    assert sorted(rect.cells()) == [(1, 2), (1, 3), (2, 2), (2, 3)]
+
+
+def test_clock_regions_single_band_left_half():
+    # 28-column device: centre at 14
+    regions = clock_regions_of(Rect(0, 0, 10, 16), device_cols=28)
+    assert regions == frozenset({ClockRegion(0, 0)})
+
+
+def test_clock_regions_multiple_bands():
+    regions = clock_regions_of(Rect(0, 8, 10, 16), device_cols=28)
+    assert regions == frozenset({ClockRegion(0, 0), ClockRegion(0, 1)})
+
+
+def test_clock_regions_crossing_halves():
+    regions = clock_regions_of(Rect(10, 0, 10, 16), device_cols=28)
+    assert regions == frozenset({ClockRegion(0, 0), ClockRegion(1, 0)})
+
+
+def test_clock_regions_right_half_only():
+    regions = clock_regions_of(Rect(14, 16, 10, 16), device_cols=28)
+    assert regions == frozenset({ClockRegion(1, 1)})
+
+
+def test_bands_contiguous():
+    assert bands_are_contiguous(
+        frozenset({ClockRegion(0, 1), ClockRegion(0, 2)})
+    )
+    assert not bands_are_contiguous(
+        frozenset({ClockRegion(0, 0), ClockRegion(0, 2)})
+    )
+    assert not bands_are_contiguous(
+        frozenset({ClockRegion(0, 0), ClockRegion(1, 0)})
+    )
+    assert not bands_are_contiguous(frozenset())
+
+
+def test_region_adjacency():
+    assert ClockRegion(0, 1).is_vertically_adjacent(ClockRegion(0, 2))
+    assert not ClockRegion(0, 1).is_vertically_adjacent(ClockRegion(1, 2))
+    assert not ClockRegion(0, 1).is_vertically_adjacent(ClockRegion(0, 3))
+
+
+def test_region_string():
+    assert str(ClockRegion(0, 3)) == "CR-L3"
+    assert str(ClockRegion(1, 0)) == "CR-R0"

@@ -1,0 +1,50 @@
+"""Unit tests for resource vectors."""
+
+from repro.fabric.device import get_device
+from repro.fabric.resources import ResourceVector, device_capacity
+
+
+def test_addition_and_subtraction():
+    a = ResourceVector(slices=100, bram18=2)
+    b = ResourceVector(slices=50, bram18=1, dsp48=4)
+    total = a + b
+    assert total.slices == 150
+    assert total.bram18 == 3
+    assert total.dsp48 == 4
+    assert (total - b) == a
+
+
+def test_scalar_multiplication():
+    v = ResourceVector(slices=10, bufr=1)
+    assert (3 * v).slices == 30
+    assert (v * 3).bufr == 3
+
+
+def test_fits_in():
+    small = ResourceVector(slices=100)
+    big = ResourceVector(slices=200, bram18=1)
+    assert small.fits_in(big)
+    assert not big.fits_in(small)
+    assert small.fits_in(small)
+
+
+def test_utilization_on_vlx25():
+    device = get_device("XC4VLX25")
+    static = ResourceVector(slices=9421)
+    util = static.utilization(device)
+    assert abs(util["slices"] - 9421 / 10752) < 1e-9
+
+
+def test_device_capacity_covers_itself():
+    device = get_device("XC4VLX25")
+    capacity = device_capacity(device)
+    assert capacity.slices == device.slices
+    assert capacity.fits_in(capacity)
+
+
+def test_as_dict_and_str():
+    v = ResourceVector(slices=5, dcm=1)
+    d = v.as_dict()
+    assert d["slices"] == 5 and d["dcm"] == 1
+    assert "slices=5" in str(v)
+    assert "Resources" in str(ResourceVector())

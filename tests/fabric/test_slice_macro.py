@@ -1,0 +1,49 @@
+"""Unit tests for slice macros."""
+
+from repro.fabric.slice_macro import (
+    SIGNALS_PER_MACRO,
+    SliceMacro,
+    boundary_sites,
+    macro_slice_cost,
+    macros_for_signals,
+)
+
+
+def test_macro_counts():
+    assert macros_for_signals(0) == 0
+    assert macros_for_signals(1) == 1
+    assert macros_for_signals(SIGNALS_PER_MACRO) == 1
+    assert macros_for_signals(SIGNALS_PER_MACRO + 1) == 2
+    assert macros_for_signals(74) == 10  # the prototype PRR's signal count
+
+
+def test_macro_slice_cost():
+    assert macro_slice_cost(74) == 20
+    assert macro_slice_cost(0) == 0
+
+
+def test_disabled_macro_isolates():
+    macro = SliceMacro("sm", 0, 0, enabled=False, idle_value=0)
+    macro.drive(0xDEAD)
+    assert macro.read() == 0
+    macro.set_enabled(True)
+    assert macro.read() == 0xDEAD
+    macro.set_enabled(False)
+    assert macro.read() == 0
+
+
+def test_boundary_sites_count_and_column():
+    sites = boundary_sites(prr_col=3, prr_row=16, prr_height=16, count=4)
+    assert len(sites) == 4
+    assert all(col == 3 for col, _ in sites)
+    assert all(16 <= row < 32 for _, row in sites)
+
+
+def test_boundary_sites_more_macros_than_rows():
+    sites = boundary_sites(prr_col=0, prr_row=0, prr_height=2, count=5)
+    assert len(sites) == 5
+    assert all(0 <= row < 2 for _, row in sites)
+
+
+def test_boundary_sites_zero():
+    assert boundary_sites(0, 0, 16, 0) == []

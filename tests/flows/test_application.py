@@ -1,0 +1,97 @@
+"""Unit tests for the application flow."""
+
+import pytest
+
+from repro.core.kpn import KahnProcessNetwork
+from repro.core.params import SystemParameters
+from repro.flows.application import ApplicationFlow
+from repro.flows.base_system import BaseSystemFlow, FlowError
+from repro.modules.filters import FirFilter, Q15_ONE
+from repro.modules.transforms import PassThrough
+
+
+def base_build():
+    return BaseSystemFlow(SystemParameters.prototype()).run()
+
+
+def simple_kpn():
+    kpn = KahnProcessNetwork("filter-app")
+    kpn.add_iom("io")
+    kpn.add_module("fir", lambda: FirFilter("fir", [Q15_ONE] * 4))
+    kpn.connect("io", "fir")
+    kpn.connect("fir", "io")
+    return kpn
+
+
+def test_flow_generates_bitstream_per_module_prr_pair():
+    flow = ApplicationFlow(base_build())
+    build = flow.run(simple_kpn())
+    assert build.module_slices["fir"] > 0
+    assert len(build.bitstreams) == 2  # one per PRR
+    names = {(b.module_name, b.prr_name) for b in build.bitstreams}
+    assert names == {("fir", "rsb0.prr0"), ("fir", "rsb0.prr1")}
+
+
+def test_flow_target_prr_restriction():
+    flow = ApplicationFlow(base_build())
+    build = flow.run(simple_kpn(), target_prrs={"fir": ["rsb0.prr1"]})
+    assert len(build.bitstreams) == 1
+    assert build.bitstreams[0].prr_name == "rsb0.prr1"
+
+
+def test_flow_unknown_prr():
+    flow = ApplicationFlow(base_build())
+    with pytest.raises(FlowError, match="unknown PRR"):
+        flow.run(simple_kpn(), target_prrs={"fir": ["rsb9.prrX"]})
+
+
+def test_flow_rejects_oversized_module():
+    kpn = KahnProcessNetwork("big")
+    kpn.add_iom("io")
+    # 64 taps * 34 slices/tap + wrapper > 640-slice PRR
+    kpn.add_module("huge", lambda: FirFilter("huge", [Q15_ONE] * 64))
+    kpn.connect("io", "huge")
+    flow = ApplicationFlow(base_build())
+    with pytest.raises(FlowError, match="enlarge the PRR"):
+        flow.run(kpn)
+
+
+def test_flow_software_modules_recorded():
+    flow = ApplicationFlow(base_build())
+
+    def controller():
+        yield None
+
+    flow.add_software_module("ctrl", controller)
+    build = flow.run(simple_kpn())
+    assert "ctrl" in build.software
+    assert "ctrl" in build.summary()
+
+
+def test_install_registers_on_live_system():
+    base = base_build()
+    flow = ApplicationFlow(base)
+    build = flow.run(simple_kpn())
+    system = base.instantiate()
+    flow.install(build, system)
+    assert system.repository.has("fir", "rsb0.prr0")
+    assert system.repository.factory("fir")().name == "fir"
+    # installing twice is idempotent
+    flow.install(build, system)
+
+
+def test_fragmentation_report():
+    flow = ApplicationFlow(base_build())
+    build = flow.run(simple_kpn())
+    report = flow.fragmentation_report(build)
+    module_slices, prr_slices, wasted = report["fir"]
+    assert prr_slices == 640
+    assert 0 < wasted < 1
+    assert module_slices + round(wasted * prr_slices) == prr_slices
+
+
+def test_bitstream_metadata_carries_module_size():
+    flow = ApplicationFlow(base_build())
+    build = flow.run(simple_kpn())
+    for bitstream in build.bitstreams:
+        assert bitstream.metadata["module_slices"] == build.module_slices["fir"]

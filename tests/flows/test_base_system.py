@@ -1,0 +1,80 @@
+"""Unit tests for the base system flow."""
+
+import pytest
+
+from repro.core.params import RsbParameters, SystemParameters
+from repro.flows.base_system import BaseSystemFlow, FlowError
+
+
+def test_prototype_flow_end_to_end():
+    build = BaseSystemFlow(SystemParameters.prototype()).run()
+    assert build.device.name == "XC4VLX25"
+    assert build.report["static_slices"] == 9421
+    assert "microblaze_0" in build.mhs
+    assert "MODE = RECONFIG" in build.ucf
+    assert build.static_bitstream_name == "vapres-prototype_static.bit"
+    assert "9421 slices" in build.summary()
+
+
+def test_flow_floorplan_covers_every_prr():
+    # a third PRR no longer fits the LX25 (the paper's 86% static region
+    # leaves room for exactly two); use the LX60 board
+    params = SystemParameters(
+        board="ML402",
+        rsbs=[RsbParameters(num_prrs=3, num_ioms=1, iom_positions=[0])],
+    )
+    build = BaseSystemFlow(params).run()
+    assert set(build.floorplan.prrs) == {
+        "rsb0.prr0",
+        "rsb0.prr1",
+        "rsb0.prr2",
+    }
+
+
+def test_flow_rejects_overfull_device():
+    params = SystemParameters(
+        board="ML401",
+        rsbs=[
+            RsbParameters(
+                num_prrs=2,
+                num_ioms=1,
+                iom_positions=[0],
+                kr=8,
+                kl=8,
+                ki=4,
+                ko=4,
+                channel_width=64,
+                prr_slices=640,
+            )
+        ],
+    )
+    with pytest.raises(FlowError, match="slices"):
+        BaseSystemFlow(params).run()
+
+
+def test_flow_build_instantiates_live_system():
+    build = BaseSystemFlow(SystemParameters.prototype()).run()
+    system = build.instantiate()
+    assert system.floorplan is build.floorplan
+    assert len(system.prr_slots) == 2
+
+
+def test_flow_with_custom_floorplan():
+    flow = BaseSystemFlow(SystemParameters.prototype())
+    plan = flow.design_floorplan()
+    build = flow.run(floorplan=plan)
+    assert build.floorplan is plan
+
+
+def test_flow_large_device_supports_many_prrs():
+    params = SystemParameters(
+        board="ML402",  # XC4VLX60
+        rsbs=[
+            RsbParameters(
+                num_prrs=6, num_ioms=2, iom_positions=[0, 7], prr_slices=640
+            )
+        ],
+    )
+    build = BaseSystemFlow(params).run()
+    assert len(build.floorplan.prrs) == 6
+    assert build.report["fits"]

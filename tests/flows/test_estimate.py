@@ -1,0 +1,111 @@
+"""Unit tests for the calibrated resource model (Section V.B)."""
+
+import pytest
+
+from repro.core.params import RsbParameters, SystemParameters
+from repro.fabric.device import get_device
+from repro.flows.estimate import (
+    comm_architecture_resources,
+    comm_architecture_slices,
+    module_slice_estimate,
+    static_region_resources,
+    switchbox_slices,
+    system_resource_report,
+)
+from repro.modules.filters import BiquadIir, FirFilter, MovingAverage, Q15_ONE
+from repro.modules.transforms import PassThrough
+
+
+PROTO = SystemParameters.prototype()
+PROTO_RSB = PROTO.rsbs[0]
+
+
+def test_comm_architecture_matches_paper_exactly():
+    """Section V.B: the inter-module communication architecture required
+    1,020 slices for the prototype configuration."""
+    assert comm_architecture_slices(PROTO_RSB) == 1020
+
+
+def test_static_region_matches_paper_exactly():
+    """Section V.B: the static region required 9,421 slices."""
+    assert static_region_resources(PROTO).slices == 9421
+
+
+def test_static_utilization_near_reported_86_percent():
+    device = get_device("XC4VLX25")
+    utilization = static_region_resources(PROTO).slices / device.slices
+    # 9421/10752 = 87.6%; the paper rounds to "approximately 86%"
+    assert 0.85 <= utilization <= 0.89
+
+
+def test_switchbox_grows_with_width():
+    narrow = switchbox_slices(RsbParameters(channel_width=16))
+    wide = switchbox_slices(RsbParameters(channel_width=64))
+    assert wide > 1.5 * narrow
+
+
+def test_switchbox_grows_with_lanes():
+    few = switchbox_slices(RsbParameters(kr=1, kl=1))
+    many = switchbox_slices(RsbParameters(kr=4, kl=4))
+    assert many > 2 * few
+
+
+def test_comm_scales_with_attachments():
+    small = comm_architecture_slices(RsbParameters(num_prrs=2, num_ioms=1))
+    large = comm_architecture_slices(RsbParameters(num_prrs=6, num_ioms=2))
+    assert large == pytest.approx(small * 8 / 3, rel=0.01)
+
+
+def test_comm_bram_one_per_interface_fifo():
+    resources = comm_architecture_resources(PROTO_RSB)
+    # 3 attachments x (ki + ko = 2) FIFOs
+    assert resources.bram18 == 6
+
+
+def test_static_region_scales_with_prr_count():
+    base = static_region_resources(PROTO).slices
+    bigger = static_region_resources(
+        PROTO.with_rsb(num_prrs=4, num_ioms=1, iom_positions=[0])
+    ).slices
+    assert bigger > base
+
+
+def test_report_fits_prototype_on_vlx25():
+    report = system_resource_report(PROTO, get_device("XC4VLX25"))
+    assert report["fits"]
+    assert report["static_slices"] == 9421
+    assert report["comm_architecture_slices"] == 1020
+    assert report["prr_slices"] == 1280
+
+
+def test_report_overflows_small_device():
+    report = system_resource_report(PROTO, get_device("XC4VLX15"))
+    assert not report["fits"]
+
+
+def test_bufr_and_bufg_counted_per_prr():
+    resources = static_region_resources(PROTO)
+    assert resources.bufr == 2  # one per PRR
+    assert resources.bufg == 4  # system + feedback + 2 BUFGMUX
+    assert resources.dcm == 1
+
+
+def test_module_slice_estimates_ordering():
+    small = module_slice_estimate(PassThrough("p"))
+    fir8 = module_slice_estimate(FirFilter("f", [Q15_ONE] * 8))
+    fir16 = module_slice_estimate(FirFilter("f", [Q15_ONE] * 16))
+    avg = module_slice_estimate(MovingAverage("m", window=8))
+    biquad = module_slice_estimate(BiquadIir("b", [1, 0, 0], [0, 0]))
+    assert small < fir8 < fir16
+    assert avg > small
+    assert biquad > small
+
+
+def test_prototype_modules_fit_prototype_prr():
+    """Sanity: the example modules fit the 640-slice prototype PRR."""
+    for module in [
+        FirFilter("f", [Q15_ONE] * 16),
+        MovingAverage("m", window=8),
+        BiquadIir("b", [1, 0, 0], [0, 0]),
+    ]:
+        assert module_slice_estimate(module) <= 640

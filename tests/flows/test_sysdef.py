@@ -1,0 +1,78 @@
+"""Unit tests for the MHS/MSS/UCF generators."""
+
+from repro.core.params import SystemParameters
+from repro.fabric.device import get_device
+from repro.fabric.floorplan import auto_floorplan
+from repro.flows.sysdef import generate_mhs, generate_mss, generate_ucf
+
+PROTO = SystemParameters.prototype()
+
+
+def test_mhs_lists_core_peripherals():
+    mhs = generate_mhs(PROTO)
+    for instance in [
+        "microblaze_0",
+        "plb_v46_0",
+        "plb2dcr_bridge_0",
+        "xps_hwicap_0",
+        "sysace_compactflash_0",
+        "ddr_sdram_0",
+        "xps_timer_0",
+    ]:
+        assert f"INSTANCE = {instance}" in mhs
+
+
+def test_mhs_prsocket_per_attachment_with_parameters():
+    mhs = generate_mhs(PROTO)
+    assert mhs.count("INSTANCE = prsocket_rsb0") == 3
+    assert "C_CHANNEL_WIDTH = 32" in mhs
+    assert "C_KR = 2" in mhs
+    assert "C_KO = 1" in mhs
+
+
+def test_mhs_fsl_pair_per_attachment():
+    mhs = generate_mhs(PROTO)
+    assert mhs.count("INSTANCE = fsl_rsb0") == 6  # t + r per attachment
+    assert "C_FSL_DEPTH = 512" in mhs
+
+
+def test_mhs_distinct_dcr_addresses():
+    mhs = generate_mhs(PROTO)
+    lines = [l for l in mhs.splitlines() if "C_DCR_BASEADDR" in l]
+    assert len(lines) == len(set(lines)) == 3
+
+
+def test_mss_binds_drivers_and_api():
+    mss = generate_mss(PROTO)
+    for driver in ["hwicap", "sysace", "tmrctr", "uartlite"]:
+        assert f"DRIVER_NAME = {driver}" in mss
+    assert "xilfatfs" in mss  # CF filesystem for bitstream files
+    assert "vapres_establish_channel" in mss
+
+
+def test_ucf_area_groups_with_reconfig_mode():
+    plan = auto_floorplan(
+        get_device("XC4VLX25"), [("rsb0.prr0", 640), ("rsb0.prr1", 640)],
+        boundary_signals=74,
+    )
+    ucf = generate_ucf(plan)
+    assert ucf.count("MODE = RECONFIG") == 2
+    assert 'AREA_GROUP "pblock_rsb0_prr0" RANGE = SLICE_X0Y0:SLICE_X19Y31;' in ucf
+    assert "BUFR_X0Y0" in ucf
+    assert ucf.count("busmacro") == 20  # 10 macros per PRR
+
+
+def test_ucf_slice_coordinates_match_clb_geometry():
+    plan = auto_floorplan(get_device("XC4VLX25"), [("p", 640)])
+    ucf = generate_ucf(plan)
+    rect = plan.prrs["p"].rect
+    expected = (
+        f"SLICE_X{2 * rect.col}Y{2 * rect.row}:"
+        f"SLICE_X{2 * rect.col_end - 1}Y{2 * rect.row_end - 1}"
+    )
+    assert expected in ucf
+
+
+def test_generators_are_deterministic():
+    assert generate_mhs(PROTO) == generate_mhs(PROTO)
+    assert generate_mss(PROTO) == generate_mss(PROTO)

@@ -1,0 +1,47 @@
+"""Shared scenario builders for the test suite."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable, Optional, Tuple
+
+from repro.core import SystemParameters, VapresSystem
+from repro.modules import Iom, PassThrough
+from repro.modules.base import HardwareModule
+from repro.modules.sources import ramp
+
+
+def build_system(
+    pr_speedup: float = 1000.0, params: Optional[SystemParameters] = None
+) -> VapresSystem:
+    """A prototype-parameter system with fast simulated reconfiguration."""
+    params = params or SystemParameters.prototype()
+    return VapresSystem(replace(params, pr_speedup=pr_speedup))
+
+
+def build_pipeline(
+    source: Optional[Iterable[int]] = None,
+    module: Optional[HardwareModule] = None,
+    pr_speedup: float = 1000.0,
+):
+    """IOM -> module-in-prr0 -> IOM loop on the prototype system.
+
+    Returns ``(system, iom, module, ch_in, ch_out)``.
+    """
+    system = build_system(pr_speedup=pr_speedup)
+    iom = Iom("io0", source=source if source is not None else ramp(count=200))
+    system.attach_iom("rsb0.iom0", iom)
+    module = module or PassThrough("ident")
+    system.place_module_directly(module, "rsb0.prr0")
+    ch_in = system.open_stream("rsb0.iom0", "rsb0.prr0")
+    ch_out = system.open_stream("rsb0.prr0", "rsb0.iom0")
+    return system, iom, module, ch_in, ch_out
+
+
+def drain(iom: Iom) -> list:
+    """Copy of the IOM's received words."""
+    return list(iom.received)
+
+
+def run_cycles(system: VapresSystem, cycles: int) -> None:
+    system.run_for_cycles(cycles)

@@ -1,0 +1,56 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples are part of the public API surface; this keeps them from
+rotting.  The two switching-heavy demos are exercised at a higher
+``PR_SPEEDUP`` via attribute patching to keep the suite fast.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name):
+    module_globals = runpy.run_path(
+        str(EXAMPLES / name), run_name="not_main"
+    )
+    module_globals["main"]()
+    return module_globals
+
+
+def test_quickstart_runs(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "512 filtered words out" in out
+
+
+def test_kpn_pipeline_runs(capsys):
+    run_example("kpn_image_pipeline.py")
+    out = capsys.readouterr().out
+    assert "sink received 2000" in out
+    assert "0 words lost" in out
+
+
+def test_design_flows_runs(capsys):
+    run_example("design_flows.py")
+    out = capsys.readouterr().out
+    assert "9421 slices" in out
+    assert "deployed 2 hardware modules" in out
+
+
+@pytest.mark.slow
+def test_adaptive_filter_swap_runs(capsys):
+    run_example("adaptive_filter_swap.py")
+    out = capsys.readouterr().out
+    assert "never saw the reconfiguration" in out
+
+
+@pytest.mark.slow
+def test_fault_tolerant_stream_runs(capsys):
+    run_example("fault_tolerant_stream.py")
+    out = capsys.readouterr().out
+    assert "the stream never stopped" in out

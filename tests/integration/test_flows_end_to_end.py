@@ -1,0 +1,83 @@
+"""Integration test: both design flows end to end (paper Figure 6).
+
+Base system flow -> live system -> application flow -> install ->
+timed runtime assembly -> streaming -> teardown.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import SystemParameters
+from repro.core.assembly import RuntimeAssembler
+from repro.core.kpn import KahnProcessNetwork
+from repro.flows.application import ApplicationFlow
+from repro.flows.base_system import BaseSystemFlow
+from repro.modules.filters import FirFilter, q15
+from repro.modules.iom import Iom
+from repro.modules.sources import ramp
+from repro.modules.transforms import Scaler
+
+
+def test_full_designer_journey():
+    # ---- system designer: base system flow -------------------------
+    params = replace(SystemParameters.prototype(), pr_speedup=1000.0)
+    base_flow = BaseSystemFlow(params)
+    base_build = base_flow.run()
+    assert base_build.report["fits"]
+    assert "AREA_GROUP" in base_build.ucf
+
+    # ---- application designer: application flow --------------------
+    kpn = KahnProcessNetwork("smooth-and-scale")
+    kpn.add_iom("io")
+    kpn.add_module(
+        "smooth",
+        lambda: FirFilter.from_coefficients("smooth", [0.5, 0.5]),
+    )
+    kpn.add_module("gain", lambda: Scaler("gain", gain=q15(2.0)))
+    kpn.connect("io", "smooth")
+    kpn.connect("smooth", "gain")
+    kpn.connect("gain", "io")
+    app_flow = ApplicationFlow(base_build)
+    app_build = app_flow.run(kpn)
+    assert len(app_build.bitstreams) == 4  # 2 modules x 2 PRRs
+
+    # ---- deployment: live system, install, preload, assemble -------
+    system = base_build.instantiate()
+    app_flow.install(app_build, system)
+    for bitstream in app_build.bitstreams:
+        system.repository.preload_to_sdram(
+            bitstream.module_name, bitstream.prr_name
+        )
+    iom = Iom("io", source=ramp(count=200))
+    system.attach_iom("rsb0.iom0", iom)
+    assembler = RuntimeAssembler(system)
+    system.start()
+    app = system.microblaze.run_to_completion(
+        assembler.assemble_timed(kpn), "deploy"
+    )
+    system.run_for_us(30)
+
+    # ---- the assembled RSPS streams correctly -----------------------
+    # FIR [0.5, 0.5] in Q15 floors: y[i] = (x[i] + x[i-1]) >> 1; then x2
+    expected = [2 * ((i + max(i - 1, 0)) >> 1) for i in range(200)]
+    assert iom.received == expected
+
+    # ---- teardown frees the fabric ----------------------------------
+    assert app.teardown() == 0
+    assert system.rsbs[0].router.established_count == 0
+
+
+def test_journey_reports_fragmentation():
+    params = SystemParameters.prototype()
+    base_build = BaseSystemFlow(params).run()
+    kpn = KahnProcessNetwork("tiny")
+    kpn.add_iom("io")
+    kpn.add_module("m", lambda: Scaler("m", gain=q15(1.0)))
+    kpn.connect("io", "m")
+    kpn.connect("m", "io")
+    flow = ApplicationFlow(base_build)
+    build = flow.run(kpn)
+    _slices, prr_slices, wasted = flow.fragmentation_report(build)["m"]
+    assert prr_slices == 640
+    assert wasted > 0.5  # a tiny scaler wastes most of a 640-slice PRR

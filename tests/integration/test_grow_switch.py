@@ -1,0 +1,118 @@
+"""Integration test: switching a stream onto a multi-PRR spanning module.
+
+Combines the two Section IV.A/III.B.3 mechanisms: a small filter is
+replaced, without stream interruption, by a successor too large for any
+single PRR -- the replacement is placed across two adjacent PRRs and the
+9-step methodology hands the stream over to the spanning region's
+primary interfaces.
+"""
+
+import pytest
+
+from repro.analysis.metrics import max_gap_seconds
+from repro.core import RsbParameters, SpanningRegion, SystemParameters, VapresSystem
+from repro.core.switching import ModuleSwitcher
+from repro.modules import Iom, MovingAverage
+from repro.modules.base import staged
+from repro.modules.sources import sine_wave
+
+
+def test_switch_onto_spanning_region():
+    params = SystemParameters(
+        board="ML402",
+        pr_speedup=500.0,
+        rsbs=[
+            RsbParameters(
+                name="rsb0", num_prrs=3, num_ioms=1, iom_positions=[0]
+            )
+        ],
+    )
+    system = VapresSystem(params)
+    iom = Iom("io", source=sine_wave(count=10_000_000))
+    system.attach_iom("rsb0.iom0", iom)
+
+    # small filter A runs in prr0
+    system.place_module_directly(MovingAverage("small", window=4), "rsb0.prr0")
+    ch_in = system.open_stream("rsb0.iom0", "rsb0.prr0")
+    ch_out = system.open_stream("rsb0.prr0", "rsb0.iom0")
+
+    # the big successor needs prr1+prr2 (a 16-word window "doesn't fit")
+    span = SpanningRegion(system, ["rsb0.prr1", "rsb0.prr2"])
+    span.register_module(
+        "big", lambda: staged(MovingAverage("big", window=4))
+    )
+    system.repository.preload_to_sdram("big", span.name)
+
+    system.run_for_us(20)
+    report = system.microblaze.run_to_completion(
+        ModuleSwitcher(system).switch(
+            old_prr="rsb0.prr0",
+            new_prr=span.name,
+            new_module="big",
+            upstream_slot="rsb0.iom0",
+            downstream_slot="rsb0.iom0",
+            input_channel=ch_in,
+            output_channel=ch_out,
+        ),
+        "grow-switch",
+    )
+    system.run_for_us(40)
+
+    assert report.words_lost == 0
+    assert span.module is not None and span.module.name == "big"
+    assert span.module.samples_out > 0
+    # the spanning reconfiguration wrote both PRRs' frames (2x time)
+    assert report.reconfig_seconds == pytest.approx(
+        2 * 0.07194 / 500.0, rel=0.05
+    )
+    # and still: no stream interruption
+    gap = max_gap_seconds(iom.receive_times)
+    assert gap < report.reconfig_seconds / 10
+    # state carried across (same register layout)
+    assert len(report.state_words) == 6
+
+
+def test_grow_switch_output_continuity():
+    """Value-exactness across the grow-switch boundary."""
+    from repro.modules.state import from_u32, to_u32
+
+    count = 3000
+    params = SystemParameters(
+        board="ML402",
+        pr_speedup=500.0,
+        rsbs=[
+            RsbParameters(
+                name="rsb0", num_prrs=3, num_ioms=1, iom_positions=[0]
+            )
+        ],
+    )
+    system = VapresSystem(params)
+    iom = Iom("io", source=sine_wave(count=count))
+    system.attach_iom("rsb0.iom0", iom)
+    system.place_module_directly(MovingAverage("small", window=4), "rsb0.prr0")
+    ch_in = system.open_stream("rsb0.iom0", "rsb0.prr0")
+    ch_out = system.open_stream("rsb0.prr0", "rsb0.iom0")
+    span = SpanningRegion(system, ["rsb0.prr1", "rsb0.prr2"])
+    span.register_module("big", lambda: staged(MovingAverage("big", window=4)))
+    system.repository.preload_to_sdram("big", span.name)
+    system.run_for_us(10)
+    system.microblaze.run_to_completion(
+        ModuleSwitcher(system).switch(
+            old_prr="rsb0.prr0",
+            new_prr=span.name,
+            new_module="big",
+            upstream_slot="rsb0.iom0",
+            downstream_slot="rsb0.iom0",
+            input_channel=ch_in,
+            output_channel=ch_out,
+        ),
+        "grow-switch",
+    )
+    system.run_for_us(80)
+    reference = MovingAverage("ref", window=4)
+    expected = [
+        from_u32(to_u32(reference.process(to_u32(s))))
+        for s in sine_wave(count=count)
+    ]
+    assert iom.received == expected[: len(iom.received)]
+    assert len(iom.received) > 2000

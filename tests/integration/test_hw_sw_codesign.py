@@ -1,0 +1,108 @@
+"""Integration tests: hardware/software co-designed RSPSs (paper Sec. I).
+
+An RSPS is "a set of hardware and software modules ... connected
+together"; software modules execute on the MicroBlaze and exchange stream
+data with the fabric over FSLs.  These scenarios put a software stage in
+the middle of a hardware pipeline and bridge streams between two RSBs
+through the processor.
+"""
+
+import pytest
+
+from repro.control.microblaze import FslGet, FslPut
+from repro.core import RsbParameters, SystemParameters, VapresSystem
+from repro.modules import FslToStream, Iom, StreamToFsl
+from repro.modules.sources import ramp
+from repro.modules.state import from_u32, to_u32
+from repro.modules.transforms import PassThrough
+
+from tests.helpers import build_system
+
+
+def test_software_stage_in_hardware_pipeline():
+    """IOM -> StreamToFsl(prr0) -> software square -> FslToStream(prr1)
+    -> IOM: a software module as a full KPN node."""
+    count = 300
+    system = build_system()
+    iom = Iom("io", source=ramp(count=count))
+    system.attach_iom("rsb0.iom0", iom)
+    to_sw = StreamToFsl("to_sw")
+    from_sw = FslToStream("from_sw")
+    slot_a = system.place_module_directly(to_sw, "rsb0.prr0")
+    slot_b = system.place_module_directly(from_sw, "rsb0.prr1")
+    system.open_stream("rsb0.iom0", "rsb0.prr0")
+    system.open_stream("rsb0.prr1", "rsb0.iom0")
+
+    def software_square():
+        for _ in range(count):
+            data, _control = yield FslGet(slot_a.fsl_to_processor)
+            value = from_u32(data)
+            yield FslPut(slot_b.fsl_to_module, to_u32(value * value))
+        return "done"
+
+    system.start()
+    result = system.microblaze.run_to_completion(software_square(), "square")
+    system.run_for_us(20)
+    assert result == "done"
+    assert iom.received == [v * v for v in range(count)]
+    assert to_sw.words_forwarded == count
+    assert from_sw.words_injected == count
+
+
+def test_software_stage_throughput_is_cpu_bound():
+    """The software stage runs at FSL-access speed (~4+ cycles/word),
+    well below the 1 word/cycle fabric rate -- exactly the bottleneck
+    argument for hardware modules (Section II, Ullmann comparison)."""
+    count = 400
+    system = build_system()
+    iom = Iom("io", source=ramp(count=10_000_000))
+    system.attach_iom("rsb0.iom0", iom)
+    slot_a = system.place_module_directly(StreamToFsl("to_sw"), "rsb0.prr0")
+    slot_b = system.place_module_directly(FslToStream("from_sw"), "rsb0.prr1")
+    system.open_stream("rsb0.iom0", "rsb0.prr0")
+    system.open_stream("rsb0.prr1", "rsb0.iom0")
+
+    def relay():
+        for _ in range(count):
+            data, _ = yield FslGet(slot_a.fsl_to_processor)
+            yield FslPut(slot_b.fsl_to_module, data)
+
+    system.start()
+    start = system.sim.now
+    system.microblaze.run_to_completion(relay(), "relay")
+    cycles = (system.sim.now - start) / system.system_clock.period_ps
+    cycles_per_word = cycles / count
+    assert cycles_per_word >= 4
+
+
+def test_cross_rsb_stream_bridged_by_processor():
+    """Two RSBs cannot share switch-box channels; the MicroBlaze bridges
+    them through FSLs (the SystemError_ hint made real)."""
+    params = SystemParameters(
+        rsbs=[
+            RsbParameters(name="a", num_prrs=1, num_ioms=1, iom_positions=[0]),
+            RsbParameters(name="b", num_prrs=1, num_ioms=1, iom_positions=[0]),
+        ]
+    )
+    system = VapresSystem(params)
+    count = 200
+    src = Iom("src", source=ramp(count=count))
+    dst = Iom("dst")
+    system.attach_iom("a.iom0", src)
+    system.attach_iom("b.iom0", dst)
+    bridge_out = system.place_module_directly(StreamToFsl("bridge_out"), "a.prr0")
+    bridge_in = system.place_module_directly(FslToStream("bridge_in"), "b.prr0")
+    system.open_stream("a.iom0", "a.prr0")
+    system.open_stream("b.prr0", "b.iom0")
+    slot_out = system.prr("a.prr0")
+    slot_in = system.prr("b.prr0")
+
+    def bridge():
+        for _ in range(count):
+            data, _ = yield FslGet(slot_out.fsl_to_processor)
+            yield FslPut(slot_in.fsl_to_module, data)
+
+    system.start()
+    system.microblaze.run_to_completion(bridge(), "bridge")
+    system.run_for_us(20)
+    assert dst.received == list(range(count))

@@ -1,0 +1,65 @@
+"""Integration tests: full-fidelity reconfiguration timing (Section V.B).
+
+These run with ``pr_speedup = 1`` and measure with the xps_timer exactly as
+the paper did.  Clocks are left unstarted so the only events are the timed
+ICAP transfers -- the measurement does not require stepping 100M fabric
+cycles.
+"""
+
+import pytest
+
+from repro.core import SystemParameters, VapresSystem
+from repro.control.timer import XpsTimer
+from repro.modules.transforms import PassThrough
+
+
+@pytest.fixture
+def system():
+    system = VapresSystem(SystemParameters.prototype())  # speedup = 1
+    system.register_module("mod", lambda: PassThrough("mod"))
+    return system
+
+
+def test_cf2icap_takes_1_043_seconds(system):
+    """Paper: ~104.3M cycles at 100 MHz = 1.043 s for the 640-slice PRR."""
+    timer = system.timer
+    timer.start()
+    transfer = system.engine.cf2icap("mod", "rsb0.prr0")
+    system.sim.run()
+    cycles = timer.stop()
+    assert timer.cycles_to_seconds(cycles) == pytest.approx(1.043, rel=0.01)
+    assert cycles == pytest.approx(104_300_000, rel=0.01)
+    assert transfer.done
+
+
+def test_cf2icap_split_95_3_to_4_7(system):
+    bitstream = system.repository.lookup("mod", "rsb0.prr0")
+    breakdown = system.engine.cf2icap_breakdown(bitstream)
+    total = sum(breakdown.values())
+    assert breakdown["cf_to_buffer"] / total == pytest.approx(0.953, abs=0.005)
+
+
+def test_array2icap_takes_71_94_ms(system):
+    system.repository.preload_to_sdram("mod", "rsb0.prr1")
+    timer = system.timer
+    timer.start()
+    system.engine.array2icap("mod", "rsb0.prr1")
+    system.sim.run()
+    cycles = timer.stop()
+    assert timer.cycles_to_seconds(cycles) == pytest.approx(0.07194, rel=0.01)
+    assert cycles == pytest.approx(7_194_000, rel=0.01)
+
+
+def test_speedup_ratio_cf_vs_array(system):
+    """The paper's headline: preloading to SDRAM is ~14.5x faster."""
+    bitstream = system.repository.lookup("mod", "rsb0.prr0")
+    cf = sum(system.engine.cf2icap_breakdown(bitstream).values())
+    array = sum(system.engine.array2icap_breakdown(bitstream).values())
+    assert cf / array == pytest.approx(1.043 / 0.07194, rel=0.02)
+
+
+def test_module_loaded_after_full_fidelity_reconfig(system):
+    system.repository.preload_to_sdram("mod", "rsb0.prr0")
+    system.engine.array2icap("mod", "rsb0.prr0")
+    system.sim.run()
+    assert system.prr("rsb0.prr0").module.name == "mod"

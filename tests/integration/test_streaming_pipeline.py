@@ -1,0 +1,174 @@
+"""Integration tests: multi-module streaming pipelines on a live system."""
+
+import pytest
+
+from repro.core import RsbParameters, SystemParameters, VapresSystem
+from repro.core.assembly import RuntimeAssembler
+from repro.core.kpn import KahnProcessNetwork
+from repro.modules import Iom, MovingAverage, Scaler, StreamMerger, StreamSplitter
+from repro.modules.filters import FirFilter, q15, Q15_ONE
+from repro.modules.sources import noisy_sine, ramp
+from repro.modules.transforms import Crc32, Decimator
+
+from tests.helpers import build_system
+
+
+def test_two_stage_pipeline_exact_values():
+    system = build_system()
+    iom = Iom("io", source=ramp(count=100))
+    system.attach_iom("rsb0.iom0", iom)
+    system.place_module_directly(Scaler("x2", gain=q15(2.0)), "rsb0.prr0")
+    system.place_module_directly(Scaler("x4", gain=q15(4.0)), "rsb0.prr1")
+    system.open_stream("rsb0.iom0", "rsb0.prr0")
+    system.open_stream("rsb0.prr0", "rsb0.prr1")
+    system.open_stream("rsb0.prr1", "rsb0.iom0")
+    system.run_for_cycles(400)
+    assert iom.received == [8 * v for v in range(100)]
+
+
+def test_pipeline_throughput_one_word_per_cycle():
+    """End-to-end rate of a full IOM->PRR->PRR->IOM loop is ~1 word/cycle."""
+    system = build_system()
+    iom = Iom("io", source=ramp(count=100_000))
+    system.attach_iom("rsb0.iom0", iom)
+    system.place_module_directly(Crc32("crc"), "rsb0.prr0")
+    system.open_stream("rsb0.iom0", "rsb0.prr0")
+    system.open_stream("rsb0.prr0", "rsb0.iom0")
+    cycles = 2000
+    system.run_for_cycles(cycles)
+    assert len(iom.received) >= 0.9 * cycles
+
+
+def test_fir_pipeline_filters_noise():
+    system = build_system()
+    iom = Iom("io", source=noisy_sine(amplitude=10_000, period=32,
+                                      noise_amplitude=2_000, count=600))
+    system.attach_iom("rsb0.iom0", iom)
+    smoother = FirFilter.from_coefficients("lp", [0.25, 0.25, 0.25, 0.25])
+    system.place_module_directly(smoother, "rsb0.prr0")
+    system.open_stream("rsb0.iom0", "rsb0.prr0")
+    system.open_stream("rsb0.prr0", "rsb0.iom0")
+    system.run_for_cycles(3000)
+    assert len(iom.received) == 600
+    # smoothing keeps the envelope but attenuates extremes
+    assert max(abs(v) for v in iom.received) < 11_000
+
+
+def test_slow_module_backpressures_without_loss():
+    """A 4-cycle/sample module throttles the whole chain; nothing is lost."""
+    system = build_system()
+    iom = Iom("io", source=ramp(count=2000))
+    system.attach_iom("rsb0.iom0", iom)
+    slow = MovingAverage("slow", window=2, cycles_per_sample=4)
+    system.place_module_directly(slow, "rsb0.prr0")
+    system.open_stream("rsb0.iom0", "rsb0.prr0")
+    system.open_stream("rsb0.prr0", "rsb0.iom0")
+    system.run_for_cycles(3000)
+    received = len(iom.received)
+    assert 600 <= received <= 800  # ~1 word per 4 cycles
+    discards = [
+        c.words_discarded for s in system.rsbs[0].slots for c in s.consumers
+    ]
+    assert discards == [0, 0, 0]
+    system.run_for_cycles(6000)
+    assert len(iom.received) == 2000  # eventually everything arrives
+
+
+def test_lcd_frequency_halving_halves_throughput():
+    system = build_system()
+    iom = Iom("io", source=ramp(count=100_000))
+    system.attach_iom("rsb0.iom0", iom)
+    module = Crc32("crc")
+    slot = system.place_module_directly(module, "rsb0.prr0")
+    system.open_stream("rsb0.iom0", "rsb0.prr0")
+    system.open_stream("rsb0.prr0", "rsb0.iom0")
+    system.run_for_cycles(1000)
+    fast_count = len(iom.received)
+    slot.bufgmux.select(1)  # switch the LCD to 50 MHz at runtime
+    before = len(iom.received)
+    system.run_for_cycles(1000)
+    slow_count = len(iom.received) - before
+    assert slow_count == pytest.approx(fast_count / 2, rel=0.1)
+
+
+def test_decimator_reduces_output_rate():
+    system = build_system()
+    iom = Iom("io", source=ramp(count=900))
+    system.attach_iom("rsb0.iom0", iom)
+    system.place_module_directly(Decimator("dec", factor=3), "rsb0.prr0")
+    system.open_stream("rsb0.iom0", "rsb0.prr0")
+    system.open_stream("rsb0.prr0", "rsb0.iom0")
+    system.run_for_cycles(2000)
+    assert iom.received == [3 * v for v in range(300)]
+
+
+def test_fork_join_kpn_on_six_slot_rsb():
+    """The Figure 4 topology: split -> two branches -> merge."""
+    params = SystemParameters(
+        rsbs=[
+            RsbParameters(
+                name="rsb0",
+                num_prrs=4,
+                num_ioms=2,
+                ki=2,
+                ko=2,
+                iom_positions=[0, 5],
+            )
+        ]
+    )
+    system = VapresSystem(params)
+    src = Iom("src", source=ramp(count=400))
+    dst = Iom("dst")
+    system.attach_iom("rsb0.iom0", src)
+    system.attach_iom("rsb0.iom1", dst)
+    assembler = RuntimeAssembler(system)
+    kpn = KahnProcessNetwork("forkjoin")
+    kpn.add_iom("in")
+    kpn.add_iom("out")
+    kpn.add_module("split", lambda: StreamSplitter("split"), outputs=2)
+    kpn.add_module("left", lambda: Scaler("left", gain=Q15_ONE))
+    kpn.add_module("right", lambda: Scaler("right", gain=Q15_ONE))
+    kpn.add_module("merge", lambda: StreamMerger("merge"), inputs=2)
+    kpn.connect("in", "split")
+    kpn.connect("split", "left", src_port=0)
+    kpn.connect("split", "right", src_port=1)
+    kpn.connect("left", "merge", dst_port=0)
+    kpn.connect("right", "merge", dst_port=1)
+    kpn.connect("merge", "out")
+    placement = {
+        "in": "rsb0.iom0",
+        "out": "rsb0.iom1",
+        "split": "rsb0.prr0",
+        "left": "rsb0.prr1",
+        "right": "rsb0.prr2",
+        "merge": "rsb0.prr3",
+    }
+    assembler.assemble(kpn, placement)
+    system.run_for_cycles(3000)
+    assert sorted(dst.received) == list(range(400))
+
+
+def test_bidirectional_streams_coexist():
+    """Left- and right-flowing channels share the fabric independently."""
+    params = SystemParameters(
+        rsbs=[
+            RsbParameters(
+                name="rsb0", num_prrs=2, num_ioms=2, iom_positions=[0, 3]
+            )
+        ]
+    )
+    system = VapresSystem(params)
+    left = Iom("left", source=ramp(count=300))
+    right = Iom("right", source=ramp(count=300, start=1000))
+    system.attach_iom("rsb0.iom0", left)
+    system.attach_iom("rsb0.iom1", right)
+    system.place_module_directly(Crc32("f0"), "rsb0.prr0")
+    system.place_module_directly(Crc32("f1"), "rsb0.prr1")
+    # rightward: iom0 -> prr0 -> iom1; leftward: iom1 -> prr1 -> iom0
+    system.open_stream("rsb0.iom0", "rsb0.prr0")
+    system.open_stream("rsb0.prr0", "rsb0.iom1")
+    system.open_stream("rsb0.iom1", "rsb0.prr1")
+    system.open_stream("rsb0.prr1", "rsb0.iom0")
+    system.run_for_cycles(1500)
+    assert left.received == list(range(1000, 1300))
+    assert right.received == list(range(300))

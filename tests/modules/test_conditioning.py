@@ -1,0 +1,151 @@
+"""Unit tests for the signal-conditioning module library."""
+
+import pytest
+
+from repro.comm.fsl import FslLink
+from repro.comm.interfaces import ConsumerInterface, ProducerInterface
+from repro.modules.base import ModulePorts
+from repro.modules.conditioning import (
+    AbsValue,
+    Accumulator,
+    NoiseGate,
+    PeakHold,
+    Upsampler,
+)
+from repro.modules.state import INT32_MIN, from_u32, to_u32
+
+
+def run_module(module, samples, ticks=None):
+    consumer = ConsumerInterface("c", depth=4096)
+    producer = ProducerInterface("p", depth=4096)
+    consumer.fifo_wen = True
+    module.bind(ModulePorts([consumer], [producer], FslLink("t"), FslLink("r")))
+    for sample in samples:
+        consumer.receive(True, to_u32(sample))
+    for _ in range(ticks or (len(samples) * 4 + 8)):
+        module.commit()
+    out = []
+    while not producer.fifo.empty:
+        out.append(from_u32(producer.fifo.pop()))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Upsampler
+# ----------------------------------------------------------------------
+def test_upsampler_zero_stuffs():
+    assert run_module(Upsampler("u", 3), [5, -7]) == [5, 0, 0, -7, 0, 0]
+
+
+def test_upsampler_factor_one_is_identity():
+    assert run_module(Upsampler("u", 1), [1, 2]) == [1, 2]
+
+
+def test_upsampler_validation():
+    with pytest.raises(ValueError):
+        Upsampler("u", 0)
+
+
+# ----------------------------------------------------------------------
+# AbsValue
+# ----------------------------------------------------------------------
+def test_absvalue_rectifies():
+    assert run_module(AbsValue("a"), [3, -4, 0]) == [3, 4, 0]
+
+
+def test_absvalue_saturates_int_min():
+    assert run_module(AbsValue("a"), [INT32_MIN]) == [2**31 - 1]
+
+
+# ----------------------------------------------------------------------
+# PeakHold
+# ----------------------------------------------------------------------
+def test_peakhold_tracks_and_decays():
+    module = PeakHold("p", decay_shift=1)  # fast decay: halves each step
+    out = run_module(module, [100, 0, 0, 0])
+    assert out[0] == 100
+    assert out[1] == 50
+    assert out[2] == 25
+    assert out == sorted(out, reverse=True)
+
+
+def test_peakhold_new_peak_overrides_decay():
+    out = run_module(PeakHold("p", decay_shift=2), [10, 100, -200])
+    assert out == [10, 100, 200]
+
+
+def test_peakhold_state_and_monitor():
+    module = PeakHold("p")
+    run_module(module, [77])
+    assert module.monitor_value() == 77
+    assert module.save_state() == [77]
+    module.reset()
+    assert module.peak == 0
+
+
+def test_peakhold_validation():
+    with pytest.raises(ValueError):
+        PeakHold("p", decay_shift=-1)
+
+
+# ----------------------------------------------------------------------
+# NoiseGate
+# ----------------------------------------------------------------------
+def test_noise_gate_hysteresis():
+    gate = NoiseGate("g", open_at=100, close_at=50)
+    out = run_module(gate, [10, 120, 80, 40, 60, 150])
+    # closed, open(120), stays open(80 >= 50), closes(40), still closed
+    # (60 < 100), reopens (150)
+    assert out == [0, 120, 80, 0, 0, 150]
+
+
+def test_noise_gate_default_close_threshold():
+    gate = NoiseGate("g", open_at=100)
+    assert gate.close_at == 50
+
+
+def test_noise_gate_validation():
+    with pytest.raises(ValueError):
+        NoiseGate("g", open_at=-1)
+    with pytest.raises(ValueError):
+        NoiseGate("g", open_at=10, close_at=20)
+
+
+def test_noise_gate_state_roundtrip():
+    gate = NoiseGate("g", open_at=10)
+    run_module(gate, [50])
+    assert gate.gate_open == 1
+    clone = NoiseGate("g2", open_at=10)
+    clone.restore_state(gate.save_state())
+    assert clone.gate_open == 1
+
+
+# ----------------------------------------------------------------------
+# Accumulator
+# ----------------------------------------------------------------------
+def test_accumulator_windowed_sums():
+    out = run_module(Accumulator("a", window=3), [1, 2, 3, 4, 5, 6, 7])
+    assert out == [6, 15]  # the trailing partial window stays in state
+
+
+def test_accumulator_partial_window_in_state():
+    module = Accumulator("a", window=3)
+    run_module(module, [1, 2, 3, 4])
+    assert module.acc == 4
+    assert module.phase == 1
+
+
+def test_accumulator_transplant_continues_window():
+    stream = list(range(1, 11))
+    reference = run_module(Accumulator("r", window=4), stream)
+    first = Accumulator("a", window=4)
+    head = run_module(first, stream[:6])
+    second = Accumulator("b", window=4)
+    second.restore_state(first.save_state())
+    tail = run_module(second, stream[6:])
+    assert head + tail == reference
+
+
+def test_accumulator_validation():
+    with pytest.raises(ValueError):
+        Accumulator("a", 0)

@@ -1,0 +1,165 @@
+"""Unit tests for the filter module library."""
+
+import pytest
+
+from repro.comm.fsl import FslLink
+from repro.comm.interfaces import ConsumerInterface, ProducerInterface
+from repro.modules.base import ModulePorts
+from repro.modules.filters import (
+    BiquadIir,
+    FirFilter,
+    MedianFilter,
+    MovingAverage,
+    Q15_ONE,
+    q15,
+)
+from repro.modules.state import to_u32
+
+
+def run_module(module, samples, ticks=None):
+    consumer = ConsumerInterface("c", depth=1024)
+    producer = ProducerInterface("p", depth=1024)
+    consumer.fifo_wen = True
+    module.bind(ModulePorts([consumer], [producer], FslLink("t"), FslLink("r")))
+    for sample in samples:
+        consumer.receive(True, to_u32(sample))
+    for _ in range(ticks or (len(samples) * (module.cycles_per_sample + 1) + 4)):
+        module.commit()
+    out = []
+    from repro.modules.state import from_u32
+
+    while not producer.fifo.empty:
+        out.append(from_u32(producer.fifo.pop()))
+    return out
+
+
+def test_q15_quantisation():
+    assert q15(1.0) == Q15_ONE
+    assert q15(0.5) == Q15_ONE // 2
+    assert q15(-0.25) == -(Q15_ONE // 4)
+
+
+def test_fir_requires_taps():
+    with pytest.raises(ValueError):
+        FirFilter("f", [])
+
+
+def test_fir_identity():
+    filt = FirFilter("f", [Q15_ONE])
+    assert run_module(filt, [1, -2, 300]) == [1, -2, 300]
+
+
+def test_fir_moving_average_of_two():
+    filt = FirFilter.from_coefficients("f", [0.5, 0.5])
+    out = run_module(filt, [10, 20, 30])
+    assert out == [5, 15, 25]  # first output averages with implicit 0
+
+
+def test_fir_delay_line_is_state():
+    filt = FirFilter("f", [0, Q15_ONE])  # one-sample delay
+    out = run_module(filt, [7, 8, 9])
+    assert out == [0, 7, 8]
+    assert filt.save_state() == [to_u32(9), to_u32(8)]
+
+
+def test_fir_state_transplant_continues_stream():
+    """The dynamic-variable handoff of the switching methodology."""
+    taps = [q15(0.25), q15(0.5), q15(0.25)]
+    reference = FirFilter("ref", taps)
+    stream = list(range(0, 40, 3))
+    expected = run_module(reference, stream)
+
+    first = FirFilter("a", taps)
+    head = run_module(first, stream[:10])
+    second = FirFilter("b", taps)
+    second.restore_state(first.save_state())
+    tail = run_module(second, stream[10:])
+    assert head + tail == expected
+
+
+def test_fir_reset_clears_delay_line():
+    filt = FirFilter("f", [Q15_ONE, Q15_ONE])
+    run_module(filt, [5])
+    filt.reset()
+    assert all(getattr(filt, f"d{i}") == 0 for i in range(2))
+
+
+def test_fir_monitor_reports_last_output():
+    filt = FirFilter("f", [Q15_ONE], monitor_interval=1)
+    run_module(filt, [42])
+    assert filt.monitor_value() == 42
+
+
+def test_biquad_coefficient_validation():
+    with pytest.raises(ValueError):
+        BiquadIir("b", [1, 2], [1, 2])
+
+
+def test_biquad_passthrough():
+    filt = BiquadIir("b", [Q15_ONE, 0, 0], [0, 0])
+    assert run_module(filt, [3, -4, 5]) == [3, -4, 5]
+
+
+def test_biquad_lowpass_smooths():
+    filt = BiquadIir.from_coefficients(
+        "b", [0.2, 0.2, 0.0], [-0.5, 0.0], cycles_per_sample=1
+    )
+    out = run_module(filt, [1000] * 30)
+    # a DC input should settle near gain * 1000 with no oscillation blowup
+    assert 700 <= out[-1] <= 1000
+    assert out[-1] == out[-2]
+
+
+def test_biquad_state_roundtrip():
+    filt = BiquadIir("b", [Q15_ONE, 0, 0], [q15(-0.5), 0])
+    run_module(filt, [100, 200, 300])
+    words = filt.save_state()
+    clone = BiquadIir("b2", [Q15_ONE, 0, 0], [q15(-0.5), 0])
+    clone.restore_state(words)
+    assert (clone.z1, clone.z2) == (filt.z1, filt.z2)
+
+
+def test_moving_average_exact():
+    filt = MovingAverage("m", window=4)
+    out = run_module(filt, [4, 8, 12, 16, 20])
+    assert out == [4, 6, 8, 10, 14]  # partial fills use the fill count
+
+
+def test_moving_average_window_validation():
+    with pytest.raises(ValueError):
+        MovingAverage("m", 0)
+
+
+def test_moving_average_state_includes_window_and_index():
+    filt = MovingAverage("m", window=3)
+    assert filt.state_word_count == 5  # 3 window regs + widx + wfill
+
+
+def test_moving_average_state_transplant():
+    stream = list(range(0, 60, 7))
+    reference = MovingAverage("ref", window=5)
+    expected = run_module(reference, stream)
+    first = MovingAverage("a", window=5)
+    head = run_module(first, stream[:7])
+    second = MovingAverage("b", window=5)
+    second.restore_state(first.save_state())
+    tail = run_module(second, stream[7:])
+    assert head + tail == expected
+
+
+def test_median_filter_rejects_spike():
+    filt = MedianFilter("med", window=3)
+    out = run_module(filt, [10, 10, 9999, 10, 10])
+    assert 9999 not in out[2:]
+
+
+def test_median_window_validation():
+    with pytest.raises(ValueError):
+        MedianFilter("m", -1)
+
+
+def test_median_reset():
+    filt = MedianFilter("med", window=3)
+    run_module(filt, [5, 6, 7])
+    filt.reset()
+    assert filt.wfill == 0 and filt.widx == 0

@@ -1,0 +1,140 @@
+"""Unit tests for I/O modules."""
+
+import pytest
+
+from repro.comm.fsl import FslLink
+from repro.comm.interfaces import ConsumerInterface, ProducerInterface
+from repro.modules.base import EOS_WORD, ModulePorts
+from repro.modules.iom import MSG_EOS, Iom
+from repro.modules.state import to_u32
+
+
+def harness(iom, depth=64):
+    consumer = ConsumerInterface("c", depth=depth)
+    producer = ProducerInterface("p", depth=depth)
+    consumer.fifo_wen = True
+    ports = ModulePorts([consumer], [producer], FslLink("t"), FslLink("r"))
+    iom.bind(ports)
+    return consumer, producer, ports
+
+
+def tick(iom, n=1):
+    for _ in range(n):
+        iom.commit()
+
+
+def test_source_streams_into_producer():
+    iom = Iom("io", source=iter([1, 2, 3]))
+    _, producer, _ = harness(iom)
+    tick(iom, 5)
+    assert iom.words_emitted == 3
+    assert iom.source_exhausted
+    assert [producer.fifo.pop() for _ in range(3)] == [1, 2, 3]
+
+
+def test_source_respects_producer_capacity():
+    iom = Iom("io", source=iter(range(100)))
+    _, producer, _ = harness(iom, depth=4)
+    tick(iom, 10)
+    assert len(producer.fifo) == 4
+    assert iom.words_emitted == 4  # nothing lost, just paced
+
+
+def test_push_interval_rate_limits():
+    iom = Iom("io", source=iter(range(100)), push_interval=4)
+    harness(iom)
+    tick(iom, 16)
+    assert iom.words_emitted == 4
+
+
+def test_words_per_push_bursts():
+    iom = Iom("io", source=iter(range(100)), words_per_push=3)
+    harness(iom)
+    tick(iom, 2)
+    assert iom.words_emitted == 6
+
+
+def test_invalid_rate_params():
+    with pytest.raises(ValueError):
+        Iom("io", push_interval=0)
+    with pytest.raises(ValueError):
+        Iom("io", words_per_push=0)
+
+
+def test_sink_collects_received_words():
+    iom = Iom("io")
+    consumer, _, _ = harness(iom)
+    for value in (5, -6):
+        consumer.receive(True, to_u32(value))
+    tick(iom, 3)
+    assert iom.received == [5, -6]
+
+
+def test_eos_detection_notifies_microblaze_when_armed():
+    """Step 8 of the switching methodology (one-shot, armed detector)."""
+    iom = Iom("io")
+    consumer, _, ports = harness(iom)
+    iom.arm_eos()
+    consumer.receive(True, to_u32(7))
+    consumer.receive(True, EOS_WORD)
+    consumer.receive(True, to_u32(8))
+    tick(iom, 5)
+    assert iom.received == [7, 8]  # EOS word is not data
+    assert iom.eos_count == 1
+    assert not iom.eos_armed  # one-shot
+    assert ports.fsl_out.slave_read() == (MSG_EOS, True)
+
+
+def test_eos_word_is_plain_data_when_disarmed():
+    """In-band hazard regression: 0xFFFFFFFF == -1 must survive normal
+    streaming without terminating anything."""
+    iom = Iom("io")
+    consumer, _, ports = harness(iom)
+    consumer.receive(True, to_u32(-1))
+    consumer.receive(True, EOS_WORD)
+    tick(iom, 4)
+    assert iom.received == [-1, -1]
+    assert iom.eos_count == 0
+    assert not ports.fsl_out.can_read
+
+
+def test_arm_eos_via_fsl_command():
+    """The MicroBlaze arms the detector with CMD_ARM_EOS on the t-FSL."""
+    from repro.modules.iom import CMD_ARM_EOS
+
+    iom = Iom("io")
+    consumer, _, ports = harness(iom)
+    ports.fsl_in.master_write(CMD_ARM_EOS, control=True)
+    tick(iom, 1)
+    assert iom.eos_armed
+    consumer.receive(True, EOS_WORD)
+    tick(iom, 2)
+    assert iom.eos_count == 1
+
+
+def test_receive_timestamps_recorded_with_sim():
+    from repro.sim.kernel import Simulator
+
+    iom = Iom("io")
+    iom.sim = Simulator()
+    consumer, _, _ = harness(iom)
+    consumer.receive(True, 1)
+    tick(iom)
+    assert len(iom.receive_times) == 1
+
+
+def test_set_source_replaces_stream():
+    iom = Iom("io", source=iter([1]))
+    _, producer, _ = harness(iom)
+    tick(iom, 3)
+    assert iom.source_exhausted
+    iom.set_source(iter([10, 11]))
+    tick(iom, 3)
+    assert not producer.fifo.empty
+    assert iom.words_emitted == 3
+
+
+def test_unbound_iom_is_inert():
+    iom = Iom("io", source=iter([1]))
+    tick(iom, 3)
+    assert iom.words_emitted == 0

@@ -1,0 +1,67 @@
+"""Unit tests for synthetic signal sources."""
+
+import itertools
+
+from repro.modules.sources import (
+    bursty,
+    from_samples,
+    noise,
+    noisy_sine,
+    ramp,
+    sine_wave,
+    step_change,
+)
+
+
+def take(iterator, n):
+    return list(itertools.islice(iterator, n))
+
+
+def test_ramp_finite():
+    assert list(ramp(count=4)) == [0, 1, 2, 3]
+    assert list(ramp(count=3, start=10, step=-2)) == [10, 8, 6]
+
+
+def test_ramp_infinite():
+    assert take(ramp(), 5) == [0, 1, 2, 3, 4]
+
+
+def test_sine_wave_shape():
+    samples = list(sine_wave(amplitude=1000, period=4, count=4))
+    assert samples == [0, 1000, 0, -1000]
+
+
+def test_sine_wave_amplitude_bound():
+    samples = list(sine_wave(amplitude=500, period=7, count=100))
+    assert all(abs(s) <= 500 for s in samples)
+
+
+def test_noise_is_deterministic_per_seed():
+    a = list(noise(count=20, seed=1))
+    b = list(noise(count=20, seed=1))
+    c = list(noise(count=20, seed=2))
+    assert a == b
+    assert a != c
+    assert all(abs(s) <= 1000 for s in a)
+
+
+def test_noisy_sine_stays_near_envelope():
+    samples = list(noisy_sine(amplitude=1000, noise_amplitude=10, count=50))
+    assert all(abs(s) <= 1010 for s in samples)
+
+
+def test_bursty_levels():
+    samples = list(bursty(quiet_level=1, burst_level=100, quiet_len=4,
+                          burst_len=2, count=6))
+    assert [abs(s) for s in samples] == [1, 1, 1, 1, 100, 100]
+    # alternating sign
+    assert samples[0] > 0 > samples[1]
+
+
+def test_step_change():
+    samples = list(step_change(5, 50, change_at=3, count=5))
+    assert samples == [5, 5, 5, 50, 50]
+
+
+def test_from_samples_replays():
+    assert list(from_samples([9, 8, 7])) == [9, 8, 7]

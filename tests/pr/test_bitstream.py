@@ -1,0 +1,58 @@
+"""Unit tests for partial-bitstream sizing."""
+
+import pytest
+
+from repro.fabric.geometry import Rect
+from repro.pr.bitstream import (
+    FRAME_BYTES,
+    FRAMES_PER_CLB_COLUMN,
+    OVERHEAD_BYTES,
+    PartialBitstream,
+    bitstream_for_rect,
+    frames_for_rect,
+    partial_bitstream_bytes,
+)
+
+
+def test_frame_constants():
+    assert FRAME_BYTES == 164  # 41 words x 4 bytes
+
+
+def test_prototype_prr_bitstream_size():
+    """10x16 CLB PRR: 220 frames + overhead = 36,408 bytes (calibration)."""
+    rect = Rect(0, 0, 10, 16)
+    assert frames_for_rect(rect) == 220
+    assert partial_bitstream_bytes(rect) == 36_408
+
+
+def test_size_scales_with_width():
+    narrow = partial_bitstream_bytes(Rect(0, 0, 5, 16))
+    wide = partial_bitstream_bytes(Rect(0, 0, 10, 16))
+    assert (wide - OVERHEAD_BYTES) == 2 * (narrow - OVERHEAD_BYTES)
+
+
+def test_size_counts_whole_bands():
+    """A rect straddling two bands pays for both."""
+    one_band = frames_for_rect(Rect(0, 0, 10, 16))
+    straddling = frames_for_rect(Rect(0, 8, 10, 16))
+    assert straddling == 2 * one_band
+
+
+def test_three_band_prr():
+    assert frames_for_rect(Rect(0, 0, 4, 48)) == 4 * 3 * FRAMES_PER_CLB_COLUMN
+
+
+def test_bitstream_object_fields():
+    bitstream = bitstream_for_rect("fir", "prr0", Rect(0, 0, 10, 16))
+    assert bitstream.module_name == "fir"
+    assert bitstream.prr_name == "prr0"
+    assert bitstream.size_bytes == 36_408
+    assert bitstream.frames == 220
+    assert bitstream.filename == "fir_prr0.bit"
+
+
+def test_bitstream_metadata():
+    bitstream = bitstream_for_rect(
+        "fir", "prr0", Rect(0, 0, 10, 16), metadata={"slices": 388}
+    )
+    assert bitstream.metadata["slices"] == 388

@@ -1,0 +1,94 @@
+"""Unit tests for the reconfiguration engine (Table 2 timing)."""
+
+import pytest
+
+from repro.control.icap import IcapController
+from repro.control.memory import BramBuffer, CompactFlash, Sdram
+from repro.fabric.geometry import Rect
+from repro.pr.bitstream import bitstream_for_rect
+from repro.pr.reconfig import ReconfigError, ReconfigurationEngine
+from repro.pr.repository import BitstreamRepository
+from repro.sim.kernel import Simulator
+
+RECT = Rect(0, 0, 10, 16)  # the prototype 640-slice PRR
+
+
+def make_engine():
+    sim = Simulator()
+    repo = BitstreamRepository(CompactFlash(), Sdram(1 << 20))
+    engine = ReconfigurationEngine(sim, IcapController(sim), repo, BramBuffer())
+    repo.register(bitstream_for_rect("fir", "prr0", RECT))
+    return sim, engine, repo
+
+
+def test_cf2icap_duration_matches_paper():
+    sim, engine, _ = make_engine()
+    transfer = engine.cf2icap("fir", "prr0")
+    sim.run()
+    assert transfer.done
+    assert transfer.duration_seconds == pytest.approx(1.043, rel=0.01)
+
+
+def test_cf2icap_split_matches_paper():
+    _, engine, repo = make_engine()
+    breakdown = engine.cf2icap_breakdown(repo.lookup("fir", "prr0"))
+    total = sum(breakdown.values())
+    assert breakdown["cf_to_buffer"] / total == pytest.approx(0.953, abs=0.005)
+    assert breakdown["buffer_to_icap"] / total == pytest.approx(0.047, abs=0.005)
+
+
+def test_array2icap_duration_matches_paper():
+    sim, engine, repo = make_engine()
+    repo.preload_to_sdram("fir", "prr0")
+    transfer = engine.array2icap("fir", "prr0")
+    sim.run()
+    assert transfer.duration_seconds == pytest.approx(0.07194, rel=0.01)
+
+
+def test_array2icap_requires_preload():
+    _, engine, _ = make_engine()
+    with pytest.raises(ReconfigError, match="preload"):
+        engine.array2icap("fir", "prr0")
+
+
+def test_hooks_fire_in_order():
+    sim, engine, _ = make_engine()
+    events = []
+    engine.on_started.append(lambda prr, mod, t: events.append(("start", prr, mod)))
+    engine.on_complete.append(lambda prr, mod, t: events.append(("done", prr, mod)))
+    engine.cf2icap("fir", "prr0")
+    assert events == [("start", "prr0", "fir")]
+    sim.run()
+    assert events == [("start", "prr0", "fir"), ("done", "prr0", "fir")]
+    assert engine.reconfigurations == 1
+
+
+def test_on_done_callback():
+    sim, engine, repo = make_engine()
+    repo.preload_to_sdram("fir", "prr0")
+    done = []
+    engine.array2icap("fir", "prr0", on_done=done.append)
+    sim.run()
+    assert len(done) == 1
+
+
+def test_reconfig_time_scales_with_prr_area():
+    sim = Simulator()
+    repo = BitstreamRepository(CompactFlash(), Sdram(1 << 22))
+    engine = ReconfigurationEngine(sim, IcapController(sim), repo, BramBuffer())
+    small = bitstream_for_rect("m", "small", Rect(0, 0, 5, 16))
+    large = bitstream_for_rect("m", "large", Rect(0, 16, 20, 16))
+    repo.register(small)
+    repo.register(large)
+    t_small = sum(engine.cf2icap_breakdown(small).values())
+    t_large = sum(engine.cf2icap_breakdown(large).values())
+    assert t_large > 3.5 * t_small  # ~4x area -> ~4x time (minus overhead)
+
+
+def test_missing_sdram():
+    sim = Simulator()
+    repo = BitstreamRepository(CompactFlash(), None)
+    engine = ReconfigurationEngine(sim, IcapController(sim), repo)
+    repo.register(bitstream_for_rect("fir", "prr0", RECT))
+    with pytest.raises(ReconfigError):
+        engine.array2icap("fir", "prr0")

@@ -1,0 +1,96 @@
+"""Unit tests for bitstream relocation (module reuse extension)."""
+
+import pytest
+
+from repro.control.memory import CompactFlash, Sdram
+from repro.fabric.device import get_device
+from repro.fabric.floorplan import Floorplan, auto_floorplan
+from repro.fabric.geometry import Rect
+from repro.pr.bitstream import bitstream_for_rect
+from repro.pr.relocation import (
+    RelocatingRepository,
+    RelocationError,
+    can_relocate,
+    relocation_classes,
+)
+from repro.pr.repository import BitstreamRepository, RepositoryError
+
+
+def make_floorplan():
+    """Two identical PRRs plus one differently shaped one."""
+    device = get_device("XC4VLX60")
+    plan = Floorplan(device)
+    plan.place_prr("same0", Rect(0, 0, 10, 16))
+    plan.place_prr("same1", Rect(0, 16, 10, 16))
+    plan.place_prr("wide", Rect(0, 32, 20, 16))
+    return plan
+
+
+def test_can_relocate_same_shape():
+    plan = make_floorplan()
+    assert can_relocate(plan.prrs["same0"], plan.prrs["same1"])
+    assert not can_relocate(plan.prrs["same0"], plan.prrs["wide"])
+
+
+def test_can_relocate_requires_band_alignment():
+    device = get_device("XC4VLX60")
+    plan = Floorplan(device)
+    plan.place_prr("aligned", Rect(0, 0, 8, 8))
+    plan.place_prr("offset", Rect(0, 24, 8, 8))  # row 8 within its band
+    assert not can_relocate(plan.prrs["aligned"], plan.prrs["offset"])
+
+
+def test_relocation_classes_grouping():
+    plan = make_floorplan()
+    classes = relocation_classes(list(plan.prrs.values()))
+    sizes = sorted(len(group) for group in classes)
+    assert sizes == [1, 2]
+
+
+def make_relocating_repo():
+    plan = make_floorplan()
+    repo = BitstreamRepository(CompactFlash(), Sdram(1 << 22))
+    relocating = RelocatingRepository(repo, plan)
+    # store the module once, for the anchor PRR only
+    repo.register(bitstream_for_rect("fir", "same0", plan.prrs["same0"].rect))
+    return plan, repo, relocating
+
+
+def test_lookup_exact_hit_passes_through():
+    _, repo, relocating = make_relocating_repo()
+    assert relocating.lookup("fir", "same0") is repo.lookup("fir", "same0")
+    assert relocating.relocations == 0
+
+
+def test_lookup_relocates_to_compatible_prr():
+    _, repo, relocating = make_relocating_repo()
+    relocated = relocating.lookup("fir", "same1")
+    assert relocated.prr_name == "same1"
+    assert relocated.size_bytes == repo.lookup("fir", "same0").size_bytes
+    assert relocated.metadata["relocated_from"] == "same0"
+    assert relocating.relocations == 1
+    # no extra CF storage appeared
+    assert not repo.has("fir", "same1")
+
+
+def test_lookup_incompatible_prr_fails():
+    _, _, relocating = make_relocating_repo()
+    with pytest.raises(RepositoryError, match="relocatable"):
+        relocating.lookup("fir", "wide")
+
+
+def test_unknown_prr_rejected():
+    _, _, relocating = make_relocating_repo()
+    with pytest.raises(RelocationError, match="unknown PRR"):
+        relocating.lookup("fir", "nope")
+
+
+def test_storage_saving_accounting():
+    plan, repo, relocating = make_relocating_repo()
+    repo.register(bitstream_for_rect("fir", "wide", plan.prrs["wide"].rect))
+    per_prr, per_class = relocating.storage_saving_bytes(["fir"])
+    size_small = repo.lookup("fir", "same0").size_bytes
+    size_wide = repo.lookup("fir", "wide").size_bytes
+    assert per_prr == 2 * size_small + size_wide
+    assert per_class == size_small + size_wide
+    assert per_class < per_prr

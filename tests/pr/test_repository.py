@@ -1,0 +1,77 @@
+"""Unit tests for the bitstream repository."""
+
+import pytest
+
+from repro.control.memory import CompactFlash, Sdram
+from repro.fabric.geometry import Rect
+from repro.modules.transforms import PassThrough
+from repro.pr.bitstream import bitstream_for_rect
+from repro.pr.repository import BitstreamRepository, RepositoryError
+
+RECT = Rect(0, 0, 10, 16)
+
+
+def make_repo(with_sdram=True):
+    cf = CompactFlash()
+    sdram = Sdram(1 << 20) if with_sdram else None
+    return BitstreamRepository(cf, sdram), cf, sdram
+
+
+def test_register_and_lookup():
+    repo, cf, _ = make_repo()
+    bitstream = bitstream_for_rect("fir", "prr0", RECT)
+    repo.register(bitstream, lambda: PassThrough("fir"))
+    assert repo.lookup("fir", "prr0") is bitstream
+    assert repo.has("fir", "prr0")
+    assert cf.has_file("fir_prr0.bit")
+    assert len(repo) == 1
+
+
+def test_duplicate_registration_rejected():
+    repo, _, _ = make_repo()
+    repo.register(bitstream_for_rect("fir", "prr0", RECT))
+    with pytest.raises(RepositoryError, match="already"):
+        repo.register(bitstream_for_rect("fir", "prr0", RECT))
+
+
+def test_lookup_missing_pair():
+    repo, _, _ = make_repo()
+    repo.register(bitstream_for_rect("fir", "prr0", RECT))
+    with pytest.raises(RepositoryError, match="per .module, PRR. pair"):
+        repo.lookup("fir", "prr1")
+
+
+def test_factory_registration():
+    repo, _, _ = make_repo()
+    factory = lambda: PassThrough("x")  # noqa: E731
+    repo.register_factory("fir", factory)
+    assert repo.factory("fir") is factory
+    with pytest.raises(RepositoryError):
+        repo.factory("unknown")
+
+
+def test_preload_to_sdram():
+    repo, _, sdram = make_repo()
+    repo.register(bitstream_for_rect("fir", "prr0", RECT))
+    assert not repo.is_preloaded("fir", "prr0")
+    seconds = repo.preload_to_sdram("fir", "prr0")
+    assert seconds > 0
+    assert repo.is_preloaded("fir", "prr0")
+    assert sdram.used_bytes == 36_408
+
+
+def test_preload_without_sdram_raises():
+    repo, _, _ = make_repo(with_sdram=False)
+    repo.register(bitstream_for_rect("fir", "prr0", RECT))
+    with pytest.raises(RepositoryError, match="no SDRAM"):
+        repo.preload_to_sdram("fir", "prr0")
+    assert not repo.is_preloaded("fir", "prr0")
+
+
+def test_preload_all():
+    repo, _, _ = make_repo()
+    repo.register(bitstream_for_rect("fir", "prr0", RECT))
+    repo.register(bitstream_for_rect("fir", "prr1", RECT))
+    total = repo.preload_all()
+    assert total == pytest.approx(2 * 36_408 / repo.cf.bytes_per_second)
+    assert repo.is_preloaded("fir", "prr1")

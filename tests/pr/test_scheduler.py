@@ -1,0 +1,78 @@
+"""Unit tests for the reconfiguration scheduler."""
+
+import pytest
+
+from repro.pr.scheduler import ReconfigScheduler
+from repro.modules.transforms import PassThrough
+
+from tests.helpers import build_system
+
+
+def make_scheduler():
+    system = build_system()
+    for name in ("a", "b", "c"):
+        system.register_module(name, lambda n=name: PassThrough(n))
+        for prr in ("rsb0.prr0", "rsb0.prr1"):
+            system.repository.preload_to_sdram(name, prr)
+    return system, ReconfigScheduler(system.engine)
+
+
+def test_single_request_starts_immediately():
+    system, scheduler = make_scheduler()
+    request = scheduler.submit("a", "rsb0.prr0")
+    assert request.started
+    assert scheduler.busy
+    system.sim.run()
+    assert request.done
+    assert not scheduler.busy
+    assert system.prr("rsb0.prr0").module.name == "a"
+
+
+def test_requests_serialise_fifo():
+    system, scheduler = make_scheduler()
+    first = scheduler.submit("a", "rsb0.prr0")
+    second = scheduler.submit("b", "rsb0.prr1")
+    third = scheduler.submit("c", "rsb0.prr0")
+    assert first.started
+    assert not second.started  # queued behind the busy ICAP
+    assert scheduler.pending == 3
+    system.sim.run()
+    assert [r.module_name for r in scheduler.completed] == ["a", "b", "c"]
+    assert system.prr("rsb0.prr0").module.name == "c"
+    assert system.prr("rsb0.prr1").module.name == "b"
+
+
+def test_completion_order_respects_durations():
+    """Each queued request waits for its predecessor's full duration."""
+    system, scheduler = make_scheduler()
+    scheduler.submit("a", "rsb0.prr0")
+    request = scheduler.submit("b", "rsb0.prr1")
+    system.sim.run()
+    first, second = system.icap.history
+    assert second.start_ps >= first.end_ps
+
+
+def test_done_callbacks():
+    system, scheduler = make_scheduler()
+    fired = []
+    request = scheduler.submit("a", "rsb0.prr0")
+    request.add_done_callback(lambda: fired.append("x"))
+    assert fired == []
+    system.sim.run()
+    assert fired == ["x"]
+    request.add_done_callback(lambda: fired.append("late"))
+    assert fired == ["x", "late"]
+
+
+def test_bad_path_rejected():
+    _, scheduler = make_scheduler()
+    with pytest.raises(ValueError, match="unknown reconfiguration path"):
+        scheduler.submit("a", "rsb0.prr0", path="jtag")
+
+
+def test_cf_path_supported():
+    system, scheduler = make_scheduler()
+    request = scheduler.submit("a", "rsb0.prr0", path="cf2icap")
+    system.sim.run()
+    assert request.done
+    assert request.transfer.duration_seconds > 0

@@ -1,0 +1,133 @@
+"""Property tests for the extension subsystems: scheduler, relocation
+and spanning validation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control.icap import IcapController
+from repro.control.memory import BramBuffer, CompactFlash, Sdram
+from repro.fabric.device import get_device
+from repro.fabric.floorplan import Floorplan
+from repro.fabric.geometry import Rect
+from repro.pr.bitstream import bitstream_for_rect
+from repro.pr.reconfig import ReconfigurationEngine
+from repro.pr.relocation import can_relocate, relocation_classes
+from repro.pr.repository import BitstreamRepository
+from repro.pr.scheduler import ReconfigScheduler
+from repro.sim.kernel import Simulator
+
+
+# ----------------------------------------------------------------------
+# scheduler: FIFO order and non-overlap under random request streams
+# ----------------------------------------------------------------------
+@given(
+    requests=st.lists(
+        st.tuples(st.integers(0, 3), st.sampled_from(["array2icap", "cf2icap"])),
+        min_size=1,
+        max_size=8,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_scheduler_serialises_any_request_stream(requests):
+    sim = Simulator()
+    repo = BitstreamRepository(CompactFlash(), Sdram(1 << 24))
+    engine = ReconfigurationEngine(sim, IcapController(sim), repo, BramBuffer())
+    for prr in range(4):
+        bitstream = bitstream_for_rect("m", f"prr{prr}", Rect(0, 0, 4, 16))
+        repo.register(bitstream)
+        repo.preload_to_sdram("m", f"prr{prr}")
+    scheduler = ReconfigScheduler(engine)
+    submitted = [
+        scheduler.submit("m", f"prr{prr}", path) for prr, path in requests
+    ]
+    sim.run()
+    # all completed, in submission order
+    assert [r.prr_name for r in scheduler.completed] == [
+        f"prr{prr}" for prr, _ in requests
+    ]
+    assert all(r.done for r in submitted)
+    # transfers never overlapped on the single ICAP
+    history = engine.icap.history
+    for earlier, later in zip(history, history[1:]):
+        assert later.start_ps >= earlier.end_ps
+
+
+# ----------------------------------------------------------------------
+# relocation: compatibility is reflexive/symmetric; classes partition
+# ----------------------------------------------------------------------
+def _placements(data, device, count):
+    plan = Floorplan(device)
+    placements = []
+    for index in range(count):
+        width = data.draw(st.integers(2, 10), label=f"w{index}")
+        height = data.draw(st.sampled_from([8, 16]), label=f"h{index}")
+        band = index  # keep placements legal: one band each
+        row_offset = data.draw(st.sampled_from([0, 8]), label=f"o{index}")
+        if row_offset + height > 16:
+            row_offset = 0
+        try:
+            placements.append(
+                plan.place_prr(
+                    f"p{index}", Rect(0, band * 16 + row_offset, width, height)
+                )
+            )
+        except Exception:
+            continue
+    return placements
+
+
+@given(data=st.data(), count=st.integers(1, 5))
+@settings(max_examples=50, deadline=None)
+def test_relocation_compatibility_properties(data, count):
+    device = get_device("XC4VLX200")
+    placements = _placements(data, device, count)
+    for a in placements:
+        assert can_relocate(a, a)  # reflexive
+        for b in placements:
+            assert can_relocate(a, b) == can_relocate(b, a)  # symmetric
+    classes = relocation_classes(placements)
+    # classes partition the placement set
+    assert sum(len(group) for group in classes) == len(placements)
+    flattened = [p.name for group in classes for p in group]
+    assert sorted(flattened) == sorted(p.name for p in placements)
+    # within a class, all pairs are compatible with the anchor
+    for group in classes:
+        anchor = group[0]
+        for member in group[1:]:
+            assert can_relocate(anchor, member)
+
+
+# ----------------------------------------------------------------------
+# spanning: validation accepts exactly the contiguous, in-reach spans
+# ----------------------------------------------------------------------
+@given(
+    start=st.integers(0, 3),
+    length=st.integers(2, 4),
+)
+@settings(max_examples=25, deadline=None)
+def test_spanning_validation_matches_bufr_reach(start, length):
+    from repro.core import RsbParameters, SystemParameters, VapresSystem
+    from repro.core.spanning import SpanningError, SpanningRegion
+
+    params = SystemParameters(
+        board="ML403",
+        rsbs=[
+            RsbParameters(
+                name="rsb0", num_prrs=5, num_ioms=1, iom_positions=[0]
+            )
+        ],
+    )
+    system = VapresSystem(params)
+    names = [f"rsb0.prr{start + offset}" for offset in range(length)]
+    if start + length > 5:
+        return  # out of range; nothing to test
+    if length <= 3:
+        span = SpanningRegion(system, names)
+        assert span.slices == 640 * length
+    else:
+        try:
+            SpanningRegion(system, names)
+        except SpanningError as error:
+            assert "BUFR" in str(error)
+        else:  # pragma: no cover
+            raise AssertionError("4-region span must be rejected")

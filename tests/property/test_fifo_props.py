@@ -1,0 +1,83 @@
+"""Property tests: FIFOs against a reference deque model."""
+
+from collections import deque
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.fifo import AsyncFifo, SyncFifo
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), st.integers(0, 2**32 - 1)),
+        st.tuples(st.just("pop"), st.just(0)),
+    ),
+    max_size=200,
+)
+
+
+@given(capacity=st.integers(1, 64), operations=ops)
+def test_sync_fifo_matches_reference_model(capacity, operations):
+    fifo = SyncFifo(capacity)
+    model = deque()
+    drops = 0
+    for op, value in operations:
+        if op == "push":
+            accepted = fifo.push(value)
+            if len(model) < capacity:
+                assert accepted
+                model.append(value)
+            else:
+                assert not accepted
+                drops += 1
+        else:
+            if model:
+                assert fifo.pop() == model.popleft()
+            else:
+                assert fifo.empty
+        assert len(fifo) == len(model)
+        assert fifo.empty == (not model)
+        assert fifo.full == (len(model) == capacity)
+        assert fifo.drops == drops
+
+
+@given(
+    capacity=st.integers(1, 64),
+    slack=st.integers(0, 64),
+    pushes=st.integers(0, 64),
+)
+def test_almost_full_is_remaining_space_threshold(capacity, slack, pushes):
+    fifo = SyncFifo(capacity, almost_full_slack=slack)
+    for value in range(min(pushes, capacity)):
+        fifo.push(value)
+    assert fifo.almost_full == (fifo.remaining <= slack)
+
+
+@given(
+    words=st.lists(st.integers(0, 2**32 - 1), max_size=100),
+    capacity=st.integers(1, 128),
+)
+def test_fifo_preserves_order_and_content(words, capacity):
+    fifo = SyncFifo(capacity)
+    accepted = [w for w in words if fifo.push(w)]
+    assert fifo.drain() == accepted
+    assert accepted == words[: min(len(words), capacity)]
+
+
+@given(
+    words=st.lists(st.integers(0, 255), min_size=1, max_size=50),
+    sync_stages=st.integers(0, 4),
+)
+def test_async_fifo_sync_empty_never_shows_phantom_data(words, sync_stages):
+    """sync_empty may lag reality but never claims data that isn't there."""
+    fifo = AsyncFifo(256, sync_stages=sync_stages)
+    for word in words:
+        fifo.push(word)
+        if not fifo.sync_empty:
+            assert not fifo.empty
+        fifo.reader_tick()
+    # after enough reader cycles every word becomes visible
+    for _ in range(sync_stages + 1):
+        fifo.reader_tick()
+    assert not fifo.sync_empty
+    assert fifo.drain() == words

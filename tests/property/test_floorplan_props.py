@@ -1,0 +1,88 @@
+"""Property tests: every accepted floorplan satisfies the paper's rules."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.fabric.device import DEVICES, get_device
+from repro.fabric.floorplan import (
+    Floorplan,
+    FloorplanError,
+    MAX_PRR_HEIGHT,
+    MAX_PRR_REGIONS,
+    auto_floorplan,
+)
+from repro.fabric.geometry import CLOCK_REGION_ROWS, Rect, clock_regions_of
+
+devices = st.sampled_from(sorted(DEVICES))
+
+
+def rects(device):
+    return st.builds(
+        Rect,
+        col=st.integers(0, device.clb_cols - 1),
+        row=st.integers(0, device.clb_rows - 1),
+        width=st.integers(1, device.clb_cols),
+        height=st.integers(1, 64),
+    )
+
+
+@given(data=st.data(), device_name=devices)
+@settings(max_examples=120, deadline=None)
+def test_accepted_placements_always_legal(data, device_name):
+    device = get_device(device_name)
+    plan = Floorplan(device)
+    for index in range(4):
+        rect = data.draw(rects(device), label=f"rect{index}")
+        try:
+            plan.place_prr(f"p{index}", rect)
+        except FloorplanError:
+            continue
+    # invariants over whatever was accepted
+    seen_regions = set()
+    for placement in plan.prrs.values():
+        rect = placement.rect
+        assert device.bounds.contains(rect)
+        assert rect.height <= MAX_PRR_HEIGHT
+        regions = clock_regions_of(rect, device.clb_cols)
+        assert 1 <= len(regions) <= MAX_PRR_REGIONS
+        assert len({r.half for r in regions}) == 1
+        assert not (regions & seen_regions)
+        seen_regions |= regions
+    names = list(plan.prrs)
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            assert not plan.prrs[a].rect.intersects(plan.prrs[b].rect)
+
+
+@given(
+    device_name=devices,
+    count=st.integers(1, 4),
+    slices=st.integers(4, 640),
+    regions=st.integers(1, 3),
+)
+@settings(max_examples=80, deadline=None)
+def test_auto_floorplan_meets_requirements_or_raises(
+    device_name, count, slices, regions
+):
+    device = get_device(device_name)
+    requirements = [(f"p{i}", slices) for i in range(count)]
+    try:
+        plan = auto_floorplan(device, requirements, regions_per_prr=regions)
+    except FloorplanError:
+        return
+    assert len(plan.prrs) == count
+    for placement in plan.prrs.values():
+        assert placement.slices >= slices
+        assert len(placement.clock_regions) <= regions
+    assert plan.prr_slices + plan.static_slices_available == device.slices
+
+
+@given(device_name=devices, data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_fragmentation_never_negative(device_name, data):
+    device = get_device(device_name)
+    plan = auto_floorplan(device, [("p0", 640)])
+    used = data.draw(st.integers(0, plan.prrs["p0"].slices))
+    waste = plan.fragmentation({"p0": used})
+    assert waste["p0"] == plan.prrs["p0"].slices - used
+    assert waste["p0"] >= 0

@@ -1,0 +1,75 @@
+"""Property tests: kernel event ordering and clock arithmetic."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.clock import Clock, FixedSource
+from repro.sim.kernel import (
+    PRIORITY_COMMIT,
+    PRIORITY_NORMAL,
+    PRIORITY_SAMPLE,
+    Simulator,
+    freq_hz_to_period_ps,
+)
+
+
+@given(
+    schedule=st.lists(
+        st.tuples(
+            st.integers(0, 10_000),
+            st.sampled_from([PRIORITY_SAMPLE, PRIORITY_COMMIT, PRIORITY_NORMAL]),
+        ),
+        max_size=80,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_events_fire_in_time_then_priority_then_fifo_order(schedule):
+    sim = Simulator()
+    fired = []
+    for index, (delay, priority) in enumerate(schedule):
+        sim.schedule(
+            delay,
+            lambda d=delay, p=priority, i=index: fired.append((d, p, i)),
+            priority=priority,
+        )
+    sim.run()
+    assert fired == sorted(fired)
+
+
+@given(freq=st.floats(1e3, 1e9, allow_nan=False, allow_infinity=False))
+def test_period_positive_and_monotone(freq):
+    period = freq_hz_to_period_ps(freq)
+    assert period >= 1
+    assert freq_hz_to_period_ps(freq / 2) >= period
+
+
+@given(
+    freq_mhz=st.integers(1, 400),
+    run_periods=st.integers(0, 200),
+)
+@settings(max_examples=60, deadline=None)
+def test_clock_cycle_count_matches_elapsed_time(freq_mhz, run_periods):
+    sim = Simulator()
+    clock = Clock(sim, source=FixedSource(freq_mhz * 1e6))
+    clock.start()
+    sim.run_for(run_periods * clock.period_ps)
+    assert clock.cycles == run_periods
+
+
+@given(
+    gate_at=st.integers(0, 50),
+    gated_for=st.integers(0, 50),
+    after=st.integers(0, 50),
+)
+@settings(max_examples=60, deadline=None)
+def test_gating_loses_exactly_the_gated_cycles(gate_at, gated_for, after):
+    sim = Simulator()
+    clock = Clock(sim, freq_hz=100e6)
+    clock.start()
+    period = clock.period_ps
+    sim.run_for(gate_at * period)
+    clock.set_enabled(False)
+    sim.run_for(gated_for * period)
+    clock.set_enabled(True)
+    sim.run_for(after * period)
+    assert clock.cycles == gate_at + after

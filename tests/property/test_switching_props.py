@@ -1,0 +1,85 @@
+"""Property tests: the switching methodology is correct for arbitrary
+stateful modules and switch timing.
+
+For any module type from the library, any state size, and any point in
+the stream at which the MicroBlaze decides to swap, the methodology must
+lose zero words and produce output identical to a never-switched
+reference module.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.switching import ModuleSwitcher
+from repro.modules import Iom
+from repro.modules.base import staged
+from repro.modules.filters import FirFilter, MovingAverage, Q15_ONE
+from repro.modules.sources import ramp
+from repro.modules.state import from_u32, to_u32
+from repro.modules.transforms import (
+    Crc32,
+    Decimator,
+    DeltaEncoder,
+    MinMaxTracker,
+)
+
+from tests.helpers import build_system
+
+FACTORIES = {
+    "avg": lambda: MovingAverage("m", window=3),
+    "fir": lambda: FirFilter("m", [Q15_ONE // 2, Q15_ONE // 2]),
+    "delta": lambda: DeltaEncoder("m"),
+    "crc": lambda: Crc32("m"),
+    "minmax": lambda: MinMaxTracker("m"),
+    # variable-rate: the swap must preserve the decimation phase
+    "decim": lambda: Decimator("m", factor=3),
+}
+
+
+@given(
+    kind=st.sampled_from(sorted(FACTORIES)),
+    pre_switch_us=st.integers(2, 40),
+)
+@settings(max_examples=12, deadline=None)
+def test_switch_preserves_stream_for_any_module_and_timing(
+    kind, pre_switch_us
+):
+    factory = FACTORIES[kind]
+    count = 3_000
+
+    # reference: one uninterrupted module
+    reference = factory()
+    expected = []
+    for sample in ramp(count=count):
+        result = reference.process(to_u32(sample))
+        if result is not None:
+            expected.append(from_u32(to_u32(result)))
+
+    # system under test: swap mid-stream at an arbitrary moment
+    system = build_system(pr_speedup=2000.0)
+    iom = Iom("io", source=ramp(count=count))
+    system.attach_iom("rsb0.iom0", iom)
+    system.place_module_directly(factory(), "rsb0.prr0")
+    ch_in = system.open_stream("rsb0.iom0", "rsb0.prr0")
+    ch_out = system.open_stream("rsb0.prr0", "rsb0.iom0")
+    system.register_module("successor", lambda: staged(factory()))
+    system.repository.preload_to_sdram("successor", "rsb0.prr1")
+    system.run_for_us(pre_switch_us)
+    report = system.microblaze.run_to_completion(
+        ModuleSwitcher(system).switch(
+            old_prr="rsb0.prr0",
+            new_prr="rsb0.prr1",
+            new_module="successor",
+            upstream_slot="rsb0.iom0",
+            downstream_slot="rsb0.iom0",
+            input_channel=ch_in,
+            output_channel=ch_out,
+        ),
+        "switch",
+    )
+    system.run_for_us(80)
+
+    assert report.words_lost == 0
+    assert iom.received == expected[: len(iom.received)]
+    # essentially everything arrived (variable-rate modules emit fewer)
+    assert len(iom.received) >= len(expected) - 10

@@ -1,0 +1,127 @@
+"""Property tests: system-level invariants.
+
+* determinism: identical scenarios produce identical traces and outputs;
+* random KPN pipelines assemble and deliver every word;
+* resource estimates are monotone in every architectural parameter.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RsbParameters, SystemParameters, VapresSystem
+from repro.core.assembly import RuntimeAssembler
+from repro.core.kpn import KahnProcessNetwork
+from repro.flows.estimate import comm_architecture_slices, static_region_resources
+from repro.modules import Iom
+from repro.modules.filters import MovingAverage, Q15_ONE, FirFilter
+from repro.modules.sources import ramp
+from repro.modules.transforms import Crc32, DeltaEncoder, PassThrough
+
+from tests.helpers import build_system
+
+STAGE_FACTORIES = [
+    lambda n: PassThrough(n),
+    lambda n: MovingAverage(n, window=2),
+    lambda n: DeltaEncoder(n),
+    lambda n: Crc32(n),
+    lambda n: FirFilter(n, [Q15_ONE]),
+]
+
+
+def run_scenario(module_index, count):
+    system = build_system()
+    iom = Iom("io", source=ramp(count=count))
+    system.attach_iom("rsb0.iom0", iom)
+    module = STAGE_FACTORIES[module_index]("m")
+    system.place_module_directly(module, "rsb0.prr0")
+    system.open_stream("rsb0.iom0", "rsb0.prr0")
+    system.open_stream("rsb0.prr0", "rsb0.iom0")
+    system.run_for_cycles(count * 3 + 100)
+    trace = [(e.time, e.category, e.message) for e in system.sim.trace]
+    return list(iom.received), trace, system.sim.events_processed
+
+
+@given(
+    module_index=st.integers(0, len(STAGE_FACTORIES) - 1),
+    count=st.integers(1, 120),
+)
+@settings(max_examples=15, deadline=None)
+def test_simulation_is_deterministic(module_index, count):
+    first = run_scenario(module_index, count)
+    second = run_scenario(module_index, count)
+    assert first == second
+
+
+@given(
+    data=st.data(),
+    stages=st.integers(1, 2),
+    count=st.integers(1, 150),
+)
+@settings(max_examples=20, deadline=None)
+def test_random_pipelines_deliver_every_word(data, stages, count):
+    system = build_system()
+    iom = Iom("io", source=ramp(count=count))
+    system.attach_iom("rsb0.iom0", iom)
+    kpn = KahnProcessNetwork("random-pipe")
+    kpn.add_iom("io")
+    previous = "io"
+    for index in range(stages):
+        factory_index = data.draw(
+            st.integers(0, len(STAGE_FACTORIES) - 1), label=f"stage{index}"
+        )
+        name = f"s{index}"
+        kpn.add_module(
+            name,
+            lambda n=name, f=factory_index: STAGE_FACTORIES[f](n),
+        )
+        kpn.connect(previous, name)
+        previous = name
+    kpn.connect(previous, "io")
+    app = RuntimeAssembler(system).assemble(kpn)
+    system.run_for_cycles(count * (stages + 2) * 3 + 200)
+    # every fixed-rate stage forwards every word (all library stages here
+    # are rate-1); nothing may be discarded anywhere
+    assert len(iom.received) == count
+    discards = [
+        c.words_discarded
+        for slot in system.rsbs[0].slots
+        for c in slot.consumers
+    ]
+    assert sum(discards) == 0
+    assert app.teardown() == 0
+
+
+@given(
+    kr=st.integers(1, 4),
+    width=st.sampled_from([8, 16, 32, 64]),
+    prrs=st.integers(1, 6),
+)
+@settings(max_examples=40, deadline=None)
+def test_resource_estimates_monotone(kr, width, prrs):
+    base = RsbParameters(
+        num_prrs=prrs, num_ioms=1, iom_positions=[0],
+        kr=kr, kl=kr, channel_width=width,
+    )
+    bigger_lanes = RsbParameters(
+        num_prrs=prrs, num_ioms=1, iom_positions=[0],
+        kr=kr + 1, kl=kr + 1, channel_width=width,
+    )
+    wider = RsbParameters(
+        num_prrs=prrs, num_ioms=1, iom_positions=[0],
+        kr=kr, kl=kr, channel_width=width * 2,
+    )
+    assert comm_architecture_slices(bigger_lanes) > comm_architecture_slices(base)
+    assert comm_architecture_slices(wider) > comm_architecture_slices(base)
+    params_small = SystemParameters(rsbs=[base])
+    params_more_prrs = SystemParameters(
+        rsbs=[
+            RsbParameters(
+                num_prrs=prrs + 1, num_ioms=1, iom_positions=[0],
+                kr=kr, kl=kr, channel_width=width,
+            )
+        ]
+    )
+    assert (
+        static_region_resources(params_more_prrs).slices
+        > static_region_resources(params_small).slices
+    )

@@ -1,0 +1,211 @@
+"""Unit tests for clocks and the Virtex-4 clocking primitives."""
+
+import pytest
+
+from repro.sim.clock import (
+    Bufgmux,
+    Bufr,
+    Clock,
+    ClockedComponent,
+    Dcm,
+    FixedSource,
+    Pmcd,
+)
+from repro.sim.kernel import SimulationError, Simulator
+
+
+class Counter(ClockedComponent):
+    def __init__(self):
+        self.samples = 0
+        self.commits = 0
+
+    def sample(self):
+        self.samples += 1
+
+    def commit(self):
+        self.commits += 1
+
+
+def test_clock_requires_exactly_one_frequency_spec():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Clock(sim)
+    with pytest.raises(SimulationError):
+        Clock(sim, source=FixedSource(1e6), freq_hz=1e6)
+
+
+def test_clock_ticks_at_period():
+    sim = Simulator()
+    clk = Clock(sim, freq_hz=100e6)
+    counter = Counter()
+    clk.attach(counter)
+    clk.start()
+    sim.run_until(100_000)  # 10 us at 10 ns period -> 10 edges
+    assert clk.cycles == 10
+    assert counter.samples == 10
+    assert counter.commits == 10
+
+
+def test_sample_runs_before_commit_across_components():
+    sim = Simulator()
+    clk = Clock(sim, freq_hz=100e6)
+    order = []
+
+    class Probe(ClockedComponent):
+        def __init__(self, tag):
+            self.tag = tag
+
+        def sample(self):
+            order.append(("s", self.tag))
+
+        def commit(self):
+            order.append(("c", self.tag))
+
+    clk.attach(Probe(0))
+    clk.attach(Probe(1))
+    clk.start()
+    sim.run_until(clk.period_ps)
+    assert order == [("s", 0), ("s", 1), ("c", 0), ("c", 1)]
+
+
+def test_clock_gating_stops_and_resumes_edges():
+    sim = Simulator()
+    clk = Clock(sim, freq_hz=100e6)
+    clk.start()
+    sim.run_for(5 * clk.period_ps)
+    assert clk.cycles == 5
+    clk.set_enabled(False)
+    sim.run_for(10 * clk.period_ps)
+    assert clk.cycles == 5
+    clk.set_enabled(True)
+    sim.run_for(5 * clk.period_ps)
+    assert clk.cycles == 10
+
+
+def test_detach_stops_driving_component():
+    sim = Simulator()
+    clk = Clock(sim, freq_hz=100e6)
+    counter = Counter()
+    clk.attach(counter)
+    clk.start()
+    sim.run_for(3 * clk.period_ps)
+    clk.detach(counter)
+    sim.run_for(3 * clk.period_ps)
+    assert counter.commits == 3
+
+
+def test_start_is_idempotent():
+    sim = Simulator()
+    clk = Clock(sim, freq_hz=100e6)
+    clk.start()
+    clk.start()
+    sim.run_for(2 * clk.period_ps)
+    assert clk.cycles == 2
+
+
+# ----------------------------------------------------------------------
+# DCM / PMCD / BUFGMUX / BUFR
+# ----------------------------------------------------------------------
+def test_dcm_outputs():
+    osc = FixedSource(100e6)
+    dcm = Dcm(osc)
+    assert dcm.clk0.frequency_hz == 100e6
+    assert dcm.clk2x.frequency_hz == 200e6
+    assert dcm.clkdv(4).frequency_hz == 25e6
+    assert dcm.clkfx(3, 2).frequency_hz == 150e6
+
+
+def test_dcm_range_checks():
+    dcm = Dcm(FixedSource(100e6))
+    with pytest.raises(SimulationError):
+        dcm.clkdv(32)
+    with pytest.raises(SimulationError):
+        dcm.clkfx(1, 1)
+    with pytest.raises(SimulationError):
+        dcm.clkfx(4, 64)
+
+
+def test_pmcd_phase_matched_dividers():
+    pmcd = Pmcd(FixedSource(100e6))
+    assert [s.frequency_hz for s in pmcd.outputs()] == [
+        100e6,
+        50e6,
+        25e6,
+        12.5e6,
+    ]
+
+
+def test_bufgmux_selects_between_sources():
+    mux = Bufgmux(FixedSource(100e6), FixedSource(50e6))
+    assert mux.frequency_hz == 100e6
+    mux.select(1)
+    assert mux.frequency_hz == 50e6
+    with pytest.raises(SimulationError):
+        mux.select(2)
+
+
+def test_bufgmux_switch_takes_effect_on_next_edge():
+    sim = Simulator()
+    mux = Bufgmux(FixedSource(100e6), FixedSource(50e6))
+    clk = Clock(sim, source=mux)
+    clk.start()
+    sim.run_for(10_000)  # one 100 MHz edge
+    assert clk.cycles == 1
+    mux.select(1)
+    # next edge scheduled with the old 10ns period already; after that the
+    # 20ns period applies
+    sim.run_for(10_000)
+    assert clk.cycles == 2
+    sim.run_for(20_000)
+    assert clk.cycles == 3
+
+
+def test_bufr_divide_and_gate():
+    sim = Simulator()
+    bufr = Bufr(FixedSource(100e6), divide=2)
+    clk = Clock(sim, source=bufr)
+    assert clk.frequency_hz == 50e6
+    clk.start()
+    sim.run_for(100_000)
+    assert clk.cycles == 5
+    bufr.set_enabled(False)
+    sim.run_for(100_000)
+    assert clk.cycles == 5
+    bufr.set_enabled(True)
+    sim.run_for(100_000)
+    assert clk.cycles == 10
+
+
+def test_bufr_divide_range():
+    with pytest.raises(SimulationError):
+        Bufr(FixedSource(1e6), divide=9)
+
+
+def test_bufr_gates_all_downstream_clocks():
+    sim = Simulator()
+    bufr = Bufr(FixedSource(100e6))
+    clk_a = Clock(sim, source=bufr, name="a")
+    clk_b = Clock(sim, source=bufr, name="b")
+    clk_a.start()
+    clk_b.start()
+    bufr.set_enabled(False)
+    sim.run_for(50_000)
+    assert clk_a.cycles == 0
+    assert clk_b.cycles == 0
+
+
+def test_full_lcd_chain_dcm_pmcd_bufgmux_bufr():
+    """The paper's LCD derivation: DCM -> PMCD -> BUFGMUX -> BUFR."""
+    sim = Simulator()
+    osc = FixedSource(100e6)
+    dcm = Dcm(osc)
+    pmcd = Pmcd(dcm.clk0)
+    mux = Bufgmux(pmcd.clka1, pmcd.clkdiv2)
+    bufr = Bufr(mux)
+    clk = Clock(sim, source=bufr, name="prr.lcd")
+    clk.start()
+    sim.run_for(200_000)  # 20 100MHz periods
+    assert clk.cycles == 20
+    mux.select(1)  # halve the PRR frequency at runtime (CLK_sel)
+    sim.run_for(200_000)
+    assert 29 <= clk.cycles <= 31  # ~10 more edges at 50 MHz

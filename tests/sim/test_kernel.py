@@ -1,0 +1,172 @@
+"""Unit tests for the simulation kernel."""
+
+import pytest
+
+from repro.sim.kernel import (
+    PRIORITY_COMMIT,
+    PRIORITY_NORMAL,
+    PRIORITY_SAMPLE,
+    SimulationError,
+    Simulator,
+    freq_hz_to_period_ps,
+    seconds_to_ps,
+)
+
+
+def test_time_starts_at_zero():
+    assert Simulator().now == 0
+
+
+def test_schedule_and_run_until():
+    sim = Simulator()
+    fired = []
+    sim.schedule(100, lambda: fired.append(sim.now))
+    sim.schedule(200, lambda: fired.append(sim.now))
+    sim.run_until(150)
+    assert fired == [100]
+    assert sim.now == 150
+    sim.run_until(300)
+    assert fired == [100, 200]
+
+
+def test_events_fire_in_time_order_regardless_of_insert_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(300, lambda: fired.append(3))
+    sim.schedule(100, lambda: fired.append(1))
+    sim.schedule(200, lambda: fired.append(2))
+    sim.run()
+    assert fired == [1, 2, 3]
+
+
+def test_priority_orders_events_at_same_timestamp():
+    sim = Simulator()
+    fired = []
+    sim.schedule(50, lambda: fired.append("normal"), priority=PRIORITY_NORMAL)
+    sim.schedule(50, lambda: fired.append("commit"), priority=PRIORITY_COMMIT)
+    sim.schedule(50, lambda: fired.append("sample"), priority=PRIORITY_SAMPLE)
+    sim.run()
+    assert fired == ["sample", "commit", "normal"]
+
+
+def test_fifo_order_within_same_time_and_priority():
+    sim = Simulator()
+    fired = []
+    for tag in range(5):
+        sim.schedule(10, lambda t=tag: fired.append(t))
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(10, lambda: fired.append("x"))
+    event.cancel()
+    sim.run()
+    assert fired == []
+    assert sim.pending_events == 0
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Simulator().schedule(-1, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(100, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(50, lambda: None)
+
+
+def test_run_until_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(100, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.run_until(10)
+
+
+def test_callback_may_schedule_followups():
+    sim = Simulator()
+    fired = []
+
+    def chain(depth):
+        fired.append(sim.now)
+        if depth:
+            sim.schedule(10, lambda: chain(depth - 1))
+
+    sim.schedule(10, lambda: chain(3))
+    sim.run()
+    assert fired == [10, 20, 30, 40]
+
+
+def test_run_max_events_limit():
+    sim = Simulator()
+    for _ in range(10):
+        sim.schedule(1, lambda: None)
+    count = sim.run(max_events=4)
+    assert count == 4
+    assert sim.pending_events == 6
+
+
+def test_run_for_advances_relative_time():
+    sim = Simulator()
+    sim.schedule(100, lambda: None)
+    sim.run_for(60)
+    assert sim.now == 60
+    sim.run_for(60)
+    assert sim.now == 120
+
+
+def test_step_returns_false_when_empty():
+    assert Simulator().step() is False
+
+
+def test_trace_log_records_time_and_fields():
+    sim = Simulator()
+    sim.schedule(123, lambda: sim.log("cat", "hello", value=7))
+    sim.run()
+    assert len(sim.trace) == 1
+    event = sim.trace[0]
+    assert event.time == 123
+    assert event.category == "cat"
+    assert event.fields == {"value": 7}
+    assert "hello" in str(event)
+
+
+def test_trace_by_category_filters():
+    sim = Simulator()
+    sim.log("a", "one")
+    sim.log("b", "two")
+    sim.log("a", "three")
+    assert len(sim.trace_by_category("a")) == 2
+
+
+def test_tracing_can_be_disabled():
+    sim = Simulator()
+    sim.set_tracing(False)
+    sim.log("a", "ignored")
+    assert sim.trace == []
+
+
+def test_seconds_to_ps_roundtrip():
+    assert seconds_to_ps(1.0) == 10**12
+    assert seconds_to_ps(0.07194) == 71_940_000_000
+
+
+def test_freq_to_period():
+    assert freq_hz_to_period_ps(100e6) == 10_000
+    assert freq_hz_to_period_ps(50e6) == 20_000
+    with pytest.raises(SimulationError):
+        freq_hz_to_period_ps(0)
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for _ in range(3):
+        sim.schedule(1, lambda: None)
+    sim.run()
+    assert sim.events_processed == 3
