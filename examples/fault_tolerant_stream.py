@@ -48,6 +48,10 @@ def main() -> None:
     )
     system.repository.preload_to_sdram("crc-unit-spare", "rsb0.prr1")
 
+    # static verification before the stream starts: floorplan DRC, CDC
+    # lint, credit-loop analysis and kernel checks (raises on errors)
+    print(system.verify(strict=True).summary_line())
+
     # inject an SEU into the module's CRC register mid-run
     def inject_fault():
         unit.crc ^= 0x00400000

@@ -46,7 +46,12 @@ def main() -> None:
         f"d={out_of_filter.d} back out"
     )
 
-    # 5. run: one word moves per 100 MHz fabric cycle
+    # 5. statically verify the assembled system before simulating (raises
+    #    on any error-severity VAPxxx diagnostic)
+    report = system.verify(strict=True)
+    print(report.summary_line())
+
+    # 6. run: one word moves per 100 MHz fabric cycle
     system.run_for_cycles(4 * SAMPLES)
 
     print(f"\nstreamed {iom.words_emitted} words in, "

@@ -13,6 +13,12 @@ Commands
 ``experiments``
     Regenerate the headline Section V.B numbers (resources and
     reconfiguration times) and print the paper-vs-measured table.
+``verify``
+    Statically verify a JSON system definition (or a named preset):
+    floorplan DRC, CDC lint, credit-loop analysis, switching
+    preconditions and kernel determinism checks.  ``--json`` emits a
+    machine-readable report; the exit code is non-zero when any
+    error-severity diagnostic is found.
 """
 
 from __future__ import annotations
@@ -184,6 +190,35 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     return 0 if all(c.within_tolerance for c in comparisons) else 1
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify.loader import PRESETS, LoaderError, build_system, load_sysdef
+    from repro.verify.runner import verify_system
+
+    try:
+        if args.sysdef in PRESETS:
+            loaded = build_system({"preset": args.sysdef})
+        else:
+            loaded = load_sysdef(args.sysdef)
+    except LoaderError as error:
+        print(f"verify: cannot load {args.sysdef!r}: {error}", file=sys.stderr)
+        if "/" not in args.sysdef and not args.sysdef.endswith(".json"):
+            print(f"(known presets: {', '.join(sorted(PRESETS))})",
+                  file=sys.stderr)
+        return 2
+    report = verify_system(
+        loaded.system,
+        probe_cycles=args.probe_cycles,
+        switch_plans=loaded.switch_plans,
+    )
+    if loaded.name:
+        report.subject = loaded.name
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render_text(include_info=not args.quiet))
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -215,6 +250,29 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments", help="regenerate the Section V.B headline numbers"
     )
     experiments.set_defaults(func=cmd_experiments)
+
+    verify = sub.add_parser(
+        "verify", help="statically verify a JSON system definition"
+    )
+    verify.add_argument(
+        "sysdef",
+        help="path to a JSON sysdef file, or a preset name "
+             "(prototype, figure7)",
+    )
+    verify.add_argument(
+        "--json", action="store_true",
+        help="emit a machine-readable JSON report",
+    )
+    verify.add_argument(
+        "--quiet", action="store_true",
+        help="omit info-severity diagnostics from the text report",
+    )
+    verify.add_argument(
+        "--probe-cycles", type=int, default=0, metavar="N",
+        help="also run the kernel determinism probe for N system-clock "
+             "cycles (advances simulated time)",
+    )
+    verify.set_defaults(func=cmd_verify)
     return parser
 
 

@@ -90,15 +90,58 @@ class ModuleSwitcher:
     primary slot's interfaces.
     """
 
-    def __init__(self, system) -> None:
+    def __init__(self, system, strict_precheck: bool = False) -> None:
         self.system = system
         self.api = system.api
+        #: when True, the Figure 5 precondition check (``repro.verify``)
+        #: raises before the switch starts instead of only logging
+        self.strict_precheck = strict_precheck
 
     def _resolve_target(self, name: str):
         try:
             return self.system.spanning_region(name)
         except Exception:
             return self.system.prr(name)
+
+    def _precheck(
+        self,
+        old_prr: str,
+        new_prr: str,
+        new_module: str,
+        upstream_slot: str,
+        downstream_slot: str,
+        input_channel: StreamingChannel,
+        output_channel: StreamingChannel,
+        reconfig_path: str,
+    ) -> None:
+        """Figure 5 precondition check (``VAP3xx``) before step 1.
+
+        Diagnostics are logged to the simulation trace (category
+        ``"verify"``); with ``strict_precheck`` any error-severity finding
+        raises :class:`~repro.verify.diagnostics.VerificationError`
+        instead of letting the switch fail halfway through.
+        """
+        # deferred import: verify imports core types
+        from repro.verify.diagnostics import VerifyReport
+        from repro.verify.switching import SwitchPlan, check_switch
+
+        plan = SwitchPlan(
+            old_prr=old_prr,
+            new_prr=new_prr,
+            new_module=new_module,
+            upstream_slot=upstream_slot,
+            downstream_slot=downstream_slot,
+            input_channel=input_channel,
+            output_channel=output_channel,
+            reconfig_path=reconfig_path,
+        )
+        diagnostics = check_switch(self.system, plan)
+        for diagnostic in diagnostics:
+            self.system.sim.log("verify", str(diagnostic))
+        if self.strict_precheck:
+            report = VerifyReport(subject=plan.location)
+            report.extend(diagnostics)
+            report.raise_on_errors()
 
     def switch(
         self,
@@ -120,6 +163,10 @@ class ModuleSwitcher:
         output to ``downstream_slot``.  Returns a :class:`SwitchReport`.
         """
         sim = self.system.sim
+        self._precheck(
+            old_prr, new_prr, new_module, upstream_slot, downstream_slot,
+            input_channel, output_channel, reconfig_path,
+        )
         old_slot = self.system.prr(old_prr)
         new_slot = self._resolve_target(new_prr)
         upstream = self.system.slot(upstream_slot)

@@ -345,6 +345,23 @@ class VapresSystem:
         raise SystemError_("channel does not belong to this system")
 
     # ------------------------------------------------------------------
+    # static verification
+    # ------------------------------------------------------------------
+    def verify(self, strict: bool = False, probe_cycles: int = 0):
+        """Run the static analyzers (:mod:`repro.verify`) on this system.
+
+        Returns a :class:`~repro.verify.diagnostics.VerifyReport`;
+        ``strict=True`` raises
+        :class:`~repro.verify.diagnostics.VerificationError` on any
+        error-severity diagnostic.  ``probe_cycles > 0`` additionally runs
+        the kernel determinism probe, advancing simulated time.
+        """
+        # deferred import: verify imports core types
+        from repro.verify.runner import verify_system
+
+        return verify_system(self, strict=strict, probe_cycles=probe_cycles)
+
+    # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def start(self) -> None:

@@ -95,7 +95,19 @@ class Floorplan:
         """Place a PRR, enforcing all of the paper's constraints."""
         if name in self.prrs:
             raise FloorplanError(f"PRR {name!r} already placed")
-        self._check_bounds(rect)
+        # Rect validates on construction, but placements also arrive from
+        # deserialised sysdefs and duck-typed rects -- re-check here so the
+        # error names the PRR rather than surfacing deep in region math.
+        if rect.width <= 0 or rect.height <= 0:
+            raise FloorplanError(
+                f"PRR {name!r} rectangle {rect.width}x{rect.height} has "
+                "zero or negative area"
+            )
+        if rect.col < 0 or rect.row < 0:
+            raise FloorplanError(
+                f"PRR {name!r} origin ({rect.col},{rect.row}) is negative"
+            )
+        self._check_bounds(rect, owner=f"PRR {name!r}")
         if rect.height > MAX_PRR_HEIGHT:
             raise FloorplanError(
                 f"PRR {name!r} is {rect.height} CLBs tall; a BUFR reaches at "
@@ -130,9 +142,12 @@ class Floorplan:
     def remove_prr(self, name: str) -> None:
         del self.prrs[name]
 
-    def _check_bounds(self, rect: Rect) -> None:
+    def _check_bounds(self, rect: Rect, owner: str = "") -> None:
         if not self.device.bounds.contains(rect):
-            raise FloorplanError(f"{rect} exceeds {self.device.name} bounds")
+            prefix = f"{owner}: " if owner else ""
+            raise FloorplanError(
+                f"{prefix}{rect} exceeds {self.device.name} bounds"
+            )
 
     # ------------------------------------------------------------------
     # queries

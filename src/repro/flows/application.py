@@ -65,13 +65,22 @@ class ApplicationFlow:
         self,
         kpn: KahnProcessNetwork,
         target_prrs: Optional[Dict[str, List[str]]] = None,
+        verify: bool = True,
     ) -> ApplicationBuild:
         """Run the hardware module flow for every module node.
 
         ``target_prrs`` optionally restricts which PRRs each module may
         occupy (fewer bitstreams, less CF space); default is every PRR.
+        Unless ``verify=False``, the base system's floorplan is re-checked
+        by the static DRC (:mod:`repro.verify`) in strict mode first --
+        the application flow must never target an ill-formed base system.
         """
         kpn.validate()
+        if verify:
+            # deferred import: verify imports flow estimate helpers
+            from repro.verify.runner import verify_build
+
+            verify_build(self.base, strict=True)
         prr_names = list(self.base.floorplan.prrs)
         module_slices: Dict[str, int] = {}
         bitstreams: List[PartialBitstream] = []

@@ -96,8 +96,17 @@ class BaseSystemFlow:
             boundary_signals=boundary,
         )
 
-    def run(self, floorplan: Optional[Floorplan] = None) -> BaseSystemBuild:
-        """Run the complete flow; raises :class:`FlowError` on misfits."""
+    def run(
+        self, floorplan: Optional[Floorplan] = None, verify: bool = True
+    ) -> BaseSystemBuild:
+        """Run the complete flow; raises :class:`FlowError` on misfits.
+
+        Unless ``verify=False``, the static design-rule checker
+        (:mod:`repro.verify`) runs over the floorplan in strict mode, so a
+        hand-built floorplan that slipped past placement-time validation
+        raises :class:`~repro.verify.diagnostics.VerificationError` here
+        rather than misbehaving in simulation.
+        """
         floorplan = floorplan or self.design_floorplan()
         report = system_resource_report(self.params, self.device)
         if not report["fits"]:
@@ -112,7 +121,7 @@ class BaseSystemFlow:
                 f"slices outside PRRs but the static region needs "
                 f"{static.slices}"
             )
-        return BaseSystemBuild(
+        build = BaseSystemBuild(
             params=self.params,
             device=self.device,
             floorplan=floorplan,
@@ -122,3 +131,9 @@ class BaseSystemFlow:
             static_resources=static,
             report=report,
         )
+        if verify:
+            # deferred import: verify imports flow estimate helpers
+            from repro.verify.runner import verify_build
+
+            build.report["verify"] = verify_build(build, strict=True)
+        return build

@@ -325,15 +325,33 @@ class Clock:
     def _edge(self) -> None:
         self._next_edge_event = None
         self.cycles += 1
-        for component in self.components:
-            component.sample()
+        probe = self.sim.phase_probe
+        if probe is None:
+            for component in self.components:
+                component.sample()
+        else:
+            for component in self.components:
+                probe.begin(component, "sample", self.sim.now)
+                try:
+                    component.sample()
+                finally:
+                    probe.end()
         self.sim.schedule(0, self._commit_phase, priority=PRIORITY_COMMIT)
         if self._enabled:
             self._schedule_next_edge()
 
     def _commit_phase(self) -> None:
-        for component in self.components:
-            component.commit()
+        probe = self.sim.phase_probe
+        if probe is None:
+            for component in self.components:
+                component.commit()
+        else:
+            for component in self.components:
+                probe.begin(component, "commit", self.sim.now)
+                try:
+                    component.commit()
+                finally:
+                    probe.end()
 
     def __repr__(self) -> str:
         mhz = self.frequency_hz / 1e6

@@ -92,6 +92,11 @@ class Simulator:
         self.trace: List[TraceEvent] = []
         self._trace_enabled = True
         self.events_processed = 0
+        #: Optional cycle-level instrumentation shim (see
+        #: :class:`repro.verify.kernel_check.DeterminismProbe`).  When set,
+        #: clocks bracket every component's sample/commit call with
+        #: ``phase_probe.begin(component, phase, now)`` / ``.end()``.
+        self.phase_probe: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # time

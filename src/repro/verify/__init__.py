@@ -1,0 +1,60 @@
+"""Static verification of VAPRES system definitions (``repro.verify``).
+
+The paper's guarantees -- zero-interruption module switching, per-PRR
+local clock domains, loss-free back-pressured streaming -- only hold for
+*well-formed* system definitions: FIFO depths must cover the credit
+round-trip latency (Section IV), every PRR boundary is a clock-domain
+crossing, and floorplans must respect clock-region and bus-macro
+constraints.  This package checks all of that **before** simulation and
+reports structured diagnostics with stable codes instead of deep-in-sim
+stalls or exceptions:
+
+========  ==============================================================
+``VAP1xx``  fabric / floorplan design rules (DRC)
+``VAP2xx``  communication: clock-domain crossings and credit loops
+``VAP3xx``  module-switching protocol preconditions (Figure 5)
+``VAP4xx``  simulation-kernel determinism (sample/commit discipline)
+========  ==============================================================
+
+Entry points:
+
+* :func:`verify_system` / ``VapresSystem.verify()`` -- all passes over a
+  live system;
+* :func:`check_floorplan` -- DRC over a bare floorplan (used by the
+  design flows in strict mode);
+* ``python -m repro verify <sysdef>`` -- the CLI, consuming JSON system
+  definitions (see :mod:`repro.verify.loader`).
+"""
+
+from repro.verify.cdc import check_cdc
+from repro.verify.credits import check_credits
+from repro.verify.diagnostics import (
+    CODES,
+    Diagnostic,
+    Severity,
+    VerificationError,
+    VerifyReport,
+    diag,
+)
+from repro.verify.drc import check_floorplan
+from repro.verify.kernel_check import DeterminismProbe, check_kernel
+from repro.verify.runner import verify_build, verify_system
+from repro.verify.switching import SwitchPlan, check_switch
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "DeterminismProbe",
+    "Severity",
+    "SwitchPlan",
+    "VerificationError",
+    "VerifyReport",
+    "check_cdc",
+    "check_credits",
+    "check_floorplan",
+    "check_kernel",
+    "check_switch",
+    "diag",
+    "verify_build",
+    "verify_system",
+]

@@ -1,0 +1,125 @@
+"""Clock-domain-crossing lint (``VAP2xx``, codes 201-203).
+
+Every PRR boundary is a clock-domain crossing (paper Section III.B.2):
+the module side of each interface FIFO runs in the PRR's local clock
+domain, the channel side in the static-region clock.  This pass walks
+every established :class:`~repro.comm.channel.StreamingChannel` and every
+slot's FSL pair and checks that
+
+* each crossing is buffered by an :class:`~repro.sim.fifo.AsyncFifo`
+  (``VAP201``),
+* its flag synchroniser is at least two stages deep (``VAP202``),
+* the consumer's domain can drain the sustained arrival rate
+  (``VAP203``, a warning -- back-pressure makes the slow case safe but
+  throttled).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.rsb import PrrSlot
+from repro.sim.fifo import AsyncFifo, SyncFifo
+from repro.verify.diagnostics import Diagnostic, diag
+
+ANALYZER = "cdc"
+
+#: Minimum flag-synchroniser depth for a safe gray-code crossing.
+MIN_SYNC_STAGES = 2
+
+
+def _d(code: str, message: str, location: str = "") -> Diagnostic:
+    return diag(code, message, location=location, analyzer=ANALYZER)
+
+
+def domain_frequencies(system) -> Dict[str, float]:
+    """Map every clock-domain name to its current frequency in Hz.
+
+    ``"static"`` is the system clock; each PRR slot contributes a domain
+    named after itself (the LCD behind its BUFGMUX/BUFR chain).
+    """
+    domains: Dict[str, float] = {"static": system.system_clock.frequency_hz}
+    for slot in system.prr_slots:
+        domains[slot.name] = slot.lcd_clock.frequency_hz
+    return domains
+
+
+def _check_fifo(fifo: SyncFifo, location: str, what: str) -> List[Diagnostic]:
+    """VAP201/VAP202 for one FIFO whose two sides may differ in domain."""
+    out: List[Diagnostic] = []
+    if not isinstance(fifo, AsyncFifo):
+        out.append(_d(
+            "VAP201",
+            f"{what} crosses clock domains through synchronous FIFO "
+            f"{fifo.name!r}; an asynchronous FIFO is required",
+            location,
+        ))
+        return out
+    if fifo.write_domain == fifo.read_domain:
+        return out  # no crossing at this FIFO
+    if fifo.sync_stages < MIN_SYNC_STAGES:
+        out.append(_d(
+            "VAP202",
+            f"{what}: async FIFO {fifo.name!r} crosses "
+            f"{fifo.write_domain!r} -> {fifo.read_domain!r} with only "
+            f"{fifo.sync_stages} synchroniser stage(s); minimum is "
+            f"{MIN_SYNC_STAGES}",
+            location,
+        ))
+    return out
+
+
+def check_cdc(system) -> List[Diagnostic]:
+    """Run the CDC lint over every channel and FSL of a live system."""
+    out: List[Diagnostic] = []
+    domains = domain_frequencies(system)
+    static_hz = domains["static"]
+
+    # slot domains: PRR slots have their own LCD, everything else static
+    slot_domain: Dict[int, str] = {}
+    for slot in list(system.prr_slots) + list(system.iom_slots):
+        name = slot.name if isinstance(slot, PrrSlot) else "static"
+        for iface in list(slot.producers) + list(slot.consumers):
+            slot_domain[id(iface)] = name
+
+    for rsb in system.rsbs:
+        for channel in rsb.fabric.channels.values():
+            if channel.released:
+                continue
+            loc = (
+                f"ch{channel.channel_id}:"
+                f"{channel.producer.name}->{channel.consumer.name}"
+            )
+            prod_dom = slot_domain.get(id(channel.producer), "static")
+            cons_dom = slot_domain.get(id(channel.consumer), "static")
+            if prod_dom != "static":
+                out.extend(_check_fifo(
+                    channel.producer.fifo, loc,
+                    f"producer interface {channel.producer.name!r}",
+                ))
+            if cons_dom != "static":
+                out.extend(_check_fifo(
+                    channel.consumer.fifo, loc,
+                    f"consumer interface {channel.consumer.name!r}",
+                ))
+            # frequency-ratio hazard: words arrive at the consumer FIFO
+            # at min(producer LCD, fabric) rate; a slower consumer LCD
+            # means permanent back-pressure throttling
+            prod_hz = domains.get(prod_dom, static_hz)
+            cons_hz = domains.get(cons_dom, static_hz)
+            sustained = min(prod_hz, static_hz)
+            if cons_hz < sustained:
+                out.append(_d(
+                    "VAP203",
+                    f"consumer domain {cons_dom!r} runs at "
+                    f"{cons_hz / 1e6:g} MHz but words can arrive at "
+                    f"{sustained / 1e6:g} MHz; the channel will throttle "
+                    "to the consumer rate via back-pressure",
+                    loc,
+                ))
+
+    # FSL pairs: static <-> LCD crossings by construction on PRR slots
+    for slot in system.prr_slots:
+        for fsl in (slot.fsl_to_module, slot.fsl_to_processor):
+            out.extend(_check_fifo(fsl.fifo, slot.name, f"FSL {fsl.name!r}"))
+    return out

@@ -1,0 +1,98 @@
+"""Credit-loop analyzer (``VAP2xx``, codes 211-214).
+
+A streaming channel over ``d`` switch boxes is a ``d``-deep register
+pipeline in each direction (paper Section III.B): the consumer's
+FIFO-full feedback takes ``d`` cycles to reach the producer, and words
+already launched take another ``d`` cycles to land.  The consumer
+interface therefore asserts back-pressure while its remaining space is
+at most ``2*d`` (the *slack*), and the usable credit window is
+``depth - slack``.  The full round trip -- feedback deasserting at the
+consumer until the next word arrives -- is ``2*(d+1)`` cycles (d hops
+each way plus the endpoint registers).
+
+This pass checks each established channel's numbers statically:
+
+* ``VAP211`` (error): ``depth <= slack`` -- almost-full asserts even when
+  the FIFO is empty, so the channel is permanently back-pressured and
+  never moves a word;
+* ``VAP212`` (error): ``slack < 2*d`` -- in-flight words can land after
+  the feedback asserts with nowhere to go, i.e. word loss;
+* ``VAP213`` (warning): credit window smaller than the round trip -- the
+  channel is loss-free but cannot sustain one word per fabric cycle;
+* ``VAP214`` (info): per-channel summary of the computed loop.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.verify.diagnostics import Diagnostic, diag
+
+ANALYZER = "credits"
+
+
+def _d(code: str, message: str, location: str = "") -> Diagnostic:
+    return diag(code, message, location=location, analyzer=ANALYZER)
+
+
+def round_trip_cycles(d: int) -> int:
+    """Feedback round trip of a ``d``-hop channel in fabric cycles."""
+    return 2 * (d + 1)
+
+
+def check_channel(channel) -> List[Diagnostic]:
+    """Analyze one :class:`~repro.comm.channel.StreamingChannel`."""
+    out: List[Diagnostic] = []
+    loc = (
+        f"ch{channel.channel_id}:"
+        f"{channel.producer.name}->{channel.consumer.name}"
+    )
+    fifo = channel.consumer.fifo
+    depth = fifo.capacity
+    slack = fifo.almost_full_slack
+    d = channel.d
+    rtt = round_trip_cycles(d)
+
+    if depth <= slack:
+        out.append(_d(
+            "VAP211",
+            f"consumer FIFO depth {depth} <= back-pressure slack {slack}: "
+            "almost-full asserts even when empty, the channel is "
+            "permanently back-pressured and will never deliver a word",
+            loc,
+        ))
+        return out  # the remaining numbers are meaningless
+    if slack < 2 * d:
+        out.append(_d(
+            "VAP212",
+            f"back-pressure slack {slack} is below the in-flight word "
+            f"count 2*d = {2 * d}: words launched before the feedback "
+            "arrives can find the FIFO full and be discarded",
+            loc,
+        ))
+    credits = depth - slack
+    if credits < rtt:
+        out.append(_d(
+            "VAP213",
+            f"credit window {credits} (depth {depth} - slack {slack}) is "
+            f"smaller than the {rtt}-cycle feedback round trip; the "
+            "channel cannot sustain one word per fabric cycle",
+            loc,
+        ))
+    out.append(_d(
+        "VAP214",
+        f"d={d}, depth={depth}, slack={slack}, credits={credits}, "
+        f"round-trip={rtt} cycles",
+        loc,
+    ))
+    return out
+
+
+def check_credits(system) -> List[Diagnostic]:
+    """Run the credit-loop analysis over every established channel."""
+    out: List[Diagnostic] = []
+    for rsb in system.rsbs:
+        for channel in rsb.fabric.channels.values():
+            if not channel.released:
+                out.extend(check_channel(channel))
+    return out

@@ -1,0 +1,292 @@
+"""Diagnostic codes, severities and reporters for ``repro.verify``.
+
+Every analyzer emits :class:`Diagnostic` records with a stable ``VAPnnn``
+code so CI, tests and humans can key on them.  The registry below is the
+single source of truth for code meaning and default severity; the README's
+"Static verification" section mirrors this table.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional
+
+
+class Severity(str, Enum):
+    """Diagnostic severity; only :attr:`ERROR` makes verification fail."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:  # "error" rather than "Severity.ERROR"
+        return self.value
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """Registry entry: one-line meaning plus default severity and family."""
+
+    meaning: str
+    severity: Severity
+    family: str
+
+
+#: Stable diagnostic-code registry.  Codes are append-only: a released
+#: code never changes meaning, family or number.
+CODES: Dict[str, CodeInfo] = {
+    # ---- VAP1xx: fabric / floorplan DRC ------------------------------
+    "VAP101": CodeInfo(
+        "PRR rectangle exceeds the device CLB bounds",
+        Severity.ERROR, "fabric"),
+    "VAP102": CodeInfo(
+        "PRR overlaps another PRR or reserved static logic",
+        Severity.ERROR, "fabric"),
+    "VAP103": CodeInfo(
+        "two PRRs share a local clock region",
+        Severity.ERROR, "fabric"),
+    "VAP104": CodeInfo(
+        "PRR spans non-adjacent clock regions or both device halves",
+        Severity.ERROR, "fabric"),
+    "VAP105": CodeInfo(
+        "PRR exceeds BUFR reach (more than 3 regions / 48 CLB rows)",
+        Severity.ERROR, "fabric"),
+    "VAP106": CodeInfo(
+        "clock-region BUFR over-subscription",
+        Severity.ERROR, "fabric"),
+    "VAP107": CodeInfo(
+        "slice-macro sites misaligned, out of bounds or insufficient",
+        Severity.ERROR, "fabric"),
+    "VAP108": CodeInfo(
+        "device resource over-subscription (slices / BRAM / BUFR)",
+        Severity.ERROR, "fabric"),
+    "VAP109": CodeInfo(
+        "PRR placement smaller than the configured PRR size",
+        Severity.WARNING, "fabric"),
+    "VAP110": CodeInfo(
+        "floorplan utilisation summary",
+        Severity.INFO, "fabric"),
+    # ---- VAP2xx: communication (CDC + credit loops) ------------------
+    "VAP201": CodeInfo(
+        "clock-domain crossing not buffered by an asynchronous FIFO",
+        Severity.ERROR, "comm"),
+    "VAP202": CodeInfo(
+        "asynchronous FIFO synchroniser depth below 2 stages",
+        Severity.ERROR, "comm"),
+    "VAP203": CodeInfo(
+        "frequency-ratio hazard: consumer domain slower than the "
+        "sustained producer rate",
+        Severity.WARNING, "comm"),
+    "VAP211": CodeInfo(
+        "FIFO depth cannot cover the credit round trip (channel "
+        "permanently back-pressured)",
+        Severity.ERROR, "comm"),
+    "VAP212": CodeInfo(
+        "back-pressure slack below the in-flight word count (word loss)",
+        Severity.ERROR, "comm"),
+    "VAP213": CodeInfo(
+        "credit window too small to sustain full throughput",
+        Severity.WARNING, "comm"),
+    "VAP214": CodeInfo(
+        "per-channel credit-loop summary",
+        Severity.INFO, "comm"),
+    # ---- VAP3xx: switching-protocol preconditions --------------------
+    "VAP301": CodeInfo(
+        "replacement module does not fit the target PRR",
+        Severity.ERROR, "switching"),
+    "VAP302": CodeInfo(
+        "partial bitstream missing from the repository",
+        Severity.ERROR, "switching"),
+    "VAP303": CodeInfo(
+        "no drain/re-route path: switch-box lanes exhausted",
+        Severity.ERROR, "switching"),
+    "VAP304": CodeInfo(
+        "source PRR has no module to replace",
+        Severity.ERROR, "switching"),
+    "VAP305": CodeInfo(
+        "replacement target unavailable (reconfiguring or spanned)",
+        Severity.ERROR, "switching"),
+    "VAP306": CodeInfo(
+        "module factory unregistered (cannot instantiate after PR)",
+        Severity.WARNING, "switching"),
+    "VAP307": CodeInfo(
+        "downstream slot cannot detect the end-of-stream word",
+        Severity.WARNING, "switching"),
+    "VAP308": CodeInfo(
+        "replacement target currently occupied; resident module will "
+        "be overwritten",
+        Severity.WARNING, "switching"),
+    # ---- VAP4xx: kernel determinism ----------------------------------
+    "VAP401": CodeInfo(
+        "interface shared by multiple channels (order-dependent "
+        "sample-phase mutation)",
+        Severity.ERROR, "kernel"),
+    "VAP402": CodeInfo(
+        "same-instant sample-phase mutation race observed by the "
+        "determinism probe",
+        Severity.ERROR, "kernel"),
+    "VAP403": CodeInfo(
+        "component mutates shared state during sample() "
+        "(write-before-commit)",
+        Severity.WARNING, "kernel"),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One verification finding.
+
+    ``location`` names the offending object (PRR, channel, module or
+    slot); ``analyzer`` is the emitting pass ("drc", "cdc", "credits",
+    "switching", "kernel").
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    location: str = ""
+    analyzer: str = ""
+
+    @property
+    def family(self) -> str:
+        info = CODES.get(self.code)
+        return info.family if info else "unknown"
+
+    def as_dict(self) -> Dict[str, str]:
+        return {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "location": self.location,
+            "analyzer": self.analyzer,
+            "family": self.family,
+        }
+
+    def __str__(self) -> str:
+        where = f" [{self.location}]" if self.location else ""
+        return f"{self.code} {str(self.severity):<7s}{where} {self.message}"
+
+
+def diag(
+    code: str,
+    message: str,
+    location: str = "",
+    analyzer: str = "",
+    severity: Optional[Severity] = None,
+) -> Diagnostic:
+    """Build a :class:`Diagnostic`, defaulting severity from the registry."""
+    if code not in CODES:
+        raise KeyError(f"unregistered diagnostic code {code!r}")
+    return Diagnostic(
+        code=code,
+        severity=severity or CODES[code].severity,
+        message=message,
+        location=location,
+        analyzer=analyzer,
+    )
+
+
+class VerificationError(Exception):
+    """Raised by strict verification when any error-severity diagnostic
+    is present.  Carries the full :class:`VerifyReport`."""
+
+    def __init__(self, report: "VerifyReport") -> None:
+        self.report = report
+        lines = [str(d) for d in report.errors]
+        super().__init__(
+            f"{len(report.errors)} verification error(s):\n  "
+            + "\n  ".join(lines)
+        )
+
+
+@dataclass
+class VerifyReport:
+    """The aggregated result of one verification run."""
+
+    subject: str = ""
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    # ------------------------------------------------------------------
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def infos(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.INFO]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostics were emitted."""
+        return not self.errors
+
+    @property
+    def codes(self) -> List[str]:
+        return sorted({d.code for d in self.diagnostics})
+
+    @property
+    def families(self) -> List[str]:
+        return sorted({d.family for d in self.diagnostics})
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    # ------------------------------------------------------------------
+    def raise_on_errors(self) -> "VerifyReport":
+        if not self.ok:
+            raise VerificationError(self)
+        return self
+
+    # ------------------------------------------------------------------
+    # reporters
+    # ------------------------------------------------------------------
+    def summary_line(self) -> str:
+        return (
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.infos)} info(s)"
+        )
+
+    def render_text(self, include_info: bool = True) -> str:
+        """Human-readable multi-line report."""
+        subject = f" for {self.subject}" if self.subject else ""
+        lines = [f"verify{subject}: {self.summary_line()}"]
+        order = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
+        shown = [
+            d for d in self.diagnostics
+            if include_info or d.severity is not Severity.INFO
+        ]
+        for d in sorted(shown, key=lambda d: (order[d.severity], d.code)):
+            lines.append(f"  {d}")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """Machine-readable report (the CLI's ``--json`` output)."""
+        return json.dumps(
+            {
+                "subject": self.subject,
+                "ok": self.ok,
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "infos": len(self.infos),
+                "codes": self.codes,
+                "families": self.families,
+                "diagnostics": [d.as_dict() for d in self.diagnostics],
+            },
+            indent=2,
+        )
+
+    def __str__(self) -> str:
+        return self.render_text()

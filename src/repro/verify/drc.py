@@ -1,0 +1,230 @@
+"""Floorplan design-rule checker (``VAP1xx``).
+
+:class:`~repro.fabric.floorplan.Floorplan` enforces most of these rules at
+placement time, but a floorplan can also be hand-built, loaded from a
+system definition file, or mutated after construction -- and the design
+flows want *diagnostics* (all violations, with locations) rather than the
+first exception.  The DRC therefore re-derives every property from the
+raw rectangles and never trusts cached placement state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.fabric.device import BUFR_PER_REGION, SLICES_PER_CLB
+from repro.fabric.floorplan import MAX_PRR_HEIGHT, MAX_PRR_REGIONS, Floorplan
+from repro.fabric.geometry import ClockRegion, bands_are_contiguous, clock_regions_of
+from repro.fabric.slice_macro import macros_for_signals
+from repro.verify.diagnostics import Diagnostic, diag
+
+ANALYZER = "drc"
+
+
+def _d(code: str, message: str, location: str = "") -> Diagnostic:
+    return diag(code, message, location=location, analyzer=ANALYZER)
+
+
+def check_floorplan(
+    floorplan: Floorplan, params: Optional[object] = None
+) -> List[Diagnostic]:
+    """Run every ``VAP1xx`` rule; ``params`` (a
+    :class:`~repro.core.params.SystemParameters`) enables the resource
+    over-subscription and PRR-sizing checks."""
+    device = floorplan.device
+    out: List[Diagnostic] = []
+    placements = list(floorplan.prrs.values())
+
+    # ---- per-PRR geometry rules --------------------------------------
+    regions_of: Dict[str, frozenset] = {}
+    for p in placements:
+        rect = p.rect
+        loc = p.name
+        if not device.bounds.contains(rect):
+            out.append(_d(
+                "VAP101",
+                f"PRR {p.name!r} at {rect} exceeds {device.name} bounds "
+                f"({device.clb_cols}x{device.clb_rows} CLBs)",
+                loc,
+            ))
+        regions = clock_regions_of(rect, device.clb_cols)
+        regions_of[p.name] = regions
+        if not bands_are_contiguous(regions):
+            out.append(_d(
+                "VAP104",
+                f"PRR {p.name!r} at {rect} spans clock regions in both "
+                "device halves or in non-adjacent bands",
+                loc,
+            ))
+        if rect.height > MAX_PRR_HEIGHT or len(regions) > MAX_PRR_REGIONS:
+            out.append(_d(
+                "VAP105",
+                f"PRR {p.name!r} is {rect.height} CLB rows tall across "
+                f"{len(regions)} clock regions; a BUFR reaches at most "
+                f"{MAX_PRR_REGIONS} regions = {MAX_PRR_HEIGHT} rows",
+                loc,
+            ))
+        out.extend(_check_slice_macros(floorplan, p))
+
+    # ---- pairwise rules ----------------------------------------------
+    for i, a in enumerate(placements):
+        for b in placements[i + 1:]:
+            if a.rect.intersects(b.rect):
+                out.append(_d(
+                    "VAP102",
+                    f"PRR {a.name!r} at {a.rect} overlaps PRR {b.name!r} "
+                    f"at {b.rect}",
+                    a.name,
+                ))
+            shared = regions_of[a.name] & regions_of[b.name]
+            if shared:
+                out.append(_d(
+                    "VAP103",
+                    f"PRR {a.name!r} and PRR {b.name!r} share clock "
+                    f"region(s) {sorted(str(r) for r in shared)}",
+                    a.name,
+                ))
+    for p in placements:
+        for static in floorplan.static_rects:
+            if p.rect.intersects(static):
+                out.append(_d(
+                    "VAP102",
+                    f"PRR {p.name!r} at {p.rect} overlaps reserved "
+                    f"static logic at {static}",
+                    p.name,
+                ))
+
+    # ---- BUFR availability -------------------------------------------
+    bufr_users: Dict[ClockRegion, List[str]] = {}
+    for p in placements:
+        regions = regions_of[p.name]
+        if not regions:
+            continue
+        bands = sorted(r.band for r in regions)
+        half = next(iter(regions)).half
+        bufr_region = ClockRegion(half, bands[len(bands) // 2])
+        bufr_users.setdefault(bufr_region, []).append(p.name)
+    for region, users in sorted(bufr_users.items(), key=lambda kv: str(kv[0])):
+        if len(users) > BUFR_PER_REGION:
+            out.append(_d(
+                "VAP106",
+                f"clock region {region} hosts {len(users)} PRR BUFRs "
+                f"({', '.join(users)}) but has only {BUFR_PER_REGION}",
+                str(region),
+            ))
+    if len(placements) > device.bufr_count:
+        out.append(_d(
+            "VAP106",
+            f"{len(placements)} PRRs need one BUFR each but "
+            f"{device.name} has only {device.bufr_count}",
+            device.name,
+        ))
+
+    # ---- resource over-subscription ----------------------------------
+    out.extend(_check_resources(floorplan, params))
+
+    # ---- utilisation summary -----------------------------------------
+    if placements:
+        used = frozenset().union(*regions_of.values())
+        out.append(_d(
+            "VAP110",
+            f"{len(placements)} PRR(s), {floorplan.prr_slices} PRR slices "
+            f"({floorplan.prr_slices / device.slices:.1%} of {device.name}), "
+            f"{len(used)}/{device.clock_region_count} clock regions used",
+            device.name,
+        ))
+    return out
+
+
+def _check_slice_macros(floorplan: Floorplan, placement) -> List[Diagnostic]:
+    """VAP107: the PRR's boundary must host all required slice macros."""
+    out: List[Diagnostic] = []
+    device = floorplan.device
+    required = macros_for_signals(placement.boundary_signals)
+    if not required:
+        return out
+    sites = placement.slice_macro_sites()
+    if len(sites) < required:
+        out.append(_d(
+            "VAP107",
+            f"PRR {placement.name!r} needs {required} slice macros for "
+            f"{placement.boundary_signals} boundary signals but has only "
+            f"{len(sites)} boundary sites",
+            placement.name,
+        ))
+    if len(set(sites)) < len(sites):
+        out.append(_d(
+            "VAP107",
+            f"PRR {placement.name!r}: slice-macro sites collide on the "
+            f"boundary column (height {placement.rect.height} rows for "
+            f"{len(sites)} macros)",
+            placement.name,
+        ))
+    for col, row in sites:
+        if not (0 <= col < device.clb_cols and 0 <= row < device.clb_rows):
+            out.append(_d(
+                "VAP107",
+                f"PRR {placement.name!r}: slice-macro site ({col},{row}) "
+                f"lies outside {device.name}",
+                placement.name,
+            ))
+            break
+    return out
+
+
+def _check_resources(
+    floorplan: Floorplan, params: Optional[object]
+) -> List[Diagnostic]:
+    """VAP108/VAP109: the design must fit the device catalogue entry."""
+    out: List[Diagnostic] = []
+    device = floorplan.device
+    if floorplan.prr_slices > device.slices:
+        out.append(_d(
+            "VAP108",
+            f"PRRs alone claim {floorplan.prr_slices} slices; "
+            f"{device.name} has {device.slices}",
+            device.name,
+        ))
+    if params is None:
+        return out
+    # deferred import: flows.estimate imports modules, keep drc light
+    from repro.flows.estimate import static_region_resources
+
+    static = static_region_resources(params)
+    if floorplan.static_slices_available < static.slices:
+        out.append(_d(
+            "VAP108",
+            f"floorplan leaves {floorplan.static_slices_available} slices "
+            f"outside PRRs but the static region needs {static.slices}",
+            device.name,
+        ))
+    if static.bram18 > device.bram18:
+        out.append(_d(
+            "VAP108",
+            f"static region needs {static.bram18} BRAM18 blocks; "
+            f"{device.name} has {device.bram18}",
+            device.name,
+        ))
+    # static.bufr already counts one BUFR per PRR, so take the larger
+    if max(static.bufr, len(floorplan.prrs)) > device.bufr_count:
+        out.append(_d(
+            "VAP108",
+            f"design needs {max(static.bufr, len(floorplan.prrs))} BUFRs; "
+            f"{device.name} has {device.bufr_count}",
+            device.name,
+        ))
+    for rsb in getattr(params, "rsbs", []):
+        want = rsb.prr_slices
+        prefix = f"{rsb.name}."
+        for name, placement in floorplan.prrs.items():
+            if not name.startswith(prefix):
+                continue
+            have = placement.rect.clbs * SLICES_PER_CLB
+            if have < want:
+                out.append(_d(
+                    "VAP109",
+                    f"PRR {name!r} provides {have} slices but "
+                    f"{rsb.name} is specified for {want}-slice PRRs",
+                    name,
+                ))
+    return out

@@ -1,0 +1,214 @@
+"""Kernel determinism check (``VAP4xx``).
+
+The kernel's register semantics rest on one discipline: at a clock edge
+every component first ``sample()``s the state its neighbours committed
+last cycle, and only ``commit()`` mutates shared state.  A component that
+writes a shared FIFO during *sample* makes the result depend on the
+attachment order of components -- a write-before-commit race.
+
+Two structural rules run with no simulation time:
+
+* ``VAP401`` (error): one producer/consumer interface terminating more
+  than one established channel.  The switch fabric samples channels in
+  insertion order, so two channels draining the same producer FIFO (or
+  filling the same consumer FIFO) deliver order-dependent words.
+* ``VAP403`` (warning): a hardware module or IOM overriding ``sample()``.
+  The module base class does all work in ``commit()``; an override is
+  the structural signature of sample-phase mutation.
+
+:class:`DeterminismProbe` is the dynamic instrumentation shim behind
+``VAP402``: installed on the simulator (``Simulator.phase_probe``), it is
+notified by :class:`~repro.sim.clock.Clock` around each component's
+sample/commit call and intercepts every FIFO mutation, so two distinct
+components mutating the same FIFO at the same instant during the sample
+phase are caught red-handed.  Running the probe **advances simulated
+time**, so it is opt-in (``probe_cycles > 0``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.modules.base import HardwareModule
+from repro.modules.iom import Iom
+from repro.sim.clock import ClockedComponent
+from repro.sim.fifo import SyncFifo
+from repro.verify.diagnostics import Diagnostic, diag
+
+ANALYZER = "kernel"
+
+
+def _d(code: str, message: str, location: str = "") -> Diagnostic:
+    return diag(code, message, location=location, analyzer=ANALYZER)
+
+
+def _label(component) -> str:
+    return getattr(component, "name", type(component).__name__)
+
+
+class DeterminismProbe:
+    """Cycle-level shim recording who mutates which FIFO in which phase.
+
+    Install with :meth:`install` after assigning to
+    ``simulator.phase_probe``; every :class:`~repro.sim.clock.Clock` then
+    brackets each component's phase call with :meth:`begin`/:meth:`end`,
+    and the patched :class:`~repro.sim.fifo.SyncFifo` mutators report in.
+    """
+
+    def __init__(self) -> None:
+        #: (time_ps, fifo_name) -> labels of sample-phase mutators
+        self.sample_mutators: Dict[Tuple[int, str], Set[str]] = {}
+        #: (module_label, fifo_name) pairs mutated by modules in sample
+        self.module_sample_writes: Set[Tuple[str, str]] = set()
+        self._current = None  # (component, phase, time_ps) or None
+        self._originals = None
+
+    # -- Clock hooks ---------------------------------------------------
+    def begin(self, component, phase: str, time_ps: int) -> None:
+        self._current = (component, phase, time_ps)
+
+    def end(self) -> None:
+        self._current = None
+
+    # -- FIFO instrumentation ------------------------------------------
+    def install(self) -> None:
+        if self._originals is not None:
+            return
+        self._originals = (SyncFifo.push, SyncFifo.pop, SyncFifo.clear)
+        probe = self
+
+        def push(fifo, word, _orig=SyncFifo.push):
+            probe._record(fifo)
+            return _orig(fifo, word)
+
+        def pop(fifo, _orig=SyncFifo.pop):
+            probe._record(fifo)
+            return _orig(fifo)
+
+        def clear(fifo, _orig=SyncFifo.clear):
+            probe._record(fifo)
+            return _orig(fifo)
+
+        SyncFifo.push = push  # type: ignore[method-assign]
+        SyncFifo.pop = pop  # type: ignore[method-assign]
+        SyncFifo.clear = clear  # type: ignore[method-assign]
+
+    def uninstall(self) -> None:
+        if self._originals is None:
+            return
+        SyncFifo.push, SyncFifo.pop, SyncFifo.clear = self._originals
+        self._originals = None
+
+    def _record(self, fifo) -> None:
+        if self._current is None:
+            return  # software/event-phase mutation: serialised, safe
+        component, phase, time_ps = self._current
+        if phase != "sample":
+            return
+        label = _label(component)
+        self.sample_mutators.setdefault(
+            (time_ps, fifo.name), set()
+        ).add(label)
+        if isinstance(component, (HardwareModule, Iom)):
+            self.module_sample_writes.add((label, fifo.name))
+
+    # -- results -------------------------------------------------------
+    def diagnostics(self) -> List[Diagnostic]:
+        out: List[Diagnostic] = []
+        raced: Dict[str, Set[str]] = {}
+        for (_, fifo_name), labels in self.sample_mutators.items():
+            if len(labels) > 1:
+                raced.setdefault(fifo_name, set()).update(labels)
+        for fifo_name in sorted(raced):
+            out.append(_d(
+                "VAP402",
+                f"FIFO {fifo_name!r} mutated by "
+                f"{sorted(raced[fifo_name])} within one sample phase; the "
+                "outcome depends on component attachment order",
+                fifo_name,
+            ))
+        for label, fifo_name in sorted(self.module_sample_writes):
+            out.append(_d(
+                "VAP403",
+                f"module {label!r} mutates FIFO {fifo_name!r} during "
+                "sample(); mutation belongs in commit()",
+                label,
+            ))
+        return out
+
+
+def _shared_interface_checks(system) -> List[Diagnostic]:
+    """VAP401: interfaces terminating more than one live channel."""
+    out: List[Diagnostic] = []
+    producers: Dict[int, List] = {}
+    consumers: Dict[int, List] = {}
+    for rsb in system.rsbs:
+        for channel in rsb.fabric.channels.values():
+            if channel.released:
+                continue
+            producers.setdefault(id(channel.producer), []).append(channel)
+            consumers.setdefault(id(channel.consumer), []).append(channel)
+    for role, table in (("producer", producers), ("consumer", consumers)):
+        for channels in table.values():
+            if len(channels) < 2:
+                continue
+            iface = getattr(channels[0], role)
+            ids = sorted(c.channel_id for c in channels)
+            out.append(_d(
+                "VAP401",
+                f"{role} interface {iface.name!r} terminates channels "
+                f"{ids}; the fabric samples them in insertion order, so "
+                "word placement is order-dependent",
+                iface.name,
+            ))
+    return out
+
+
+def _sample_override_checks(system) -> List[Diagnostic]:
+    """VAP403 (structural): modules/IOMs overriding ``sample()``."""
+    out: List[Diagnostic] = []
+    seen: Set[int] = set()
+    candidates = [
+        (slot.name, slot.module) for slot in system.prr_slots
+    ] + [
+        (slot.name, slot.iom) for slot in system.iom_slots
+    ]
+    for slot_name, module in candidates:
+        if module is None or id(module) in seen:
+            continue
+        seen.add(id(module))
+        sample = type(module).sample
+        if sample not in (HardwareModule.sample, ClockedComponent.sample,
+                          getattr(Iom, "sample", None)):
+            out.append(_d(
+                "VAP403",
+                f"{type(module).__name__} {_label(module)!r} in "
+                f"{slot_name} overrides sample(); shared-state mutation "
+                "there races with the fabric -- do the work in commit()",
+                slot_name,
+            ))
+    return out
+
+
+def check_kernel(system, probe_cycles: int = 0) -> List[Diagnostic]:
+    """Run the determinism checks.
+
+    ``probe_cycles > 0`` additionally runs the :class:`DeterminismProbe`
+    for that many system-clock cycles -- note this **advances simulated
+    time** on the live system.
+    """
+    out = _shared_interface_checks(system)
+    out.extend(_sample_override_checks(system))
+    if probe_cycles > 0:
+        probe = DeterminismProbe()
+        sim = system.sim
+        previous = getattr(sim, "phase_probe", None)
+        sim.phase_probe = probe
+        probe.install()
+        try:
+            system.run_for_cycles(probe_cycles)
+        finally:
+            probe.uninstall()
+            sim.phase_probe = previous
+        out.extend(probe.diagnostics())
+    return out

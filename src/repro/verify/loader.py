@@ -1,0 +1,255 @@
+"""JSON system-definition loader for ``python -m repro verify``.
+
+A *sysdef* file declares a system to construct and verify: architectural
+parameters (or a named preset), an optional explicit floorplan, modules
+to register, streaming channels to open and module switches to plan.
+Crucially for a checker's test fixtures, the loader applies placements
+and degradation knobs **without** the constructors' eager validation, so
+a deliberately broken definition reaches the analyzers instead of dying
+in ``place_prr``:
+
+* floorplan entries are inserted unchecked (overlaps, bounds and
+  clock-region violations flow into the ``VAP1xx`` DRC),
+* ``"consumer_sync_fifo"`` swaps a channel's consumer FIFO for a
+  synchronous one (``VAP201``), ``"consumer_sync_stages"`` thins its
+  synchroniser (``VAP202``), ``"slack"`` overrides the back-pressure
+  threshold (``VAP211``/``VAP212``),
+* ``"clk_sel"`` retunes PRR local clocks (``VAP203``),
+* ``"switches"`` entries become :class:`SwitchPlan` objects checked by
+  the ``VAP3xx`` pass without running the switch.
+
+Schema (all keys optional unless noted)::
+
+    {
+      "preset": "prototype" | "figure7",
+      "name": str, "board": str, "system_clock_hz": float,
+      "lcd_divisors": [int, int], "pr_speedup": float,
+      "rsbs": [{RsbParameters fields}],          # instead of preset
+      "floorplan": [{"name": str, "col": int, "row": int,
+                     "width": int, "height": int,
+                     "boundary_signals": int}],  # must cover every PRR
+      "ioms": [{"slot": str}],
+      "modules": [{"name": str, "prrs": [str], "factory": bool}],
+      "preload": [[module, prr]],
+      "place": [{"module": str, "prr": str}],
+      "channels": [{"src": str, "dst": str, "src_port": int,
+                    "dst_port": int, "consumer_sync_fifo": bool,
+                    "consumer_sync_stages": int, "slack": int}],
+      "clk_sel": {prr_name: 0 | 1},
+      "switches": [{"old_prr": str, "new_prr": str, "new_module": str,
+                    "upstream": str, "downstream": str,
+                    "input_channel": int, "output_channel": int,
+                    "path": "array2icap" | "cf2icap"}]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.core.params import RsbParameters, SystemParameters
+from repro.core.system import VapresSystem
+from repro.fabric.floorplan import Floorplan, PrrPlacement
+from repro.fabric.geometry import Rect, clock_regions_of
+from repro.verify.switching import SwitchPlan
+
+
+class LoaderError(Exception):
+    """Raised for malformed system-definition files."""
+
+
+@dataclass
+class LoadedSystem:
+    """A constructed system plus the switch plans the sysdef declared."""
+
+    name: str
+    system: VapresSystem
+    switch_plans: List[SwitchPlan] = field(default_factory=list)
+    source: str = ""
+
+
+PRESETS = {
+    "prototype": SystemParameters.prototype,
+    "figure7": SystemParameters.figure7,
+}
+
+
+def _build_params(spec: Dict) -> SystemParameters:
+    preset = spec.get("preset")
+    if preset is not None:
+        if not isinstance(preset, str) or preset not in PRESETS:
+            raise LoaderError(
+                f"unknown preset {preset!r}; have {sorted(PRESETS)}"
+            )
+        params = PRESETS[preset]()
+    elif "rsbs" in spec:
+        try:
+            params = SystemParameters(
+                rsbs=[RsbParameters(**rsb) for rsb in spec["rsbs"]]
+            )
+        except TypeError as exc:
+            raise LoaderError(f"bad rsb parameters: {exc}") from exc
+    else:
+        params = SystemParameters()
+    overrides = {
+        key: spec[key]
+        for key in ("name", "board", "system_clock_hz", "pr_speedup")
+        if key in spec
+    }
+    if "lcd_divisors" in spec:
+        overrides["lcd_divisors"] = tuple(spec["lcd_divisors"])
+    return replace(params, **overrides) if overrides else params
+
+
+def _build_floorplan(spec: Dict, params: SystemParameters) -> Floorplan:
+    """Insert declared placements verbatim -- the DRC judges them."""
+    from repro.fabric.device import get_board
+
+    device = get_board(params.board).device
+    plan = Floorplan(device)
+    names_needed = {
+        f"{rsb.name}.prr{i}"
+        for rsb in params.rsbs
+        for i in range(rsb.num_prrs)
+    }
+    for entry in spec["floorplan"]:
+        try:
+            name = entry["name"]
+            rect = Rect(
+                entry["col"], entry["row"], entry["width"], entry["height"]
+            )
+        except Exception as exc:
+            raise LoaderError(f"bad floorplan entry {entry!r}: {exc}") from exc
+        plan.prrs[name] = PrrPlacement(
+            name,
+            rect,
+            clock_regions_of(rect, device.clb_cols),
+            entry.get("boundary_signals", 0),
+        )
+    missing = names_needed - set(plan.prrs)
+    if missing:
+        raise LoaderError(
+            f"floorplan must place every PRR; missing {sorted(missing)}"
+        )
+    return plan
+
+
+def build_system(spec: Dict) -> LoadedSystem:
+    """Construct a :class:`VapresSystem` from a parsed sysdef dict."""
+    from repro.modules.iom import Iom
+    from repro.modules.transforms import PassThrough
+    from repro.pr.bitstream import bitstream_for_rect
+    from repro.sim.fifo import SyncFifo
+
+    params = _build_params(spec)
+    floorplan = (
+        _build_floorplan(spec, params) if "floorplan" in spec else None
+    )
+    system = VapresSystem(params, floorplan=floorplan)
+
+    for entry in spec.get("ioms", ()):
+        system.attach_iom(entry["slot"], Iom(f"{entry['slot']}.iom"))
+
+    for entry in spec.get("modules", ()):
+        name = entry["name"]
+        targets = entry.get("prrs", [s.name for s in system.prr_slots])
+        if entry.get("factory", True):
+            system.repository.register_factory(
+                name, lambda name=name: PassThrough(name)
+            )
+        for prr_name in targets:
+            placement = system.floorplan.prrs.get(prr_name)
+            if placement is None:
+                raise LoaderError(f"module {name!r} targets unknown PRR "
+                                  f"{prr_name!r}")
+            if not system.repository.has(name, prr_name):
+                system.repository.register(
+                    bitstream_for_rect(name, prr_name, placement.rect)
+                )
+
+    for module_name, prr_name in spec.get("preload", ()):
+        system.repository.preload_to_sdram(module_name, prr_name)
+
+    for entry in spec.get("place", ()):
+        system.place_module_directly(
+            PassThrough(entry["module"]), entry["prr"]
+        )
+
+    channels = []
+    for entry in spec.get("channels", ()):
+        channel = system.open_stream(
+            entry["src"],
+            entry["dst"],
+            src_port=entry.get("src_port", 0),
+            dst_port=entry.get("dst_port", 0),
+        )
+        consumer = channel.consumer
+        if entry.get("consumer_sync_fifo"):
+            old = consumer.fifo
+            consumer.fifo = SyncFifo(
+                old.capacity, name=old.name,
+                almost_full_slack=old.almost_full_slack,
+            )
+        if "consumer_sync_stages" in entry:
+            consumer.fifo.sync_stages = entry["consumer_sync_stages"]
+        if "slack" in entry:
+            consumer.set_backpressure_slack(entry["slack"])
+        channels.append(channel)
+
+    for prr_name, sel in spec.get("clk_sel", {}).items():
+        system.prr(prr_name).bufgmux.select(sel)
+
+    def _channel(index) -> object:
+        if index is None:
+            return None
+        if not 0 <= index < len(channels):
+            raise LoaderError(
+                f"switch references channel {index}; only "
+                f"{len(channels)} declared"
+            )
+        return channels[index]
+
+    plans = [
+        SwitchPlan(
+            old_prr=entry["old_prr"],
+            new_prr=entry["new_prr"],
+            new_module=entry["new_module"],
+            upstream_slot=entry["upstream"],
+            downstream_slot=entry["downstream"],
+            input_channel=_channel(entry.get("input_channel")),
+            output_channel=_channel(entry.get("output_channel")),
+            reconfig_path=entry.get("path", "array2icap"),
+        )
+        for entry in spec.get("switches", ())
+    ]
+    return LoadedSystem(
+        name=spec.get("name", params.name), system=system, switch_plans=plans
+    )
+
+
+def load_sysdef(path: Union[str, Path]) -> LoadedSystem:
+    """Parse a JSON sysdef file and construct the system it declares."""
+    path = Path(path)
+    try:
+        spec = json.loads(path.read_text())
+    except OSError as exc:
+        raise LoaderError(f"cannot read {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise LoaderError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(spec, dict):
+        raise LoaderError(f"{path} must contain a JSON object")
+    try:
+        loaded = build_system(spec)
+    except LoaderError:
+        raise
+    except (TypeError, KeyError, AttributeError, ValueError) as exc:
+        # untrusted JSON: surface shape errors as load failures, not
+        # tracebacks (a missing key, a list where a dict belongs...)
+        raise LoaderError(
+            f"{path} is malformed: {type(exc).__name__}: {exc}"
+        ) from exc
+    loaded.source = str(path)
+    return loaded

@@ -1,0 +1,60 @@
+"""Verification drivers tying the analyzer passes together.
+
+:func:`verify_system` runs every pass against a live
+:class:`~repro.core.system.VapresSystem`; :func:`verify_build` covers the
+static artefacts of a design-flow run (no live system yet, so only the
+fabric/DRC family applies).  Both return a
+:class:`~repro.verify.diagnostics.VerifyReport`; ``strict=True`` raises
+:class:`~repro.verify.diagnostics.VerificationError` when any
+error-severity diagnostic is present.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.verify.cdc import check_cdc
+from repro.verify.credits import check_credits
+from repro.verify.diagnostics import VerifyReport
+from repro.verify.drc import check_floorplan
+from repro.verify.kernel_check import check_kernel
+from repro.verify.switching import SwitchPlan, check_switch
+
+
+def verify_system(
+    system,
+    strict: bool = False,
+    probe_cycles: int = 0,
+    switch_plans: Optional[Iterable[SwitchPlan]] = None,
+) -> VerifyReport:
+    """Run all static passes over a live system.
+
+    ``switch_plans`` optionally adds the Figure 5 precondition check for
+    each planned module swap; ``probe_cycles > 0`` opts in to the dynamic
+    determinism probe (advances simulated time).
+    """
+    report = VerifyReport(subject=system.params.name)
+    report.extend(check_floorplan(system.floorplan, system.params))
+    report.extend(check_cdc(system))
+    report.extend(check_credits(system))
+    report.extend(check_kernel(system, probe_cycles=probe_cycles))
+    for plan in switch_plans or ():
+        report.extend(check_switch(system, plan))
+    if strict:
+        report.raise_on_errors()
+    return report
+
+
+def verify_build(build, strict: bool = False) -> VerifyReport:
+    """Verify a design-flow build (``BaseSystemBuild``-shaped object).
+
+    Only the floorplan/DRC family applies before a live system exists;
+    the flows call this automatically so a bad floorplan fails at design
+    time, not deep in simulation.
+    """
+    subject = getattr(getattr(build, "params", None), "name", "") or "build"
+    report = VerifyReport(subject=subject)
+    report.extend(check_floorplan(build.floorplan, build.params))
+    if strict:
+        report.raise_on_errors()
+    return report

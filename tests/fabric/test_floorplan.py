@@ -180,3 +180,44 @@ def test_slice_macro_sites_on_boundary(device):
     sites = placement.slice_macro_sites()
     assert len(sites) == 10  # ceil(74 / 8)
     assert all(col == placement.rect.col for col, _row in sites)
+
+
+def raw_rect(col, row, width, height):
+    """A Rect that bypasses construction-time validation (loader idiom)."""
+    rect = Rect.__new__(Rect)
+    for key, value in dict(
+        col=col, row=row, width=width, height=height
+    ).items():
+        object.__setattr__(rect, key, value)
+    return rect
+
+
+def test_zero_area_rect_rejected_with_prr_name(device):
+    plan = Floorplan(device)
+    with pytest.raises(FloorplanError, match="'dead'.*zero or negative"):
+        plan.place_prr("dead", raw_rect(0, 0, 0, 16))
+
+
+def test_negative_size_rect_rejected_with_prr_name(device):
+    plan = Floorplan(device)
+    with pytest.raises(FloorplanError, match="'dead'.*zero or negative"):
+        plan.place_prr("dead", raw_rect(0, 0, 5, -16))
+
+
+def test_negative_origin_rect_rejected_with_prr_name(device):
+    plan = Floorplan(device)
+    with pytest.raises(FloorplanError, match="'dead'.*negative"):
+        plan.place_prr("dead", raw_rect(-1, 0, 5, 16))
+
+
+def test_bounds_error_names_the_prr(device):
+    plan = Floorplan(device)
+    with pytest.raises(FloorplanError, match="PRR 'edge'.*bounds"):
+        plan.place_prr("edge", Rect(0, device.clb_rows - 8, 5, 16))
+
+
+def test_static_bounds_error_has_no_prr_prefix(device):
+    plan = Floorplan(device)
+    with pytest.raises(FloorplanError, match="bounds") as excinfo:
+        plan.reserve_static(Rect(0, device.clb_rows - 8, 5, 16))
+    assert "PRR" not in str(excinfo.value)

@@ -1,0 +1,19 @@
+"""Shared fixtures for the static-verification tests."""
+
+from pathlib import Path
+
+import pytest
+
+from tests.helpers import build_pipeline
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture
+def pipeline():
+    """Prototype system with an IOM -> prr0 -> IOM streaming loop."""
+    return build_pipeline()
+
+
+def fixture_path(name: str) -> str:
+    return str(FIXTURES / name)

@@ -1,0 +1,65 @@
+"""Golden tests for the VAP2xx clock-domain-crossing lint."""
+
+from repro.sim.fifo import SyncFifo
+from repro.verify.cdc import MIN_SYNC_STAGES, check_cdc, domain_frequencies
+
+
+def codes(diagnostics):
+    return {d.code for d in diagnostics}
+
+
+def test_clean_pipeline_has_no_cdc_findings(pipeline):
+    system, *_ = pipeline
+    assert check_cdc(system) == []
+
+
+def test_domain_frequencies_cover_static_and_every_prr(pipeline):
+    system, *_ = pipeline
+    domains = domain_frequencies(system)
+    assert domains["static"] == system.system_clock.frequency_hz
+    for slot in system.prr_slots:
+        assert domains[slot.name] == slot.lcd_clock.frequency_hz
+
+
+def test_vap201_sync_fifo_on_a_crossing(pipeline):
+    system, _, _, ch_in, _ = pipeline
+    old = ch_in.consumer.fifo
+    ch_in.consumer.fifo = SyncFifo(
+        old.capacity, name=old.name, almost_full_slack=old.almost_full_slack
+    )
+    found = [d for d in check_cdc(system) if d.code == "VAP201"]
+    assert len(found) == 1
+    assert found[0].severity == "error"
+    assert old.name in found[0].message
+
+
+def test_vap202_thin_synchroniser(pipeline):
+    system, _, _, ch_in, _ = pipeline
+    ch_in.consumer.fifo.sync_stages = 1
+    found = [d for d in check_cdc(system) if d.code == "VAP202"]
+    assert len(found) == 1
+    assert str(MIN_SYNC_STAGES) in found[0].message
+
+
+def test_vap203_slow_consumer_domain(pipeline):
+    system, _, _, ch_in, _ = pipeline
+    # divisor 2 halves the consumer PRR's local clock (100 -> 50 MHz)
+    system.prr("rsb0.prr0").bufgmux.select(1)
+    found = [d for d in check_cdc(system) if d.code == "VAP203"]
+    assert found and all(d.severity == "warning" for d in found)
+    assert any(ch_in.consumer.name in d.location for d in found)
+
+
+def test_released_channels_are_skipped(pipeline):
+    system, _, _, ch_in, _ = pipeline
+    ch_in.consumer.fifo = SyncFifo(4, name="bad")
+    system.close_stream(ch_in)
+    assert "VAP201" not in codes(check_cdc(system))
+
+
+def test_fsl_links_are_linted(pipeline):
+    system, *_ = pipeline
+    slot = system.prr("rsb0.prr0")
+    slot.fsl_to_module.fifo.sync_stages = 0
+    found = [d for d in check_cdc(system) if d.code == "VAP202"]
+    assert any("FSL" in d.message for d in found)

@@ -1,0 +1,66 @@
+"""Golden tests for the VAP21x credit-loop analyzer."""
+
+from repro.verify.credits import check_channel, check_credits, round_trip_cycles
+
+
+def codes(diagnostics):
+    return {d.code for d in diagnostics}
+
+
+def test_round_trip_formula():
+    assert round_trip_cycles(0) == 2
+    assert round_trip_cycles(2) == 6
+    assert round_trip_cycles(7) == 16
+
+
+def test_clean_channel_reports_only_the_summary(pipeline):
+    system, *_ = pipeline
+    diagnostics = check_credits(system)
+    assert codes(diagnostics) == {"VAP214"}
+    assert len(diagnostics) == 2  # one summary per channel
+    assert all(d.severity == "info" for d in diagnostics)
+
+
+def test_vap211_slack_swallows_the_whole_fifo(pipeline):
+    system, _, _, ch_in, _ = pipeline
+    ch_in.consumer.set_backpressure_slack(ch_in.consumer.fifo.capacity)
+    found = check_channel(ch_in)
+    assert codes(found) == {"VAP211"}  # terminal: no summary either
+    assert found[0].severity == "error"
+
+
+def test_vap212_slack_below_in_flight_words(pipeline):
+    system, _, _, ch_in, _ = pipeline
+    ch_in.consumer.set_backpressure_slack(2 * ch_in.d - 1)
+    found = check_channel(ch_in)
+    assert "VAP212" in codes(found)
+    assert "VAP211" not in codes(found)
+
+
+def test_vap213_credit_window_below_round_trip(pipeline):
+    system, _, _, ch_in, _ = pipeline
+    fifo = ch_in.consumer.fifo
+    # keep slack legal (2d) but shrink the usable window below the rtt
+    fifo.capacity = 2 * ch_in.d + round_trip_cycles(ch_in.d) - 1
+    found = check_channel(ch_in)
+    assert "VAP213" in codes(found)
+    assert all(d.code != "VAP212" for d in found)
+    warning = next(d for d in found if d.code == "VAP213")
+    assert warning.severity == "warning"
+
+
+def test_summary_carries_the_loop_numbers(pipeline):
+    system, _, _, ch_in, _ = pipeline
+    summary = next(
+        d for d in check_channel(ch_in) if d.code == "VAP214"
+    )
+    assert f"d={ch_in.d}" in summary.message
+    assert f"round-trip={round_trip_cycles(ch_in.d)}" in summary.message
+
+
+def test_released_channels_are_not_analyzed(pipeline):
+    system, _, _, ch_in, ch_out = pipeline
+    system.close_stream(ch_in)
+    diagnostics = check_credits(system)
+    assert len(diagnostics) == 1  # only ch_out remains
+    assert ch_out.consumer.name in diagnostics[0].location

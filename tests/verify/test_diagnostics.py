@@ -1,0 +1,133 @@
+"""Golden tests for the diagnostic registry and report container."""
+
+import json
+
+import pytest
+
+from repro.verify.diagnostics import (
+    CODES,
+    Diagnostic,
+    Severity,
+    VerificationError,
+    VerifyReport,
+    diag,
+)
+
+FAMILY_BY_PREFIX = {
+    "VAP1": "fabric",
+    "VAP2": "comm",
+    "VAP3": "switching",
+    "VAP4": "kernel",
+}
+
+
+def test_every_code_is_well_formed():
+    for code, info in CODES.items():
+        assert code.startswith("VAP") and len(code) == 6, code
+        assert info.family == FAMILY_BY_PREFIX[code[:4]], code
+        assert isinstance(info.severity, Severity)
+        assert info.meaning
+
+
+def test_registry_covers_all_four_families():
+    families = {info.family for info in CODES.values()}
+    assert families == {"fabric", "comm", "switching", "kernel"}
+
+
+def test_diag_fills_severity_from_registry():
+    d = diag("VAP101", "out of bounds", location="prr0", analyzer="drc")
+    assert d.severity is Severity.ERROR
+    assert d.family == "fabric"
+    assert "VAP101" in str(d) and "prr0" in str(d)
+
+
+def test_diag_rejects_unregistered_code():
+    with pytest.raises(KeyError, match="VAP999"):
+        diag("VAP999", "nope")
+
+
+def test_diagnostic_as_dict_round_trips_through_json():
+    d = diag("VAP203", "slow consumer", location="ch0")
+    payload = json.loads(json.dumps(d.as_dict()))
+    assert payload["code"] == "VAP203"
+    assert payload["severity"] == "warning"
+    assert payload["family"] == "comm"
+
+
+def test_report_counts_and_ok():
+    report = VerifyReport(subject="s")
+    assert report.ok
+    report.add(diag("VAP110", "summary"))
+    assert report.ok and len(report.infos) == 1
+    report.add(diag("VAP102", "overlap"))
+    assert not report.ok and len(report.errors) == 1
+
+
+def test_report_by_code_and_families():
+    report = VerifyReport(subject="s")
+    report.extend([diag("VAP211", "a"), diag("VAP211", "b"), diag("VAP304", "c")])
+    assert len(report.by_code("VAP211")) == 2
+    assert report.families == ["comm", "switching"]
+    assert report.codes == ["VAP211", "VAP304"]
+
+
+def test_raise_on_errors_carries_the_report():
+    report = VerifyReport(subject="s")
+    report.add(diag("VAP101", "bad"))
+    with pytest.raises(VerificationError) as excinfo:
+        report.raise_on_errors()
+    assert excinfo.value.report is report
+    assert "VAP101" in str(excinfo.value)
+
+
+def test_raise_on_errors_passes_with_warnings_only():
+    report = VerifyReport(subject="s")
+    report.add(diag("VAP213", "small window"))
+    report.raise_on_errors()  # warnings never raise
+
+
+def test_render_text_filters_info():
+    report = VerifyReport(subject="s")
+    report.extend([diag("VAP110", "layout summary"), diag("VAP102", "overlap")])
+    full = report.render_text(include_info=True)
+    quiet = report.render_text(include_info=False)
+    assert "VAP110" in full and "VAP110" not in quiet
+    assert "VAP102" in full and "VAP102" in quiet
+
+
+def test_to_json_shape():
+    report = VerifyReport(subject="sys")
+    report.add(diag("VAP201", "sync fifo", location="ch0", analyzer="cdc"))
+    payload = json.loads(report.to_json())
+    assert payload["subject"] == "sys"
+    assert payload["ok"] is False
+    assert payload["errors"] == 1
+    assert payload["codes"] == ["VAP201"]
+    assert payload["families"] == ["comm"]
+    assert payload["diagnostics"][0]["analyzer"] == "cdc"
+
+
+def test_diagnostic_is_frozen():
+    d = diag("VAP110", "info")
+    with pytest.raises(Exception):
+        d.message = "mutated"  # type: ignore[misc]
+
+
+def test_readme_table_matches_the_registry():
+    from pathlib import Path
+
+    readme = (Path(__file__).resolve().parents[2] / "README.md").read_text()
+    documented = {}
+    for line in readme.splitlines():
+        cells = [c.strip() for c in line.strip("|").split("|")]
+        if len(cells) == 3 and cells[0].startswith("VAP"):
+            documented[cells[0]] = cells[1]
+    assert set(documented) == set(CODES)
+    for code, severity in documented.items():
+        assert severity == str(CODES[code].severity), code
+
+
+def test_severity_is_str_valued():
+    assert str(Severity.ERROR) == "error"
+    assert Severity.WARNING == "warning"
+    assert isinstance(Diagnostic, type)

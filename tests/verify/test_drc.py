@@ -1,0 +1,175 @@
+"""Golden tests for the VAP1xx floorplan DRC."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import SystemParameters
+from repro.fabric.device import DEVICES, get_device
+from repro.fabric.floorplan import Floorplan, PrrPlacement, auto_floorplan
+from repro.fabric.geometry import Rect, clock_regions_of
+from repro.verify.drc import check_floorplan
+
+
+def insert(plan, name, rect, boundary_signals=0):
+    """Insert a placement without placement-time validation (loader idiom)."""
+    plan.prrs[name] = PrrPlacement(
+        name,
+        rect,
+        clock_regions_of(rect, plan.device.clb_cols),
+        boundary_signals,
+    )
+
+
+def codes(diagnostics):
+    return {d.code for d in diagnostics}
+
+
+def errors(diagnostics):
+    return {d.code for d in diagnostics if d.severity == "error"}
+
+
+# ---------------------------------------------------------------------------
+# clean fixtures
+# ---------------------------------------------------------------------------
+
+def test_auto_floorplan_prototype_is_clean():
+    params = SystemParameters.prototype()
+    plan = auto_floorplan(
+        get_device("XC4VLX25"), [("rsb0.prr0", 640), ("rsb0.prr1", 640)]
+    )
+    diagnostics = check_floorplan(plan, params)
+    assert errors(diagnostics) == set()
+    assert codes(diagnostics) == {"VAP110"}  # only the utilisation summary
+
+
+def test_empty_floorplan_has_no_findings():
+    assert check_floorplan(Floorplan(get_device("XC4VLX25"))) == []
+
+
+# ---------------------------------------------------------------------------
+# triggering fixtures, one per code
+# ---------------------------------------------------------------------------
+
+def test_vap101_out_of_bounds():
+    plan = Floorplan(get_device("XC4VLX25"))
+    insert(plan, "p0", Rect(90, 0, 10, 16))
+    diagnostics = check_floorplan(plan)
+    assert "VAP101" in errors(diagnostics)
+    assert any("p0" in d.message and "bounds" in d.message
+               for d in diagnostics if d.code == "VAP101")
+
+
+def test_vap102_overlapping_prrs():
+    plan = Floorplan(get_device("XC4VLX25"))
+    insert(plan, "a", Rect(0, 0, 8, 16))
+    insert(plan, "b", Rect(4, 8, 8, 16))
+    assert "VAP102" in errors(check_floorplan(plan))
+
+
+def test_vap102_prr_over_static_reservation():
+    plan = Floorplan(get_device("XC4VLX25"))
+    plan.static_rects.append(Rect(0, 0, 8, 16))
+    insert(plan, "a", Rect(0, 0, 8, 16))
+    found = [d for d in check_floorplan(plan) if d.code == "VAP102"]
+    assert found and "static" in found[0].message
+
+
+def test_vap103_shared_clock_region_without_overlap():
+    plan = Floorplan(get_device("XC4VLX25"))
+    insert(plan, "a", Rect(0, 0, 4, 16))
+    insert(plan, "b", Rect(6, 0, 4, 16))
+    diagnostics = check_floorplan(plan)
+    assert "VAP103" in errors(diagnostics)
+    assert "VAP102" not in codes(diagnostics)  # they do not overlap
+
+
+def test_vap104_spans_both_device_halves():
+    device = get_device("XC4VLX25")
+    plan = Floorplan(device)
+    insert(plan, "wide", Rect(device.center_col - 4, 0, 8, 16))
+    assert "VAP104" in errors(check_floorplan(plan))
+
+
+def test_vap105_too_tall_for_a_bufr():
+    plan = Floorplan(get_device("XC4VLX25"))
+    insert(plan, "tall", Rect(0, 0, 4, 64))  # 4 clock regions
+    assert "VAP105" in errors(check_floorplan(plan))
+
+
+def test_vap106_bufr_oversubscription():
+    plan = Floorplan(get_device("XC4VLX25"))
+    # three PRRs whose BUFR lands in the same region (limit is 2 per region)
+    insert(plan, "a", Rect(0, 0, 2, 16))
+    insert(plan, "b", Rect(4, 0, 2, 16))
+    insert(plan, "c", Rect(8, 0, 2, 16))
+    assert "VAP106" in errors(check_floorplan(plan))
+
+
+def test_vap107_slice_macro_sites_collide():
+    plan = Floorplan(get_device("XC4VLX25"))
+    insert(plan, "p0", Rect(0, 0, 4, 16), boundary_signals=200)
+    assert "VAP107" in errors(check_floorplan(plan))
+
+
+def test_vap108_prrs_exceed_device():
+    device = get_device("XC4VLX15")
+    plan = Floorplan(device)
+    # two full-device placements together claim 2x the device's slices
+    insert(plan, "a", Rect(0, 0, 24, 64))
+    insert(plan, "b", Rect(0, 0, 24, 64))
+    assert "VAP108" in errors(check_floorplan(plan))
+
+
+def test_vap108_static_region_does_not_fit():
+    params = SystemParameters.figure7()  # needs ~11k static slices
+    plan = auto_floorplan(
+        get_device("XC4VLX25"),
+        [(f"rsb0.prr{i}", 640) for i in range(4)],
+    )
+    assert "VAP108" in errors(check_floorplan(plan, params))
+
+
+def test_vap109_prr_smaller_than_configured():
+    params = SystemParameters.prototype()  # wants 640-slice PRRs
+    plan = Floorplan(get_device("XC4VLX25"))
+    insert(plan, "rsb0.prr0", Rect(0, 0, 4, 16))  # 256 slices
+    insert(plan, "rsb0.prr1", Rect(0, 16, 4, 16))
+    diagnostics = check_floorplan(plan, params)
+    hits = [d for d in diagnostics if d.code == "VAP109"]
+    assert len(hits) == 2
+    assert all(d.severity == "warning" for d in hits)
+
+
+def test_vap110_summary_is_informational():
+    plan = auto_floorplan(get_device("XC4VLX25"), [("p0", 640)])
+    summary = [d for d in check_floorplan(plan) if d.code == "VAP110"]
+    assert len(summary) == 1
+    assert summary[0].severity == "info"
+    assert "clock regions" in summary[0].message
+
+
+# ---------------------------------------------------------------------------
+# property: whatever auto_floorplan accepts, the DRC accepts
+# ---------------------------------------------------------------------------
+
+@given(
+    device_name=st.sampled_from(sorted(DEVICES)),
+    count=st.integers(1, 4),
+    slices=st.integers(4, 640),
+    regions=st.integers(1, 3),
+)
+@settings(max_examples=80, deadline=None)
+def test_auto_floorplan_always_passes_drc(device_name, count, slices, regions):
+    from repro.fabric.floorplan import FloorplanError
+
+    device = get_device(device_name)
+    try:
+        plan = auto_floorplan(
+            device,
+            [(f"p{i}", slices) for i in range(count)],
+            regions_per_prr=regions,
+        )
+    except FloorplanError:
+        return  # the floorplanner refused; nothing to check
+    diagnostics = check_floorplan(plan)
+    assert errors(diagnostics) == set(), [str(d) for d in diagnostics]

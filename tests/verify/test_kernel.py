@@ -1,0 +1,99 @@
+"""Golden tests for the VAP4xx kernel determinism checks."""
+
+from repro.modules import Iom, PassThrough
+from repro.sim.fifo import SyncFifo
+from repro.verify.kernel_check import DeterminismProbe, check_kernel
+
+
+def codes(diagnostics):
+    return {d.code for d in diagnostics}
+
+
+class _Component:
+    def __init__(self, name):
+        self.name = name
+
+
+def test_clean_pipeline_is_deterministic(pipeline):
+    system, *_ = pipeline
+    assert check_kernel(system) == []
+
+
+def test_vap401_producer_shared_by_two_channels(pipeline):
+    system, *_ = pipeline
+    # a second channel from the IOM's (only) producer port
+    system.open_stream("rsb0.iom0", "rsb0.prr1", src_port=0)
+    found = [d for d in check_kernel(system) if d.code == "VAP401"]
+    assert len(found) == 1
+    assert found[0].severity == "error"
+    assert "rsb0.iom0.p0" in found[0].location
+
+
+def test_vap403_structural_sample_override(pipeline):
+    system, *_ = pipeline
+
+    class EagerIom(Iom):
+        def sample(self):  # mutating here is the anti-pattern
+            super().sample()
+
+    system.slot("rsb0.iom0").iom = EagerIom("eager")
+    found = [d for d in check_kernel(system) if d.code == "VAP403"]
+    assert len(found) == 1
+    assert "EagerIom" in found[0].message
+    assert found[0].severity == "warning"
+
+
+def test_probe_flags_two_components_in_one_sample_instant():
+    probe = DeterminismProbe()
+    probe.install()
+    try:
+        fifo = SyncFifo(8, name="shared.fifo")
+        probe.begin(_Component("alpha"), "sample", 1_000)
+        fifo.push(1)
+        probe.end()
+        probe.begin(_Component("beta"), "sample", 1_000)
+        fifo.push(2)
+        probe.end()
+    finally:
+        probe.uninstall()
+    found = probe.diagnostics()
+    assert codes(found) == {"VAP402"}
+    assert "alpha" in found[0].message and "beta" in found[0].message
+
+
+def test_probe_ignores_commit_phase_and_software_mutations():
+    probe = DeterminismProbe()
+    probe.install()
+    try:
+        fifo = SyncFifo(8, name="f")
+        fifo.push(1)  # no phase bracket: software/event mutation
+        probe.begin(_Component("a"), "commit", 500)
+        fifo.push(2)
+        probe.end()
+    finally:
+        probe.uninstall()
+    assert probe.diagnostics() == []
+
+
+def test_probe_flags_module_sample_writes_as_vap403():
+    probe = DeterminismProbe()
+    probe.install()
+    try:
+        fifo = SyncFifo(8, name="mod.fifo")
+        probe.begin(PassThrough("worker"), "sample", 2_000)
+        fifo.push(7)
+        probe.end()
+    finally:
+        probe.uninstall()
+    found = probe.diagnostics()
+    assert "VAP403" in codes(found)
+    assert any("worker" in d.message for d in found)
+
+
+def test_probe_run_on_live_system_restores_everything(pipeline):
+    system, *_ = pipeline
+    push, pop, clear = SyncFifo.push, SyncFifo.pop, SyncFifo.clear
+    found = check_kernel(system, probe_cycles=40)
+    assert codes(found) == set()  # the stock pipeline has no races
+    assert (SyncFifo.push, SyncFifo.pop, SyncFifo.clear) == (push, pop, clear)
+    assert system.sim.phase_probe is None

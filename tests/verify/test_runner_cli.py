@@ -1,0 +1,180 @@
+"""End-to-end tests: runner, loader, flows integration and the CLI."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+from repro.core.params import SystemParameters
+from repro.fabric.device import get_device
+from repro.fabric.floorplan import Floorplan, PrrPlacement
+from repro.fabric.geometry import Rect, clock_regions_of
+from repro.flows.base_system import BaseSystemFlow
+from repro.sim.fifo import SyncFifo
+from repro.verify.diagnostics import VerificationError
+from repro.verify.loader import LoaderError, build_system, load_sysdef
+from repro.verify.runner import verify_build, verify_system
+
+from tests.verify.conftest import fixture_path
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples" / "sysdefs"
+
+
+def bad_floorplan():
+    """Two overlapping PRRs, inserted without placement-time validation."""
+    device = get_device("XC4VLX25")
+    plan = Floorplan(device)
+    for name, rect in (
+        ("rsb0.prr0", Rect(0, 0, 10, 16)),
+        ("rsb0.prr1", Rect(5, 8, 10, 16)),
+    ):
+        plan.prrs[name] = PrrPlacement(
+            name, rect, clock_regions_of(rect, device.clb_cols)
+        )
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# runner + System.verify()
+# ---------------------------------------------------------------------------
+
+def test_verify_system_clean(pipeline):
+    system, *_ = pipeline
+    report = verify_system(system)
+    assert report.ok
+    assert report.subject == system.params.name
+
+
+def test_verify_system_strict_raises(pipeline):
+    system, _, _, ch_in, _ = pipeline
+    ch_in.consumer.fifo = SyncFifo(4, name="bad")
+    with pytest.raises(VerificationError, match="VAP201"):
+        verify_system(system, strict=True)
+
+
+def test_system_verify_method(pipeline):
+    system, *_ = pipeline
+    report = system.verify()
+    assert report.ok and "VAP214" in report.codes
+
+
+def test_flow_runs_verify_and_records_the_report():
+    build = BaseSystemFlow(SystemParameters.prototype()).run()
+    assert build.report["verify"].ok
+
+
+def test_flow_strict_verify_rejects_bad_hand_built_floorplan():
+    flow = BaseSystemFlow(SystemParameters.prototype())
+    with pytest.raises(VerificationError, match="VAP10"):
+        flow.run(floorplan=bad_floorplan())
+    # opting out keeps the legacy permissive behaviour
+    build = flow.run(floorplan=bad_floorplan(), verify=False)
+    assert "verify" not in build.report
+
+
+def test_verify_build_checks_only_the_floorplan():
+    build = BaseSystemFlow(SystemParameters.prototype()).run(verify=False)
+    report = verify_build(build)
+    assert report.ok and all(c.startswith("VAP1") for c in report.codes)
+
+
+# ---------------------------------------------------------------------------
+# loader
+# ---------------------------------------------------------------------------
+
+def test_loader_unknown_preset():
+    with pytest.raises(LoaderError, match="unknown preset"):
+        build_system({"preset": "nope"})
+
+
+def test_loader_requires_complete_floorplan():
+    with pytest.raises(LoaderError, match="missing"):
+        build_system({
+            "preset": "prototype",
+            "floorplan": [
+                {"name": "rsb0.prr0", "col": 0, "row": 0,
+                 "width": 8, "height": 16},
+            ],
+        })
+
+
+def test_loader_rejects_bad_json(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json")
+    with pytest.raises(LoaderError, match="not valid JSON"):
+        load_sysdef(path)
+
+
+def test_loader_board_override_applies_to_preset():
+    loaded = build_system({"preset": "figure7", "board": "ML402"})
+    assert loaded.system.floorplan.device.name == "XC4VLX60"
+
+
+@pytest.mark.parametrize(
+    "fixture, family",
+    [
+        ("bad_fabric.json", "fabric"),
+        ("bad_comm.json", "comm"),
+        ("bad_switching.json", "switching"),
+        ("bad_kernel.json", "kernel"),
+    ],
+)
+def test_each_family_has_a_triggering_fixture(fixture, family):
+    loaded = load_sysdef(fixture_path(fixture))
+    report = verify_system(
+        loaded.system, switch_plans=loaded.switch_plans
+    )
+    assert not report.ok
+    assert family in {d.family for d in report.errors}
+
+
+def test_clean_fixture_verifies_ok():
+    loaded = load_sysdef(fixture_path("clean.json"))
+    report = verify_system(loaded.system, switch_plans=loaded.switch_plans)
+    assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def test_cli_preset_exits_zero(capsys):
+    assert main(["verify", "prototype"]) == 0
+    assert "VAP110" in capsys.readouterr().out
+
+
+def test_cli_quiet_hides_info(capsys):
+    assert main(["verify", "prototype", "--quiet"]) == 0
+    assert "VAP110" not in capsys.readouterr().out
+
+
+def test_cli_broken_fixture_reports_four_families(capsys):
+    code = main(["verify", fixture_path("broken.json"), "--json"])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    assert set(payload["families"]) >= {
+        "fabric", "comm", "switching", "kernel"
+    }
+    severities = {d["code"]: d["severity"] for d in payload["diagnostics"]}
+    assert severities["VAP102"] == "error"
+    assert severities["VAP203"] == "warning"
+    assert severities["VAP110"] == "info"
+
+
+def test_cli_missing_file_exits_two(capsys):
+    assert main(["verify", "/no/such/file.json"]) == 2
+    assert "cannot load" in capsys.readouterr().err
+
+
+def test_cli_probe_cycles_runs_clean(capsys):
+    assert main(["verify", fixture_path("clean.json"),
+                 "--probe-cycles", "25"]) == 0
+
+
+@pytest.mark.parametrize(
+    "example", sorted(p.name for p in EXAMPLES.glob("*.json"))
+)
+def test_every_shipped_example_verifies_clean(example, capsys):
+    assert main(["verify", str(EXAMPLES / example)]) == 0
