@@ -19,6 +19,14 @@ Commands
     preconditions and kernel determinism checks.  ``--json`` emits a
     machine-readable report; the exit code is non-zero when any
     error-severity diagnostic is found.
+``serve``
+    Load a JSON jobfile and serve its stream jobs: ``fleet`` mode
+    shards independent jobs across worker processes (one simulated
+    VAPRES instance per job), ``colocate`` mode multi-tenants them on a
+    single instance with admission control and priority preemption.
+    Prints per-job and fleet telemetry; ``--json`` emits the report as
+    JSON, ``--output`` saves it.  Exit code is non-zero when any job
+    ends FAILED.
 """
 
 from __future__ import annotations
@@ -219,6 +227,44 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.runtime import (
+        ExecutorConfig,
+        FleetExecutor,
+        JobError,
+        JobExecutor,
+        load_jobfile,
+    )
+
+    try:
+        jobfile = load_jobfile(args.jobfile)
+        config = ExecutorConfig.from_dict(jobfile.executor)
+    except JobError as error:
+        print(f"serve: cannot load {args.jobfile!r}: {error}",
+              file=sys.stderr)
+        return 2
+    mode = args.mode or jobfile.mode
+    workers = args.workers if args.workers is not None else jobfile.workers
+    try:
+        if mode == "colocate":
+            executor = JobExecutor(params=jobfile.params, config=config)
+            report = executor.run(jobfile.jobs)
+        else:
+            fleet = FleetExecutor(
+                workers=workers, params=jobfile.params, config=config
+            )
+            report = fleet.run(jobfile.jobs)
+    except JobError as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
+    rendered = report.to_json() if args.json else report.render_text()
+    print(rendered)
+    if args.output:
+        Path(args.output).write_text(report.to_json() + "\n")
+        print(f"report saved to {args.output}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -273,6 +319,27 @@ def build_parser() -> argparse.ArgumentParser:
              "cycles (advances simulated time)",
     )
     verify.set_defaults(func=cmd_verify)
+
+    serve = sub.add_parser(
+        "serve", help="serve a jobfile of stream jobs (fleet or colocated)"
+    )
+    serve.add_argument("jobfile", help="path to a JSON jobfile")
+    serve.add_argument(
+        "--mode", choices=("fleet", "colocate"),
+        help="override the jobfile's execution mode",
+    )
+    serve.add_argument(
+        "--workers", type=int, metavar="N",
+        help="fleet worker processes (default: jobfile's, else 1)",
+    )
+    serve.add_argument(
+        "--json", action="store_true",
+        help="emit the telemetry report as JSON",
+    )
+    serve.add_argument(
+        "--output", metavar="FILE", help="also save the JSON report here"
+    )
+    serve.set_defaults(func=cmd_serve)
     return parser
 
 

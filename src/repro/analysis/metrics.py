@@ -47,11 +47,19 @@ class InterruptionReport:
     max_gap_s: float
     mean_gap_s: float
     interruption_s: float  # max gap minus the nominal period
+    #: how many nominal periods the max gap may span before the stream
+    #: counts as interrupted; runtime SLO checks tighten this below the
+    #: default of 10
+    interrupted_factor: float = 10.0
 
     @property
     def interrupted(self) -> bool:
-        """True when the stream stalled noticeably (>10x nominal period)."""
-        return self.max_gap_s > 10 * self.nominal_period_s
+        """True when the stream stalled noticeably.
+
+        "Noticeably" means a gap exceeding ``interrupted_factor`` nominal
+        word periods (default 10x).
+        """
+        return self.max_gap_s > self.interrupted_factor * self.nominal_period_s
 
     def __str__(self) -> str:
         return (
@@ -62,9 +70,15 @@ class InterruptionReport:
 
 
 def interruption_report(
-    receive_times_ps: Sequence[int], nominal_period_s: float
+    receive_times_ps: Sequence[int],
+    nominal_period_s: float,
+    interrupted_factor: float = 10.0,
 ) -> InterruptionReport:
-    """Build an :class:`InterruptionReport` from IOM receive timestamps."""
+    """Build an :class:`InterruptionReport` from IOM receive timestamps.
+
+    ``interrupted_factor`` sets how many nominal periods the largest gap
+    may span before :attr:`InterruptionReport.interrupted` trips.
+    """
     gaps = stream_gaps_seconds(receive_times_ps)
     max_gap = max(gaps) if gaps else 0.0
     mean_gap = sum(gaps) / len(gaps) if gaps else 0.0
@@ -74,6 +88,7 @@ def interruption_report(
         max_gap_s=max_gap,
         mean_gap_s=mean_gap,
         interruption_s=max(0.0, max_gap - nominal_period_s),
+        interrupted_factor=interrupted_factor,
     )
 
 

@@ -35,12 +35,15 @@ loss-free (the report asserts zero lost words).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Generator, List, Optional, Tuple
+from typing import Callable, Generator, List, Optional, Tuple
 
 from repro.comm.channel import StreamingChannel
 from repro.control.microblaze import Delay, FslGet, FslPut
 from repro.modules.base import CMD_FLUSH, CMD_START
 from repro.modules.iom import CMD_ARM_EOS, MSG_EOS
+
+#: Observer signature for switch/drain progress: ``(step, time_ps, text)``.
+StepObserver = Callable[[int, int, str], None]
 
 
 @dataclass
@@ -81,6 +84,35 @@ class SwitchReport:
         return "\n".join(lines)
 
 
+@dataclass
+class DrainReport:
+    """Outcome of draining a stream out of a PRR (eviction path).
+
+    The runtime's preemption uses the same Figure 5 machinery as a switch
+    -- pause/drain/re-point (step 4), flush with in-band EOS (step 5),
+    state extraction (step 6) and EOS-arrival detection (step 8) -- but
+    stops there: no replacement module is started, the vacated PRR is
+    powered down and its captured state returned for a later resume.
+    """
+
+    prr: str
+    steps: List[Tuple[int, int, str]] = field(default_factory=list)
+    state_words: List[int] = field(default_factory=list)
+    words_lost: int = 0
+
+    @property
+    def start_ps(self) -> int:
+        return self.steps[0][1] if self.steps else 0
+
+    @property
+    def end_ps(self) -> int:
+        return self.steps[-1][1] if self.steps else 0
+
+    @property
+    def duration_seconds(self) -> float:
+        return (self.end_ps - self.start_ps) / 1e12
+
+
 class ModuleSwitcher:
     """Runs the 9-step methodology on a :class:`VapresSystem`.
 
@@ -96,6 +128,10 @@ class ModuleSwitcher:
         #: when True, the Figure 5 precondition check (``repro.verify``)
         #: raises before the switch starts instead of only logging
         self.strict_precheck = strict_precheck
+        #: progress observers called per protocol step with
+        #: ``(step, time_ps, text)``; the runtime's telemetry subscribes
+        #: here to attribute switch latency to jobs
+        self.on_step: List[StepObserver] = []
 
     def _resolve_target(self, name: str):
         try:
@@ -179,6 +215,8 @@ class ModuleSwitcher:
         def mark(step: int, text: str) -> None:
             report.steps.append((step, sim.now, text))
             sim.log("switch", f"step {step}: {text}", prr=old_prr)
+            for observer in self.on_step:
+                observer(step, sim.now, text)
 
         mark(1, f"RSPS operating through {old_module.name} in {old_prr}")
         mark(2, "monitoring words flowing to the MicroBlaze")
@@ -270,4 +308,88 @@ class ModuleSwitcher:
         # housekeeping: power down the vacated PRR (not a numbered step)
         yield from self.api.vapres_module_clock(old_slot.module_id, False)
         yield from self.api.vapres_fifo_reset(old_slot.module_id)
+        return report
+
+    # ------------------------------------------------------------------
+    # eviction: Figure 5 drain path without a replacement module
+    # ------------------------------------------------------------------
+    def drain(
+        self,
+        prr: str,
+        upstream_slot: str,
+        downstream_slot: str,
+        input_channel: Optional[StreamingChannel],
+        output_channel: Optional[StreamingChannel],
+        pause_upstream: bool = True,
+    ) -> Generator:
+        """MicroBlaze software draining a stream out of ``prr``.
+
+        The runtime's preemptive eviction path: the module in ``prr``
+        finishes the words buffered in its consumer FIFO, emits the
+        in-band EOS word, hands its state registers to the MicroBlaze and
+        halts; the downstream IOM confirms EOS arrival before the output
+        channel is released and the PRR powered down.  Streams of other
+        applications sharing the RSB are untouched -- that is the
+        zero-interruption property preemption inherits from Figure 5.
+
+        ``pause_upstream=False`` skips the step-4 upstream pause (used
+        when the upstream producer was already gated by the caller).
+        Returns a :class:`DrainReport`.
+        """
+        sim = self.system.sim
+        slot = self.system.prr(prr)
+        upstream = self.system.slot(upstream_slot)
+        downstream = self.system.slot(downstream_slot)
+        module = slot.module
+        if module is None:
+            raise ValueError(f"PRR {prr!r} has no module to drain")
+        report = DrainReport(prr=prr)
+
+        def mark(step: int, text: str) -> None:
+            report.steps.append((step, sim.now, text))
+            sim.log("switch", f"drain step {step}: {text}", prr=prr)
+            for observer in self.on_step:
+                observer(step, sim.now, text)
+
+        # ---- step 4 (drain variant): stop and release the input --------
+        if pause_upstream:
+            yield from self.api.vapres_fifo_control(
+                upstream.module_id, ren=False
+            )
+        if input_channel is not None:
+            yield Delay(2 * input_channel.d + 4)
+            report.words_lost += yield from self.api.vapres_release_channel(
+                input_channel
+            )
+        mark(4, f"input stopped: {upstream_slot} no longer feeds {prr}")
+
+        # ---- step 5: flush -- drain the consumer FIFO, emit EOS --------
+        yield FslPut(downstream.fsl_to_module, CMD_ARM_EOS, True)
+        yield FslPut(slot.fsl_to_module, CMD_FLUSH, True)
+        mark(5, f"{module.name} draining its consumer FIFO, "
+                "EOS word will follow the last result")
+
+        # ---- step 6: capture the evicted module's state ----------------
+        state_count = module.state_word_count
+        report.state_words = yield from self.api.read_state_words(
+            slot.module_id, state_count
+        )
+        mark(6, f"received {state_count} state words from {module.name}")
+
+        # ---- step 8: wait for the IOM to report the EOS arrival --------
+        while True:
+            data, control = yield FslGet(downstream.fsl_to_processor)
+            if control and data == MSG_EOS:
+                break
+        mark(8, f"{downstream_slot} reported end-of-stream from {prr}")
+
+        if output_channel is not None:
+            report.words_lost += yield from self.api.vapres_release_channel(
+                output_channel
+            )
+
+        # housekeeping: power down the vacated PRR
+        yield from self.api.vapres_module_clock(slot.module_id, False)
+        yield from self.api.vapres_fifo_reset(slot.module_id)
+        mark(9, f"{prr} drained and powered down")
         return report

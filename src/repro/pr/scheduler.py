@@ -25,6 +25,7 @@ class ScheduledReconfig:
         self.path = path
         self.transfer: Optional[IcapTransfer] = None
         self.done = False
+        self.cancelled = False
         self._callbacks: List[Callable[["ScheduledReconfig"], None]] = []
 
     @property
@@ -44,7 +45,12 @@ class ScheduledReconfig:
             callback(self)
 
     def __repr__(self) -> str:
-        state = "done" if self.done else "started" if self.started else "queued"
+        state = (
+            "cancelled" if self.cancelled
+            else "done" if self.done
+            else "started" if self.started
+            else "queued"
+        )
         return (
             f"ScheduledReconfig({self.module_name}@{self.prr_name}, "
             f"{self.path}, {state})"
@@ -71,6 +77,25 @@ class ReconfigScheduler:
         self._queue.append(request)
         self._pump()
         return request
+
+    def cancel(self, request: ScheduledReconfig) -> bool:
+        """Remove a not-yet-started request from the queue.
+
+        Returns True when the request was still queued and is now
+        cancelled; False when it already started on the ICAP (a partial
+        write cannot be abandoned mid-frame), finished, or was cancelled
+        before.  FIFO order of the surviving requests is preserved.
+        Needed by the runtime's job eviction path: a preempted job's
+        queued placements must not waste ICAP bandwidth.
+        """
+        if request.started or request.done or request.cancelled:
+            return False
+        try:
+            self._queue.remove(request)
+        except ValueError:
+            return False
+        request.cancelled = True
+        return True
 
     @property
     def pending(self) -> int:

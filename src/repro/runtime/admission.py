@@ -1,0 +1,409 @@
+"""Admission control: resource accounting, priority queueing, preemption.
+
+The admission controller is the runtime's gatekeeper.  It mirrors the
+fabric's real capacity constraints *before* any hardware is touched:
+
+* **PRRs** -- each chain stage needs one free PRR (whose floorplan
+  placement must physically fit the stage's slice demand);
+* **IOMs** -- each job owns one IOM slot for its source/sink while it
+  runs;
+* **switch-box lanes** -- a chain's channels occupy directional lane
+  segments between attachment positions (``kr`` rightward / ``kl``
+  leftward per segment, the paper's Figure 7 parameters), tracked per
+  segment exactly as the channel router allocates them;
+* **device budget** -- aggregate slice/BRAM demand of all resident jobs
+  is checked against the device's :func:`~repro.fabric.resources`
+  capacity so the fleet can never over-commit the part.
+
+Jobs that can *never* fit are rejected outright; jobs that merely do not
+fit *now* wait in a priority queue.  When preemption is allowed, a
+waiting job may evict strictly-lower-priority resident jobs -- the
+executor performs the eviction through the Figure-5 drain path
+(:meth:`repro.core.switching.ModuleSwitcher.drain`), never by yanking a
+live stream.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.params import SystemParameters
+from repro.fabric.floorplan import Floorplan
+from repro.fabric.resources import ResourceVector, device_capacity
+from repro.runtime.jobs import Job, JobState
+
+#: BRAM18 blocks one PRR's interface FIFOs + FSL pair occupy (the
+#: prototype's 512x33 FIFOs each fit one 18K block; ki+ko stream FIFOs
+#: plus the t/r FSL pair).
+_BRAMS_PER_STAGE = 4
+
+
+class AdmissionDecision(enum.Enum):
+    ADMIT = "admit"
+    PREEMPT = "preempt"
+    QUEUE = "queue"
+    REJECT = "reject"
+
+
+@dataclass
+class Assignment:
+    """Concrete resources granted to an admitted job."""
+
+    rsb: str
+    iom: str
+    prrs: List[str]
+    demand: ResourceVector = field(default_factory=ResourceVector)
+
+    @property
+    def chain(self) -> List[str]:
+        """Slot names along the stream path (IOM -> stages -> IOM)."""
+        return [self.iom] + list(self.prrs) + [self.iom]
+
+
+@dataclass
+class AdmissionResult:
+    decision: AdmissionDecision
+    assignment: Optional[Assignment] = None
+    victims: List[Job] = field(default_factory=list)
+    reason: str = ""
+
+
+class _RsbState:
+    """Mutable occupancy of one RSB: slots and lane segments."""
+
+    def __init__(self, name: str, prrs, ioms, kr: int, kl: int,
+                 attachment_count: int) -> None:
+        self.name = name
+        self.prr_position: Dict[str, int] = dict(prrs)
+        self.iom_position: Dict[str, int] = dict(ioms)
+        self.kr = kr
+        self.kl = kl
+        # lane segment i sits between attachment i and i+1
+        self.segments = max(0, attachment_count - 1)
+        self.right_used = [0] * self.segments
+        self.left_used = [0] * self.segments
+
+    def position(self, slot: str) -> int:
+        if slot in self.prr_position:
+            return self.prr_position[slot]
+        return self.iom_position[slot]
+
+    # ------------------------------------------------------------------
+    def chain_segments(
+        self, chain: List[str]
+    ) -> List[Tuple[str, range]]:
+        """Directional lane segments a slot chain occupies, per hop."""
+        hops = []
+        for src, dst in zip(chain, chain[1:]):
+            a, b = self.position(src), self.position(dst)
+            if a < b:
+                hops.append(("right", range(a, b)))
+            else:
+                hops.append(("left", range(b, a)))
+        return hops
+
+    def lanes_available(self, chain: List[str]) -> bool:
+        right_need = [0] * self.segments
+        left_need = [0] * self.segments
+        for direction, segs in self.chain_segments(chain):
+            used, need, cap = (
+                (self.right_used, right_need, self.kr)
+                if direction == "right"
+                else (self.left_used, left_need, self.kl)
+            )
+            for seg in segs:
+                need[seg] += 1
+                if used[seg] + need[seg] > cap:
+                    return False
+        return True
+
+    def occupy_lanes(self, chain: List[str]) -> None:
+        for direction, segs in self.chain_segments(chain):
+            used = self.right_used if direction == "right" else self.left_used
+            for seg in segs:
+                used[seg] += 1
+
+    def release_lanes(self, chain: List[str]) -> None:
+        for direction, segs in self.chain_segments(chain):
+            used = self.right_used if direction == "right" else self.left_used
+            for seg in segs:
+                used[seg] -= 1
+
+
+class AdmissionController:
+    """Accounts fabric resources and decides who runs next."""
+
+    def __init__(
+        self,
+        params: SystemParameters,
+        floorplan: Optional[Floorplan] = None,
+        allow_preemption: bool = True,
+    ) -> None:
+        self.params = params
+        self.floorplan = floorplan
+        self.allow_preemption = allow_preemption
+        from repro.fabric.device import get_board
+
+        self.device = get_board(params.board).device
+        self.capacity = device_capacity(self.device)
+        self.used = ResourceVector()
+        self._rsbs: List[_RsbState] = []
+        for rsb in params.rsbs:
+            iom_positions = rsb.resolved_iom_positions()
+            prr_positions = rsb.prr_positions()
+            prrs = [
+                (f"{rsb.name}.prr{i}", pos)
+                for i, pos in enumerate(prr_positions)
+            ]
+            ioms = [
+                (f"{rsb.name}.iom{i}", pos)
+                for i, pos in enumerate(sorted(iom_positions))
+            ]
+            self._rsbs.append(
+                _RsbState(
+                    rsb.name, prrs, ioms, rsb.kr, rsb.kl,
+                    rsb.attachment_count,
+                )
+            )
+        self._free_prrs = {
+            name for state in self._rsbs for name in state.prr_position
+        }
+        self._free_ioms = {
+            name for state in self._rsbs for name in state.iom_position
+        }
+        self._pending: List[Job] = []
+        self._resident: Dict[str, Assignment] = {}  # job name -> grant
+        self._prr_slices: Dict[str, int] = {}
+        for state, rsb in zip(self._rsbs, params.rsbs):
+            for name in state.prr_position:
+                if floorplan is not None and name in floorplan.prrs:
+                    self._prr_slices[name] = floorplan.prrs[name].slices
+                else:
+                    self._prr_slices[name] = rsb.prr_slices
+
+    # ------------------------------------------------------------------
+    # queueing
+    # ------------------------------------------------------------------
+    def enqueue(self, job: Job, now_us: float = 0.0) -> AdmissionResult:
+        """Accept a job into the wait queue, or reject it outright."""
+        reason = self._never_fits(job)
+        if reason:
+            return AdmissionResult(AdmissionDecision.REJECT, reason=reason)
+        job.enqueued_us = now_us if job.enqueued_us is None else job.enqueued_us
+        self._pending.append(job)
+        self._pending.sort(key=self._queue_key)
+        return AdmissionResult(AdmissionDecision.QUEUE)
+
+    @staticmethod
+    def _queue_key(job: Job):
+        return (-job.spec.priority, job.spec.arrival_us, job.index)
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._pending)
+
+    def pending_jobs(self) -> List[Job]:
+        return list(self._pending)
+
+    # ------------------------------------------------------------------
+    # feasibility
+    # ------------------------------------------------------------------
+    def _never_fits(self, job: Job) -> str:
+        spec = job.spec
+        stages = len(spec.stages)
+        all_prrs = set(self._prr_slices)
+        all_ioms = {n for s in self._rsbs for n in s.iom_position}
+        if spec.iom is not None and spec.iom not in all_ioms:
+            return f"unknown IOM slot {spec.iom!r}"
+        if spec.prrs is not None:
+            unknown = set(spec.prrs) - all_prrs
+            if unknown:
+                return f"unknown PRR slots {sorted(unknown)}"
+        if stages > len(all_prrs):
+            return (
+                f"needs {stages} PRRs but the system has {len(all_prrs)}"
+            )
+        if not all_ioms:
+            return "system has no IOM slots"
+        demand = self._stage_slices(job)
+        if all(demand > s for s in self._prr_slices.values()):
+            return (
+                f"per-stage demand of {demand} slices exceeds every "
+                "PRR placement"
+            )
+        if not self._job_demand(job).fits_in(self.capacity):
+            return "job demand exceeds total device capacity"
+        return ""
+
+    def _stage_slices(self, job: Job) -> int:
+        if job.spec.slices_per_stage is not None:
+            return job.spec.slices_per_stage
+        return 0  # "one PRR per stage", whatever its floorplanned size
+
+    def _job_demand(self, job: Job) -> ResourceVector:
+        stages = len(job.spec.stages)
+        per_stage = self._stage_slices(job) or min(self._prr_slices.values())
+        return ResourceVector(
+            slices=per_stage * stages,
+            bram18=_BRAMS_PER_STAGE * stages,
+            bufr=stages,
+        )
+
+    # ------------------------------------------------------------------
+    # assignment
+    # ------------------------------------------------------------------
+    def _try_assign(self, job: Job) -> Optional[Assignment]:
+        spec = job.spec
+        stages = len(spec.stages)
+        demand = self._job_demand(job)
+        if not (self.used + demand).fits_in(self.capacity):
+            return None
+        need_slices = self._stage_slices(job)
+        for state in self._rsbs:
+            free_prrs = [
+                (pos, name)
+                for name, pos in state.prr_position.items()
+                if name in self._free_prrs
+                and self._prr_slices[name] >= need_slices
+            ]
+            if spec.prrs is not None:
+                if any(p not in self._free_prrs for p in spec.prrs):
+                    continue
+                if any(p not in state.prr_position for p in spec.prrs):
+                    continue
+            elif len(free_prrs) < stages:
+                continue
+            iom_candidates = [
+                (pos, name)
+                for name, pos in state.iom_position.items()
+                if name in self._free_ioms
+            ]
+            if spec.iom is not None:
+                iom_candidates = [
+                    (pos, name) for pos, name in iom_candidates
+                    if name == spec.iom
+                ]
+            for iom_pos, iom_name in sorted(iom_candidates):
+                if spec.prrs is not None:
+                    chosen = list(spec.prrs)
+                else:
+                    # nearest free PRRs keep channels short (lane-frugal)
+                    ranked = sorted(
+                        free_prrs, key=lambda e: (abs(e[0] - iom_pos), e[0])
+                    )
+                    chosen = [name for _, name in ranked[:stages]]
+                    # stream order: traverse outward-sorted for a clean
+                    # rightward (or leftward) chain
+                    chosen.sort(key=lambda n: state.prr_position[n])
+                assignment = Assignment(
+                    rsb=state.name, iom=iom_name, prrs=chosen, demand=demand
+                )
+                if state.lanes_available(assignment.chain):
+                    return assignment
+        return None
+
+    def occupy(self, job: Job, assignment: Assignment) -> None:
+        state = self._state(assignment.rsb)
+        self._free_ioms.discard(assignment.iom)
+        for prr in assignment.prrs:
+            self._free_prrs.discard(prr)
+        state.occupy_lanes(assignment.chain)
+        self.used = self.used + assignment.demand
+        self._resident[job.spec.name] = assignment
+
+    def release(self, job: Job) -> None:
+        assignment = self._resident.pop(job.spec.name, None)
+        if assignment is None:
+            return
+        state = self._state(assignment.rsb)
+        self._free_ioms.add(assignment.iom)
+        for prr in assignment.prrs:
+            self._free_prrs.add(prr)
+        state.release_lanes(assignment.chain)
+        self.used = self.used - assignment.demand
+
+    def _state(self, rsb_name: str) -> _RsbState:
+        for state in self._rsbs:
+            if state.name == rsb_name:
+                return state
+        raise KeyError(rsb_name)
+
+    # ------------------------------------------------------------------
+    # the decision loop
+    # ------------------------------------------------------------------
+    def next_decision(
+        self, now_us: float, resident_jobs: List[Job]
+    ) -> Optional[Tuple[Job, AdmissionResult]]:
+        """Pick the next arrived job that can start (or could preempt).
+
+        Scans the priority queue in order; the first job with an
+        immediate assignment is admitted (lower-priority jobs may
+        backfill around a blocked head-of-line job).  If a blocked job
+        could run by evicting strictly-lower-priority resident jobs, a
+        PREEMPT result names the minimal victim set; the caller evicts
+        (draining via the Figure-5 path), releases, and calls again.
+        """
+        preempt_plan: Optional[Tuple[Job, List[Job]]] = None
+        for job in self._pending:
+            if job.spec.arrival_us > now_us:
+                continue
+            if job.next_attempt_us > now_us:
+                continue
+            assignment = self._try_assign(job)
+            if assignment is not None:
+                self._pending.remove(job)
+                return job, AdmissionResult(
+                    AdmissionDecision.ADMIT, assignment=assignment
+                )
+            if self.allow_preemption and preempt_plan is None:
+                victims = self._plan_preemption(job, resident_jobs)
+                if victims:
+                    preempt_plan = (job, victims)
+        if preempt_plan is not None:
+            job, victims = preempt_plan
+            return job, AdmissionResult(
+                AdmissionDecision.PREEMPT, victims=victims,
+                reason=f"preempting {[v.spec.name for v in victims]}",
+            )
+        return None
+
+    def _plan_preemption(
+        self, job: Job, resident_jobs: List[Job]
+    ) -> List[Job]:
+        """Smallest set of lower-priority residents whose eviction lets
+        ``job`` fit.  Victims are chosen cheapest-first: lowest priority,
+        then most recently admitted."""
+        candidates = [
+            resident
+            for resident in resident_jobs
+            if resident.spec.preemptible
+            and resident.spec.priority < job.spec.priority
+            and resident.spec.name in self._resident
+            and resident.state in (
+                JobState.ADMITTED, JobState.PLACING, JobState.RUNNING,
+            )
+        ]
+        if not candidates:
+            return []
+        candidates.sort(
+            key=lambda v: (v.spec.priority, -(v.admitted_us or 0.0), -v.index)
+        )
+        victims: List[Job] = []
+        for victim in candidates:
+            victims.append(victim)
+            if self._fits_after_evicting(job, victims):
+                return victims
+        return []
+
+    def _fits_after_evicting(self, job: Job, victims: List[Job]) -> bool:
+        """Trial assignment with the victims' grants transiently freed."""
+        grants = [(v, self._resident[v.spec.name]) for v in victims]
+        for victim, _grant in grants:
+            self.release(victim)
+        try:
+            return self._try_assign(job) is not None
+        finally:
+            for victim, grant in grants:
+                self.occupy(victim, grant)

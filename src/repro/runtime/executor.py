@@ -1,0 +1,521 @@
+"""Job executors: a per-system event loop and a parallel fleet.
+
+:class:`JobExecutor` is the multi-tenant serving loop for **one**
+simulated VAPRES instance: it admits jobs through the
+:class:`~repro.runtime.admission.AdmissionController`, places their
+stages by queueing partial reconfigurations on the single ICAP
+(:class:`~repro.pr.scheduler.ReconfigScheduler`), opens their streaming
+channels through the Table-2 software API on the simulated MicroBlaze,
+advances simulated time in fixed quanta, and retires jobs as their
+sources drain.  Preemption evicts lower-priority jobs through the
+Figure-5 drain path (:meth:`~repro.core.switching.ModuleSwitcher.drain`)
+so surviving streams never see an interruption.
+
+:class:`FleetExecutor` scales out: it shards *independent* jobs across N
+worker processes, each running its jobs to completion on private
+simulated VAPRES instances, and merges the per-job reports in stable
+submission order.  Job outcomes are bit-identical for any worker count:
+every job runs single-tenant on a fresh system with a seed derived from
+its own name, so sharding affects wall-clock only.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional, Sequence, Tuple
+
+from repro.core.params import SystemParameters
+from repro.core.switching import ModuleSwitcher
+from repro.core.system import VapresSystem
+from repro.modules.iom import Iom
+from repro.pr.scheduler import ReconfigScheduler
+from repro.runtime.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    Assignment,
+)
+from repro.runtime.jobs import Job, JobError, JobState, StreamJob
+from repro.runtime.telemetry import (
+    FleetReport,
+    JobReport,
+    icap_busy_fraction,
+)
+
+
+@dataclass
+class ExecutorConfig:
+    """Tuning knobs of the serving loop (simulated-time units)."""
+
+    #: simulated time advanced per scheduling round
+    quantum_us: float = 25.0
+    #: hard budget of simulated time for one run; jobs still live at the
+    #: end fail with "runtime budget exhausted"
+    max_us: float = 100_000.0
+    #: consecutive idle polls (source exhausted, no new output words)
+    #: before a running job counts as complete
+    idle_streak: int = 3
+    allow_preemption: bool = True
+
+    def __post_init__(self) -> None:
+        if self.quantum_us <= 0 or self.max_us <= 0:
+            raise JobError("quantum_us and max_us must be positive")
+        if self.idle_streak < 1:
+            raise JobError("idle_streak must be >= 1")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExecutorConfig":
+        allowed = {"quantum_us", "max_us", "idle_streak", "allow_preemption"}
+        unknown = set(data) - allowed
+        if unknown:
+            raise JobError(f"unknown executor keys {sorted(unknown)}")
+        return cls(**data)
+
+
+class JobExecutor:
+    """Multi-tenant serving loop over one simulated VAPRES system."""
+
+    def __init__(
+        self,
+        params: Optional[SystemParameters] = None,
+        config: Optional[ExecutorConfig] = None,
+        shard: int = 0,
+    ) -> None:
+        self.params = params or SystemParameters.prototype()
+        self.config = config or ExecutorConfig()
+        self.shard = shard
+        self.system = VapresSystem(self.params)
+        self.scheduler = ReconfigScheduler(self.system.engine)
+        self.switcher = ModuleSwitcher(self.system)
+        self.admission = AdmissionController(
+            self.params,
+            floorplan=self.system.floorplan,
+            allow_preemption=self.config.allow_preemption,
+        )
+        self.preemptions = 0
+        self._jobs: List[Job] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def _now_us(self) -> float:
+        return self.system.sim.now / 1e6
+
+    def _resident_jobs(self) -> List[Job]:
+        return [
+            job for job in self._jobs
+            if job.state in (
+                JobState.ADMITTED, JobState.PLACING, JobState.RUNNING,
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    # the event loop
+    # ------------------------------------------------------------------
+    def run(self, specs: Sequence[StreamJob]) -> FleetReport:
+        """Serve ``specs`` to completion; returns the run's telemetry."""
+        started_wall = time.perf_counter()
+        self._jobs = [Job(spec, index=i) for i, spec in enumerate(specs)]
+        self.system.start()
+        for job in self._jobs:
+            result = self.admission.enqueue(job, self._now_us)
+            if result.decision is AdmissionDecision.REJECT:
+                job.fail(f"rejected at admission: {result.reason}",
+                         self._now_us)
+        while True:
+            self._admit()
+            self._progress_placements()
+            self._poll_running()
+            if all(job.terminal for job in self._jobs):
+                break
+            if self._now_us > self.config.max_us:
+                for job in self._jobs:
+                    if not job.terminal:
+                        self._teardown(job)
+                        self.admission.release(job)
+                        job.fail("runtime budget exhausted", self._now_us)
+                break
+            self.system.run_for_us(self.config.quantum_us)
+        return self._report(time.perf_counter() - started_wall)
+
+    # ------------------------------------------------------------------
+    # admission + preemption
+    # ------------------------------------------------------------------
+    def _admit(self) -> None:
+        stalled_preemptions = 0
+        while True:
+            pick = self.admission.next_decision(
+                self._now_us, self._resident_jobs()
+            )
+            if pick is None:
+                return
+            job, result = pick
+            if result.decision is AdmissionDecision.PREEMPT:
+                if stalled_preemptions > len(self._jobs):
+                    return  # defensive: no progress possible
+                for victim in result.victims:
+                    self._evict(victim, evicted_by=job)
+                stalled_preemptions += 1
+                continue
+            assert result.assignment is not None
+            self.admission.occupy(job, result.assignment)
+            job.assignment = result.assignment
+            job.transition(JobState.ADMITTED, self._now_us)
+            self._start_placement(job)
+
+    def _evict(self, victim: Job, evicted_by: Job) -> None:
+        """Preempt ``victim`` through the Figure-5 drain path."""
+        self.preemptions += 1
+        reason = (
+            f"evicted by higher-priority job {evicted_by.spec.name!r}"
+        )
+        if victim.state is JobState.RUNNING:
+            report = self.system.microblaze.run_to_completion(
+                self._eviction_software(victim),
+                f"{victim.spec.name}-evict",
+            )
+            victim.drained = True
+            victim.state_words = list(report.state_words)
+            victim.words_lost += report.words_lost
+            victim.words_out = len(victim.iom.received)
+            victim.receive_times = list(victim.iom.receive_times)
+        else:
+            # not streaming yet: cancel queued ICAP work, keep started
+            # transfers (a partial write cannot be abandoned mid-frame)
+            for request in victim.requests:
+                self.scheduler.cancel(request)
+        self.admission.release(victim)
+        victim.evictions += 1
+        self.system.sim.log(
+            "runtime",
+            f"job {victim.spec.name} evicted "
+            f"(priority {victim.spec.priority} < "
+            f"{evicted_by.spec.priority})",
+        )
+        if victim.spec.requeue_on_eviction:
+            victim.reset_for_requeue()
+            victim.transition(JobState.QUEUED, self._now_us)
+            self.admission.enqueue(victim, self._now_us)
+        else:
+            victim.failure_reason = reason
+            victim.transition(JobState.EVICTED, self._now_us)
+
+    def _eviction_software(self, victim: Job) -> Generator:
+        """MicroBlaze software evicting a running job's chain.
+
+        Upstream stages are released cold (their in-flight words are
+        already lost to the preemption); the final stage drains through
+        the Figure-5 protocol so its state registers survive for a
+        later resume and the EOS handshake confirms the stream is quiet
+        before the PRR powers down.
+        """
+        assignment = victim.assignment
+        api = self.system.api
+        iom_slot = self.system.slot(assignment.iom)
+        prrs = assignment.prrs
+        # stop the source, then strip the upstream part of the chain
+        yield from api.vapres_fifo_control(iom_slot.module_id, ren=False)
+        lost = 0
+        for index in range(len(prrs) - 1):
+            channel = victim.channels[index]
+            lost += yield from api.vapres_release_channel(channel)
+            slot = self.system.slot(prrs[index])
+            yield from api.vapres_module_clock(slot.module_id, False)
+            yield from api.vapres_fifo_reset(slot.module_id)
+        upstream = prrs[-2] if len(prrs) > 1 else assignment.iom
+        report = yield from self.switcher.drain(
+            prrs[-1],
+            upstream_slot=upstream,
+            downstream_slot=assignment.iom,
+            input_channel=victim.channels[len(prrs) - 1],
+            output_channel=victim.channels[len(prrs)],
+            pause_upstream=len(prrs) == 1,
+        )
+        report.words_lost += lost
+        return report
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def _start_placement(self, job: Job) -> None:
+        job.transition(JobState.PLACING, self._now_us)
+        job.attempts += 1
+        spec = job.spec
+        job.module_names = [
+            f"{spec.name}/{i}.{stage.kind}"
+            for i, stage in enumerate(spec.stages)
+        ]
+        try:
+            job.requests = []
+            for name, stage, prr in zip(
+                job.module_names, spec.stages, job.assignment.prrs
+            ):
+                self.system.register_module(
+                    name,
+                    lambda stage=stage, name=name: stage.build(name),
+                    prr_names=[prr],
+                )
+                if (
+                    spec.reconfig_path == "array2icap"
+                    and not self.system.repository.is_preloaded(name, prr)
+                ):
+                    self.system.repository.preload_to_sdram(name, prr)
+                job.requests.append(
+                    self.scheduler.submit(name, prr, path=spec.reconfig_path)
+                )
+        except Exception as exc:  # noqa: BLE001 - config errors are fatal
+            self.admission.release(job)
+            job.fail(f"placement setup failed: {exc}", self._now_us)
+
+    def _progress_placements(self) -> None:
+        for job in self._jobs:
+            if job.state is not JobState.PLACING:
+                continue
+            if self._now_us < job.next_attempt_us:
+                continue
+            if job.placed or all(r.done for r in job.requests):
+                job.placed = True
+                self._activate(job)
+
+    def _activate(self, job: Job) -> None:
+        """All stages resident: connect the stream and go RUNNING."""
+        spec = job.spec
+        assignment = job.assignment
+        iom = Iom(f"{spec.name}.io",
+                  source=spec.source.build(default_seed=spec.seed))
+        self.system.attach_iom(assignment.iom, iom)
+        job.iom = iom
+        channels, ok = self.system.microblaze.run_to_completion(
+            self._setup_software(job), f"{spec.name}-setup"
+        )
+        if not ok:
+            # lane contention: another tenant holds the segment; back off
+            self.system.microblaze.run_to_completion(
+                self._release_software(channels), f"{spec.name}-unwind"
+            )
+            if job.attempts >= spec.retry.max_attempts:
+                self._teardown(job)
+                self.admission.release(job)
+                job.fail(
+                    f"no switch-box lanes after {job.attempts} attempts",
+                    self._now_us,
+                )
+                return
+            job.next_attempt_us = (
+                self._now_us + spec.retry.backoff_for(job.attempts)
+            )
+            job.attempts += 1
+            self.system.sim.log(
+                "runtime",
+                f"job {spec.name} placement retry at "
+                f"{job.next_attempt_us:.1f}us",
+            )
+            return
+        job.channels = channels
+        job.transition(JobState.RUNNING, self._now_us)
+        job.last_rx = 0
+        job.stable_polls = 0
+
+    def _setup_software(self, job: Job) -> Generator:
+        """Open the job's channel chain via the Table-2 API."""
+        api = self.system.api
+        assignment = job.assignment
+        chain = assignment.chain
+        channels = []
+        for src, dst in zip(chain, chain[1:]):
+            channel = yield from api.vapres_establish_channel(None, src, dst)
+            if channel is None:
+                return channels, False
+            channels.append(channel)
+        if job.spec.lcd_select is not None:
+            for prr in assignment.prrs:
+                slot = self.system.slot(prr)
+                yield from api.vapres_module_clock_select(
+                    slot.module_id, job.spec.lcd_select
+                )
+        return channels, True
+
+    def _release_software(self, channels) -> Generator:
+        api = self.system.api
+        for channel in channels:
+            yield from api.vapres_release_channel(channel)
+        return None
+
+    # ------------------------------------------------------------------
+    # completion
+    # ------------------------------------------------------------------
+    def _poll_running(self) -> None:
+        for job in self._jobs:
+            if job.state is not JobState.RUNNING:
+                continue
+            received = len(job.iom.received)
+            if job.iom.source_exhausted and received == job.last_rx:
+                job.stable_polls += 1
+            else:
+                job.stable_polls = 0
+            job.last_rx = received
+            deadline = job.spec.deadline_us
+            if job.stable_polls >= self.config.idle_streak:
+                self._complete(job)
+            elif (
+                deadline is not None
+                and self._now_us > job.spec.arrival_us + deadline
+            ):
+                job.words_out = received
+                job.receive_times = list(job.iom.receive_times)
+                self._teardown(job)
+                self.admission.release(job)
+                job.fail(
+                    f"deadline of {deadline}us exceeded", self._now_us
+                )
+
+    def _complete(self, job: Job) -> None:
+        job.transition(JobState.DRAINING, self._now_us)
+        job.words_out = len(job.iom.received)
+        job.receive_times = list(job.iom.receive_times)
+        self._teardown(job)
+        self.admission.release(job)
+        job.transition(JobState.DONE, self._now_us)
+
+    def _teardown(self, job: Job) -> None:
+        """Release channels and power down the job's stages (no drain)."""
+        for channel in job.channels:
+            try:
+                job.words_lost += self.system.close_stream(channel)
+            except Exception:  # noqa: BLE001 - already released
+                pass
+        job.channels = []
+        if job.assignment is not None:
+            for prr in job.assignment.prrs:
+                slot = self.system.slot(prr)
+                if getattr(slot, "module", None) is not None:
+                    slot.bufr.set_enabled(False)
+
+    # ------------------------------------------------------------------
+    def _report(self, wall_seconds: float) -> FleetReport:
+        period = 1.0 / self.system.system_clock.frequency_hz
+        reports = []
+        for job in self._jobs:
+            sel = job.spec.lcd_select or 0
+            divisor = self.params.lcd_divisors[sel]
+            reports.append(
+                JobReport.from_job(
+                    job,
+                    shard=self.shard,
+                    nominal_period_s=period * divisor,
+                )
+            )
+        return FleetReport(
+            mode="colocate",
+            workers=1,
+            jobs=reports,
+            wall_seconds=wall_seconds,
+            sim_us=self._now_us,
+            icap_busy_fraction=icap_busy_fraction(self.system),
+            preemptions=self.preemptions,
+        )
+
+
+# ----------------------------------------------------------------------
+# fleet execution
+# ----------------------------------------------------------------------
+@dataclass
+class _ShardResult:
+    reports: List[JobReport] = field(default_factory=list)
+    sim_us: float = 0.0
+    icap_busy: float = 0.0
+    preemptions: int = 0
+
+
+def _run_shard(payload) -> _ShardResult:
+    """Worker entry point: run each assigned job single-tenant."""
+    shard_index, params, config, items = payload
+    result = _ShardResult()
+    for original_index, spec in items:
+        executor = JobExecutor(
+            params=params, config=config, shard=shard_index
+        )
+        run = executor.run([spec])
+        report = run.jobs[0]
+        report.index = original_index
+        report.shard = shard_index
+        result.reports.append(report)
+        result.sim_us += run.sim_us
+        result.icap_busy = max(result.icap_busy, run.icap_busy_fraction)
+        result.preemptions += run.preemptions
+    return result
+
+
+class FleetExecutor:
+    """Shards independent jobs over N worker processes.
+
+    Each worker serves its jobs sequentially, one fresh simulated VAPRES
+    instance per job, so a job's outputs depend only on its own spec --
+    the determinism contract behind ``workers=1`` and ``workers=4``
+    producing identical results.  ``use_processes=False`` runs the same
+    sharding in-process (useful for tests and tiny batches).
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        params: Optional[SystemParameters] = None,
+        config: Optional[ExecutorConfig] = None,
+        use_processes: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise JobError("workers must be >= 1")
+        self.workers = workers
+        self.params = params or SystemParameters.prototype()
+        self.config = config or ExecutorConfig()
+        self.use_processes = use_processes
+
+    # ------------------------------------------------------------------
+    def shard(
+        self, specs: Sequence[StreamJob]
+    ) -> List[List[Tuple[int, StreamJob]]]:
+        """Deterministic round-robin partition, submission order kept."""
+        count = max(1, min(self.workers, len(specs)))
+        shards: List[List[Tuple[int, StreamJob]]] = [
+            [] for _ in range(count)
+        ]
+        for index, spec in enumerate(specs):
+            shards[index % count].append((index, spec))
+        return shards
+
+    def run(self, specs: Sequence[StreamJob]) -> FleetReport:
+        names = [spec.name for spec in specs]
+        if len(names) != len(set(names)):
+            raise JobError("fleet job names must be unique")
+        started = time.perf_counter()
+        shards = self.shard(specs)
+        payloads = [
+            (index, self.params, self.config, shard)
+            for index, shard in enumerate(shards)
+        ]
+        if len(payloads) == 1 or not self.use_processes:
+            results = [_run_shard(payload) for payload in payloads]
+        else:
+            results = self._run_in_processes(payloads)
+        reports = sorted(
+            (report for result in results for report in result.reports),
+            key=lambda report: report.index,
+        )
+        return FleetReport(
+            mode="fleet",
+            workers=len(payloads),
+            jobs=reports,
+            wall_seconds=time.perf_counter() - started,
+            sim_us=max((r.sim_us for r in results), default=0.0),
+            icap_busy_fraction=max(
+                (r.icap_busy for r in results), default=0.0
+            ),
+            preemptions=sum(r.preemptions for r in results),
+        )
+
+    def _run_in_processes(self, payloads) -> List[_ShardResult]:
+        methods = multiprocessing.get_all_start_methods()
+        method = "fork" if "fork" in methods else "spawn"
+        context = multiprocessing.get_context(method)
+        with context.Pool(processes=len(payloads)) as pool:
+            return pool.map(_run_shard, payloads)

@@ -1,0 +1,198 @@
+"""Per-job and per-fleet serving telemetry.
+
+Every job's lifecycle yields one :class:`JobReport` (queue wait,
+placement latency, throughput, output-stream continuity via
+:mod:`repro.analysis.metrics`, eviction/retry counts); a run of the
+executor aggregates them into a :class:`FleetReport` with fleet-level
+counters (jobs by final state, aggregate throughput, ICAP busy
+fraction, wall-clock).  Both are plain data -- picklable across fleet
+worker processes and exportable as JSON by ``python -m repro serve``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.metrics import interruption_report
+
+
+@dataclass
+class JobReport:
+    """Final telemetry of one stream job."""
+
+    name: str
+    index: int = 0
+    shard: int = 0
+    state: str = "QUEUED"
+    priority: int = 0
+    stages: int = 0
+    words_in: int = 0
+    words_out: int = 0
+    #: simulated-time phases, microseconds
+    queue_wait_us: float = 0.0
+    placement_us: float = 0.0
+    run_us: float = 0.0
+    #: output-stream continuity (analysis.metrics over IOM timestamps)
+    throughput_words_per_s: float = 0.0
+    max_gap_us: float = 0.0
+    mean_gap_us: float = 0.0
+    interrupted: bool = False
+    #: resilience counters
+    attempts: int = 0
+    evictions: int = 0
+    drained: bool = False
+    words_lost: int = 0
+    state_words: int = 0
+    failure_reason: str = ""
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @classmethod
+    def from_job(
+        cls,
+        job,
+        shard: int = 0,
+        nominal_period_s: float = 1e-8,
+    ) -> "JobReport":
+        """Distill a finished runtime job into its report."""
+        spec = job.spec
+        queue_wait = 0.0
+        if job.admitted_us is not None and job.enqueued_us is not None:
+            queue_wait = max(0.0, job.admitted_us - job.enqueued_us)
+        placement = 0.0
+        if job.running_us is not None and job.admitted_us is not None:
+            placement = max(0.0, job.running_us - job.admitted_us)
+        run_us = 0.0
+        if job.finished_us is not None and job.running_us is not None:
+            run_us = max(0.0, job.finished_us - job.running_us)
+        stats = interruption_report(
+            job.receive_times,
+            nominal_period_s,
+            interrupted_factor=spec.slo_gap_factor,
+        )
+        throughput = 0.0
+        if run_us > 0:
+            throughput = job.words_out / (run_us / 1e6)
+        return cls(
+            name=spec.name,
+            index=job.index,
+            shard=shard,
+            state=job.state.value,
+            priority=spec.priority,
+            stages=len(spec.stages),
+            words_in=spec.source.count,
+            words_out=job.words_out,
+            queue_wait_us=queue_wait,
+            placement_us=placement,
+            run_us=run_us,
+            throughput_words_per_s=throughput,
+            max_gap_us=stats.max_gap_s * 1e6,
+            mean_gap_us=stats.mean_gap_s * 1e6,
+            interrupted=stats.interrupted,
+            attempts=job.attempts,
+            evictions=job.evictions,
+            drained=job.drained,
+            words_lost=job.words_lost,
+            state_words=len(job.state_words),
+            failure_reason=job.failure_reason,
+        )
+
+
+def icap_busy_fraction(system) -> float:
+    """Fraction of elapsed simulated time the ICAP spent transferring."""
+    now = system.sim.now
+    if now <= 0:
+        return 0.0
+    busy = 0
+    for transfer in system.icap.history:
+        end = transfer.end_ps if transfer.done else now
+        busy += max(0, min(end, now) - transfer.start_ps)
+    return min(1.0, busy / now)
+
+
+@dataclass
+class FleetReport:
+    """Aggregate outcome of one executor run (fleet or colocated)."""
+
+    mode: str = "fleet"
+    workers: int = 1
+    jobs: List[JobReport] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    sim_us: float = 0.0
+    icap_busy_fraction: float = 0.0
+    preemptions: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def states(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for job in self.jobs:
+            counts[job.state] = counts.get(job.state, 0) + 1
+        return counts
+
+    @property
+    def ok(self) -> bool:
+        """True when no job failed (evictions are policy, not failure)."""
+        return all(job.state != "FAILED" for job in self.jobs)
+
+    @property
+    def aggregate_throughput_words_per_s(self) -> float:
+        return sum(j.throughput_words_per_s for j in self.jobs)
+
+    def job(self, name: str) -> Optional[JobReport]:
+        for report in self.jobs:
+            if report.name == name:
+                return report
+        return None
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "mode": self.mode,
+            "workers": self.workers,
+            "wall_seconds": self.wall_seconds,
+            "sim_us": self.sim_us,
+            "icap_busy_fraction": self.icap_busy_fraction,
+            "preemptions": self.preemptions,
+            "states": self.states,
+            "aggregate_throughput_words_per_s":
+                self.aggregate_throughput_words_per_s,
+            "jobs": [job.to_dict() for job in self.jobs],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render_text(self) -> str:
+        lines = [
+            f"fleet: mode={self.mode} workers={self.workers} "
+            f"jobs={len(self.jobs)} wall={self.wall_seconds:.2f}s "
+            f"sim={self.sim_us:.1f}us "
+            f"icap_busy={self.icap_busy_fraction * 100:.1f}% "
+            f"preemptions={self.preemptions}",
+            "states: " + ", ".join(
+                f"{state}={count}" for state, count in sorted(self.states.items())
+            ),
+        ]
+        header = (
+            f"{'job':<16} {'state':<8} {'prio':>4} {'words':>7} "
+            f"{'wait_us':>9} {'place_us':>9} {'thru_w/s':>12} "
+            f"{'max_gap_us':>11} {'evt':>3} {'try':>3}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for job in self.jobs:
+            lines.append(
+                f"{job.name:<16} {job.state:<8} {job.priority:>4} "
+                f"{job.words_out:>7} {job.queue_wait_us:>9.1f} "
+                f"{job.placement_us:>9.1f} "
+                f"{job.throughput_words_per_s:>12.0f} "
+                f"{job.max_gap_us:>11.2f} {job.evictions:>3} "
+                f"{job.attempts:>3}"
+            )
+            if job.failure_reason:
+                lines.append(f"    failure: {job.failure_reason}")
+        return "\n".join(lines)

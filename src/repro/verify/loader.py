@@ -77,6 +77,17 @@ PRESETS = {
 }
 
 
+def build_params(spec: Dict) -> SystemParameters:
+    """Resolve the architectural-parameter part of a spec dict.
+
+    Shared by the sysdef loader and the runtime's jobfile loader: a
+    ``"preset"`` name, or explicit ``"rsbs"`` entries, plus top-level
+    overrides (``name``, ``board``, ``system_clock_hz``, ``pr_speedup``,
+    ``lcd_divisors``).
+    """
+    return _build_params(spec)
+
+
 def _build_params(spec: Dict) -> SystemParameters:
     preset = spec.get("preset")
     if preset is not None:

@@ -53,3 +53,35 @@ def test_gap_histogram():
     histogram = gap_histogram(times, bucket_s=1e-6)
     assert histogram[1] == 2
     assert histogram[3] == 1
+
+
+def test_interrupted_factor_default_is_ten_periods():
+    # a 9-period gap is under the 10x default; 11 periods is over
+    times = [0, PS, 10 * PS]  # 9-period gap
+    report = interruption_report(times, nominal_period_s=1e-6)
+    assert report.interrupted_factor == 10.0
+    assert not report.interrupted
+    report = interruption_report([0, PS, 12 * PS], nominal_period_s=1e-6)
+    assert report.interrupted
+
+
+def test_interrupted_factor_tightened():
+    """A strict SLO flags gaps the default factor tolerates."""
+    times = [0, PS, 5 * PS]  # 4-period gap
+    lenient = interruption_report(times, nominal_period_s=1e-6)
+    strict = interruption_report(
+        times, nominal_period_s=1e-6, interrupted_factor=3.0
+    )
+    assert not lenient.interrupted
+    assert strict.interrupted
+    assert strict.max_gap_s == lenient.max_gap_s  # only the verdict moves
+
+
+def test_interrupted_factor_loosened():
+    """A relaxed SLO forgives a stall the default factor flags."""
+    times = [0, PS, 2 * PS, 200 * PS, 201 * PS]  # 198-period stall
+    report = interruption_report(
+        times, nominal_period_s=1e-6, interrupted_factor=500.0
+    )
+    assert report.interrupted_factor == 500.0
+    assert not report.interrupted

@@ -165,3 +165,77 @@ def test_report_describe_readable():
     assert "step 9" in text
     assert "filterB" in text
     assert report.duration_seconds > 0
+
+
+# ----------------------------------------------------------------------
+# drain (eviction variant of the Figure-5 path) and step observers
+# ----------------------------------------------------------------------
+def run_drain(system, ch_in, ch_out, **overrides):
+    switcher = ModuleSwitcher(system)
+    kwargs = dict(
+        prr="rsb0.prr0",
+        upstream_slot="rsb0.iom0",
+        downstream_slot="rsb0.iom0",
+        input_channel=ch_in,
+        output_channel=ch_out,
+    )
+    kwargs.update(overrides)
+    return switcher, system.microblaze.run_to_completion(
+        switcher.drain(**kwargs), "drain"
+    )
+
+
+def test_drain_flushes_and_powers_down():
+    system, iom, filter_a, ch_in, ch_out = make_scenario()
+    system.start()
+    system.run_for_us(20)
+    words_before = len(iom.received)
+    _, report = run_drain(system, ch_in, ch_out)
+    assert report.prr == "rsb0.prr0"
+    assert report.words_lost == 0
+    assert len(iom.received) >= words_before  # buffered words delivered
+    assert filter_a.halted
+    assert not system.prr("rsb0.prr0").bufr.enabled
+    assert report.duration_seconds > 0
+
+
+def test_drain_captures_state_words():
+    system, iom, _, ch_in, ch_out = make_scenario()
+    system.start()
+    system.run_for_us(20)
+    _, report = run_drain(system, ch_in, ch_out)
+    # MovingAverage checkpoints its window; count matches the module's
+    assert len(report.state_words) == MovingAverage("tmp", window=4).state_word_count
+
+
+def test_drain_requires_resident_module():
+    system, *_ = make_scenario()
+    switcher = ModuleSwitcher(system)
+    with pytest.raises(ValueError, match="no module to drain"):
+        next(switcher.drain(
+            "rsb0.prr1",  # empty PRR
+            upstream_slot="rsb0.iom0",
+            downstream_slot="rsb0.iom0",
+            input_channel=None,
+            output_channel=None,
+        ))
+
+
+def test_step_observers_fire_for_switch_and_drain():
+    system, iom, _, ch_in, ch_out = make_scenario()
+    system.start()
+    system.run_for_us(20)
+    seen = []
+    switcher = ModuleSwitcher(system)
+    switcher.on_step.append(lambda step, when, text: seen.append(step))
+    system.microblaze.run_to_completion(
+        switcher.drain(
+            "rsb0.prr0",
+            upstream_slot="rsb0.iom0",
+            downstream_slot="rsb0.iom0",
+            input_channel=ch_in,
+            output_channel=ch_out,
+        ),
+        "drain",
+    )
+    assert seen == [4, 5, 6, 8, 9]

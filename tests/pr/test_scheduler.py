@@ -76,3 +76,54 @@ def test_cf_path_supported():
     system.sim.run()
     assert request.done
     assert request.transfer.duration_seconds > 0
+
+
+def test_cancel_queued_request():
+    """A queued request can be cancelled before the ICAP reaches it."""
+    system, scheduler = make_scheduler()
+    first = scheduler.submit("a", "rsb0.prr0")
+    second = scheduler.submit("b", "rsb0.prr1")
+    assert scheduler.cancel(second)
+    assert second.cancelled
+    assert not second.started
+    system.sim.run()
+    assert first.done
+    assert not second.done
+    assert [r.module_name for r in scheduler.completed] == ["a"]
+    assert system.prr("rsb0.prr1").module is None
+
+
+def test_cancel_preserves_fifo_order():
+    """Cancelling a middle request must not reorder the survivors."""
+    system, scheduler = make_scheduler()
+    scheduler.submit("a", "rsb0.prr0")
+    victim = scheduler.submit("b", "rsb0.prr1")
+    scheduler.submit("c", "rsb0.prr0")
+    scheduler.submit("a", "rsb0.prr1")
+    assert scheduler.cancel(victim)
+    system.sim.run()
+    assert [r.module_name for r in scheduler.completed] == ["a", "c", "a"]
+    # ICAP transfers back-to-back, still strictly serialised
+    for earlier, later in zip(system.icap.history, system.icap.history[1:]):
+        assert later.start_ps >= earlier.end_ps
+
+
+def test_cancel_after_start_rejected():
+    """A request already writing through the ICAP cannot be abandoned."""
+    system, scheduler = make_scheduler()
+    active = scheduler.submit("a", "rsb0.prr0")
+    assert active.started
+    assert not scheduler.cancel(active)
+    assert not active.cancelled
+    system.sim.run()
+    assert active.done
+    # done and double-cancel are equally rejected
+    assert not scheduler.cancel(active)
+
+
+def test_cancel_unknown_request_rejected():
+    from repro.pr.scheduler import ScheduledReconfig
+
+    _, scheduler = make_scheduler()
+    foreign = ScheduledReconfig("a", "rsb0.prr0", "array2icap")
+    assert not scheduler.cancel(foreign)

@@ -1,0 +1,211 @@
+"""Unit tests for the admission controller: feasibility, budgets,
+priority queueing, backfill and preemption planning."""
+
+import pytest
+
+from repro.core.params import SystemParameters
+from repro.runtime.admission import AdmissionController, AdmissionDecision
+from repro.runtime.jobs import Job, JobState, StageSpec, StreamJob
+
+
+def make_controller(preset="prototype", **kwargs):
+    params = getattr(SystemParameters, preset)()
+    return AdmissionController(params, **kwargs)
+
+
+def make_job(name, stages=1, index=0, **spec_kwargs):
+    spec = StreamJob(
+        name=name,
+        stages=[StageSpec("passthrough") for _ in range(stages)],
+        **spec_kwargs,
+    )
+    return Job(spec, index=index)
+
+
+def admit(controller, job, now=0.0):
+    """enqueue + next_decision + occupy, as the executor would."""
+    result = controller.enqueue(job, now)
+    assert result.decision is AdmissionDecision.QUEUE
+    pick = controller.next_decision(now, [])
+    assert pick is not None and pick[0] is job
+    controller.occupy(job, pick[1].assignment)
+    job.assignment = pick[1].assignment
+    job.transition(JobState.ADMITTED, now)
+    return pick[1].assignment
+
+
+# ----------------------------------------------------------------------
+# feasibility (REJECT at enqueue)
+# ----------------------------------------------------------------------
+def test_rejects_job_with_more_stages_than_prrs():
+    controller = make_controller()  # prototype: 2 PRRs
+    result = controller.enqueue(make_job("big", stages=3))
+    assert result.decision is AdmissionDecision.REJECT
+    assert "3 PRRs" in result.reason
+
+
+def test_rejects_unknown_slots():
+    controller = make_controller()
+    result = controller.enqueue(
+        make_job("ghost", prrs=["rsb9.prr9"], iom=None)
+    )
+    assert result.decision is AdmissionDecision.REJECT
+    assert "unknown PRR" in result.reason
+    result = controller.enqueue(make_job("ghost2", iom="rsb9.iom0"))
+    assert "unknown IOM" in result.reason
+
+
+def test_rejects_oversized_stage_demand():
+    controller = make_controller()
+    result = controller.enqueue(make_job("huge", slices_per_stage=10_000_000))
+    assert result.decision is AdmissionDecision.REJECT
+
+
+# ----------------------------------------------------------------------
+# assignment
+# ----------------------------------------------------------------------
+def test_assigns_nearest_free_prr_and_iom():
+    controller = make_controller()
+    assignment = admit(controller, make_job("a"))
+    assert assignment.iom == "rsb0.iom0"
+    assert assignment.prrs == ["rsb0.prr0"]  # position 1, next to the IOM
+    assert assignment.chain == ["rsb0.iom0", "rsb0.prr0", "rsb0.iom0"]
+
+
+def test_honours_explicit_placement():
+    controller = make_controller()
+    assignment = admit(
+        controller, make_job("pinned", prrs=["rsb0.prr1"], iom="rsb0.iom0")
+    )
+    assert assignment.prrs == ["rsb0.prr1"]
+
+
+def test_multi_stage_chain_spans_prrs():
+    controller = make_controller()
+    assignment = admit(controller, make_job("chain", stages=2))
+    assert assignment.prrs == ["rsb0.prr0", "rsb0.prr1"]
+    assert assignment.chain[0] == assignment.chain[-1] == "rsb0.iom0"
+
+
+def test_queue_blocks_when_iom_busy_and_frees_on_release():
+    controller = make_controller()  # prototype has a single IOM
+    first = make_job("first")
+    admit(controller, first)
+    second = make_job("second", index=1)
+    controller.enqueue(second)
+    assert controller.next_decision(0.0, [first]) is None
+    controller.release(first)
+    pick = controller.next_decision(0.0, [])
+    assert pick is not None and pick[0] is second
+
+
+def test_arrival_time_gates_admission():
+    controller = make_controller()
+    late = make_job("late", arrival_us=100.0)
+    controller.enqueue(late, 0.0)
+    assert controller.next_decision(50.0, []) is None
+    assert controller.next_decision(150.0, []) is not None
+
+
+def test_priority_orders_queue_and_backfill():
+    controller = make_controller(preset="figure7")
+    blocker_hi = make_job("hi", stages=4, priority=9)  # wants all 4 PRRs
+    resident = make_job("res", index=1)
+    admit(controller, resident)  # occupies one PRR + one IOM
+    controller.enqueue(blocker_hi)
+    small_lo = make_job("lo", index=2, priority=1)
+    controller.enqueue(small_lo)
+    # head-of-line high-priority job cannot fit; the small job backfills
+    pick = controller.next_decision(0.0, [resident])
+    assert pick is not None
+    assert pick[0] is small_lo
+    assert pick[1].decision is AdmissionDecision.ADMIT
+
+
+# ----------------------------------------------------------------------
+# preemption planning
+# ----------------------------------------------------------------------
+def test_preemption_names_lower_priority_victims():
+    controller = make_controller()  # single IOM forces the conflict
+    victim = make_job("victim", priority=1)
+    admit(controller, victim)
+    victim.transition(JobState.PLACING, 0.0)
+    victim.transition(JobState.RUNNING, 0.0)
+    urgent = make_job("urgent", index=1, priority=5)
+    controller.enqueue(urgent)
+    pick = controller.next_decision(1.0, [victim])
+    assert pick is not None
+    job, result = pick
+    assert job is urgent
+    assert result.decision is AdmissionDecision.PREEMPT
+    assert result.victims == [victim]
+    # after the executor evicts+releases, the urgent job admits
+    controller.release(victim)
+    pick = controller.next_decision(1.0, [])
+    assert pick[0] is urgent
+    assert pick[1].decision is AdmissionDecision.ADMIT
+
+
+def test_no_preemption_of_equal_or_higher_priority():
+    controller = make_controller()
+    resident = make_job("resident", priority=5)
+    admit(controller, resident)
+    rival = make_job("rival", index=1, priority=5)
+    controller.enqueue(rival)
+    assert controller.next_decision(0.0, [resident]) is None
+
+
+def test_unpreemptible_jobs_are_safe():
+    controller = make_controller()
+    shielded = make_job("shielded", priority=0, preemptible=False)
+    admit(controller, shielded)
+    urgent = make_job("urgent", index=1, priority=9)
+    controller.enqueue(urgent)
+    assert controller.next_decision(0.0, [shielded]) is None
+
+
+def test_preemption_disabled_by_flag():
+    controller = make_controller(allow_preemption=False)
+    victim = make_job("victim", priority=1)
+    admit(controller, victim)
+    urgent = make_job("urgent", index=1, priority=5)
+    controller.enqueue(urgent)
+    assert controller.next_decision(0.0, [victim]) is None
+
+
+def test_victim_set_is_minimal():
+    controller = make_controller(preset="figure7")  # 2 IOMs
+    old = make_job("old", priority=1)
+    admit(controller, old, now=0.0)
+    young = make_job("young", index=1, priority=2)
+    admit(controller, young, now=5.0)
+    urgent = make_job("urgent", index=2, priority=9)
+    controller.enqueue(urgent, 10.0)
+    pick = controller.next_decision(10.0, [old, young])
+    assert pick is not None
+    _, result = pick
+    assert result.decision is AdmissionDecision.PREEMPT
+    assert len(result.victims) == 1  # one freed IOM suffices
+    assert result.victims[0] is old  # lowest priority goes first
+
+
+# ----------------------------------------------------------------------
+# budget accounting
+# ----------------------------------------------------------------------
+def test_release_returns_resources():
+    controller = make_controller()
+    job = make_job("cycle")
+    for _ in range(3):  # admit/release must not leak lanes or slots
+        assignment = admit(controller, job)
+        assert assignment is not None
+        controller.release(job)
+        job = Job(job.spec, index=job.index)  # fresh lifecycle
+
+def test_used_vector_tracks_residency():
+    controller = make_controller()
+    before = controller.used.slices
+    job = make_job("acct", slices_per_stage=100)
+    admit(controller, job)
+    assert controller.used.slices == before + 100
+    controller.release(job)
+    assert controller.used.slices == before

@@ -1,0 +1,71 @@
+"""CLI tests for ``python -m repro serve``."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture()
+def tiny_jobfile(tmp_path):
+    path = tmp_path / "tiny.json"
+    path.write_text(json.dumps({
+        "system": {"preset": "prototype", "pr_speedup": 20000.0},
+        "mode": "fleet",
+        "executor": {"quantum_us": 10.0, "max_us": 5000.0},
+        "jobs": [
+            {"name": "a", "source": {"kind": "ramp", "count": 60}},
+            {"name": "b", "stages": ["abs"],
+             "source": {"kind": "sine", "count": 80}},
+        ],
+    }))
+    return str(path)
+
+
+def test_serve_text_report(tiny_jobfile, capsys):
+    assert main(["serve", tiny_jobfile]) == 0
+    out = capsys.readouterr().out
+    assert "mode=fleet" in out
+    assert "DONE=2" in out
+
+
+def test_serve_json_report(tiny_jobfile, capsys):
+    assert main(["serve", tiny_jobfile, "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["states"] == {"DONE": 2}
+    names = [job["name"] for job in report["jobs"]]
+    assert names == ["a", "b"]
+    assert all(job["throughput_words_per_s"] > 0 for job in report["jobs"])
+    assert all(job["max_gap_us"] >= 0 for job in report["jobs"])
+
+
+def test_serve_saves_report(tiny_jobfile, tmp_path, capsys):
+    out_path = tmp_path / "report.json"
+    assert main(["serve", tiny_jobfile, "--output", str(out_path)]) == 0
+    saved = json.loads(out_path.read_text())
+    assert saved["states"] == {"DONE": 2}
+
+
+def test_serve_mode_and_workers_overrides(tiny_jobfile, capsys):
+    assert main(["serve", tiny_jobfile, "--mode", "colocate"]) == 0
+    assert "mode=colocate" in capsys.readouterr().out
+
+
+def test_serve_missing_jobfile_is_a_usage_error(capsys):
+    assert main(["serve", "no/such/file.json"]) == 2
+    assert "cannot load" in capsys.readouterr().err
+
+
+def test_serve_failed_job_sets_exit_code(tmp_path, capsys):
+    path = tmp_path / "fail.json"
+    path.write_text(json.dumps({
+        "system": {"preset": "prototype", "pr_speedup": 20000.0},
+        "executor": {"quantum_us": 10.0, "max_us": 5000.0},
+        "jobs": [
+            {"name": "rushed", "deadline_us": 30.0,
+             "source": {"kind": "ramp", "count": 500000}},
+        ],
+    }))
+    assert main(["serve", str(path)]) == 1
+    assert "deadline" in capsys.readouterr().out
