@@ -1,0 +1,106 @@
+"""Experiment OBS-OVERHEAD: tracing costs nothing when disabled.
+
+The observability layer (``repro.obs``) is wired through the simulation
+kernel's hot path: every ``Simulator.log`` call is a tracer instant and
+several components carry optional metric bindings.  Two properties make
+that acceptable:
+
+* **disabled-path overhead** -- with ``set_tracing(False)`` the
+  instrumented kernel must run a representative clocked workload within
+  5% of a baseline whose ``log``/tracer calls are replaced by no-ops
+  (i.e. the cost of the remaining flag checks is in the noise);
+* **bounded memory** -- with tracing enabled, the ring buffer holds at
+  most ``capacity`` events and counts evictions in ``dropped_events``,
+  so long-running simulations cannot grow without bound.
+
+``REPRO_OBS_BENCH_CYCLES`` scales the workload (CI smoke uses a small
+value).  Wall-clock comparisons use a min-of-repeats to damp scheduler
+noise.
+"""
+
+import os
+import time
+
+from repro.core import SystemParameters, VapresSystem
+from repro.modules import Iom, MovingAverage
+from repro.modules.sources import sine_wave
+from repro.sim.kernel import Simulator
+
+CYCLES = int(os.environ.get("REPRO_OBS_BENCH_CYCLES", "20000"))
+REPEATS = 5
+MAX_OVERHEAD = 0.05
+
+
+def _build_system() -> VapresSystem:
+    system = VapresSystem(SystemParameters.prototype())
+    iom = Iom("io", source=sine_wave(count=10 * CYCLES))
+    system.attach_iom("rsb0.iom0", iom)
+    system.place_module_directly(MovingAverage("flt", window=4), "rsb0.prr0")
+    system.open_stream("rsb0.iom0", "rsb0.prr0")
+    system.open_stream("rsb0.prr0", "rsb0.iom0")
+    return system
+
+
+def _timed_run(instrumented: bool) -> float:
+    """Seconds to run the workload; min of REPEATS fresh systems.
+
+    ``instrumented=True`` keeps the shipped code with tracing disabled;
+    ``instrumented=False`` additionally stubs out the log/tracer entry
+    points entirely, approximating a build without the obs layer.
+    """
+    best = float("inf")
+    for _ in range(REPEATS):
+        system = _build_system()
+        system.sim.set_tracing(False)
+        if not instrumented:
+            system.sim.log = lambda *args, **kwargs: None
+            system.sim.tracer.begin = lambda *args, **kwargs: None
+            system.sim.tracer.end = lambda *args, **kwargs: None
+            system.sim.tracer.end_if_open = lambda *args, **kwargs: False
+            system.sim.tracer.instant = lambda *args, **kwargs: None
+        started = time.perf_counter()
+        system.run_for_cycles(CYCLES)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_disabled_tracing_overhead(benchmark):
+    baseline = _timed_run(instrumented=False)
+    instrumented = benchmark(lambda: _timed_run(instrumented=True))
+    overhead = instrumented / baseline - 1.0
+    benchmark.extra_info["OBS-OVERHEAD:disabled_path"] = {
+        "baseline_s": baseline,
+        "instrumented_s": instrumented,
+        "relative_overhead": overhead,
+        "budget": MAX_OVERHEAD,
+    }
+    print(
+        f"\ndisabled-tracing overhead: base={baseline * 1e3:.1f}ms "
+        f"instrumented={instrumented * 1e3:.1f}ms "
+        f"({overhead * 100:+.2f}%, budget {MAX_OVERHEAD * 100:.0f}%)"
+    )
+    assert overhead < MAX_OVERHEAD, (
+        f"disabled tracing costs {overhead * 100:.1f}% "
+        f"(> {MAX_OVERHEAD * 100:.0f}% budget)"
+    )
+
+
+def test_bounded_trace_memory(benchmark):
+    capacity = 1024
+    events = 10 * capacity
+
+    def run() -> Simulator:
+        sim = Simulator(trace_capacity=capacity)
+        for index in range(events):
+            sim.log("bench", f"event {index}")
+        return sim
+
+    sim = benchmark(run)
+    assert len(sim.tracer.events) == capacity
+    assert sim.dropped_events >= events - capacity
+    benchmark.extra_info["OBS-OVERHEAD:bounded_memory"] = {
+        "capacity": capacity,
+        "logged": events,
+        "retained": len(sim.tracer.events),
+        "dropped": sim.dropped_events,
+    }

@@ -25,8 +25,15 @@ Commands
     VAPRES instance per job), ``colocate`` mode multi-tenants them on a
     single instance with admission control and priority preemption.
     Prints per-job and fleet telemetry; ``--json`` emits the report as
-    JSON, ``--output`` saves it.  Exit code is non-zero when any job
-    ends FAILED.
+    JSON, ``--output`` saves it.  ``--trace-out`` writes the run's span
+    trace as Chrome trace-event JSON (open in Perfetto or
+    ``chrome://tracing``), ``--metrics-out`` dumps the merged metrics
+    registry in Prometheus text format.  Exit code is non-zero when any
+    job ends FAILED.
+``obs``
+    Render a saved Chrome trace (from ``serve --trace-out``) as a
+    timeline table; ``--summary`` prints a flamegraph-style aggregation
+    of span self-times instead.
 """
 
 from __future__ import annotations
@@ -262,7 +269,47 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.output:
         Path(args.output).write_text(report.to_json() + "\n")
         print(f"report saved to {args.output}", file=sys.stderr)
+    if args.trace_out:
+        from repro.obs.export import dump_chrome_trace
+
+        dump_chrome_trace(report.span_events, args.trace_out)
+        print(
+            f"trace ({len(report.span_events)} events) saved to "
+            f"{args.trace_out}",
+            file=sys.stderr,
+        )
+    if args.metrics_out:
+        from repro.obs.export import prometheus_text
+
+        Path(args.metrics_out).write_text(prometheus_text(report.metrics))
+        print(f"metrics saved to {args.metrics_out}", file=sys.stderr)
     return 0 if report.ok else 1
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.export import (
+        flame_summary,
+        load_chrome_trace,
+        render_trace_file,
+        spans_from_chrome,
+    )
+
+    try:
+        if args.summary:
+            events = spans_from_chrome(load_chrome_trace(args.trace))
+            print(flame_summary(events, top=args.limit))
+        else:
+            tracks = args.track or None
+            print(
+                render_trace_file(
+                    args.trace, limit=args.limit, tail=args.tail,
+                    tracks=tracks,
+                )
+            )
+    except (OSError, ValueError, KeyError) as error:
+        print(f"obs: cannot render {args.trace!r}: {error}", file=sys.stderr)
+        return 2
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -339,7 +386,37 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--output", metavar="FILE", help="also save the JSON report here"
     )
+    serve.add_argument(
+        "--trace-out", metavar="FILE",
+        help="write the run's span trace as Chrome trace-event JSON "
+             "(Perfetto-loadable)",
+    )
+    serve.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="write the run's metrics in Prometheus text format",
+    )
     serve.set_defaults(func=cmd_serve)
+
+    obs = sub.add_parser(
+        "obs", help="render a saved Chrome trace as a timeline table"
+    )
+    obs.add_argument("trace", help="trace JSON from `serve --trace-out`")
+    obs.add_argument(
+        "--limit", type=int, metavar="N", help="show at most N events"
+    )
+    obs.add_argument(
+        "--tail", action="store_true",
+        help="with --limit, show the last N events instead of the first",
+    )
+    obs.add_argument(
+        "--track", action="append", metavar="NAME",
+        help="only show these tracks (repeatable)",
+    )
+    obs.add_argument(
+        "--summary", action="store_true",
+        help="print a flamegraph-style span aggregation instead",
+    )
+    obs.set_defaults(func=cmd_obs)
     return parser
 
 

@@ -17,15 +17,26 @@ def format_trace(
     trace: Sequence[TraceEvent],
     categories: Optional[Sequence[str]] = None,
     limit: Optional[int] = None,
+    tail: bool = False,
 ) -> str:
-    """Render trace events, optionally filtered by category."""
-    events = [
-        event
-        for event in trace
-        if categories is None or event.category in categories
-    ]
+    """Render trace events, optionally filtered by category.
+
+    Events are sorted by ``(time, seq)`` so interleaved multi-clock
+    events render deterministically regardless of the caller's ordering.
+    ``limit`` applies after category filtering; ``tail=True`` keeps the
+    last ``limit`` events instead of the first (the end of a long run is
+    usually the interesting part of a bounded trace).
+    """
+    events = sorted(
+        (
+            event
+            for event in trace
+            if categories is None or event.category in categories
+        ),
+        key=lambda event: (event.time, getattr(event, "seq", 0)),
+    )
     if limit is not None:
-        events = events[:limit]
+        events = events[-limit:] if tail else events[:limit]
     return "\n".join(str(event) for event in events)
 
 

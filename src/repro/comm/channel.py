@@ -56,6 +56,9 @@ class StreamingChannel:
         self._staged_backward: Optional[bool] = None
         self.released = False
         self.words_delivered = 0
+        #: fabric cycles the producer had data ready but the arrived
+        #: feedback-full (credit) signal held the read back
+        self.stall_cycles = 0
         consumer.set_backpressure_slack(2 * self.d)
 
     # ------------------------------------------------------------------
@@ -70,8 +73,15 @@ class StreamingChannel:
             self.consumer.receive(valid, word)
             self.words_delivered += 1
         # feedback that has reached the producer end gates the FIFO read
+        backpressured = self._backward[-1]
+        if (
+            backpressured
+            and self.producer.fifo_ren
+            and not self.producer.fifo.empty
+        ):
+            self.stall_cycles += 1
         self._staged_forward = self.producer.drive(
-            backpressured=self._backward[-1]
+            backpressured=backpressured
         )
         self._staged_backward = self.consumer.full_feedback
 

@@ -137,6 +137,18 @@ class SwitchBox:
     def owner_of(self, direction: str, lane: int) -> Optional[int]:
         return self._owners[(direction, lane)]
 
+    @property
+    def lane_count(self) -> int:
+        """Total output lanes (kr + kl + ki) of this box."""
+        return len(self._owners)
+
+    @property
+    def lanes_in_use(self) -> int:
+        """Output lanes currently owned by an established channel."""
+        return sum(
+            1 for owner in self._owners.values() if owner is not None
+        )
+
     def _validate_source(self, source: SourceRef) -> None:
         limits = {RIGHT: self.kr, LEFT: self.kl, MODULE_IN: self.ko}
         if source.direction not in limits:

@@ -105,6 +105,9 @@ class IcapController:
             self._current = None
             self.history.append(transfer)
             self.bytes_written += transfer.size_bytes
+            self.sim.tracer.end_if_open(
+                f"reconfigure {transfer.target}", track=self.name
+            )
             self.sim.log(
                 "icap",
                 f"reconfiguration of {transfer.target} complete",
@@ -118,6 +121,15 @@ class IcapController:
                 callback(transfer)
 
         self.sim.schedule(transfer.duration_ps, _complete)
+        self.sim.tracer.begin(
+            f"reconfigure {target}",
+            category="icap",
+            track=self.name,
+            attrs={"bytes": size_bytes},
+        )
+        metrics = self.sim.metrics
+        metrics.counter("repro_icap_transfers_total").inc()
+        metrics.counter("repro_icap_bytes_total").inc(size_bytes)
         self.sim.log(
             "icap",
             f"reconfiguration of {target} started",

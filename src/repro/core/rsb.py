@@ -272,6 +272,23 @@ class ReconfigurableStreamingBlock:
         for slot in self.prr_slots:
             slot.lcd_clock.start()
 
+    def bind_metrics(self, registry=None) -> None:
+        """Attach this RSB's instruments to an obs metrics registry.
+
+        Binds every slot interface FIFO (occupancy histogram + drop
+        counter, labelled by FIFO name) and publishes each PRR's current
+        LCD frequency as a gauge.  Defaults to the owning simulator's
+        registry.
+        """
+        registry = registry if registry is not None else self.sim.metrics
+        for slot in self.slots:
+            for interface in (*slot.consumers, *slot.producers):
+                interface.fifo.bind_metrics(registry)
+        for slot in self.prr_slots:
+            registry.gauge(
+                "repro_prr_lcd_frequency_hz", labels={"prr": slot.name}
+            ).set(slot.lcd_clock.frequency_hz)
+
     def __repr__(self) -> str:
         return (
             f"RSB({self.name}: {len(self.prr_slots)} PRRs, "

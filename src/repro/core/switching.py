@@ -211,10 +211,26 @@ class ModuleSwitcher:
         if old_module is None:
             raise ValueError(f"PRR {old_prr!r} has no module to replace")
         report = SwitchReport(old_prr=old_prr, new_prr=new_prr, new_module=new_module)
+        track = f"prr/{old_prr}"
+        span_name = f"switch {old_prr}->{new_module}@{new_prr}"
+        start_ps = sim.now
+        sim.tracer.begin(span_name, category="switch", track=track)
 
         def mark(step: int, text: str) -> None:
+            # each Figure 5 step becomes a span covering the interval since
+            # the previous step (backdated begin: the boundary is only known
+            # once the step completes)
+            prev = report.steps[-1][1] if report.steps else start_ps
             report.steps.append((step, sim.now, text))
             sim.log("switch", f"step {step}: {text}", prr=old_prr)
+            sim.tracer.begin(
+                f"step {step}", category="switch", track=track,
+                attrs={"text": text}, time_ps=prev,
+            )
+            sim.tracer.end_if_open(f"step {step}", track=track)
+            sim.metrics.histogram(
+                "repro_switch_step_latency_us", labels={"step": str(step)}
+            ).observe((sim.now - prev) / 1e6)
             for observer in self.on_step:
                 observer(step, sim.now, text)
 
@@ -308,6 +324,7 @@ class ModuleSwitcher:
         # housekeeping: power down the vacated PRR (not a numbered step)
         yield from self.api.vapres_module_clock(old_slot.module_id, False)
         yield from self.api.vapres_fifo_reset(old_slot.module_id)
+        sim.tracer.end_if_open(span_name, track=track)
         return report
 
     # ------------------------------------------------------------------
@@ -344,10 +361,23 @@ class ModuleSwitcher:
         if module is None:
             raise ValueError(f"PRR {prr!r} has no module to drain")
         report = DrainReport(prr=prr)
+        track = f"prr/{prr}"
+        span_name = f"drain {prr}"
+        start_ps = sim.now
+        sim.tracer.begin(span_name, category="switch", track=track)
 
         def mark(step: int, text: str) -> None:
+            prev = report.steps[-1][1] if report.steps else start_ps
             report.steps.append((step, sim.now, text))
             sim.log("switch", f"drain step {step}: {text}", prr=prr)
+            sim.tracer.begin(
+                f"step {step}", category="switch", track=track,
+                attrs={"text": text}, time_ps=prev,
+            )
+            sim.tracer.end_if_open(f"step {step}", track=track)
+            sim.metrics.histogram(
+                "repro_switch_step_latency_us", labels={"step": str(step)}
+            ).observe((sim.now - prev) / 1e6)
             for observer in self.on_step:
                 observer(step, sim.now, text)
 
@@ -392,4 +422,5 @@ class ModuleSwitcher:
         yield from self.api.vapres_module_clock(slot.module_id, False)
         yield from self.api.vapres_fifo_reset(slot.module_id)
         mark(9, f"{prr} drained and powered down")
+        sim.tracer.end_if_open(span_name, track=track)
         return report

@@ -373,6 +373,12 @@ class VapresSystem:
         for rsb in self.rsbs:
             rsb.start_clocks()
 
+    def bind_metrics(self, registry=None) -> None:
+        """Bind every RSB's FIFO/clock instruments (see ``RSB.bind_metrics``)."""
+        registry = registry if registry is not None else self.sim.metrics
+        for rsb in self.rsbs:
+            rsb.bind_metrics(registry)
+
     def run_for_cycles(self, cycles: int) -> None:
         self.start()
         self.sim.run_for(cycles * self.system_clock.period_ps)

@@ -1,0 +1,73 @@
+"""repro.obs: unified observability for the VAPRES reproduction.
+
+Three pieces, deliberately free of any dependency on the simulation so
+that :mod:`repro.sim.kernel` can build on them without an import cycle:
+
+* :mod:`~repro.obs.spans` -- hierarchical begin/end/instant spans with
+  simulated-time *and* wall-time stamps, a bounded ring buffer with a
+  drop counter, and a near-zero-cost disabled path.  Every
+  :class:`~repro.sim.kernel.Simulator` owns one
+  :class:`~repro.obs.spans.Tracer`; ``Simulator.log`` is a thin shim
+  recording instant events on it.
+* :mod:`~repro.obs.metrics` -- a process-local registry of counters,
+  gauges and fixed-bucket histograms that is picklable and mergeable
+  across :class:`~repro.runtime.executor.FleetExecutor` workers.
+* :mod:`~repro.obs.export` -- Chrome trace-event JSON (loadable in
+  Perfetto / ``chrome://tracing``), a text flamegraph-style summary,
+  and a Prometheus text-format metrics dump.  Exports are ordered by
+  simulated time and contain no wall-clock stamps, so a deterministic
+  simulation yields byte-identical trace files across runs.
+
+Layering: ``obs`` sits above :mod:`repro.sim` conceptually (the kernel
+only uses the standalone :class:`Tracer`/:class:`MetricsRegistry`
+containers) and below :mod:`repro.analysis` and :mod:`repro.runtime`,
+which consume its exports.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+)
+from repro.obs.spans import (
+    BEGIN,
+    END,
+    INSTANT,
+    SpanError,
+    SpanEvent,
+    Tracer,
+)
+from repro.obs.export import (
+    chrome_trace_events,
+    dump_chrome_trace,
+    flame_summary,
+    spans_from_chrome,
+    load_chrome_trace,
+    prometheus_text,
+    render_trace_file,
+    to_chrome_trace,
+)
+
+__all__ = [
+    "BEGIN",
+    "END",
+    "INSTANT",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsError",
+    "MetricsRegistry",
+    "SpanError",
+    "SpanEvent",
+    "Tracer",
+    "chrome_trace_events",
+    "dump_chrome_trace",
+    "flame_summary",
+    "spans_from_chrome",
+    "load_chrome_trace",
+    "prometheus_text",
+    "render_trace_file",
+    "to_chrome_trace",
+]

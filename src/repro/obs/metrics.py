@@ -1,0 +1,229 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+Every :class:`~repro.sim.kernel.Simulator` owns one
+:class:`MetricsRegistry`; instrumented components (FIFOs, the ICAP
+scheduler, the module switcher, the serving executor) create their
+instruments through it.  Instruments are identified by ``(name,
+labels)`` just as in Prometheus, and the registry is plain picklable
+data so :class:`~repro.runtime.executor.FleetExecutor` workers can ship
+their registries back to the parent and :meth:`MetricsRegistry.merge`
+them deterministically:
+
+* counters and histograms **add**,
+* gauges take the **maximum** (order-independent, which keeps fleet
+  results identical for any worker count).
+
+Standard-library only -- the simulation kernel imports this module.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Default histogram upper bounds (unitless; callers pick domain-apt ones).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024,
+)
+
+LabelValue = Tuple[Tuple[str, str], ...]
+
+
+class MetricsError(Exception):
+    """Raised on metric type conflicts and malformed instruments."""
+
+
+def _label_key(labels: Optional[Dict[str, str]]) -> LabelValue:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelValue = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricsError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+
+class Gauge:
+    """Last-set value (merge takes the maximum across processes)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelValue = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def merge(self, other: "Gauge") -> None:
+        self.value = max(self.value, other.value)
+
+
+class Histogram:
+    """Fixed-bucket histogram with Prometheus ``le`` semantics.
+
+    ``buckets`` are strictly increasing upper bounds; an observation
+    lands in the first bucket whose bound is ``>= value`` (an implicit
+    ``+Inf`` bucket catches the rest).
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        labels: LabelValue = (),
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise MetricsError(
+                f"histogram {name} needs strictly increasing buckets, "
+                f"got {buckets!r}"
+            )
+        self.name = name
+        self.labels = labels
+        self.buckets = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def merge(self, other: "Histogram") -> None:
+        if other.buckets != self.buckets:
+            raise MetricsError(
+                f"cannot merge histogram {self.name}: bucket bounds differ "
+                f"({self.buckets} vs {other.buckets})"
+            )
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.sum += other.sum
+        self.count += other.count
+
+    def cumulative(self) -> List[Tuple[str, int]]:
+        """``(le, cumulative count)`` rows, ending with ``+Inf``."""
+        rows: List[Tuple[str, int]] = []
+        running = 0
+        for bound, count in zip(self.buckets, self.counts):
+            running += count
+            rows.append((f"{bound:g}", running))
+        rows.append(("+Inf", running + self.counts[-1]))
+        return rows
+
+
+Metric = Any  # Counter | Gauge | Histogram (py3.9-compatible alias)
+
+
+class MetricsRegistry:
+    """Get-or-create registry of labelled instruments."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, LabelValue], Metric] = {}
+
+    # ------------------------------------------------------------------
+    def _get_or_create(
+        self,
+        cls,
+        name: str,
+        labels: Optional[Dict[str, str]],
+        **kwargs: Any,
+    ):
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, labels=key[1], **kwargs)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise MetricsError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(
+        self, name: str, labels: Optional[Dict[str, str]] = None
+    ) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(
+        self, name: str, labels: Optional[Dict[str, str]] = None
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> Histogram:
+        metric = self._get_or_create(
+            Histogram, name, labels, buckets=buckets
+        )
+        if metric.buckets != tuple(float(b) for b in buckets):
+            raise MetricsError(
+                f"histogram {name!r} re-registered with different buckets"
+            )
+        return metric
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry (see module docstring)."""
+        for key, metric in other._metrics.items():
+            mine = self._metrics.get(key)
+            if mine is None:
+                if isinstance(metric, Histogram):
+                    mine = Histogram(
+                        metric.name, buckets=metric.buckets,
+                        labels=metric.labels,
+                    )
+                else:
+                    mine = type(metric)(metric.name, labels=metric.labels)
+                self._metrics[key] = mine
+            elif type(mine) is not type(metric):
+                raise MetricsError(
+                    f"cannot merge metric {key[0]!r}: {mine.kind} vs "
+                    f"{metric.kind}"
+                )
+            mine.merge(metric)
+
+    # ------------------------------------------------------------------
+    def metrics(self) -> Iterable[Metric]:
+        """All instruments in deterministic (name, labels) order."""
+        for key in sorted(self._metrics):
+            yield self._metrics[key]
+
+    def get(
+        self, name: str, labels: Optional[Dict[str, str]] = None
+    ) -> Optional[Metric]:
+        return self._metrics.get((name, _label_key(labels)))
+
+    def value(
+        self, name: str, labels: Optional[Dict[str, str]] = None
+    ) -> float:
+        """Convenience: a counter/gauge value (0.0 when absent)."""
+        metric = self.get(name, labels)
+        return 0.0 if metric is None else getattr(metric, "value", 0.0)
+
+    def __len__(self) -> int:
+        return len(self._metrics)

@@ -1,0 +1,307 @@
+"""Hierarchical span tracing with a bounded ring buffer.
+
+A :class:`Tracer` records three kinds of events on named *tracks* (one
+track per clock domain, PRR, ICAP or job in the instrumented system):
+
+* ``begin``/``end`` pairs delimiting a span.  Spans nest per track; an
+  ``end`` whose name does not match the innermost open span raises
+  :class:`SpanError`, catching instrumentation bugs at the source.
+* ``instant`` point events (what ``Simulator.log`` records).
+
+Every event carries the *simulated* timestamp (integer picoseconds,
+supplied by the owning simulator through ``time_fn``) plus a wall-clock
+nanosecond stamp for profiling the simulator itself.  Exports built on
+these events (:mod:`repro.obs.export`) use only the simulated stamp, so
+trace files are byte-stable across runs of a deterministic simulation.
+
+Storage is a ring buffer: once ``capacity`` events are held the oldest
+is evicted and :attr:`Tracer.dropped_events` increments, bounding memory
+for arbitrarily long simulations.  The disabled path is near-zero-cost:
+one attribute check and an early return, no allocation, no wall-clock
+read.
+
+This module depends only on the standard library -- the simulation
+kernel imports it, never the reverse.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+#: Event kinds (mirroring the Chrome trace-event phases they export to).
+BEGIN = "B"
+END = "E"
+INSTANT = "I"
+
+DEFAULT_CAPACITY = 65_536
+
+
+class SpanError(Exception):
+    """Raised on mismatched span begin/end nesting."""
+
+
+@dataclass
+class SpanEvent:
+    """One recorded tracing event.
+
+    ``wall_ns`` is a ``time.perf_counter_ns`` stamp taken at record
+    time; it is informational only and never included in deterministic
+    exports.
+    """
+
+    kind: str
+    name: str
+    category: str
+    track: str
+    time_ps: int
+    seq: int
+    depth: int = 0
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    wall_ns: int = 0
+
+    def __str__(self) -> str:
+        extra = " ".join(f"{k}={v}" for k, v in self.attrs.items())
+        return (
+            f"[{self.time_ps / 1e6:12.3f} us] {self.kind} "
+            f"{self.track}:{'  ' * self.depth}{self.name} {extra}"
+        ).rstrip()
+
+
+class _NullSpan:
+    """Context manager returned by :meth:`Tracer.span` when disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Context manager closing one open span on exit."""
+
+    __slots__ = ("_tracer", "name", "track")
+
+    def __init__(self, tracer: "Tracer", name: str, track: str) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.track = track
+
+    def __enter__(self) -> "_Span":
+        return self
+
+    def __exit__(self, *_exc: object) -> bool:
+        self._tracer.end(self.name, track=self.track)
+        return False
+
+
+class Tracer:
+    """Bounded span/instant recorder for one event source.
+
+    ``time_fn`` supplies the current simulated time in picoseconds; the
+    default (constant 0) suits unit tests that only care about ordering.
+    """
+
+    def __init__(
+        self,
+        time_fn: Optional[Callable[[], int]] = None,
+        enabled: bool = True,
+        capacity: int = DEFAULT_CAPACITY,
+        wall_clock: bool = True,
+    ) -> None:
+        if capacity <= 0:
+            raise SpanError(f"tracer capacity must be positive, got {capacity}")
+        self._time_fn = time_fn or (lambda: 0)
+        self.enabled = enabled
+        self.capacity = capacity
+        self.wall_clock = wall_clock
+        self._events: Deque[SpanEvent] = deque()
+        self._stacks: Dict[str, List[str]] = {}
+        self.dropped_events = 0
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    def configure(
+        self,
+        enabled: Optional[bool] = None,
+        capacity: Optional[int] = None,
+    ) -> None:
+        """Reconfigure tracing; open span stacks reset on any change.
+
+        Toggling mid-span would otherwise leave ends without begins, so
+        reconfiguration draws a clean line instead.
+        """
+        if capacity is not None:
+            if capacity <= 0:
+                raise SpanError(
+                    f"tracer capacity must be positive, got {capacity}"
+                )
+            self.capacity = capacity
+            while len(self._events) > capacity:
+                self._events.popleft()
+                self.dropped_events += 1
+        if enabled is not None:
+            self.enabled = enabled
+        self._stacks.clear()
+
+    def reset(self) -> None:
+        """Drop all recorded events, open stacks and the drop counter."""
+        self._events.clear()
+        self._stacks.clear()
+        self.dropped_events = 0
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def _record(
+        self,
+        kind: str,
+        name: str,
+        category: str,
+        track: str,
+        depth: int,
+        attrs: Optional[Dict[str, Any]],
+        time_ps: Optional[int] = None,
+    ) -> None:
+        if len(self._events) >= self.capacity:
+            self._events.popleft()
+            self.dropped_events += 1
+        self._events.append(
+            SpanEvent(
+                kind=kind,
+                name=name,
+                category=category,
+                track=track,
+                time_ps=self._time_fn() if time_ps is None else time_ps,
+                seq=self._seq,
+                depth=depth,
+                attrs=dict(attrs) if attrs else {},
+                wall_ns=_time.perf_counter_ns() if self.wall_clock else 0,
+            )
+        )
+        self._seq += 1
+
+    def begin(
+        self,
+        name: str,
+        category: str = "",
+        track: str = "main",
+        attrs: Optional[Dict[str, Any]] = None,
+        time_ps: Optional[int] = None,
+    ) -> None:
+        """Open a span; nest freely, close innermost-first.
+
+        ``time_ps`` backdates the event (instrumentation that learns a
+        phase boundary only after the fact, e.g. Figure 5 step spans);
+        exports re-sort by time, keeping the timeline consistent.
+        """
+        if not self.enabled:
+            return
+        stack = self._stacks.setdefault(track, [])
+        self._record(BEGIN, name, category, track, len(stack), attrs,
+                     time_ps=time_ps)
+        stack.append(name)
+
+    def end(
+        self,
+        name: Optional[str] = None,
+        track: str = "main",
+        attrs: Optional[Dict[str, Any]] = None,
+        time_ps: Optional[int] = None,
+    ) -> None:
+        """Close the innermost open span on ``track``.
+
+        With ``name`` given, raises :class:`SpanError` unless it matches
+        the innermost open span; with no open span it always raises.
+        """
+        if not self.enabled:
+            return
+        stack = self._stacks.get(track)
+        if not stack:
+            raise SpanError(
+                f"end({name!r}) on track {track!r} with no open span"
+            )
+        innermost = stack[-1]
+        if name is not None and name != innermost:
+            raise SpanError(
+                f"mismatched end: {name!r} does not close innermost span "
+                f"{innermost!r} on track {track!r}"
+            )
+        stack.pop()
+        self._record(END, innermost, "", track, len(stack), attrs,
+                     time_ps=time_ps)
+
+    def end_if_open(
+        self,
+        name: Optional[str] = None,
+        track: str = "main",
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> bool:
+        """Lenient :meth:`end` for instrumentation sites.
+
+        Returns False instead of raising when no matching span is open
+        (e.g. tracing was reconfigured while the span was in flight).
+        """
+        if not self.enabled:
+            return False
+        stack = self._stacks.get(track)
+        if not stack or (name is not None and stack[-1] != name):
+            return False
+        self.end(name, track, attrs)
+        return True
+
+    def instant(
+        self,
+        name: str,
+        category: str = "",
+        track: str = "main",
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record a point event."""
+        if not self.enabled:
+            return
+        depth = len(self._stacks.get(track, ()))
+        self._record(INSTANT, name, category, track, depth, attrs)
+
+    def span(
+        self,
+        name: str,
+        category: str = "",
+        track: str = "main",
+        attrs: Optional[Dict[str, Any]] = None,
+    ):
+        """Context manager recording a begin/end pair around a block."""
+        if not self.enabled:
+            return _NULL_SPAN
+        self.begin(name, category, track, attrs)
+        return _Span(self, name, track)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> List[SpanEvent]:
+        """The retained events, oldest first."""
+        return list(self._events)
+
+    def open_spans(self, track: str = "main") -> Tuple[str, ...]:
+        """Names of the currently open spans, outermost first."""
+        return tuple(self._stacks.get(track, ()))
+
+    def tracks(self) -> List[str]:
+        """Sorted track names appearing in the retained events."""
+        return sorted({event.track for event in self._events})
+
+    def __len__(self) -> int:
+        return len(self._events)

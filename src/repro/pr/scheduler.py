@@ -75,7 +75,10 @@ class ReconfigScheduler:
             raise ValueError(f"unknown reconfiguration path {path!r}")
         request = ScheduledReconfig(module_name, prr_name, path)
         self._queue.append(request)
+        metrics = self.engine.sim.metrics
+        metrics.counter("repro_reconfig_submitted_total").inc()
         self._pump()
+        metrics.gauge("repro_icap_queue_depth").set(self.pending)
         return request
 
     def cancel(self, request: ScheduledReconfig) -> bool:
@@ -95,6 +98,9 @@ class ReconfigScheduler:
         except ValueError:
             return False
         request.cancelled = True
+        metrics = self.engine.sim.metrics
+        metrics.counter("repro_reconfig_cancelled_total").inc()
+        metrics.gauge("repro_icap_queue_depth").set(self.pending)
         return True
 
     @property
@@ -117,6 +123,9 @@ class ReconfigScheduler:
             self.completed.append(request)
             request._finish()
             self._pump()
+            self.engine.sim.metrics.gauge(
+                "repro_icap_queue_depth"
+            ).set(self.pending)
 
         start = (
             self.engine.array2icap

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Generator, List, Optional, Sequence, Tuple
 
 from repro.core.params import SystemParameters
+from repro.obs.metrics import MetricsRegistry
 from repro.core.switching import ModuleSwitcher
 from repro.core.system import VapresSystem
 from repro.modules.iom import Iom
@@ -42,6 +43,9 @@ from repro.runtime.telemetry import (
     JobReport,
     icap_busy_fraction,
 )
+
+#: wall-clock bucket bounds (seconds) for the per-quantum latency histogram
+QUANTUM_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
 
 
 @dataclass
@@ -95,11 +99,53 @@ class JobExecutor:
         )
         self.preemptions = 0
         self._jobs: List[Job] = []
+        self.system.bind_metrics()
 
     # ------------------------------------------------------------------
     @property
     def _now_us(self) -> float:
         return self.system.sim.now / 1e6
+
+    # ------------------------------------------------------------------
+    # observability helpers (one tracer track per job: ``job/<name>``)
+    # ------------------------------------------------------------------
+    def _job_track(self, job: Job) -> str:
+        return f"job/{job.spec.name}"
+
+    def _job_instant(self, job: Job, name: str, **attrs) -> None:
+        self.system.sim.tracer.instant(
+            name, category="job", track=self._job_track(job),
+            attrs=attrs or None,
+        )
+
+    def _close_job_spans(self, job: Job) -> None:
+        """Close whatever lifecycle spans the job still has open.
+
+        Failure and eviction can interrupt a job inside its ``place`` or
+        ``run`` span; closing by stack inspection keeps the trace
+        well-formed on every exit path.
+        """
+        tracer = self.system.sim.tracer
+        track = self._job_track(job)
+        while tracer.open_spans(track):
+            tracer.end(track=track)
+
+    def _mark_failed(self, job: Job, reason: str) -> None:
+        self._close_job_spans(job)
+        self._job_instant(job, "failed", reason=reason)
+
+    def _refresh_gauges(self) -> None:
+        metrics = self.system.sim.metrics
+        for rsb in self.system.rsbs:
+            total = sum(box.lane_count for box in rsb.switchboxes)
+            used = sum(box.lanes_in_use for box in rsb.switchboxes)
+            metrics.gauge(
+                "repro_lane_utilization", labels={"rsb": rsb.name}
+            ).set(used / total if total else 0.0)
+        for slot in self.system.prr_slots:
+            metrics.gauge(
+                "repro_prr_lcd_frequency_hz", labels={"prr": slot.name}
+            ).set(slot.lcd_clock.frequency_hz)
 
     def _resident_jobs(self) -> List[Job]:
         return [
@@ -122,6 +168,11 @@ class JobExecutor:
             if result.decision is AdmissionDecision.REJECT:
                 job.fail(f"rejected at admission: {result.reason}",
                          self._now_us)
+                self._job_instant(job, "rejected", reason=result.reason)
+            else:
+                self._job_instant(
+                    job, "queued", priority=job.spec.priority
+                )
         while True:
             self._admit()
             self._progress_placements()
@@ -134,8 +185,14 @@ class JobExecutor:
                         self._teardown(job)
                         self.admission.release(job)
                         job.fail("runtime budget exhausted", self._now_us)
+                        self._mark_failed(job, "runtime budget exhausted")
                 break
+            quantum_started = time.perf_counter()
             self.system.run_for_us(self.config.quantum_us)
+            self.system.sim.metrics.histogram(
+                "repro_executor_quantum_seconds", buckets=QUANTUM_BUCKETS
+            ).observe(time.perf_counter() - quantum_started)
+            self._refresh_gauges()
         return self._report(time.perf_counter() - started_wall)
 
     # ------------------------------------------------------------------
@@ -161,6 +218,9 @@ class JobExecutor:
             self.admission.occupy(job, result.assignment)
             job.assignment = result.assignment
             job.transition(JobState.ADMITTED, self._now_us)
+            self._job_instant(
+                job, "admitted", prrs=",".join(result.assignment.prrs)
+            )
             self._start_placement(job)
 
     def _evict(self, victim: Job, evicted_by: Job) -> None:
@@ -191,6 +251,11 @@ class JobExecutor:
             f"job {victim.spec.name} evicted "
             f"(priority {victim.spec.priority} < "
             f"{evicted_by.spec.priority})",
+        )
+        self._close_job_spans(victim)
+        self._job_instant(
+            victim, "evicted", by=evicted_by.spec.name,
+            requeued=victim.spec.requeue_on_eviction,
         )
         if victim.spec.requeue_on_eviction:
             victim.reset_for_requeue()
@@ -239,6 +304,10 @@ class JobExecutor:
     # ------------------------------------------------------------------
     def _start_placement(self, job: Job) -> None:
         job.transition(JobState.PLACING, self._now_us)
+        self.system.sim.tracer.begin(
+            "place", category="job", track=self._job_track(job),
+            attrs={"attempt": job.attempts + 1},
+        )
         job.attempts += 1
         spec = job.spec
         job.module_names = [
@@ -266,6 +335,7 @@ class JobExecutor:
         except Exception as exc:  # noqa: BLE001 - config errors are fatal
             self.admission.release(job)
             job.fail(f"placement setup failed: {exc}", self._now_us)
+            self._mark_failed(job, f"placement setup failed: {exc}")
 
     def _progress_placements(self) -> None:
         for job in self._jobs:
@@ -300,6 +370,7 @@ class JobExecutor:
                     f"no switch-box lanes after {job.attempts} attempts",
                     self._now_us,
                 )
+                self._mark_failed(job, "no switch-box lanes")
                 return
             job.next_attempt_us = (
                 self._now_us + spec.retry.backoff_for(job.attempts)
@@ -313,6 +384,12 @@ class JobExecutor:
             return
         job.channels = channels
         job.transition(JobState.RUNNING, self._now_us)
+        tracer = self.system.sim.tracer
+        tracer.end_if_open("place", track=self._job_track(job))
+        tracer.begin(
+            "run", category="job", track=self._job_track(job),
+            attrs={"stages": len(job.spec.stages)},
+        )
         job.last_rx = 0
         job.stable_polls = 0
 
@@ -368,6 +445,7 @@ class JobExecutor:
                 job.fail(
                     f"deadline of {deadline}us exceeded", self._now_us
                 )
+                self._mark_failed(job, "deadline exceeded")
 
     def _complete(self, job: Job) -> None:
         job.transition(JobState.DRAINING, self._now_us)
@@ -376,10 +454,16 @@ class JobExecutor:
         self._teardown(job)
         self.admission.release(job)
         job.transition(JobState.DONE, self._now_us)
+        self._close_job_spans(job)
+        self._job_instant(job, "done", words_out=job.words_out)
 
     def _teardown(self, job: Job) -> None:
         """Release channels and power down the job's stages (no drain)."""
+        stall_counter = self.system.sim.metrics.counter(
+            "repro_channel_stall_cycles_total"
+        )
         for channel in job.channels:
+            stall_counter.inc(channel.stall_cycles)
             try:
                 job.words_lost += self.system.close_stream(channel)
             except Exception:  # noqa: BLE001 - already released
@@ -405,6 +489,7 @@ class JobExecutor:
                     nominal_period_s=period * divisor,
                 )
             )
+        self._refresh_gauges()
         return FleetReport(
             mode="colocate",
             workers=1,
@@ -413,6 +498,8 @@ class JobExecutor:
             sim_us=self._now_us,
             icap_busy_fraction=icap_busy_fraction(self.system),
             preemptions=self.preemptions,
+            span_events=self.system.sim.tracer.events,
+            metrics=self.system.sim.metrics,
         )
 
 
@@ -425,12 +512,14 @@ class _ShardResult:
     sim_us: float = 0.0
     icap_busy: float = 0.0
     preemptions: int = 0
+    span_events: List = field(default_factory=list)
+    metrics: Optional[MetricsRegistry] = None
 
 
 def _run_shard(payload) -> _ShardResult:
     """Worker entry point: run each assigned job single-tenant."""
     shard_index, params, config, items = payload
-    result = _ShardResult()
+    result = _ShardResult(metrics=MetricsRegistry())
     for original_index, spec in items:
         executor = JobExecutor(
             params=params, config=config, shard=shard_index
@@ -443,6 +532,15 @@ def _run_shard(payload) -> _ShardResult:
         result.sim_us += run.sim_us
         result.icap_busy = max(result.icap_busy, run.icap_busy_fraction)
         result.preemptions += run.preemptions
+        # each job ran on its own simulator, so shared-infrastructure
+        # tracks (icap, prr/..., log.*) collide between jobs; qualify
+        # them by job so merged traces stay unambiguous
+        for event in run.span_events:
+            if not event.track.startswith("job/"):
+                event.track = f"job/{spec.name}/{event.track}"
+            result.span_events.append(event)
+        if run.metrics is not None:
+            result.metrics.merge(run.metrics)
     return result
 
 
@@ -501,6 +599,17 @@ class FleetExecutor:
             (report for result in results for report in result.reports),
             key=lambda report: report.index,
         )
+        # simulated-time total order over the merged shard traces; each
+        # job ran on a fresh simulator, so (time, track, seq) is unique
+        # and the merge is independent of worker interleaving
+        span_events = [
+            event for result in results for event in result.span_events
+        ]
+        span_events.sort(key=lambda e: (e.time_ps, e.track, e.seq))
+        metrics = MetricsRegistry()
+        for result in results:
+            if result.metrics is not None:
+                metrics.merge(result.metrics)
         return FleetReport(
             mode="fleet",
             workers=len(payloads),
@@ -511,6 +620,8 @@ class FleetExecutor:
                 (r.icap_busy for r in results), default=0.0
             ),
             preemptions=sum(r.preemptions for r in results),
+            span_events=span_events,
+            metrics=metrics,
         )
 
     def _run_in_processes(self, payloads) -> List[_ShardResult]:

@@ -13,16 +13,34 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.analysis.metrics import interruption_report
+
+#: Version of the JobReport/FleetReport JSON layout.  Bumped on any
+#: incompatible field change; loaders reject unknown versions rather
+#: than silently misreading old dumps.
+SCHEMA_VERSION = 1
+
+
+class TelemetrySchemaError(Exception):
+    """Raised when loading a report dump with an unknown schema version."""
+
+
+def _check_schema(data: Dict, kind: str) -> None:
+    version = data.get("schema_version", SCHEMA_VERSION)
+    if version != SCHEMA_VERSION:
+        raise TelemetrySchemaError(
+            f"{kind} dump has schema_version={version!r}; this build "
+            f"reads version {SCHEMA_VERSION}"
+        )
 
 
 @dataclass
 class JobReport:
     """Final telemetry of one stream job."""
 
-    name: str
+    name: str = ""
     index: int = 0
     shard: int = 0
     state: str = "QUEUED"
@@ -46,9 +64,19 @@ class JobReport:
     words_lost: int = 0
     state_words: int = 0
     failure_reason: str = ""
+    #: tracer track carrying this job's lifecycle spans (``job/<name>``);
+    #: join key into the Chrome trace exported by ``serve --trace-out``
+    span_track: str = ""
+    schema_version: int = SCHEMA_VERSION
 
     def to_dict(self) -> Dict:
         return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "JobReport":
+        _check_schema(data, "JobReport")
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in known})
 
     @classmethod
     def from_job(
@@ -78,6 +106,7 @@ class JobReport:
             throughput = job.words_out / (run_us / 1e6)
         return cls(
             name=spec.name,
+            span_track=f"job/{spec.name}",
             index=job.index,
             shard=shard,
             state=job.state.value,
@@ -124,6 +153,12 @@ class FleetReport:
     sim_us: float = 0.0
     icap_busy_fraction: float = 0.0
     preemptions: int = 0
+    #: in-memory carriers only -- span events (obs.spans.SpanEvent, merged
+    #: across shards) and the merged obs.metrics.MetricsRegistry; excluded
+    #: from to_dict/JSON (exported separately as Chrome trace / Prometheus
+    #: text by ``serve --trace-out`` / ``--metrics-out``)
+    span_events: List[Any] = field(default_factory=list, repr=False)
+    metrics: Optional[Any] = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
     @property
@@ -151,6 +186,7 @@ class FleetReport:
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict:
         return {
+            "schema_version": SCHEMA_VERSION,
             "mode": self.mode,
             "workers": self.workers,
             "wall_seconds": self.wall_seconds,
@@ -165,6 +201,23 @@ class FleetReport:
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FleetReport":
+        _check_schema(data, "FleetReport")
+        return cls(
+            mode=data.get("mode", "fleet"),
+            workers=data.get("workers", 1),
+            jobs=[JobReport.from_dict(j) for j in data.get("jobs", [])],
+            wall_seconds=data.get("wall_seconds", 0.0),
+            sim_us=data.get("sim_us", 0.0),
+            icap_busy_fraction=data.get("icap_busy_fraction", 0.0),
+            preemptions=data.get("preemptions", 0),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FleetReport":
+        return cls.from_dict(json.loads(text))
 
     def render_text(self) -> str:
         lines = [

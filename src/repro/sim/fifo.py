@@ -55,6 +55,24 @@ class SyncFifo:
         self.pops = 0
         self.drops = 0
         self.max_occupancy = 0
+        # optional obs instruments (see bind_metrics); None = zero cost
+        self._occ_hist = None
+        self._drop_counter = None
+
+    def bind_metrics(self, registry, label: str = "") -> None:
+        """Attach this FIFO to an obs metrics registry.
+
+        Records an occupancy histogram sample per successful push and a
+        drop counter per rejected push.  Unbound FIFOs pay only a None
+        check on the data path.
+        """
+        labels = {"fifo": label or self.name}
+        self._occ_hist = registry.histogram(
+            "repro_fifo_occupancy", labels=labels
+        )
+        self._drop_counter = registry.counter(
+            "repro_fifo_drops_total", labels=labels
+        )
 
     # ------------------------------------------------------------------
     # flags
@@ -86,11 +104,15 @@ class SyncFifo:
         """Append ``word``; returns False (and counts a drop) when full."""
         if self.full:
             self.drops += 1
+            if self._drop_counter is not None:
+                self._drop_counter.inc()
             return False
         self._data.append(word)
         self.pushes += 1
         if len(self._data) > self.max_occupancy:
             self.max_occupancy = len(self._data)
+        if self._occ_hist is not None:
+            self._occ_hist.observe(len(self._data))
         return True
 
     def pop(self) -> Any:

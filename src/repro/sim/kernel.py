@@ -21,6 +21,9 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import INSTANT, Tracer
+
 #: Phase in which clocked components read their inputs.
 PRIORITY_SAMPLE = 0
 #: Phase in which clocked components update their registered outputs.
@@ -55,13 +58,16 @@ class TraceEvent:
     """One annotated occurrence recorded through :meth:`Simulator.log`.
 
     Used by the switching-methodology benchmarks to reconstruct the paper's
-    Figure 5 step sequence.
+    Figure 5 step sequence.  ``seq`` is the tracer's global record index,
+    giving interleaved multi-clock events a stable total order
+    ``(time, seq)`` for deterministic rendering.
     """
 
     time: int
     category: str
     message: str
     fields: Dict[str, Any]
+    seq: int = 0
 
     @property
     def time_ns(self) -> float:
@@ -84,12 +90,22 @@ class Simulator:
     their activity on it.
     """
 
-    def __init__(self) -> None:
+    #: Default ring-buffer capacity of the trace store.
+    DEFAULT_TRACE_CAPACITY = 65_536
+
+    def __init__(self, trace_capacity: int = DEFAULT_TRACE_CAPACITY) -> None:
         self._now = 0
         self._queue: List[Event] = []
         self._seq = itertools.count()
         self._running = False
-        self.trace: List[TraceEvent] = []
+        #: Span/instant recorder (bounded ring buffer).  ``log()`` events
+        #: land here as instants on ``log.<category>`` tracks; subsystems
+        #: (switching, ICAP, runtime) record richer spans directly.
+        self.tracer = Tracer(
+            time_fn=lambda: self._now, capacity=trace_capacity
+        )
+        #: Process-local counters/gauges/histograms for this simulation.
+        self.metrics = MetricsRegistry()
         self._trace_enabled = True
         self.events_processed = 0
         #: Optional cycle-level instrumentation shim (see
@@ -188,13 +204,50 @@ class Simulator:
     # ------------------------------------------------------------------
     # tracing
     # ------------------------------------------------------------------
-    def set_tracing(self, enabled: bool) -> None:
+    def set_tracing(
+        self, enabled: bool, capacity: Optional[int] = None
+    ) -> None:
+        """Enable/disable tracing; optionally resize the ring buffer.
+
+        Disabling makes both :meth:`log` and the span tracer early-return
+        (near-zero cost).  Shrinking ``capacity`` evicts the oldest
+        retained events into :attr:`dropped_events`.
+        """
         self._trace_enabled = enabled
+        self.tracer.configure(enabled=enabled, capacity=capacity)
+
+    @property
+    def trace_capacity(self) -> int:
+        return self.tracer.capacity
+
+    @property
+    def dropped_events(self) -> int:
+        """Events evicted from the bounded trace store so far."""
+        return self.tracer.dropped_events
 
     def log(self, category: str, message: str, **fields: Any) -> None:
-        """Record an annotated trace event at the current time."""
+        """Record an annotated trace event at the current time.
+
+        Thin shim over the span tracer: the event is stored as an instant
+        on track ``log.<category>`` and surfaces as a classic
+        :class:`TraceEvent` through :attr:`trace`.
+        """
         if self._trace_enabled:
-            self.trace.append(TraceEvent(self._now, category, message, dict(fields)))
+            self.tracer.instant(
+                message,
+                category=category,
+                track="log." + category,
+                attrs=fields if fields else None,
+            )
+
+    @property
+    def trace(self) -> List[TraceEvent]:
+        """The retained ``log()`` events, oldest first (bounded view)."""
+        return [
+            TraceEvent(e.time_ps, e.category, e.name, dict(e.attrs), e.seq)
+            for e in self.tracer.events
+            if e.kind == INSTANT and e.track.startswith("log.")
+        ]
 
     def trace_by_category(self, category: str) -> List[TraceEvent]:
         return [t for t in self.trace if t.category == category]

@@ -27,6 +27,29 @@ def test_format_trace_filtered_and_limited():
     assert limited.count("\n") == 0
 
 
+def test_format_trace_limit_applies_after_category_filter():
+    trace = make_trace()
+    # two "a" events exist; limit counts filtered events, not raw ones
+    text = format_trace(trace, categories=["a"], limit=2)
+    assert "first" in text and "third" in text and "second" not in text
+
+
+def test_format_trace_tail_keeps_last_events():
+    trace = make_trace()
+    tailed = format_trace(trace, limit=1, tail=True)
+    assert "third" in tailed and "first" not in tailed
+
+
+def test_format_trace_sorts_by_time_then_seq():
+    sim = Simulator()
+    sim.log("x", "early")
+    sim.log("x", "late")  # same simulated time, higher seq
+    lines = format_trace(sim.trace).splitlines()
+    assert "early" in lines[0] and "late" in lines[1]
+    # shuffled input renders identically
+    assert format_trace(list(reversed(sim.trace))) == format_trace(sim.trace)
+
+
 def test_events_between():
     trace = make_trace()
     middle = events_between(trace, 50, 150)

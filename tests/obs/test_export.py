@@ -1,0 +1,119 @@
+"""Chrome-trace export: validity, determinism, round-trip, summaries."""
+
+import json
+
+from repro.obs.export import (
+    chrome_trace_events,
+    dump_chrome_trace,
+    flame_summary,
+    load_chrome_trace,
+    render_trace_file,
+    spans_from_chrome,
+    to_chrome_trace,
+)
+from repro.obs.spans import Tracer
+
+
+def _sample_tracer() -> Tracer:
+    clock = {"now": 0}
+    tracer = Tracer(time_fn=lambda: clock["now"], wall_clock=False)
+    tracer.begin("switch", category="switch", track="prr/rsb0.prr0")
+    clock["now"] = 1_000_000  # 1 us
+    tracer.instant("step 1", category="switch", track="prr/rsb0.prr0",
+                   attrs={"text": "operating"})
+    clock["now"] = 2_000_000
+    tracer.begin("reconfigure", category="icap", track="icap",
+                 attrs={"bytes": 1024})
+    clock["now"] = 5_000_000
+    tracer.end("reconfigure", track="icap")
+    clock["now"] = 6_000_000
+    tracer.end("switch", track="prr/rsb0.prr0")
+    return tracer
+
+
+def test_chrome_events_have_valid_phases_and_ids():
+    events = chrome_trace_events(_sample_tracer().events)
+    metadata = [e for e in events if e["ph"] == "M"]
+    payload = [e for e in events if e["ph"] != "M"]
+    # one process_name + (thread_name, thread_sort_index) per track
+    names = {e["args"]["name"] for e in metadata if e["name"] == "thread_name"}
+    assert names == {"icap", "prr/rsb0.prr0"}
+    for event in payload:
+        assert event["ph"] in ("B", "E", "i")
+        assert isinstance(event["ts"], float)
+        assert event["pid"] == 1
+        assert event["tid"] >= 1
+    instants = [e for e in payload if e["ph"] == "i"]
+    assert instants and all(e["s"] == "t" for e in instants)
+    # simulated-time (us) ordering
+    times = [e["ts"] for e in payload]
+    assert times == sorted(times)
+    assert times[-1] == 6.0
+
+
+def test_dump_is_byte_stable_and_loadable(tmp_path):
+    events = _sample_tracer().events
+    p1 = dump_chrome_trace(events, tmp_path / "a.json")
+    p2 = dump_chrome_trace(list(events), tmp_path / "b.json")
+    assert p1.read_bytes() == p2.read_bytes()
+    wrapper = json.loads(p1.read_text())
+    assert wrapper["displayTimeUnit"] == "ms"
+    loaded = load_chrome_trace(p1)
+    assert loaded == wrapper["traceEvents"]
+
+
+def test_golden_chrome_trace(tmp_path):
+    """The exact serialised form is part of the tool contract."""
+    tracer = Tracer(time_fn=lambda: 42, wall_clock=False)
+    tracer.instant("hello", category="demo", track="t", attrs={"n": 1})
+    path = dump_chrome_trace(tracer.events, tmp_path / "golden.json")
+    expected = (
+        '{"displayTimeUnit":"ms","traceEvents":['
+        '{"args":{"name":"repro"},"name":"process_name","ph":"M",'
+        '"pid":1,"tid":0,"ts":0},'
+        '{"args":{"name":"t"},"name":"thread_name","ph":"M",'
+        '"pid":1,"tid":1,"ts":0},'
+        '{"args":{"sort_index":1},"name":"thread_sort_index","ph":"M",'
+        '"pid":1,"tid":1,"ts":0},'
+        '{"args":{"n":1},"cat":"demo","name":"hello","ph":"i",'
+        '"pid":1,"s":"t","tid":1,"ts":4.2e-05}'
+        "]}\n"
+    )
+    assert path.read_text() == expected
+
+
+def test_spans_round_trip_through_chrome_format(tmp_path):
+    original = _sample_tracer().events
+    path = dump_chrome_trace(original, tmp_path / "t.json")
+    restored = spans_from_chrome(load_chrome_trace(path))
+    assert [(e.kind, e.name, e.track, e.time_ps) for e in restored] == [
+        (e.kind, e.name, e.track, e.time_ps) for e in original
+    ]
+
+
+def test_flame_summary_aggregates_by_path():
+    text = flame_summary(_sample_tracer().events)
+    lines = text.splitlines()
+    assert "span path" in lines[0]
+    assert any("prr/rsb0.prr0;switch" in line and "6.000" in line
+               for line in lines)
+    assert any("icap;reconfigure" in line and "3.000" in line
+               for line in lines)
+    assert flame_summary([]) == "(no completed spans)"
+    assert len(flame_summary(_sample_tracer().events, top=1)
+               .splitlines()) == 2
+
+
+def test_render_trace_file_table(tmp_path):
+    path = dump_chrome_trace(_sample_tracer().events, tmp_path / "t.json")
+    table = render_trace_file(path)
+    assert "prr/rsb0.prr0" in table
+    assert "step 1" in table
+    assert "dur=3.000us" in table  # reconfigure end row
+    # limit/tail/track filtering
+    limited = render_trace_file(path, limit=1)
+    assert "switch" in limited and "step 1" not in limited
+    tailed = render_trace_file(path, limit=1, tail=True)
+    assert "end" in tailed
+    only_icap = render_trace_file(path, tracks=["icap"])
+    assert "prr/rsb0.prr0" not in only_icap

@@ -1,0 +1,109 @@
+"""Metrics registry: counters, gauges, histogram edges, merge semantics."""
+
+import pickle
+
+import pytest
+
+from repro.obs.export import prometheus_text
+from repro.obs.metrics import MetricsError, MetricsRegistry
+
+
+def test_counter_and_gauge_basics():
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_things_total")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    with pytest.raises(MetricsError):
+        counter.inc(-1)
+    gauge = registry.gauge("repro_depth")
+    gauge.set(3)
+    gauge.set(1.5)
+    assert gauge.value == 1.5
+
+
+def test_get_or_create_is_idempotent_and_type_checked():
+    registry = MetricsRegistry()
+    a = registry.counter("x", labels={"k": "v"})
+    assert registry.counter("x", labels={"k": "v"}) is a
+    # same name, different labels: distinct series
+    b = registry.counter("x", labels={"k": "w"})
+    assert b is not a
+    with pytest.raises(MetricsError):
+        registry.gauge("x", labels={"k": "v"})
+
+
+def test_histogram_bucket_edges_use_le_semantics():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat", buckets=(1, 2, 4))
+    for value in (0.5, 1, 1.0001, 2, 4, 4.0001, 100):
+        hist.observe(value)
+    # counts per (le=1, le=2, le=4, +Inf): boundary values land in the
+    # bucket whose bound they equal (Prometheus le semantics)
+    assert hist.counts == [2, 2, 1, 2]
+    assert hist.count == 7
+    cumulative = hist.cumulative()
+    assert cumulative[-1] == ("+Inf", 7)
+    assert [c for _b, c in cumulative] == [2, 4, 5, 7]
+
+
+def test_histogram_rejects_bad_buckets():
+    registry = MetricsRegistry()
+    with pytest.raises(MetricsError):
+        registry.histogram("h", buckets=(2, 1))
+    with pytest.raises(MetricsError):
+        registry.histogram("h2", buckets=())
+
+
+def test_merge_adds_counters_and_histograms_takes_max_gauge():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    a.counter("c").inc(2)
+    b.counter("c").inc(5)
+    a.gauge("g").set(7)
+    b.gauge("g").set(3)
+    a.histogram("h", buckets=(1, 10)).observe(0.5)
+    b.histogram("h", buckets=(1, 10)).observe(5)
+    b.counter("only_b").inc()
+    a.merge(b)
+    assert a.value("c") == 7
+    assert a.value("g") == 7
+    assert a.value("only_b") == 1
+    merged = a.histogram("h", buckets=(1, 10))
+    assert merged.counts == [1, 1, 0]
+
+
+def test_merge_rejects_mismatched_histogram_buckets():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    a.histogram("h", buckets=(1, 2))
+    b.histogram("h", buckets=(1, 3))
+    with pytest.raises(MetricsError):
+        a.merge(b)
+
+
+def test_registry_is_picklable_for_fleet_workers():
+    registry = MetricsRegistry()
+    registry.counter("c", labels={"job": "a"}).inc(3)
+    registry.histogram("h").observe(17)
+    clone = pickle.loads(pickle.dumps(registry))
+    assert clone.value("c", labels={"job": "a"}) == 3
+    merged = MetricsRegistry()
+    merged.merge(clone)
+    assert merged.value("c", labels={"job": "a"}) == 3
+
+
+def test_prometheus_text_output():
+    registry = MetricsRegistry()
+    registry.counter("repro_x_total", labels={"kind": "a"}).inc(2)
+    registry.gauge("repro_depth").set(4)
+    registry.histogram("repro_lat", buckets=(1, 2)).observe(1.5)
+    text = prometheus_text(registry)
+    assert "# TYPE repro_x_total counter" in text
+    assert 'repro_x_total{kind="a"} 2' in text
+    assert "repro_depth 4" in text
+    assert 'repro_lat_bucket{le="2"} 1' in text
+    assert 'repro_lat_bucket{le="+Inf"} 1' in text
+    assert "repro_lat_sum 1.5" in text
+    assert "repro_lat_count 1" in text
+    assert prometheus_text(None).startswith("#")

@@ -1,0 +1,127 @@
+"""Tracer behaviour: nesting, mismatch detection, ring bounds."""
+
+import pytest
+
+from repro.obs.spans import BEGIN, END, INSTANT, SpanError, Tracer
+
+
+def test_nested_spans_record_depth_and_order():
+    clock = {"now": 0}
+    tracer = Tracer(time_fn=lambda: clock["now"], wall_clock=False)
+    tracer.begin("outer", category="test")
+    clock["now"] = 10
+    tracer.begin("inner")
+    clock["now"] = 20
+    tracer.end("inner")
+    clock["now"] = 30
+    tracer.end("outer")
+    kinds = [(e.kind, e.name, e.depth) for e in tracer.events]
+    assert kinds == [
+        (BEGIN, "outer", 0),
+        (BEGIN, "inner", 1),
+        (END, "inner", 1),
+        (END, "outer", 0),
+    ]
+    assert [e.time_ps for e in tracer.events] == [0, 10, 20, 30]
+    assert [e.seq for e in tracer.events] == [0, 1, 2, 3]
+
+
+def test_mismatched_end_raises():
+    tracer = Tracer()
+    tracer.begin("a")
+    with pytest.raises(SpanError, match="mismatched end"):
+        tracer.end("b")
+    tracer.end("a")
+    with pytest.raises(SpanError, match="no open span"):
+        tracer.end("a")
+
+
+def test_end_without_name_closes_innermost():
+    tracer = Tracer()
+    tracer.begin("outer")
+    tracer.begin("inner")
+    tracer.end()
+    assert tracer.open_spans() == ("outer",)
+
+
+def test_end_if_open_is_lenient():
+    tracer = Tracer()
+    assert tracer.end_if_open("ghost") is False
+    tracer.begin("a")
+    assert tracer.end_if_open("b") is False
+    assert tracer.end_if_open("a") is True
+    assert tracer.open_spans() == ()
+
+
+def test_tracks_are_independent():
+    tracer = Tracer()
+    tracer.begin("x", track="t1")
+    tracer.begin("y", track="t2")
+    tracer.end("y", track="t2")
+    assert tracer.open_spans("t1") == ("x",)
+    assert tracer.open_spans("t2") == ()
+    assert tracer.tracks() == ["t1", "t2"]
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer(enabled=False)
+    tracer.begin("a")
+    tracer.instant("b")
+    tracer.end("a")  # no SpanError either: disabled path is inert
+    with tracer.span("c"):
+        pass
+    assert len(tracer) == 0
+    assert tracer.dropped_events == 0
+
+
+def test_ring_buffer_caps_memory_and_counts_drops():
+    tracer = Tracer(capacity=8, wall_clock=False)
+    for index in range(30):
+        tracer.instant(f"e{index}")
+    assert len(tracer) == 8
+    assert tracer.dropped_events == 22
+    # oldest evicted, newest retained
+    assert tracer.events[0].name == "e22"
+    assert tracer.events[-1].name == "e29"
+
+
+def test_configure_shrinks_and_resets_stacks():
+    tracer = Tracer(capacity=16)
+    tracer.begin("open")
+    for index in range(10):
+        tracer.instant(f"e{index}")
+    tracer.configure(capacity=4)
+    assert len(tracer) == 4
+    assert tracer.dropped_events == 7  # 11 recorded, 4 kept
+    # stacks were cleared: a bare end has nothing to close
+    with pytest.raises(SpanError):
+        tracer.end()
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(SpanError):
+        Tracer(capacity=0)
+    with pytest.raises(SpanError):
+        Tracer().configure(capacity=-1)
+
+
+def test_span_context_manager_and_backdated_begin():
+    clock = {"now": 100}
+    tracer = Tracer(time_fn=lambda: clock["now"], wall_clock=False)
+    with tracer.span("work", attrs={"k": 1}):
+        clock["now"] = 200
+    begin, end = tracer.events
+    assert (begin.kind, begin.time_ps, begin.attrs) == (BEGIN, 100, {"k": 1})
+    assert (end.kind, end.time_ps) == (END, 200)
+    tracer.begin("late", time_ps=150)
+    assert tracer.events[-1].time_ps == 150
+
+
+def test_instant_records_current_depth():
+    tracer = Tracer()
+    tracer.instant("top")
+    tracer.begin("outer")
+    tracer.instant("in-span")
+    assert tracer.events[0].depth == 0
+    assert tracer.events[0].kind == INSTANT
+    assert tracer.events[2].depth == 1
