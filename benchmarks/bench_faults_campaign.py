@@ -1,0 +1,112 @@
+"""Experiment FAULTS-OVERHEAD: a disabled fault plant costs nothing.
+
+The fault stack (``repro.faults``) hangs off the runtime executor: the
+plant hooks the reconfiguration engine's completion path, the scrubber
+shares the ICAP, and the watchdog polls channels between quanta.  All of
+that must be pay-for-what-you-use -- a system constructed with the plant
+*disabled* (``FaultPlant(..., enabled=False)``) installs no hooks and
+turns ``start()``/``poll()`` into no-ops, so a representative streaming
+workload must run within 5% of a plant-free baseline.
+
+A second benchmark records the absolute cost of a small end-to-end
+campaign (inject + scrub + repair on the prototype system) so
+regressions in the enabled path show up in the saved benchmark JSON.
+
+``REPRO_FAULTS_BENCH_CYCLES`` scales the workload (CI smoke uses a
+small value).  Wall-clock comparisons use a min-of-repeats to damp
+scheduler noise.
+"""
+
+import os
+import time
+
+from repro.core import SystemParameters, VapresSystem
+from repro.faults.campaign import load_campaign_input, run_campaign
+from repro.faults.model import CampaignConfig
+from repro.faults.plant import FaultPlant
+from repro.modules import Iom, MovingAverage
+from repro.modules.sources import sine_wave
+from repro.pr.scheduler import ReconfigScheduler
+
+CYCLES = int(os.environ.get("REPRO_FAULTS_BENCH_CYCLES", "20000"))
+REPEATS = 5
+POLL_EVERY_CYCLES = 1000
+MAX_OVERHEAD = 0.05
+
+
+def _build_system() -> VapresSystem:
+    system = VapresSystem(SystemParameters.prototype())
+    iom = Iom("io", source=sine_wave(count=10 * CYCLES))
+    system.attach_iom("rsb0.iom0", iom)
+    system.place_module_directly(MovingAverage("flt", window=4), "rsb0.prr0")
+    system.open_stream("rsb0.iom0", "rsb0.prr0")
+    system.open_stream("rsb0.prr0", "rsb0.iom0")
+    return system
+
+
+def _timed_run(with_plant: bool) -> float:
+    """Seconds for the chunked workload; min of REPEATS fresh systems."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        system = _build_system()
+        system.sim.set_tracing(False)
+        plant = None
+        if with_plant:
+            plant = FaultPlant(
+                system,
+                ReconfigScheduler(system.engine),
+                CampaignConfig(seed=0),
+                enabled=False,
+            )
+            plant.start()
+        started = time.perf_counter()
+        for _ in range(CYCLES // POLL_EVERY_CYCLES):
+            system.run_for_cycles(POLL_EVERY_CYCLES)
+            if plant is not None:
+                plant.poll()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_disabled_plant_overhead(benchmark):
+    baseline = _timed_run(with_plant=False)
+    instrumented = benchmark(lambda: _timed_run(with_plant=True))
+    overhead = instrumented / baseline - 1.0
+    benchmark.extra_info["FAULTS-OVERHEAD:disabled_plant"] = {
+        "baseline_s": baseline,
+        "instrumented_s": instrumented,
+        "relative_overhead": overhead,
+        "budget": MAX_OVERHEAD,
+    }
+    print(
+        f"\ndisabled-plant overhead: base={baseline * 1e3:.1f}ms "
+        f"instrumented={instrumented * 1e3:.1f}ms "
+        f"({overhead * 100:+.2f}%, budget {MAX_OVERHEAD * 100:.0f}%)"
+    )
+    assert overhead < MAX_OVERHEAD
+
+
+def test_enabled_campaign_cost(benchmark):
+    """Absolute cost of a small scrub-and-repair campaign (tracked)."""
+    loaded = load_campaign_input("prototype")
+    config = CampaignConfig(
+        seed=3,
+        duration_us=400.0,
+        seu_frames=1,
+        scrub_period_us=100.0,
+        escalate_after=99,
+        quarantine_after=99,
+    )
+
+    def run():
+        return run_campaign(config, loaded.jobs, params=loaded.params)
+
+    result = benchmark(run)
+    report = result.resilience
+    benchmark.extra_info["FAULTS-OVERHEAD:campaign"] = {
+        "sim_us": report["sim_us"],
+        "injected": report["faults"]["injected"],
+        "repaired": report["faults"]["repaired"],
+        "scrub_passes": report["scrub"]["passes"],
+    }
+    assert report["faults"]["repaired"]["seu_frame"] == 1

@@ -34,6 +34,15 @@ Commands
     Render a saved Chrome trace (from ``serve --trace-out``) as a
     timeline table; ``--summary`` prints a flamegraph-style aggregation
     of span self-times instead.
+``faults``
+    Run a seeded fault-injection campaign (SEU frame upsets, stuck
+    lanes, FIFO bit errors, ICAP corruption) against a jobfile, sysdef
+    or preset, with ICAP scrubbing and self-healing recovery enabled,
+    and emit a resilience report (detection/repair latency, scrub
+    activity, Figure-5 recoveries and stream-sample loss).  The report
+    is byte-identical for the same seed and config.  ``--seed`` is
+    mandatory; the VAP5xx determinism lint rejects nondeterministic
+    inputs.  Exit code is non-zero when any job ends FAILED.
 """
 
 from __future__ import annotations
@@ -286,6 +295,100 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.faults.campaign import load_campaign_input, run_campaign
+    from repro.faults.model import CampaignConfig
+    from repro.runtime.jobs import JobError
+    from repro.verify.determinism import check_config_determinism
+
+    if args.seed is None:
+        print(
+            "faults: an explicit integer --seed is required (VAP502: "
+            "campaigns must be reproducible)",
+            file=sys.stderr,
+        )
+        return 2
+    config_dict = {
+        "seed": args.seed,
+        "duration_us": args.duration_us,
+        "seu_frames": args.seu,
+        "lane_stuck": args.lane_stuck,
+        "fifo_bit": args.fifo_bit,
+        "icap_corrupt": args.icap_corrupt,
+        "scrub_period_us": args.scrub_period_us,
+        "escalate_after": args.escalate_after,
+        "quarantine_after": args.quarantine_after,
+    }
+    # VAP5xx lint: the campaign dict plus the target spec itself (a
+    # jobfile can smuggle in unseeded noise sources or placeholders)
+    lint_specs = [("campaign", config_dict)]
+    target_path = Path(args.target)
+    if target_path.is_file():
+        try:
+            lint_specs.append(
+                (target_path.name, json.loads(target_path.read_text()))
+            )
+        except (OSError, json.JSONDecodeError):
+            pass  # load_campaign_input reports the real error below
+    findings = []
+    for subject, spec in lint_specs:
+        findings.extend(check_config_determinism(spec, subject=subject))
+    for finding in findings:
+        print(f"faults: {finding}", file=sys.stderr)
+    if any(str(f.severity) == "error" for f in findings):
+        return 2
+    try:
+        config = CampaignConfig.from_dict(config_dict)
+        loaded = load_campaign_input(args.target)
+        mode = args.mode or loaded.mode
+        workers = args.workers if args.workers is not None else loaded.workers
+        result = run_campaign(
+            config,
+            loaded.jobs,
+            params=loaded.params,
+            mode=mode,
+            workers=workers,
+            executor=loaded.executor,
+        )
+    except JobError as error:
+        print(f"faults: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(result.to_json())
+    else:
+        r = result.resilience
+        injected = sum(r["faults"]["injected"].values())
+        detected = sum(r["faults"]["detected"].values())
+        repaired = sum(r["faults"]["repaired"].values())
+        print(f"campaign: seed={config.seed} mode={r['mode']} "
+              f"jobs={r['jobs']['total']}")
+        print(f"faults: injected={injected} detected={detected} "
+              f"repaired={repaired}")
+        print(f"  detect latency: mean "
+              f"{r['faults']['detect_latency_us']['mean_us']:.1f}us "
+              f"over {r['faults']['detect_latency_us']['count']}")
+        print(f"  repair latency: mean "
+              f"{r['faults']['repair_latency_us']['mean_us']:.1f}us "
+              f"over {r['faults']['repair_latency_us']['count']}")
+        print(f"scrub: passes={r['scrub']['passes']} "
+              f"frames={r['scrub']['frames_scrubbed']} "
+              f"repairs={r['scrub']['repairs']}")
+        print(f"figure5: recoveries={r['figure5']['recoveries']} "
+              f"samples_lost={r['figure5']['samples_lost']}")
+        print(f"jobs: states={r['jobs']['states']} "
+              f"words_out={r['jobs']['words_out']} "
+              f"words_lost={r['jobs']['words_lost']} "
+              f"degraded={r['jobs']['degraded']}")
+        if r["quarantined"]:
+            print(f"quarantined PRRs: {r['quarantined']}")
+    if args.output:
+        Path(args.output).write_text(result.to_json() + "\n")
+        print(f"resilience report saved to {args.output}", file=sys.stderr)
+    return 0 if result.ok else 1
+
+
 def cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs.export import (
         flame_summary,
@@ -396,6 +499,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the run's metrics in Prometheus text format",
     )
     serve.set_defaults(func=cmd_serve)
+
+    faults = sub.add_parser(
+        "faults",
+        help="run a reproducible fault-injection campaign "
+             "(SEU / scrub / self-healing)",
+    )
+    faults.add_argument(
+        "target",
+        help="a jobfile, a sysdef JSON, or a preset name (prototype, "
+             "figure7); non-jobfiles get a synthesised victim stream",
+    )
+    faults.add_argument(
+        "--seed", type=int, default=None,
+        help="campaign seed (required; campaigns must be reproducible)",
+    )
+    faults.add_argument("--duration-us", type=float, default=2000.0,
+                        help="injection window in simulated microseconds")
+    faults.add_argument("--seu", type=int, default=0, metavar="N",
+                        help="SEU frame upsets to inject")
+    faults.add_argument("--lane-stuck", type=int, default=0, metavar="N",
+                        help="stuck-at switch-box lane faults to inject")
+    faults.add_argument("--fifo-bit", type=int, default=0, metavar="N",
+                        help="transient FIFO bit errors to inject")
+    faults.add_argument("--icap-corrupt", type=int, default=0, metavar="N",
+                        help="ICAP transfer corruptions to inject")
+    faults.add_argument("--scrub-period-us", type=float, default=200.0,
+                        help="frame-readback scrub period")
+    faults.add_argument("--escalate-after", type=int, default=2,
+                        help="frame faults on a PRR before module "
+                             "replacement instead of rewrite")
+    faults.add_argument("--quarantine-after", type=int, default=3,
+                        help="frame faults on a PRR before it is retired")
+    faults.add_argument(
+        "--mode", choices=("fleet", "colocate"),
+        help="override the jobfile's execution mode (default: colocate "
+             "for sysdefs/presets)",
+    )
+    faults.add_argument("--workers", type=int, metavar="N",
+                        help="fleet worker processes")
+    faults.add_argument("--json", action="store_true",
+                        help="emit the resilience report as JSON")
+    faults.add_argument("--output", metavar="FILE",
+                        help="also save the JSON resilience report here")
+    faults.set_defaults(func=cmd_faults)
 
     obs = sub.add_parser(
         "obs", help="render a saved Chrome trace as a timeline table"

@@ -16,7 +16,9 @@ pre-edge state.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import zlib
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.comm.interfaces import (
     INVALID_WORD,
@@ -59,6 +61,18 @@ class StreamingChannel:
         #: fabric cycles the producer had data ready but the arrived
         #: feedback-full (credit) signal held the read back
         self.stall_cycles = 0
+        #: fault-injection hooks (repro.faults): a stuck-at credit lane
+        #: asserts permanent backpressure at the producer end; a stuck-at-1
+        #: data lane ORs its mask onto every word at the delivery register
+        self.fault_stuck_full = False
+        self.fault_data_or = 0
+        #: output-signature watchdog: per-word CRCs recorded at the
+        #: pipeline head and checked at delivery, so data corrupted in
+        #: transit (not at the producer) is caught
+        self.check_signatures = False
+        self.signature_mismatches = 0
+        self._sent_sigs: Deque[int] = deque()
+        self._sig_skip = 0
         consumer.set_backpressure_slack(2 * self.d)
 
     # ------------------------------------------------------------------
@@ -70,10 +84,18 @@ class StreamingChannel:
             return
         valid, word = self._forward[-1]
         if valid:
+            if self.fault_data_or:
+                word |= self.fault_data_or
+            if self.check_signatures:
+                if self._sig_skip:
+                    self._sig_skip -= 1
+                elif self._sent_sigs:
+                    if self._sent_sigs.popleft() != self._signature(word):
+                        self.signature_mismatches += 1
             self.consumer.receive(valid, word)
             self.words_delivered += 1
         # feedback that has reached the producer end gates the FIFO read
-        backpressured = self._backward[-1]
+        backpressured = self._backward[-1] or self.fault_stuck_full
         if (
             backpressured
             and self.producer.fifo_ren
@@ -83,6 +105,8 @@ class StreamingChannel:
         self._staged_forward = self.producer.drive(
             backpressured=backpressured
         )
+        if self.check_signatures and self._staged_forward[0]:
+            self._sent_sigs.append(self._signature(self._staged_forward[1]))
         self._staged_backward = self.consumer.full_feedback
 
     def commit(self) -> None:
@@ -111,7 +135,24 @@ class StreamingChannel:
         self.released = True
         self._forward = [INVALID_WORD] * self.d
         self._backward = [False] * self.d
+        self._sent_sigs.clear()
         return lost
+
+    def enable_signature_check(self) -> None:
+        """Arm the per-word output-signature watchdog.
+
+        Words already in transit were staged without a signature; they
+        are skipped so a mid-stream arm never produces false positives.
+        """
+        if self.check_signatures:
+            return
+        self.check_signatures = True
+        self._sig_skip = self.in_flight
+        self._sent_sigs.clear()
+
+    @staticmethod
+    def _signature(word: int) -> int:
+        return zlib.crc32(word.to_bytes(8, "little"))
 
     def __repr__(self) -> str:
         path = "->".join(str(h) for h in self.hops)

@@ -52,6 +52,13 @@ class ProducerInterface:
         )
         self.fifo_ren = False  # PRSocket FIFO_ren (Table 1 bit 5)
         self.words_sent = 0
+        #: fault-injection hook (repro.faults): OR mask applied to every
+        #: word driven onto the channel, modelling logic corrupted by a
+        #: configuration-frame upset.  An OR mask (stuck-at-1) corrupts
+        #: data words yet keeps the all-ones EOS word intact, so the
+        #: Figure 5 drain/flush protocol still terminates on a faulted
+        #: module.  Cleared when the frame fault is repaired.
+        self.fault_or = 0
 
     # ------------------------------------------------------------------
     # module (PRR) side
@@ -80,6 +87,8 @@ class ProducerInterface:
             return INVALID_WORD
         word = self.fifo.pop()
         self.words_sent += 1
+        if self.fault_or:
+            word = (word | self.fault_or) & self.mask
         return (True, word)
 
     def reset(self) -> None:

@@ -33,8 +33,13 @@ class IcapTransfer:
     start_ps: int
     duration_ps: int
     done: bool = False
+    #: abandoned mid-flight (scrub-readback preemption); ``duration_ps``
+    #: is truncated to the time the port was actually held
+    aborted: bool = False
     segments: List[str] = field(default_factory=list)
     callbacks: List[Callable[["IcapTransfer"], None]] = field(default_factory=list)
+    #: kernel event firing the completion; kept so an abort can cancel it
+    completion_event: Optional[object] = None
 
     def add_done_callback(self, callback: Callable[[], None]) -> None:
         """Invoke ``callback`` (no args) when the transfer completes."""
@@ -120,7 +125,7 @@ class IcapController:
             for callback in pending:
                 callback(transfer)
 
-        self.sim.schedule(transfer.duration_ps, _complete)
+        transfer.completion_event = self.sim.schedule(transfer.duration_ps, _complete)
         self.sim.tracer.begin(
             f"reconfigure {target}",
             category="icap",
@@ -134,5 +139,36 @@ class IcapController:
             "icap",
             f"reconfiguration of {target} started",
             bytes=size_bytes,
+        )
+        return transfer
+
+    def abort_current(self) -> Optional[IcapTransfer]:
+        """Abandon the in-flight transfer and free the port immediately.
+
+        Used by the reconfiguration scheduler to preempt a low-priority
+        scrub readback when real PR traffic arrives.  The transfer's
+        completion never fires (``on_done`` and done-callbacks are not
+        invoked) and ``done`` stays ``False``; the preempted request must
+        be restarted from scratch.  Returns the aborted transfer, or
+        ``None`` when the port was idle.
+        """
+        transfer = self._current
+        if transfer is None:
+            return None
+        if transfer.completion_event is not None:
+            transfer.completion_event.cancel()  # type: ignore[attr-defined]
+        transfer.aborted = True
+        transfer.duration_ps = self.sim.now - transfer.start_ps
+        self._current = None
+        self.history.append(transfer)
+        self.sim.tracer.end_if_open(
+            f"reconfigure {transfer.target}", track=self.name
+        )
+        self.sim.metrics.counter("repro_icap_aborted_total").inc()
+        self.sim.log(
+            "icap",
+            f"transfer to {transfer.target} aborted after "
+            f"{transfer.duration_ps / 1e6:.1f}us",
+            bytes=transfer.size_bytes,
         )
         return transfer

@@ -1,0 +1,59 @@
+"""repro.faults: SEU injection, ICAP scrubbing, and self-healing recovery.
+
+Layering::
+
+    model    -- fault classes, campaign config, frame store, ledger
+    inject   -- plants faults into live simulated state
+    detect   -- readback-CRC scrubber + stream watchdogs
+    recover  -- frame rewrite -> module replacement -> quarantine ladder
+    plant    -- per-system bundle with runtime action queues
+    campaign -- reproducible campaigns + JSON resilience report
+
+The runtime executor consumes :class:`FaultPlant`; everything else is
+composable on a bare :class:`~repro.core.VapresSystem`.
+"""
+
+from repro.faults.campaign import (
+    CampaignInput,
+    CampaignResult,
+    FaultCampaign,
+    load_campaign_input,
+    resilience_report,
+    run_campaign,
+)
+from repro.faults.detect import FrameScrubber, StreamWatchdog
+from repro.faults.inject import FaultInjector
+from repro.faults.model import (
+    ALL_FAULT_CLASSES,
+    CampaignConfig,
+    FaultClass,
+    FaultEvent,
+    FaultLedger,
+    FrameStore,
+    derive_seed,
+    rng_for,
+)
+from repro.faults.plant import FaultPlant
+from repro.faults.recover import RecoveryEngine
+
+__all__ = [
+    "ALL_FAULT_CLASSES",
+    "CampaignConfig",
+    "CampaignInput",
+    "CampaignResult",
+    "FaultCampaign",
+    "FaultClass",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultLedger",
+    "FaultPlant",
+    "FrameScrubber",
+    "FrameStore",
+    "RecoveryEngine",
+    "StreamWatchdog",
+    "derive_seed",
+    "load_campaign_input",
+    "resilience_report",
+    "rng_for",
+    "run_campaign",
+]

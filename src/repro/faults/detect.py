@@ -1,0 +1,203 @@
+"""Fault detection: frame readback scrubbing and stream watchdogs.
+
+**FrameScrubber** -- periodically reads back one PRR's configuration
+frames through the ICAP (round-robin over the floorplan) and compares
+the CRC against the golden image.  Readbacks go through the
+:class:`~repro.pr.scheduler.ReconfigScheduler` at scrub priority and are
+preemptible, so real PR traffic always wins the port; a preempted
+readback restarts from scratch.  With ``P`` PRRs and period ``T`` the
+worst-case detection latency of a frame fault is ``P * T`` plus one
+readback duration (plus any time the port is stolen by PR traffic).
+
+**StreamWatchdog** -- polls live channels for two symptoms a frame CRC
+cannot see: a *stalled credit* lane (words stopped flowing while the
+producer still has data and backpressure never clears) and *output
+signature* mismatches (per-word CRCs recorded at the pipeline head
+disagree at delivery).  It also sweeps interface-FIFO ECC counters;
+an ECC correction is a detection and a repair in one step.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.faults.model import FaultClass, FaultLedger, FrameStore
+from repro.pr.bitstream import FRAME_BYTES
+from repro.pr.scheduler import PRIORITY_SCRUB, ReconfigScheduler
+
+
+class FrameScrubber:
+    """Readback-CRC scrubber sharing the ICAP with PR traffic."""
+
+    def __init__(
+        self,
+        system,
+        scheduler: ReconfigScheduler,
+        store: FrameStore,
+        ledger: FaultLedger,
+        period_us: float,
+        on_frame_fault: Optional[Callable[[str, List[int]], None]] = None,
+    ) -> None:
+        self.system = system
+        self.scheduler = scheduler
+        self.store = store
+        self.ledger = ledger
+        self.period_us = period_us
+        self.on_frame_fault = on_frame_fault
+        self._prrs = store.prr_names
+        self._next = 0
+        self._outstanding = False
+        self._stopped = False
+        self.passes = 0
+        self.frames_scrubbed = 0
+        self.skipped_ticks = 0
+
+    def start(self) -> None:
+        self._schedule_tick()
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    def _schedule_tick(self) -> None:
+        self.system.sim.schedule(
+            max(1, int(self.period_us * 1e6)), self._tick
+        )
+
+    def _tick(self) -> None:
+        if self._stopped or not self._prrs:
+            return
+        if self._outstanding:
+            # previous readback still queued or preempted off the port;
+            # do not pile more scrub traffic behind PR work
+            self.skipped_ticks += 1
+            self._schedule_tick()
+            return
+        prr = self._prrs[self._next % len(self._prrs)]
+        self._next += 1
+        frames = self.store.frame_count(prr)
+        size = frames * FRAME_BYTES
+
+        def starter(on_done):
+            return self.system.icap.start_transfer(
+                target=f"scrub {prr}",
+                size_bytes=size,
+                duration_seconds=(
+                    self.system.bram_buffer.icap_transfer_seconds(size)
+                ),
+                on_done=on_done,
+            )
+
+        self._outstanding = True
+        request = self.scheduler.submit_transfer(
+            f"scrub/{prr}", prr, starter,
+            priority=PRIORITY_SCRUB, preemptible=True,
+        )
+        request.add_done_callback(lambda: self._readback_done(prr, frames))
+        self._schedule_tick()
+
+    def _readback_done(self, prr: str, frames: int) -> None:
+        self._outstanding = False
+        self.passes += 1
+        self.frames_scrubbed += frames
+        metrics = self.system.sim.metrics
+        metrics.counter("repro_scrub_passes_total").inc()
+        metrics.counter("repro_scrub_frames_total").inc(frames)
+        if self.store.crc(prr) == self.store.golden_crc(prr):
+            return
+        bad = self.store.corrupted_frames(prr)
+        newly_detected = 0
+        for event in self.ledger.open_events(
+            target=prr,
+            classes=(FaultClass.SEU_FRAME, FaultClass.ICAP_CORRUPT),
+            detected=False,
+        ):
+            self.ledger.mark_detected(event, via="scrub")
+            newly_detected += 1
+        if newly_detected and self.on_frame_fault is not None:
+            self.on_frame_fault(prr, bad)
+
+
+class StreamWatchdog:
+    """Polls channels and FIFOs for symptoms the scrubber cannot see."""
+
+    def __init__(
+        self,
+        system,
+        ledger: FaultLedger,
+        stall_polls: int = 2,
+        on_lane_fault: Optional[Callable[[object, str], None]] = None,
+    ) -> None:
+        self.system = system
+        self.ledger = ledger
+        self.stall_polls = stall_polls
+        self.on_lane_fault = on_lane_fault
+        # channel_id -> (words_delivered, stall_cycles, strikes)
+        self._seen: Dict[int, Tuple[int, int, int]] = {}
+        self._flagged: Set[int] = set()
+        self._fifo_corrected: Dict[str, int] = {}
+        self.detections = 0
+
+    def poll(self) -> None:
+        """One watchdog pass; call between executor quanta."""
+        for rsb in self.system.rsbs:
+            for cid in sorted(rsb.fabric.channels):
+                channel = rsb.fabric.channels[cid]
+                if channel.released:
+                    self._seen.pop(cid, None)
+                    continue
+                self._poll_channel(cid, channel)
+        self._poll_fifos()
+
+    # ------------------------------------------------------------------
+    def _poll_channel(self, cid: int, channel) -> None:
+        if cid not in self._flagged and channel.signature_mismatches:
+            self._detect(channel, "watchdog-signature")
+            return
+        delivered = channel.words_delivered
+        stalls = channel.stall_cycles
+        prev = self._seen.get(cid)
+        strikes = 0
+        if prev is not None:
+            prev_delivered, prev_stalls, strikes = prev
+            if delivered == prev_delivered and stalls > prev_stalls:
+                strikes += 1
+            else:
+                strikes = 0
+        self._seen[cid] = (delivered, stalls, strikes)
+        if strikes >= self.stall_polls and cid not in self._flagged:
+            self._detect(channel, "watchdog-credit")
+
+    def _detect(self, channel, via: str) -> None:
+        cid = channel.channel_id
+        self._flagged.add(cid)
+        self.detections += 1
+        for event in self.ledger.open_events(
+            target=f"channel#{cid}",
+            classes=(FaultClass.LANE_STUCK,),
+            detected=False,
+        ):
+            self.ledger.mark_detected(event, via=via)
+        if self.on_lane_fault is not None:
+            self.on_lane_fault(channel, via)
+
+    def clear_flag(self, channel_id: int) -> None:
+        """Forget a channel after its fault was handled (rerouted)."""
+        self._flagged.discard(channel_id)
+        self._seen.pop(channel_id, None)
+
+    def _poll_fifos(self) -> None:
+        for slot in (*self.system.prr_slots, *self.system.iom_slots):
+            for interface in (*slot.consumers, *slot.producers):
+                fifo = interface.fifo
+                corrected = fifo.ecc_corrected
+                seen = self._fifo_corrected.get(fifo.name, 0)
+                if corrected <= seen:
+                    continue
+                self._fifo_corrected[fifo.name] = corrected
+                for event in self.ledger.open_events(
+                    target=fifo.name,
+                    classes=(FaultClass.FIFO_BIT,),
+                ):
+                    self.ledger.mark_detected(event, via="ecc")
+                    self.ledger.mark_repaired(event, action="ecc_correct")

@@ -1,0 +1,239 @@
+"""Fault injector: plants campaign faults into real simulated state.
+
+The injector turns a :class:`~repro.faults.model.CampaignConfig` into a
+deterministic *plan* (per-class RNG streams, times inside the injection
+window, concrete targets) and arms one kernel event per planned fault.
+Effects land in the state the rest of the stack genuinely operates on:
+
+* SEU frame flips mutate the :class:`~repro.faults.model.FrameStore`
+  (what the scrubber reads back) *and* corrupt the victim module's
+  producer output via the ``fault_or`` stuck-at mask;
+* lane faults latch ``fault_stuck_full`` / ``fault_data_or`` on a live
+  :class:`~repro.comm.channel.StreamingChannel`;
+* FIFO bit errors flip a stored word inside an interface FIFO, to be
+  corrected by its ECC shadow at read time;
+* ICAP corruption rides the reconfiguration engine's completion hook:
+  the k-th completed transfer leaves corrupted frames behind.
+
+Targets that do not exist yet at the planned time (no active channel, no
+occupied FIFO) are retried a bounded number of times and then dropped --
+deterministically, since retry times are fixed offsets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.faults.model import (
+    CampaignConfig,
+    FaultClass,
+    FaultLedger,
+    FrameStore,
+    rng_for,
+)
+
+#: how many times a fault with no viable target is rescheduled
+_RETRIES = 5
+
+
+class _PlannedFault:
+    def __init__(self, fault_class: FaultClass, at_us: float, **params) -> None:
+        self.fault_class = fault_class
+        self.at_us = at_us
+        self.params = params
+        self.retries = _RETRIES
+
+
+class FaultInjector:
+    """Arms and fires one campaign's faults against a live system."""
+
+    def __init__(
+        self,
+        system,
+        config: CampaignConfig,
+        store: FrameStore,
+        ledger: FaultLedger,
+        enabled: bool = True,
+    ) -> None:
+        self.system = system
+        self.config = config
+        self.store = store
+        self.ledger = ledger
+        self.enabled = enabled
+        self.plan: List[_PlannedFault] = []
+        self.dropped = 0
+        self._icap_corrupt: Dict[int, _PlannedFault] = {}
+        self._completions = 0
+        self._build_plan()
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def _window(self, rng) -> float:
+        lo, hi = 0.05, 0.95
+        return self.config.duration_us * (lo + (hi - lo) * rng.random())
+
+    def _build_plan(self) -> None:
+        cfg = self.config
+        prrs = self.store.prr_names
+        rng = rng_for(cfg.seed, "seu_frame")
+        for _ in range(cfg.seu_frames if prrs else 0):
+            prr = prrs[rng.randrange(len(prrs))]
+            self.plan.append(_PlannedFault(
+                FaultClass.SEU_FRAME, self._window(rng),
+                prr=prr,
+                frame=rng.randrange(self.store.frame_count(prr)),
+                bit=rng.randrange(32),
+            ))
+        rng = rng_for(cfg.seed, "lane_stuck")
+        for _ in range(cfg.lane_stuck):
+            self.plan.append(_PlannedFault(
+                FaultClass.LANE_STUCK, self._window(rng),
+                pick=rng.randrange(1 << 16),
+                mode="credit" if rng.random() < 0.5 else "data",
+                mask=1 << rng.randrange(32),
+            ))
+        rng = rng_for(cfg.seed, "fifo_bit")
+        for _ in range(cfg.fifo_bit):
+            self.plan.append(_PlannedFault(
+                FaultClass.FIFO_BIT, self._window(rng),
+                pick=rng.randrange(1 << 16),
+                index=rng.randrange(1 << 16),
+                mask=1 << rng.randrange(32),
+            ))
+        rng = rng_for(cfg.seed, "icap_corrupt")
+        for i in range(cfg.icap_corrupt):
+            # corrupt the (ordinal)-th completed engine transfer
+            ordinal = self._completions + 1 + i * 2 + rng.randrange(2)
+            fault = _PlannedFault(
+                FaultClass.ICAP_CORRUPT, 0.0,
+                frames=1 + rng.randrange(3),
+            )
+            self._icap_corrupt[ordinal] = fault
+        # stable firing order for same-time faults
+        self.plan.sort(key=lambda f: (f.at_us, f.fault_class.value))
+
+    # ------------------------------------------------------------------
+    # arming
+    # ------------------------------------------------------------------
+    def arm(self) -> None:
+        """Schedule every planned fault; no-op when disabled."""
+        if not self.enabled:
+            return
+        sim = self.system.sim
+        for fault in self.plan:
+            sim.schedule(
+                max(1, int(fault.at_us * 1e6)),
+                lambda fault=fault: self._fire(fault),
+            )
+
+    def on_engine_complete(self, prr_name, module_name, transfer) -> None:
+        """Reconfiguration-engine completion hook (ICAP corruption)."""
+        self._completions += 1
+        fault = self._icap_corrupt.pop(self._completions, None)
+        if fault is None or not self.enabled:
+            return
+        if prr_name not in self.store:
+            return
+        frames = min(fault.params["frames"], self.store.frame_count(prr_name))
+        for index in range(frames):
+            self.store.flip(prr_name, index, index % 32)
+        self.ledger.record(
+            FaultClass.ICAP_CORRUPT, prr_name,
+            detail={"frames": frames, "module": module_name},
+        )
+        self._apply_output_corruption(prr_name)
+
+    # ------------------------------------------------------------------
+    # firing
+    # ------------------------------------------------------------------
+    def _retry(self, fault: _PlannedFault) -> None:
+        if fault.retries <= 0:
+            self.dropped += 1
+            return
+        fault.retries -= 1
+        delay_us = max(1.0, self.config.duration_us / 20.0)
+        self.system.sim.schedule(
+            int(delay_us * 1e6), lambda: self._fire(fault)
+        )
+
+    def _fire(self, fault: _PlannedFault) -> None:
+        if fault.fault_class is FaultClass.SEU_FRAME:
+            self._fire_seu(fault)
+        elif fault.fault_class is FaultClass.LANE_STUCK:
+            self._fire_lane(fault)
+        elif fault.fault_class is FaultClass.FIFO_BIT:
+            self._fire_fifo(fault)
+
+    def _fire_seu(self, fault: _PlannedFault) -> None:
+        prr = fault.params["prr"]
+        self.store.flip(prr, fault.params["frame"], fault.params["bit"])
+        self.ledger.record(
+            FaultClass.SEU_FRAME, prr,
+            detail={
+                "frame": fault.params["frame"],
+                "bit": fault.params["bit"],
+            },
+        )
+        self._apply_output_corruption(prr)
+
+    def _apply_output_corruption(self, prr: str) -> None:
+        """Corrupted configuration => stuck-at-1 on the module's output."""
+        try:
+            slot = self.system.prr(prr)
+        except Exception:
+            return
+        if slot.module is None or slot.reconfiguring:
+            return
+        for producer in slot.producers:
+            producer.fault_or |= 0x1 << (self.store.crc(prr) % 16)
+
+    def _active_channels(self) -> List:
+        channels = []
+        for rsb in self.system.rsbs:
+            for cid in sorted(rsb.fabric.channels):
+                channel = rsb.fabric.channels[cid]
+                if not channel.released and not (
+                    channel.fault_stuck_full or channel.fault_data_or
+                ):
+                    channels.append(channel)
+        return channels
+
+    def _fire_lane(self, fault: _PlannedFault) -> None:
+        channels = self._active_channels()
+        if not channels:
+            self._retry(fault)
+            return
+        channel = channels[fault.params["pick"] % len(channels)]
+        mode = fault.params["mode"]
+        if mode == "credit":
+            channel.fault_stuck_full = True
+        else:
+            channel.enable_signature_check()
+            channel.fault_data_or = fault.params["mask"]
+        self.ledger.record(
+            FaultClass.LANE_STUCK, f"channel#{channel.channel_id}",
+            detail={"mode": mode, "mask": fault.params["mask"]},
+        )
+
+    def _candidate_fifos(self) -> List:
+        fifos = []
+        for slot in (*self.system.prr_slots, *self.system.iom_slots):
+            for interface in (*slot.consumers, *slot.producers):
+                if len(interface.fifo) > 0:
+                    fifos.append(interface.fifo)
+        return fifos
+
+    def _fire_fifo(self, fault: _PlannedFault) -> None:
+        fifos = self._candidate_fifos()
+        if not fifos:
+            self._retry(fault)
+            return
+        fifo = fifos[fault.params["pick"] % len(fifos)]
+        if not fifo.corrupt_word(fault.params["index"], fault.params["mask"]):
+            self._retry(fault)
+            return
+        self.ledger.record(
+            FaultClass.FIFO_BIT, fifo.name,
+            detail={"mask": fault.params["mask"]},
+        )

@@ -1,0 +1,172 @@
+"""FaultPlant: one system's complete fault stack, behind a poll queue.
+
+The plant wires a :class:`FrameStore`, :class:`FaultInjector`,
+:class:`FrameScrubber`, :class:`StreamWatchdog` and
+:class:`RecoveryEngine` onto a live :class:`~repro.core.VapresSystem`
+and exposes the decisions that need a *runtime* (job knowledge) as
+pending-action queues:
+
+* ``take_replacements()`` -- PRRs whose resident module should be
+  re-landed on a healthy PRR (Figure 5 switch);
+* ``take_lane_faults()`` -- channels with a latched stuck-at lane whose
+  owning job must be rerouted (evict + requeue);
+* ``take_quarantines()`` -- PRRs to retire from admission;
+* ``take_repaired()`` -- PRRs whose frames are clean again.
+
+This module exists to break an import cycle: the runtime executor
+imports the plant, while :mod:`repro.faults.campaign` imports the
+runtime.  Construction is cheap and, with ``enabled=False``, installs
+nothing on the hot path -- the overhead benchmark holds that at < 5%.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.faults.detect import FrameScrubber, StreamWatchdog
+from repro.faults.inject import FaultInjector
+from repro.faults.model import (
+    CampaignConfig,
+    FaultLedger,
+    FrameStore,
+)
+from repro.faults.recover import RecoveryEngine
+
+
+class FaultPlant:
+    """Injection, detection and recovery bound to one system."""
+
+    def __init__(
+        self,
+        system,
+        scheduler,
+        config: CampaignConfig,
+        enabled: bool = True,
+    ) -> None:
+        self.system = system
+        self.scheduler = scheduler
+        self.config = config
+        self.enabled = enabled
+        self.store = FrameStore(system.floorplan)
+        self.ledger = FaultLedger(system.sim)
+        self.recovery = RecoveryEngine(
+            system, scheduler, self.store, self.ledger, config,
+            on_escalate=self._on_escalate,
+            on_quarantine=self._on_quarantine,
+            on_repaired=self._on_repaired,
+        )
+        self.injector = FaultInjector(
+            system, config, self.store, self.ledger, enabled=enabled,
+        )
+        self.scrubber = FrameScrubber(
+            system, scheduler, self.store, self.ledger,
+            period_us=config.scrub_period_us,
+            on_frame_fault=self.recovery.handle_frame_fault,
+        )
+        self.watchdog = StreamWatchdog(
+            system, self.ledger,
+            stall_polls=config.watchdog_polls,
+            on_lane_fault=self._on_lane_fault,
+        )
+        self._pending_replacements: List[str] = []
+        self._pending_lane_faults: List[Tuple[object, str]] = []
+        self._pending_quarantines: List[str] = []
+        self._pending_repaired: List[str] = []
+        #: True once a runtime claimed the escalation path; without one,
+        #: escalations fall back to in-place frame rewrites
+        self.has_replacement_owner = False
+        if enabled:
+            # program the frame store whenever the engine lands a module;
+            # registered before the injector's corruption hook so a
+            # corrupted transfer corrupts the freshly written image
+            system.engine.on_complete.append(self._on_pr_complete)
+            system.engine.on_complete.append(self.injector.on_engine_complete)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm injection, start scrubbing, enable FIFO ECC."""
+        if not self.enabled:
+            return
+        for slot in (*self.system.prr_slots, *self.system.iom_slots):
+            for interface in (*slot.consumers, *slot.producers):
+                interface.fifo.enable_ecc()
+        self.injector.arm()
+        self.scrubber.start()
+
+    def poll(self) -> None:
+        """One detection pass; drain the action queues afterwards."""
+        if self.enabled:
+            self.watchdog.poll()
+
+    # ------------------------------------------------------------------
+    # action queues (drained by the runtime executor)
+    # ------------------------------------------------------------------
+    def take_replacements(self) -> List[str]:
+        out, self._pending_replacements = self._pending_replacements, []
+        return out
+
+    def take_lane_faults(self) -> List[Tuple[object, str]]:
+        out, self._pending_lane_faults = self._pending_lane_faults, []
+        return out
+
+    def take_quarantines(self) -> List[str]:
+        out, self._pending_quarantines = self._pending_quarantines, []
+        return out
+
+    def take_repaired(self) -> List[str]:
+        out, self._pending_repaired = self._pending_repaired, []
+        return out
+
+    def complete_replacement(self, prr: str, ok: bool) -> None:
+        """Runtime finished (or abandoned) a module replacement."""
+        if ok:
+            self.recovery.mark_replaced(prr)
+        else:
+            self.recovery.schedule_frame_rewrite(prr)
+
+    def complete_lane_repair(self, channel) -> None:
+        """Runtime rerouted the job off a faulted channel."""
+        channel.fault_stuck_full = False
+        channel.fault_data_or = 0
+        for event in self.ledger.open_events(
+            target=f"channel#{channel.channel_id}",
+        ):
+            self.ledger.mark_repaired(event, action="reroute")
+        self.watchdog.clear_flag(channel.channel_id)
+
+    # ------------------------------------------------------------------
+    # recovery-engine callbacks
+    # ------------------------------------------------------------------
+    def _on_escalate(self, prr: str) -> bool:
+        if not self.has_replacement_owner:
+            return False
+        self._pending_replacements.append(prr)
+        return True
+
+    def _on_lane_fault(self, channel, via: str) -> None:
+        self._pending_lane_faults.append((channel, via))
+
+    def _on_quarantine(self, prr: str) -> None:
+        self._pending_quarantines.append(prr)
+
+    def _on_repaired(self, prr: str) -> None:
+        self._pending_repaired.append(prr)
+
+    def _on_pr_complete(self, prr_name, module_name, transfer) -> None:
+        self.store.program(prr_name, module_name)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        """Deterministic roll-up for the resilience report (colocate)."""
+        return {
+            "counts": self.ledger.counts(),
+            "scrub": {
+                "passes": self.scrubber.passes,
+                "frames_scrubbed": self.scrubber.frames_scrubbed,
+                "skipped_ticks": self.scrubber.skipped_ticks,
+                "repairs": self.recovery.scrub_repairs,
+            },
+            "quarantined_prrs": sorted(self.recovery.quarantined),
+            "injector_dropped": self.injector.dropped,
+            "events": [event.to_dict() for event in self.ledger.events],
+        }

@@ -1,0 +1,169 @@
+"""Repair policies: frame rewrite, escalation, and quarantine.
+
+The policy ladder mirrors how real PR systems handle configuration
+upsets:
+
+1. **frame rewrite** (scrub repair) -- rewrite just the corrupted frames
+   from the golden bitstream, at PR priority on the ICAP.  The running
+   module keeps streaming; its stuck-at output mask clears once the
+   frames are clean.
+2. **module replacement** -- after ``escalate_after`` frame faults on
+   the same PRR the region is deemed unreliable for in-place repair and
+   the resident module is re-landed on a healthy PRR over the paper's
+   Figure 5 zero-interruption switch (performed by the runtime layer via
+   the :class:`~repro.faults.plant.FaultPlant` action queue; standalone
+   systems fall back to a frame rewrite).
+3. **quarantine** -- after ``quarantine_after`` faults the PRR is
+   retired: the admission controller removes it from the free pool and
+   shrinks the device budget.
+
+The engine is runtime-agnostic: escalation and quarantine surface as
+callbacks so :mod:`repro.runtime` can wire them into job scheduling
+while `campaign.py` can also run fabric-only experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.faults.model import (
+    CampaignConfig,
+    FaultClass,
+    FaultLedger,
+    FrameStore,
+)
+from repro.pr.bitstream import FRAME_BYTES
+from repro.pr.scheduler import PRIORITY_PR, ReconfigScheduler
+
+
+class RecoveryEngine:
+    """Escalating repair policy driven by scrubber detections."""
+
+    def __init__(
+        self,
+        system,
+        scheduler: ReconfigScheduler,
+        store: FrameStore,
+        ledger: FaultLedger,
+        config: CampaignConfig,
+        on_escalate: Optional[Callable[[str], bool]] = None,
+        on_quarantine: Optional[Callable[[str], None]] = None,
+        on_repaired: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.system = system
+        self.scheduler = scheduler
+        self.store = store
+        self.ledger = ledger
+        self.config = config
+        #: returns True when the caller took ownership of the repair
+        #: (module replacement); False falls back to a frame rewrite
+        self.on_escalate = on_escalate
+        self.on_quarantine = on_quarantine
+        self.on_repaired = on_repaired
+        self.fault_counts: Dict[str, int] = {}
+        self.quarantined: Set[str] = set()
+        self.scrub_repairs = 0
+        self._rewriting: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    def handle_frame_fault(self, prr: str, frames: List[int]) -> None:
+        """Scrubber callback: corrupted frames confirmed on ``prr``."""
+        count = self.fault_counts.get(prr, 0) + 1
+        self.fault_counts[prr] = count
+        if count >= self.config.quarantine_after:
+            self.quarantine(prr)
+        if (
+            count >= self.config.escalate_after
+            and self.on_escalate is not None
+            and self.on_escalate(prr)
+        ):
+            # replacement owner repairs the vacated region afterwards
+            return
+        self.schedule_frame_rewrite(prr, frames)
+
+    def schedule_frame_rewrite(
+        self, prr: str, frames: Optional[List[int]] = None
+    ) -> None:
+        """Queue a golden-frame rewrite of ``prr`` at PR priority."""
+        if prr in self._rewriting:
+            return
+        targets = frames if frames is not None else (
+            self.store.corrupted_frames(prr)
+        )
+        if not targets:
+            self._mark_repaired(prr)
+            return
+        size = len(targets) * FRAME_BYTES
+        self._rewriting.add(prr)
+
+        def starter(on_done):
+            return self.system.icap.start_transfer(
+                target=f"rewrite {prr}",
+                size_bytes=size,
+                duration_seconds=(
+                    self.system.sdram.icap_transfer_seconds(size)
+                ),
+                on_done=on_done,
+            )
+
+        request = self.scheduler.submit_transfer(
+            f"rewrite/{prr}", prr, starter,
+            priority=PRIORITY_PR, preemptible=False,
+        )
+        request.add_done_callback(
+            lambda: self._rewrite_done(prr, list(targets))
+        )
+
+    def _rewrite_done(self, prr: str, frames: List[int]) -> None:
+        self._rewriting.discard(prr)
+        self.store.repair(prr, frames)
+        self.scrub_repairs += 1
+        self.system.sim.metrics.counter("repro_scrub_repairs_total").inc()
+        self._mark_repaired(prr)
+
+    def _mark_repaired(self, prr: str) -> None:
+        if not self.store.corrupted_frames(prr):
+            self._clear_output_corruption(prr)
+            for event in self.ledger.open_events(
+                target=prr,
+                classes=(FaultClass.SEU_FRAME, FaultClass.ICAP_CORRUPT),
+            ):
+                self.ledger.mark_repaired(event, action="frame_rewrite")
+            if self.on_repaired is not None:
+                self.on_repaired(prr)
+
+    def _clear_output_corruption(self, prr: str) -> None:
+        try:
+            slot = self.system.prr(prr)
+        except Exception:
+            return
+        for producer in slot.producers:
+            producer.fault_or = 0
+
+    # ------------------------------------------------------------------
+    def mark_replaced(self, prr: str, frames_ok: bool = False) -> None:
+        """A module replacement landed elsewhere; close this PRR's events.
+
+        The vacated region's frames are still corrupted; a follow-up
+        frame rewrite restores them so the PRR can rejoin the pool.
+        """
+        self._clear_output_corruption(prr)
+        for event in self.ledger.open_events(
+            target=prr,
+            classes=(FaultClass.SEU_FRAME, FaultClass.ICAP_CORRUPT),
+        ):
+            self.ledger.mark_repaired(event, action="module_switch")
+        if not frames_ok and prr not in self.quarantined:
+            self.schedule_frame_rewrite(prr)
+
+    def quarantine(self, prr: str) -> None:
+        if prr in self.quarantined:
+            return
+        self.quarantined.add(prr)
+        self.system.sim.metrics.counter("repro_prr_quarantined_total").inc()
+        self.system.sim.log(
+            "fault", f"PRR {prr} quarantined after repeated faults",
+            faults=self.fault_counts.get(prr, 0),
+        )
+        if self.on_quarantine is not None:
+            self.on_quarantine(prr)

@@ -17,7 +17,7 @@ bitstream repository to synthesise relocated bitstreams on demand.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Callable, Collection, List, Optional, Tuple, Union
 
 from repro.fabric.floorplan import PrrPlacement
 from repro.fabric.geometry import CLOCK_REGION_ROWS
@@ -68,15 +68,38 @@ class RelocatingRepository:
     with zero additional CF storage.
     """
 
-    def __init__(self, repository: BitstreamRepository, floorplan) -> None:
+    def __init__(
+        self,
+        repository: BitstreamRepository,
+        floorplan,
+        quarantined: Union[
+            Collection[str], Callable[[], Collection[str]], None
+        ] = None,
+    ) -> None:
         self.repository = repository
         self.floorplan = floorplan
         self.relocations = 0
+        #: PRRs retired by the fault layer -- a set, or a callable
+        #: returning the live set (e.g. ``lambda: recovery.quarantined``)
+        self.quarantined = quarantined
 
     # ------------------------------------------------------------------
+    def _quarantined_now(self) -> Collection[str]:
+        if self.quarantined is None:
+            return ()
+        if callable(self.quarantined):
+            return self.quarantined()
+        return self.quarantined
+
     def _placement(self, prr_name: str) -> PrrPlacement:
         if prr_name not in self.floorplan.prrs:
             raise RelocationError(f"unknown PRR {prr_name!r}")
+        if prr_name in self._quarantined_now():
+            # mirror place_prr diagnostics: name the offending PRR
+            raise RelocationError(
+                f"PRR {prr_name!r} is quarantined after repeated "
+                "configuration faults; relocation refused"
+            )
         return self.floorplan.prrs[prr_name]
 
     def _anchor_for(self, module_name: str, prr_name: str) -> Optional[str]:
@@ -92,6 +115,7 @@ class RelocatingRepository:
     # ------------------------------------------------------------------
     def lookup(self, module_name: str, prr_name: str) -> PartialBitstream:
         """Exact bitstream if present, else a relocated one."""
+        self._placement(prr_name)  # known + healthy target or raise
         if self.repository.has(module_name, prr_name):
             return self.repository.lookup(module_name, prr_name)
         anchor = self._anchor_for(module_name, prr_name)

@@ -4,28 +4,58 @@ The device has one ICAP, so concurrent hardware-module placements (e.g. a
 runtime assembler placing several modules, or two independent
 applications swapping at once) must queue.  The paper's prototype
 serialises in software; :class:`ReconfigScheduler` provides that policy
-as a reusable component with FIFO ordering and completion callbacks.
+as a reusable component with priority classes, FIFO ordering within a
+class, and completion callbacks.
+
+Two priority classes exist today: real PR traffic (:data:`PRIORITY_PR`)
+and configuration-memory scrub readbacks (:data:`PRIORITY_SCRUB`).  Scrub
+transfers are *preemptible*: when PR work arrives while a scrub readback
+holds the port, the readback is aborted on the ICAP and re-queued to
+restart from scratch once the port is free again.  Frame *rewrites*
+(scrub repair) run at PR priority and are not preemptible -- a partial
+configuration write cannot be abandoned mid-frame.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Callable, Deque, List, Optional
+from typing import Callable, List, Optional
 
 from repro.control.icap import IcapTransfer
 from repro.pr.reconfig import ReconfigurationEngine
+
+#: normal partial-reconfiguration traffic (module placement/replacement)
+PRIORITY_PR = 10
+#: background frame-readback scrubbing; always yields to PR traffic
+PRIORITY_SCRUB = 0
+
+#: signature of a custom transfer starter: receives the scheduler's
+#: completion callback and must return the started IcapTransfer
+TransferStarter = Callable[[Callable[[IcapTransfer], None]], IcapTransfer]
 
 
 class ScheduledReconfig:
     """Handle for one queued reconfiguration request."""
 
-    def __init__(self, module_name: str, prr_name: str, path: str) -> None:
+    def __init__(
+        self,
+        module_name: str,
+        prr_name: str,
+        path: str,
+        priority: int = PRIORITY_PR,
+        preemptible: bool = False,
+        starter: Optional[TransferStarter] = None,
+    ) -> None:
         self.module_name = module_name
         self.prr_name = prr_name
         self.path = path
+        self.priority = priority
+        self.preemptible = preemptible
         self.transfer: Optional[IcapTransfer] = None
         self.done = False
         self.cancelled = False
+        #: times this request was preempted off the ICAP and re-queued
+        self.aborts = 0
+        self._starter = starter
         self._callbacks: List[Callable[["ScheduledReconfig"], None]] = []
 
     @property
@@ -53,55 +83,135 @@ class ScheduledReconfig:
         )
         return (
             f"ScheduledReconfig({self.module_name}@{self.prr_name}, "
-            f"{self.path}, {state})"
+            f"{self.path}, prio={self.priority}, {state})"
         )
 
 
 class ReconfigScheduler:
-    """FIFO scheduler over a :class:`ReconfigurationEngine`."""
+    """Priority scheduler over a :class:`ReconfigurationEngine`."""
 
     def __init__(self, engine: ReconfigurationEngine) -> None:
         self.engine = engine
-        self._queue: Deque[ScheduledReconfig] = deque()
+        self._queue: List[ScheduledReconfig] = []
         self._active: Optional[ScheduledReconfig] = None
         self.completed: List[ScheduledReconfig] = []
+        #: scrub readbacks kicked off the ICAP by arriving PR traffic
+        self.preemptions = 0
+        #: while held, nothing is dispatched (an external user -- the
+        #: Figure 5 switch software -- owns the ICAP); see hold()/resume()
+        self._held = False
 
     # ------------------------------------------------------------------
     def submit(
-        self, module_name: str, prr_name: str, path: str = "array2icap"
+        self,
+        module_name: str,
+        prr_name: str,
+        path: str = "array2icap",
+        priority: int = PRIORITY_PR,
     ) -> ScheduledReconfig:
         """Queue a reconfiguration; starts immediately if the ICAP is idle."""
         if path not in ("array2icap", "cf2icap"):
             raise ValueError(f"unknown reconfiguration path {path!r}")
-        request = ScheduledReconfig(module_name, prr_name, path)
-        self._queue.append(request)
-        metrics = self.engine.sim.metrics
-        metrics.counter("repro_reconfig_submitted_total").inc()
-        self._pump()
-        metrics.gauge("repro_icap_queue_depth").set(self.pending)
+        request = ScheduledReconfig(module_name, prr_name, path, priority=priority)
+        self._enqueue(request)
+        return request
+
+    def submit_transfer(
+        self,
+        label: str,
+        prr_name: str,
+        starter: TransferStarter,
+        priority: int = PRIORITY_SCRUB,
+        preemptible: bool = True,
+    ) -> ScheduledReconfig:
+        """Queue a generic ICAP transfer (scrub readback, frame rewrite).
+
+        ``starter`` is invoked once the port is granted; it receives the
+        scheduler's completion callback and must return the
+        :class:`IcapTransfer` it started (normally by calling
+        ``icap.start_transfer(..., on_done=callback)`` directly, without
+        going through the reconfiguration engine's isolation protocol --
+        a readback does not disturb the running module).
+        """
+        request = ScheduledReconfig(
+            label, prr_name, "transfer",
+            priority=priority, preemptible=preemptible, starter=starter,
+        )
+        self._enqueue(request)
         return request
 
     def cancel(self, request: ScheduledReconfig) -> bool:
-        """Remove a not-yet-started request from the queue.
+        """Cancel a queued request, or abort an in-flight preemptible one.
 
-        Returns True when the request was still queued and is now
-        cancelled; False when it already started on the ICAP (a partial
-        write cannot be abandoned mid-frame), finished, or was cancelled
-        before.  FIFO order of the surviving requests is preserved.
+        Returns True when the request is now cancelled; False when it
+        already finished, was cancelled before, or is an in-flight
+        non-preemptible write (a partial configuration write cannot be
+        abandoned mid-frame).  FIFO order of the surviving requests is
+        preserved and the queue-depth gauge is updated on every path.
         Needed by the runtime's job eviction path: a preempted job's
         queued placements must not waste ICAP bandwidth.
         """
-        if request.started or request.done or request.cancelled:
+        if request.done or request.cancelled:
             return False
+        if request is self._active:
+            if not request.preemptible:
+                return False
+            self.engine.icap.abort_current()
+            self._active = None
+            request.transfer = None
+            request.cancelled = True
+            self._count_cancel()
+            self._pump()
+            self._set_depth()
+            return True
         try:
             self._queue.remove(request)
         except ValueError:
             return False
         request.cancelled = True
-        metrics = self.engine.sim.metrics
-        metrics.counter("repro_reconfig_cancelled_total").inc()
-        metrics.gauge("repro_icap_queue_depth").set(self.pending)
+        self._count_cancel()
+        self._set_depth()
         return True
+
+    def preempt_active(self) -> Optional[ScheduledReconfig]:
+        """Abort the active transfer if preemptible and re-queue it.
+
+        The preempted request restarts from scratch behind any
+        equal-or-higher-priority work.  Returns the preempted request, or
+        ``None`` when the port is idle or held by a non-preemptible
+        write.  Does *not* pump the queue -- the caller owns the port
+        until it calls :meth:`kick`.
+        """
+        active = self._active
+        if active is None or not active.preemptible:
+            return None
+        self.engine.icap.abort_current()
+        self._active = None
+        active.transfer = None
+        active.aborts += 1
+        self.preemptions += 1
+        self._insert(active)
+        self._set_depth()
+        return active
+
+    def kick(self) -> None:
+        """Re-evaluate the queue after an external user released the ICAP.
+
+        The Figure 5 switch software drives the reconfiguration engine
+        directly (bypassing the scheduler); once it finishes, queued
+        scrub work must be restarted explicitly.
+        """
+        self._pump()
+        self._set_depth()
+
+    def hold(self) -> None:
+        """Stop dispatching: an external user is about to take the ICAP."""
+        self._held = True
+
+    def resume(self) -> None:
+        """Resume dispatching after :meth:`hold` and pump the queue."""
+        self._held = False
+        self.kick()
 
     @property
     def pending(self) -> int:
@@ -111,11 +221,47 @@ class ReconfigScheduler:
     def busy(self) -> bool:
         return self._active is not None
 
+    @property
+    def active(self) -> Optional[ScheduledReconfig]:
+        return self._active
+
     # ------------------------------------------------------------------
+    def _enqueue(self, request: ScheduledReconfig) -> None:
+        self._insert(request)
+        self.engine.sim.metrics.counter("repro_reconfig_submitted_total").inc()
+        active = self._active
+        if (
+            active is not None
+            and active.preemptible
+            and request.priority > active.priority
+        ):
+            self.preempt_active()
+        self._pump()
+        self._set_depth()
+
+    def _insert(self, request: ScheduledReconfig) -> None:
+        """Insert keeping higher priority first, FIFO within a class."""
+        index = len(self._queue)
+        for i, queued in enumerate(self._queue):
+            if queued.priority < request.priority:
+                index = i
+                break
+        self._queue.insert(index, request)
+
+    def _set_depth(self) -> None:
+        self.engine.sim.metrics.gauge("repro_icap_queue_depth").set(self.pending)
+
+    def _count_cancel(self) -> None:
+        self.engine.sim.metrics.counter("repro_reconfig_cancelled_total").inc()
+
     def _pump(self) -> None:
-        if self._active is not None or not self._queue:
+        if self._held or self._active is not None or not self._queue:
             return
-        request = self._queue.popleft()
+        if self.engine.icap.busy:
+            # an external user (e.g. the Figure 5 switch software) holds
+            # the port directly; kick() restarts us once it is released
+            return
+        request = self._queue.pop(0)
         self._active = request
 
         def _complete(transfer: IcapTransfer) -> None:
@@ -123,15 +269,16 @@ class ReconfigScheduler:
             self.completed.append(request)
             request._finish()
             self._pump()
-            self.engine.sim.metrics.gauge(
-                "repro_icap_queue_depth"
-            ).set(self.pending)
+            self._set_depth()
 
-        start = (
-            self.engine.array2icap
-            if request.path == "array2icap"
-            else self.engine.cf2icap
-        )
-        request.transfer = start(
-            request.module_name, request.prr_name, on_done=_complete
-        )
+        if request._starter is not None:
+            request.transfer = request._starter(_complete)
+        else:
+            start = (
+                self.engine.array2icap
+                if request.path == "array2icap"
+                else self.engine.cf2icap
+            )
+            request.transfer = start(
+                request.module_name, request.prr_name, on_done=_complete
+            )

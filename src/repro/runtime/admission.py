@@ -175,6 +175,11 @@ class AdmissionController:
         }
         self._pending: List[Job] = []
         self._resident: Dict[str, Assignment] = {}  # job name -> grant
+        # fault-aware health state (repro.faults): faulted PRRs are
+        # temporarily unassignable (until their frames are rewritten);
+        # quarantined PRRs are retired and shrink the device budget
+        self._faulted: set = set()
+        self._quarantined: set = set()
         self._prr_slices: Dict[str, int] = {}
         for state, rsb in zip(self._rsbs, params.rsbs):
             for name in state.prr_position:
@@ -213,17 +218,24 @@ class AdmissionController:
     def _never_fits(self, job: Job) -> str:
         spec = job.spec
         stages = len(spec.stages)
-        all_prrs = set(self._prr_slices)
+        all_prrs = set(self._prr_slices) - self._quarantined
         all_ioms = {n for s in self._rsbs for n in s.iom_position}
         if spec.iom is not None and spec.iom not in all_ioms:
             return f"unknown IOM slot {spec.iom!r}"
         if spec.prrs is not None:
-            unknown = set(spec.prrs) - all_prrs
+            unknown = set(spec.prrs) - set(self._prr_slices)
             if unknown:
                 return f"unknown PRR slots {sorted(unknown)}"
+            retired = sorted(set(spec.prrs) & self._quarantined)
+            if retired:
+                return (
+                    f"PRR {retired[0]!r} is quarantined after repeated "
+                    "configuration faults"
+                )
         if stages > len(all_prrs):
             return (
-                f"needs {stages} PRRs but the system has {len(all_prrs)}"
+                f"needs {stages} PRRs but the system has {len(all_prrs)} "
+                "healthy"
             )
         if not all_ioms:
             return "system has no IOM slots"
@@ -265,11 +277,11 @@ class AdmissionController:
             free_prrs = [
                 (pos, name)
                 for name, pos in state.prr_position.items()
-                if name in self._free_prrs
+                if self._available(name)
                 and self._prr_slices[name] >= need_slices
             ]
             if spec.prrs is not None:
-                if any(p not in self._free_prrs for p in spec.prrs):
+                if any(not self._available(p) for p in spec.prrs):
                     continue
                 if any(p not in state.prr_position for p in spec.prrs):
                     continue
@@ -320,9 +332,98 @@ class AdmissionController:
         state = self._state(assignment.rsb)
         self._free_ioms.add(assignment.iom)
         for prr in assignment.prrs:
-            self._free_prrs.add(prr)
+            if prr not in self._quarantined:
+                self._free_prrs.add(prr)
         state.release_lanes(assignment.chain)
         self.used = self.used - assignment.demand
+
+    # ------------------------------------------------------------------
+    # PRR health (repro.faults)
+    # ------------------------------------------------------------------
+    def _available(self, prr: str) -> bool:
+        return (
+            prr in self._free_prrs
+            and prr not in self._faulted
+            and prr not in self._quarantined
+        )
+
+    @property
+    def quarantined_prrs(self) -> List[str]:
+        return sorted(self._quarantined)
+
+    def mark_faulted(self, prr: str) -> None:
+        """Exclude ``prr`` from new assignments until repaired."""
+        if prr in self._prr_slices:
+            self._faulted.add(prr)
+
+    def mark_repaired(self, prr: str) -> None:
+        """Frames are clean again; the PRR may be assigned once free."""
+        self._faulted.discard(prr)
+        if prr in self._quarantined or prr not in self._prr_slices:
+            return
+        resident = any(
+            prr in assignment.prrs for assignment in self._resident.values()
+        )
+        if not resident:
+            self._free_prrs.add(prr)
+
+    def quarantine(self, prr: str) -> None:
+        """Retire ``prr``: never assignable again, budget shrinks."""
+        if prr in self._quarantined or prr not in self._prr_slices:
+            return
+        self._quarantined.add(prr)
+        self._faulted.discard(prr)
+        self._free_prrs.discard(prr)
+        self.capacity = self.capacity - ResourceVector(
+            slices=self._prr_slices[prr],
+            bram18=_BRAMS_PER_STAGE,
+            bufr=1,
+        )
+
+    def find_replacement(self, job: Job, faulted_prr: str) -> Optional[str]:
+        """A free healthy PRR that can host the stage on ``faulted_prr``.
+
+        Checks slice fit and that the re-routed chain still has lane
+        capacity (trial release/occupy of the current chain).
+        """
+        assignment = self._resident.get(job.spec.name)
+        if assignment is None or faulted_prr not in assignment.prrs:
+            return None
+        state = self._state(assignment.rsb)
+        need = self._stage_slices(job)
+        for name in sorted(
+            state.prr_position, key=lambda n: state.prr_position[n]
+        ):
+            if not self._available(name):
+                continue
+            if self._prr_slices[name] < need:
+                continue
+            trial_prrs = [
+                name if p == faulted_prr else p for p in assignment.prrs
+            ]
+            trial_chain = [assignment.iom] + trial_prrs + [assignment.iom]
+            state.release_lanes(assignment.chain)
+            ok = state.lanes_available(trial_chain)
+            state.occupy_lanes(assignment.chain)
+            if ok:
+                return name
+        return None
+
+    def reassign(self, job: Job, old_prr: str, new_prr: str) -> None:
+        """Swap one PRR of a resident job's grant (module replacement).
+
+        The vacated PRR is marked faulted -- it stays out of the free
+        pool until :meth:`mark_repaired` confirms its frames are clean.
+        """
+        assignment = self._resident[job.spec.name]
+        state = self._state(assignment.rsb)
+        state.release_lanes(assignment.chain)
+        self._free_prrs.discard(new_prr)
+        assignment.prrs = [
+            new_prr if p == old_prr else p for p in assignment.prrs
+        ]
+        state.occupy_lanes(assignment.chain)
+        self.mark_faulted(old_prr)
 
     def _state(self, rsb_name: str) -> _RsbState:
         for state in self._rsbs:

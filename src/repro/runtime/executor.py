@@ -24,7 +24,18 @@ from __future__ import annotations
 import multiprocessing
 import time
 from dataclasses import dataclass, field
-from typing import Generator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Generator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # deferred at runtime: repro.faults imports this module
+    from repro.faults.model import CampaignConfig
+    from repro.faults.plant import FaultPlant
 
 from repro.core.params import SystemParameters
 from repro.obs.metrics import MetricsRegistry
@@ -61,6 +72,8 @@ class ExecutorConfig:
     #: before a running job counts as complete
     idle_streak: int = 3
     allow_preemption: bool = True
+    #: optional fault campaign (repro.faults); None = no fault plant
+    faults: Optional["CampaignConfig"] = None
 
     def __post_init__(self) -> None:
         if self.quantum_us <= 0 or self.max_us <= 0:
@@ -70,11 +83,20 @@ class ExecutorConfig:
 
     @classmethod
     def from_dict(cls, data: dict) -> "ExecutorConfig":
-        allowed = {"quantum_us", "max_us", "idle_streak", "allow_preemption"}
+        allowed = {
+            "quantum_us", "max_us", "idle_streak", "allow_preemption",
+            "faults",
+        }
         unknown = set(data) - allowed
         if unknown:
             raise JobError(f"unknown executor keys {sorted(unknown)}")
-        return cls(**data)
+        data = dict(data)
+        faults = data.pop("faults", None)
+        if isinstance(faults, dict):
+            from repro.faults.model import CampaignConfig
+
+            faults = CampaignConfig.from_dict(faults)
+        return cls(faults=faults, **data)
 
 
 class JobExecutor:
@@ -99,6 +121,19 @@ class JobExecutor:
         )
         self.preemptions = 0
         self._jobs: List[Job] = []
+        self.plant: Optional["FaultPlant"] = None
+        self.fault_evictions = 0
+        self.fig5_recoveries = 0
+        self.fig5_samples_lost = 0
+        if self.config.faults is not None:
+            from repro.faults.plant import FaultPlant
+
+            self.plant = FaultPlant(
+                self.system, self.scheduler, self.config.faults
+            )
+            # this executor owns the escalation path: escalated frame
+            # faults become Figure 5 module replacements, not rewrites
+            self.plant.has_replacement_owner = True
         self.system.bind_metrics()
 
     # ------------------------------------------------------------------
@@ -163,6 +198,8 @@ class JobExecutor:
         started_wall = time.perf_counter()
         self._jobs = [Job(spec, index=i) for i, spec in enumerate(specs)]
         self.system.start()
+        if self.plant is not None:
+            self.plant.start()
         for job in self._jobs:
             result = self.admission.enqueue(job, self._now_us)
             if result.decision is AdmissionDecision.REJECT:
@@ -178,7 +215,8 @@ class JobExecutor:
             self._progress_placements()
             self._poll_running()
             if all(job.terminal for job in self._jobs):
-                break
+                if self.plant is None or not self._faults_pending():
+                    break
             if self._now_us > self.config.max_us:
                 for job in self._jobs:
                     if not job.terminal:
@@ -193,7 +231,214 @@ class JobExecutor:
                 "repro_executor_quantum_seconds", buckets=QUANTUM_BUCKETS
             ).observe(time.perf_counter() - quantum_started)
             self._refresh_gauges()
+            if self.plant is not None:
+                self._service_faults()
         return self._report(time.perf_counter() - started_wall)
+
+    # ------------------------------------------------------------------
+    # fault servicing (repro.faults)
+    # ------------------------------------------------------------------
+    def _faults_pending(self) -> bool:
+        """Keep simulating past job completion while the campaign runs.
+
+        A campaign covers its whole injection window (faults land in
+        idle PRRs too) and then drains outstanding *frame* faults --
+        those are always repairable by scrub + rewrite even with no job
+        resident.  Channel/FIFO faults need live streams and are simply
+        dropped by the injector once the jobs are gone.  ``max_us``
+        still bounds the run.
+        """
+        from repro.faults.model import FaultClass
+
+        if self._now_us < self.config.faults.duration_us:
+            return True
+        return bool(
+            self.plant.ledger.open_events(
+                classes=(FaultClass.SEU_FRAME, FaultClass.ICAP_CORRUPT),
+            )
+        )
+
+    def _service_faults(self) -> None:
+        plant = self.plant
+        plant.poll()
+        for prr in plant.take_repaired():
+            self.admission.mark_repaired(prr)
+        for prr in plant.take_quarantines():
+            self.admission.quarantine(prr)
+            self.system.sim.log(
+                "runtime", f"PRR {prr} quarantined; admission budget shrunk"
+            )
+        for prr in plant.take_replacements():
+            self._replace_module(prr)
+        for channel, via in plant.take_lane_faults():
+            self._handle_lane_fault(channel, via)
+
+    def _job_on_prr(self, prr: str) -> Optional[Job]:
+        for job in self._jobs:
+            if (
+                job.assignment is not None
+                and job.state in (
+                    JobState.ADMITTED, JobState.PLACING, JobState.RUNNING,
+                )
+                and prr in job.assignment.prrs
+            ):
+                return job
+        return None
+
+    def _replace_module(self, prr: str) -> None:
+        """Escalated frame fault: re-land the module on a healthy PRR."""
+        job = self._job_on_prr(prr)
+        if job is None or job.state is not JobState.RUNNING:
+            # nothing streaming there: an in-place rewrite is enough
+            self.plant.complete_replacement(prr, ok=False)
+            return
+        spare = self.admission.find_replacement(job, prr)
+        if spare is None:
+            self.plant.complete_replacement(prr, ok=False)
+            self._evict_for_fault(
+                job, prr, "no healthy spare PRR for replacement"
+            )
+            return
+        if self._recover_by_switch(job, prr, spare):
+            self.plant.complete_replacement(prr, ok=True)
+        else:
+            self.plant.complete_replacement(prr, ok=False)
+            self._evict_for_fault(job, prr, "module replacement failed")
+
+    def _recover_by_switch(
+        self, job: Job, faulted_prr: str, spare: str
+    ) -> bool:
+        """Figure 5 zero-interruption switch off a faulted PRR."""
+        assignment = job.assignment
+        stage_index = assignment.prrs.index(faulted_prr)
+        stage = job.spec.stages[stage_index]
+        new_name = (
+            f"{job.spec.name}/{stage_index}.{stage.kind}"
+            f".r{job.fault_recoveries + 1}"
+        )
+        chain = assignment.chain
+        # the switch software drives the engine directly: clear the port
+        self.scheduler.hold()
+        if self.scheduler.busy:
+            self.scheduler.preempt_active()
+        if self.system.icap.busy or self.scheduler.busy:
+            # a non-preemptible write is in flight; do not wait for it
+            self.scheduler.resume()
+            return False
+        try:
+            self.system.register_module(
+                new_name,
+                lambda stage=stage, name=new_name: stage.build(name),
+                prr_names=[spare],
+            )
+            if (
+                job.spec.reconfig_path == "array2icap"
+                and not self.system.repository.is_preloaded(new_name, spare)
+            ):
+                self.system.repository.preload_to_sdram(new_name, spare)
+            report = self.system.microblaze.run_to_completion(
+                self.switcher.switch(
+                    old_prr=faulted_prr,
+                    new_prr=spare,
+                    new_module=new_name,
+                    upstream_slot=chain[stage_index],
+                    downstream_slot=chain[stage_index + 2],
+                    input_channel=job.channels[stage_index],
+                    output_channel=job.channels[stage_index + 1],
+                    reconfig_path=job.spec.reconfig_path,
+                ),
+                f"{job.spec.name}-heal",
+            )
+        except Exception as exc:  # noqa: BLE001 - fall back to eviction
+            self.system.sim.log(
+                "runtime",
+                f"module replacement of {faulted_prr} failed: {exc}",
+            )
+            return False
+        finally:
+            self.scheduler.resume()
+        job.channels[stage_index] = report.input_channel
+        job.channels[stage_index + 1] = report.output_channel
+        job.module_names[stage_index] = new_name
+        job.words_lost += report.words_lost
+        job.fault_recoveries += 1
+        self.fig5_recoveries += 1
+        self.fig5_samples_lost += report.words_lost
+        self.admission.reassign(job, faulted_prr, spare)
+        metrics = self.system.sim.metrics
+        metrics.counter("repro_fault_fig5_recoveries_total").inc()
+        metrics.counter(
+            "repro_fault_fig5_lost_words_total"
+        ).inc(report.words_lost)
+        self._job_instant(
+            job, "healed",
+            prr=faulted_prr, spare=spare, words_lost=report.words_lost,
+        )
+        return True
+
+    def _evict_for_fault(
+        self, job: Job, prr: Optional[str], reason: str
+    ) -> None:
+        """Fault-aware retry: drain, requeue on healthy resources.
+
+        Unlike priority preemption this ignores ``requeue_on_eviction``
+        -- re-landing faulted work is the executor's own resilience
+        policy -- but it is bounded by the campaign's
+        ``max_fault_retries``.
+        """
+        self.fault_evictions += 1
+        job.fault_evictions += 1
+        if prr is not None:
+            self.admission.mark_faulted(prr)
+        if job.state is JobState.RUNNING:
+            report = self.system.microblaze.run_to_completion(
+                self._eviction_software(job), f"{job.spec.name}-fault-evict"
+            )
+            job.drained = True
+            job.state_words = list(report.state_words)
+            job.words_lost += report.words_lost
+            job.words_out = len(job.iom.received)
+            job.receive_times = list(job.iom.receive_times)
+        else:
+            for request in job.requests:
+                self.scheduler.cancel(request)
+        self.admission.release(job)
+        job.evictions += 1
+        self.system.sim.metrics.counter("repro_fault_evictions_total").inc()
+        self.system.sim.log(
+            "runtime", f"job {job.spec.name} evicted by fault: {reason}"
+        )
+        self._close_job_spans(job)
+        self._job_instant(job, "fault-evicted", reason=reason)
+        retries = (
+            self.config.faults.max_fault_retries
+            if self.config.faults is not None else 0
+        )
+        if job.fault_evictions > retries:
+            job.fail(f"faulted repeatedly: {reason}", self._now_us)
+            self._mark_failed(job, "faulted repeatedly")
+            return
+        job.reset_for_requeue()
+        job.transition(JobState.QUEUED, self._now_us)
+        self.admission.enqueue(job, self._now_us)
+
+    def _handle_lane_fault(self, channel, via: str) -> None:
+        """A latched stuck-at lane: reroute the owning job's stream."""
+        job = next(
+            (
+                j for j in self._jobs
+                if not j.terminal and channel in j.channels
+            ),
+            None,
+        )
+        # the reroute abandons these physical lanes; clearing the latch
+        # models the DCR write that disconnects the switch-box port
+        self.plant.complete_lane_repair(channel)
+        if job is not None:
+            self._evict_for_fault(
+                job, None,
+                f"stuck lane on channel#{channel.channel_id} ({via})",
+            )
 
     # ------------------------------------------------------------------
     # admission + preemption

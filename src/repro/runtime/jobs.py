@@ -384,6 +384,9 @@ class Job:
         self.evictions = 0
         self.drained = False
         self.words_lost = 0
+        # fault-campaign accounting (repro.faults)
+        self.fault_evictions = 0
+        self.fault_recoveries = 0
         # executor-owned handles
         self.assignment = None
         self.module_names: List[str] = []

@@ -60,6 +60,9 @@ class JobReport:
     #: resilience counters
     attempts: int = 0
     evictions: int = 0
+    #: fault-campaign counters (repro.faults); additive, default 0
+    fault_evictions: int = 0
+    fault_recoveries: int = 0
     drained: bool = False
     words_lost: int = 0
     state_words: int = 0
@@ -123,6 +126,8 @@ class JobReport:
             interrupted=stats.interrupted,
             attempts=job.attempts,
             evictions=job.evictions,
+            fault_evictions=getattr(job, "fault_evictions", 0),
+            fault_recoveries=getattr(job, "fault_recoveries", 0),
             drained=job.drained,
             words_lost=job.words_lost,
             state_words=len(job.state_words),
@@ -137,7 +142,10 @@ def icap_busy_fraction(system) -> float:
         return 0.0
     busy = 0
     for transfer in system.icap.history:
-        end = transfer.end_ps if transfer.done else now
+        # aborted transfers have duration_ps truncated to the time the
+        # port was actually held, so end_ps is already correct for them
+        finished = transfer.done or getattr(transfer, "aborted", False)
+        end = transfer.end_ps if finished else now
         busy += max(0, min(end, now) - transfer.start_ps)
     return min(1.0, busy / now)
 

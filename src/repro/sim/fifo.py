@@ -58,6 +58,12 @@ class SyncFifo:
         # optional obs instruments (see bind_metrics); None = zero cost
         self._occ_hist = None
         self._drop_counter = None
+        # optional ECC shadow (repro.faults): a golden copy of the stored
+        # words, so single-bit upsets injected into the BRAM contents are
+        # corrected (and counted) at read time, modelling SECDED ECC.
+        # None = zero cost on the data path beyond this check.
+        self._ecc: Any = None
+        self.ecc_corrected = 0
 
     def bind_metrics(self, registry, label: str = "") -> None:
         """Attach this FIFO to an obs metrics registry.
@@ -109,6 +115,8 @@ class SyncFifo:
             return False
         self._data.append(word)
         self.pushes += 1
+        if self._ecc is not None:
+            self._ecc.append(word)
         if len(self._data) > self.max_occupancy:
             self.max_occupancy = len(self._data)
         if self._occ_hist is not None:
@@ -120,7 +128,13 @@ class SyncFifo:
         if not self._data:
             raise FifoError(f"pop from empty FIFO {self.name!r}")
         self.pops += 1
-        return self._data.popleft()
+        word = self._data.popleft()
+        if self._ecc is not None:
+            golden = self._ecc.popleft()
+            if word != golden:
+                self.ecc_corrected += 1
+                word = golden
+        return word
 
     def peek(self) -> Any:
         if not self._data:
@@ -130,6 +144,31 @@ class SyncFifo:
     def clear(self) -> None:
         """Reset the FIFO contents (PRSocket ``FIFO_reset`` semantics)."""
         self._data.clear()
+        if self._ecc is not None:
+            self._ecc.clear()
+
+    # ------------------------------------------------------------------
+    # ECC shadow (repro.faults)
+    # ------------------------------------------------------------------
+    def enable_ecc(self) -> None:
+        """Keep a golden copy of stored words; corrects at pop time."""
+        if self._ecc is None:
+            self._ecc = deque(self._data)
+
+    def corrupt_word(self, index: int, mask: int) -> bool:
+        """Flip bits of one stored word (fault injection).
+
+        Only integer payloads are touched (FSL FIFOs store tuples).
+        Returns True when a word was corrupted; with ECC enabled the
+        corruption is corrected -- and counted -- when the word is read.
+        """
+        if not self._data:
+            return False
+        index %= len(self._data)
+        if not isinstance(self._data[index], int):
+            return False
+        self._data[index] ^= mask
+        return True
 
     def drain(self) -> List[Any]:
         """Pop everything, returning the words in order."""

@@ -14,6 +14,7 @@ stalls or exceptions:
 ``VAP2xx``  communication: clock-domain crossings and credit loops
 ``VAP3xx``  module-switching protocol preconditions (Figure 5)
 ``VAP4xx``  simulation-kernel determinism (sample/commit discipline)
+``VAP5xx``  configuration determinism (seeds, ambient randomness)
 ========  ==============================================================
 
 Entry points:
@@ -28,6 +29,7 @@ Entry points:
 
 from repro.verify.cdc import check_cdc
 from repro.verify.credits import check_credits
+from repro.verify.determinism import check_config_determinism
 from repro.verify.diagnostics import (
     CODES,
     Diagnostic,
@@ -50,6 +52,7 @@ __all__ = [
     "VerificationError",
     "VerifyReport",
     "check_cdc",
+    "check_config_determinism",
     "check_credits",
     "check_floorplan",
     "check_kernel",

@@ -1,0 +1,134 @@
+"""Configuration-determinism lint (``VAP5xx``).
+
+Fault campaigns (:mod:`repro.faults`) promise byte-identical resilience
+reports for the same ``(seed, config)``; that promise dies the moment a
+config smuggles in ambient nondeterminism -- a missing campaign seed, a
+``"seed": "random"`` placeholder, or a value templated from wall-clock
+time.  This pass walks a parsed JSON spec (jobfile, sysdef or bare
+campaign config) *before* anything runs and reports:
+
+* **VAP501** (warning) -- a random stream source (``noise`` /
+  ``noisy_sine``) with no explicit ``seed``.  Jobs fall back to a
+  name-derived seed, which is reproducible but implicit; standalone
+  sources have no fallback at all.
+* **VAP502** (error) -- a campaign config without an explicit integer
+  ``seed``, or any ``seed`` field holding a non-integer.
+* **VAP503** (error) -- a string value containing a recognisable
+  nondeterminism marker (``time.time``, ``Date.now``, ``$RANDOM``,
+  ``uuid`` and friends).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.verify.diagnostics import Diagnostic, diag
+
+#: substrings (lower-cased match) that mark a value as sourced from
+#: wall-clock time or ambient randomness rather than the spec itself
+_NONDET_MARKERS = (
+    "time.time",
+    "date.now",
+    "datetime.now",
+    "$random",
+    "${random",
+    "os.urandom",
+    "uuid4",
+    "math.random",
+)
+
+#: seed placeholders that defer the choice to run time
+_SEED_PLACEHOLDERS = ("random", "auto", "now", "time", "entropy")
+
+#: keys identifying a dict as a fault-campaign config
+_CAMPAIGN_KEYS = frozenset(
+    {"seu_frames", "lane_stuck", "fifo_bit", "icap_corrupt",
+     "scrub_period_us", "escalate_after", "quarantine_after"}
+)
+
+#: source kinds whose output depends on a seed
+_SEEDED_SOURCE_KINDS = frozenset({"noise", "noisy_sine"})
+
+
+def check_config_determinism(
+    spec: Any, subject: str = "config"
+) -> List[Diagnostic]:
+    """Lint a parsed JSON spec for reproducibility hazards.
+
+    ``subject`` names the root for diagnostic locations (e.g. the file
+    name); nested findings carry JSON-path-style locations like
+    ``jobfile.jobs[2].source``.
+    """
+    findings: List[Diagnostic] = []
+    _walk(spec, subject, findings)
+    return findings
+
+
+def _walk(value: Any, path: str, findings: List[Diagnostic]) -> None:
+    if isinstance(value, dict):
+        _check_dict(value, path, findings)
+        for key in value:
+            _walk(value[key], f"{path}.{key}", findings)
+    elif isinstance(value, list):
+        for index, item in enumerate(value):
+            _walk(item, f"{path}[{index}]", findings)
+    elif isinstance(value, str):
+        _check_string(value, path, findings)
+
+
+def _check_dict(value: dict, path: str, findings: List[Diagnostic]) -> None:
+    if _CAMPAIGN_KEYS & set(value) and "seed" not in value:
+        findings.append(diag(
+            "VAP502",
+            "fault-campaign config has no 'seed'; campaigns must be "
+            "explicitly seeded to reproduce",
+            location=path,
+            analyzer="determinism",
+        ))
+    if "seed" in value:
+        _check_seed(value["seed"], f"{path}.seed", findings)
+    if (
+        value.get("kind") in _SEEDED_SOURCE_KINDS
+        and "seed" not in value
+    ):
+        findings.append(diag(
+            "VAP501",
+            f"source kind {value['kind']!r} has no explicit 'seed' "
+            "(falls back to derived seeding when run as a job)",
+            location=path,
+            analyzer="determinism",
+        ))
+
+
+def _check_seed(seed: Any, path: str, findings: List[Diagnostic]) -> None:
+    if isinstance(seed, int) and not isinstance(seed, bool):
+        return
+    if isinstance(seed, str) and seed.strip().lower() in _SEED_PLACEHOLDERS:
+        findings.append(diag(
+            "VAP503",
+            f"seed placeholder {seed!r} defers the choice to run time; "
+            "reproduction needs a literal integer",
+            location=path,
+            analyzer="determinism",
+        ))
+        return
+    findings.append(diag(
+        "VAP502",
+        f"seed must be a literal integer, got {seed!r}",
+        location=path,
+        analyzer="determinism",
+    ))
+
+
+def _check_string(value: str, path: str, findings: List[Diagnostic]) -> None:
+    lowered = value.lower()
+    for marker in _NONDET_MARKERS:
+        if marker in lowered:
+            findings.append(diag(
+                "VAP503",
+                f"value contains nondeterministic expression "
+                f"{marker!r}: {value!r}",
+                location=path,
+                analyzer="determinism",
+            ))
+            return

@@ -131,6 +131,18 @@ CODES: Dict[str, CodeInfo] = {
         "component mutates shared state during sample() "
         "(write-before-commit)",
         Severity.WARNING, "kernel"),
+    # ---- VAP5xx: configuration determinism ---------------------------
+    "VAP501": CodeInfo(
+        "random source without an explicit seed (relies on derived "
+        "fallback seeding)",
+        Severity.WARNING, "config"),
+    "VAP502": CodeInfo(
+        "campaign or seed field without an explicit integer seed",
+        Severity.ERROR, "config"),
+    "VAP503": CodeInfo(
+        "nondeterministic expression in a config value (wall-clock, "
+        "ambient randomness)",
+        Severity.ERROR, "config"),
 }
 
 

@@ -1,0 +1,48 @@
+"""The ``python -m repro faults`` command."""
+
+import json
+
+from repro.__main__ import main
+
+
+def test_faults_requires_an_explicit_seed(capsys):
+    rc = main(["faults", "prototype"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "VAP502" in err
+    assert "--seed" in err
+
+
+def test_faults_lints_the_target_before_running(tmp_path, capsys):
+    target = tmp_path / "jobs.json"
+    target.write_text(json.dumps({
+        "name": "bad",
+        "jobs": [{
+            "name": "j0",
+            "stages": ["passthrough"],
+            "source": {"kind": "noise", "count": 10, "seed": "random"},
+        }],
+    }))
+    rc = main(["faults", str(target), "--seed", "5"])
+    assert rc == 2
+    assert "VAP503" in capsys.readouterr().err
+
+
+def test_faults_runs_a_campaign_and_writes_the_report(tmp_path, capsys):
+    out = tmp_path / "report.json"
+    rc = main([
+        "faults", "prototype",
+        "--seed", "3",
+        "--duration-us", "300",
+        "--seu", "1",
+        "--scrub-period-us", "100",
+        "--json",
+        "--output", str(out),
+    ])
+    assert rc == 0
+    stdout = capsys.readouterr().out
+    report = json.loads(stdout)
+    assert report["campaign"]["seed"] == 3
+    assert report["faults"]["injected"]["seu_frame"] == 1
+    assert report["faults"]["repaired"]["seu_frame"] == 1
+    assert json.loads(out.read_text()) == report

@@ -1,0 +1,182 @@
+"""Scrub detection, the repair ladder, and the stream watchdog."""
+
+from repro.faults.model import CampaignConfig, FaultClass
+from repro.faults.plant import FaultPlant
+from repro.pr.scheduler import ReconfigScheduler
+
+from tests.helpers import build_pipeline, build_system
+
+SCRUB_PERIOD_US = 50.0
+
+
+def make_plant(**overrides):
+    system = build_system()
+    scheduler = ReconfigScheduler(system.engine)
+    config = CampaignConfig(
+        seed=1, scrub_period_us=SCRUB_PERIOD_US, **overrides
+    )
+    return system, FaultPlant(system, scheduler, config)
+
+
+def detect_bound_us(system, plant):
+    """Worst-case scrub latency: P * period + one readback + slack."""
+    from repro.pr.bitstream import FRAME_BYTES
+
+    prrs = plant.store.prr_names
+    readback_us = max(
+        system.bram_buffer.icap_transfer_seconds(
+            plant.store.frame_count(prr) * FRAME_BYTES
+        )
+        for prr in prrs
+    ) * 1e6
+    return len(prrs) * SCRUB_PERIOD_US + readback_us + 10.0
+
+
+def inject_seu(plant, prr, frame=3, bit=7):
+    event = plant.ledger.record(
+        FaultClass.SEU_FRAME, prr, {"frame": frame, "bit": bit}
+    )
+    plant.store.flip(prr, frame, bit)
+    return event
+
+
+# ----------------------------------------------------------------------
+# scrub-only path
+# ----------------------------------------------------------------------
+def test_scrub_detects_within_prr_count_times_period():
+    system, plant = make_plant()
+    plant.start()
+    prrs = plant.store.prr_names
+    event = inject_seu(plant, prrs[-1])
+    bound_us = detect_bound_us(system, plant)
+    system.run_for_us(bound_us)
+    assert event.detected
+    assert event.detected_via == "scrub"
+    latency_us = (event.detected_ps - event.injected_ps) / 1e6
+    assert latency_us <= bound_us
+
+
+def test_scrub_repairs_by_frame_rewrite():
+    system, plant = make_plant()
+    plant.start()
+    prr = plant.store.prr_names[0]
+    event = inject_seu(plant, prr)
+    system.run_for_us(detect_bound_us(system, plant) + 50.0)
+    assert event.repaired
+    assert event.action == "frame_rewrite"
+    assert plant.store.corrupted_frames(prr) == []
+    assert plant.recovery.scrub_repairs >= 1
+    assert system.sim.metrics.value("repro_scrub_repairs_total") >= 1
+    # the clean PRR is reported back for re-admission
+    assert prr in plant.take_repaired()
+
+
+def test_scrub_covers_all_prrs_round_robin():
+    system, plant = make_plant()
+    plant.start()
+    prrs = plant.store.prr_names
+    events = [inject_seu(plant, prr, frame=i) for i, prr in enumerate(prrs)]
+    system.run_for_us(detect_bound_us(system, plant))
+    assert all(event.detected for event in events)
+
+
+# ----------------------------------------------------------------------
+# escalation ladder and quarantine
+# ----------------------------------------------------------------------
+def test_repeated_faults_escalate_to_module_replacement():
+    system, plant = make_plant(escalate_after=2, quarantine_after=99)
+    plant.has_replacement_owner = True
+    prr = plant.store.prr_names[0]
+
+    plant.store.flip(prr, 0, 1)
+    plant.recovery.handle_frame_fault(prr, [0])   # 1st: frame rewrite
+    assert plant.take_replacements() == []
+
+    plant.recovery.handle_frame_fault(prr, [0])   # 2nd: escalate
+    assert plant.take_replacements() == [prr]
+
+
+def test_escalation_without_owner_falls_back_to_rewrite():
+    system, plant = make_plant(escalate_after=1, quarantine_after=99)
+    assert not plant.has_replacement_owner
+    prr = plant.store.prr_names[0]
+    event = inject_seu(plant, prr)
+    plant.recovery.handle_frame_fault(
+        prr, plant.store.corrupted_frames(prr)
+    )
+    system.run_for_us(25.0)
+    assert event.repaired
+    assert event.action == "frame_rewrite"
+
+
+def test_quarantine_threshold_retires_the_prr():
+    system, plant = make_plant(escalate_after=99, quarantine_after=2)
+    prr = plant.store.prr_names[0]
+    for _ in range(2):
+        plant.store.flip(prr, 0, 1)
+        plant.recovery.handle_frame_fault(prr, [0])
+        system.run_for_us(25.0)
+    assert prr in plant.recovery.quarantined
+    assert plant.take_quarantines() == [prr]
+    assert system.sim.metrics.value("repro_prr_quarantined_total") == 1
+    # quarantine is latched: further faults do not double-count
+    plant.recovery.quarantine(prr)
+    assert system.sim.metrics.value("repro_prr_quarantined_total") == 1
+
+
+# ----------------------------------------------------------------------
+# stream watchdog
+# ----------------------------------------------------------------------
+def test_watchdog_detects_stuck_credit_lane():
+    system, iom, module, ch_in, ch_out = build_pipeline()
+    scheduler = ReconfigScheduler(system.engine)
+    config = CampaignConfig(seed=1, watchdog_polls=2)
+    plant = FaultPlant(system, scheduler, config)
+
+    system.run_for_us(2.0)  # establish flow
+    event = plant.ledger.record(
+        FaultClass.LANE_STUCK, f"channel#{ch_in.channel_id}"
+    )
+    ch_in.fault_stuck_full = True
+    for _ in range(4):
+        system.run_for_us(2.0)
+        plant.poll()
+    assert event.detected
+    assert event.detected_via == "watchdog-credit"
+    faults = plant.take_lane_faults()
+    assert [channel.channel_id for channel, _ in faults] == [
+        ch_in.channel_id
+    ]
+
+    plant.complete_lane_repair(ch_in)
+    assert event.repaired
+    assert event.action == "reroute"
+    assert ch_in.fault_stuck_full is False
+
+
+def test_watchdog_reports_ecc_correction_as_detect_and_repair():
+    system, iom, module, ch_in, ch_out = build_pipeline()
+    scheduler = ReconfigScheduler(system.engine)
+    plant = FaultPlant(system, scheduler, CampaignConfig(seed=1))
+    plant.start()
+
+    def try_corrupt():
+        for slot in (*system.prr_slots, *system.iom_slots):
+            for interface in (*slot.consumers, *slot.producers):
+                if interface.fifo.corrupt_word(0, 1 << 4):
+                    return interface.fifo
+        return None
+
+    fifo = None
+    for _ in range(200):  # wait for a word to sit in some FIFO
+        system.run_for_us(0.1)
+        fifo = try_corrupt()
+        if fifo is not None:
+            break
+    assert fifo is not None, "no FIFO ever held a corruptible word"
+    event = plant.ledger.record(FaultClass.FIFO_BIT, fifo.name)
+    system.run_for_us(5.0)
+    plant.poll()
+    assert event.detected and event.repaired
+    assert event.detected_via == "ecc"
+    assert event.action == "ecc_correct"

@@ -1,0 +1,155 @@
+"""Unit tests for the fault model: seeds, config, events, frame store."""
+
+import zlib
+
+import pytest
+
+from repro.faults.model import (
+    CampaignConfig,
+    FaultClass,
+    FaultEvent,
+    FaultLedger,
+    FrameStore,
+    derive_seed,
+    rng_for,
+)
+
+from tests.helpers import build_system
+
+
+# ----------------------------------------------------------------------
+# seed derivation
+# ----------------------------------------------------------------------
+def test_derive_seed_is_crc32_of_seed_and_stream():
+    # pinned to the CRC32 formula: any change breaks stored campaign
+    # reproducibility, so the test computes the expectation inline
+    assert derive_seed(42, "seu") == zlib.crc32(b"42:seu") & 0xFFFFFFFF
+    assert derive_seed(0, "lane") == zlib.crc32(b"0:lane") & 0xFFFFFFFF
+
+
+def test_derive_seed_streams_are_independent():
+    seeds = {derive_seed(7, s) for s in ("seu", "lane", "fifo", "icap")}
+    assert len(seeds) == 4
+
+
+def test_rng_for_reproduces_the_same_draws():
+    a = [rng_for(11, "seu").random() for _ in range(5)]
+    b = [rng_for(11, "seu").random() for _ in range(5)]
+    assert a == b
+    assert a != [rng_for(12, "seu").random() for _ in range(5)]
+
+
+# ----------------------------------------------------------------------
+# campaign config validation
+# ----------------------------------------------------------------------
+def test_config_requires_integer_seed():
+    with pytest.raises(ValueError, match="literal integer"):
+        CampaignConfig(seed="random")  # type: ignore[arg-type]
+    with pytest.raises(ValueError, match="literal integer"):
+        CampaignConfig(seed=True)  # type: ignore[arg-type]
+    with pytest.raises(ValueError, match="literal integer"):
+        CampaignConfig(seed=None)  # type: ignore[arg-type]
+
+
+def test_from_dict_rejects_missing_seed_citing_vap502():
+    with pytest.raises(ValueError, match="VAP502"):
+        CampaignConfig.from_dict({"seu_frames": 2})
+
+
+def test_from_dict_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown campaign config keys"):
+        CampaignConfig.from_dict({"seed": 1, "sue_frames": 2})
+
+
+def test_config_rejects_bad_counts_and_durations():
+    with pytest.raises(ValueError, match="seu_frames"):
+        CampaignConfig(seed=1, seu_frames=-1)
+    with pytest.raises(ValueError, match="duration_us"):
+        CampaignConfig(seed=1, duration_us=0)
+    with pytest.raises(ValueError, match="scrub_period_us"):
+        CampaignConfig(seed=1, scrub_period_us=-5)
+
+
+def test_config_roundtrips_through_dict():
+    config = CampaignConfig(
+        seed=9, duration_us=500.0, seu_frames=3, escalate_after=1
+    )
+    assert CampaignConfig.from_dict(config.to_dict()) == config
+
+
+# ----------------------------------------------------------------------
+# events and the ledger
+# ----------------------------------------------------------------------
+def test_event_to_dict_reports_integer_microseconds():
+    event = FaultEvent(
+        fault_id=0,
+        fault_class=FaultClass.SEU_FRAME,
+        target="rsb0.prr0",
+        injected_ps=1_500_000,   # 1.5 us floors to 1
+        detected_ps=3_999_999,   # 3.999999 us floors to 3
+        detail={"b": 1, "a": 2},
+    )
+    data = event.to_dict()
+    assert data["injected_us"] == 1
+    assert data["detected_us"] == 3
+    assert data["repaired_us"] is None
+    assert list(data["detail"]) == ["a", "b"]
+
+
+def test_ledger_lifecycle_feeds_metrics_with_integer_latencies():
+    system = build_system()
+    ledger = FaultLedger(system.sim)
+    event = ledger.record(FaultClass.FIFO_BIT, "fifo.x")
+    system.sim.schedule(2_500_000, lambda: ledger.mark_detected(event, "ecc"))
+    system.sim.schedule(
+        2_500_000, lambda: ledger.mark_repaired(event, "ecc_correct")
+    )
+    system.sim.run()
+    assert event.detected and event.repaired
+    assert event.detected_via == "ecc"
+    assert event.action == "ecc_correct"
+    metrics = system.sim.metrics
+    assert metrics.value(
+        "repro_faults_detected_total", {"class": "fifo_bit"}
+    ) == 1
+    histogram = metrics.get("repro_fault_detect_latency_us")
+    assert histogram.count == 1
+    assert histogram.sum == 2  # 2.5 us floored to a whole microsecond
+    counts = ledger.counts()
+    assert counts["injected"]["fifo_bit"] == 1
+    assert counts["injected"]["seu_frame"] == 0  # zero-initialised classes
+
+
+# ----------------------------------------------------------------------
+# frame store
+# ----------------------------------------------------------------------
+def test_frame_store_flip_detect_repair_roundtrip():
+    system = build_system()
+    store = FrameStore(system.floorplan)
+    prr = store.prr_names[0]
+    assert store.frame_count(prr) > 0
+    assert store.crc(prr) == store.golden_crc(prr)
+
+    store.program(prr, "fir")
+    assert store.loaded[prr] == "fir"
+    assert store.corrupted_frames(prr) == []
+
+    store.flip(prr, 5, 17)
+    assert store.corrupted_frames(prr) == [5]
+    assert store.crc(prr) != store.golden_crc(prr)
+
+    assert store.repair(prr) == 1
+    assert store.corrupted_frames(prr) == []
+    assert store.crc(prr) == store.golden_crc(prr)
+
+
+def test_frame_store_images_depend_on_module_and_prr():
+    system = build_system()
+    store = FrameStore(system.floorplan)
+    a, b = store.prr_names[:2]
+    store.program(a, "fir")
+    store.program(b, "fir")
+    assert store.crc(a) != store.crc(b)
+    before = store.crc(a)
+    store.program(a, "iir")
+    assert store.crc(a) != before

@@ -94,3 +94,37 @@ def test_storage_saving_accounting():
     assert per_prr == 2 * size_small + size_wide
     assert per_class == size_small + size_wide
     assert per_class < per_prr
+
+
+# ----------------------------------------------------------------------
+# quarantine integration (repro.faults)
+# ----------------------------------------------------------------------
+def test_quarantined_prr_refused_with_named_error():
+    plan, repo, _ = make_relocating_repo()
+    relocating = RelocatingRepository(repo, plan, quarantined={"same1"})
+    with pytest.raises(RelocationError, match="'same1' is quarantined"):
+        relocating.lookup("fir", "same1")
+    # healthy targets still relocate
+    assert relocating.lookup("fir", "same0").prr_name == "same0"
+
+
+def test_quarantine_refuses_even_exact_bitstream_hits():
+    plan, repo, _ = make_relocating_repo()
+    repo.register(bitstream_for_rect("fir", "same1", plan.prrs["same1"].rect))
+    relocating = RelocatingRepository(repo, plan, quarantined={"same1"})
+    with pytest.raises(RelocationError, match="quarantined"):
+        relocating.lookup("fir", "same1")
+
+
+def test_quarantine_callable_tracks_live_set():
+    plan, repo, _ = make_relocating_repo()
+    retired = set()
+    relocating = RelocatingRepository(
+        repo, plan, quarantined=lambda: retired
+    )
+    assert relocating.lookup("fir", "same1").prr_name == "same1"
+    retired.add("same1")
+    with pytest.raises(RelocationError, match="quarantined"):
+        relocating.lookup("fir", "same1")
+    retired.clear()
+    assert relocating.lookup("fir", "same1").prr_name == "same1"

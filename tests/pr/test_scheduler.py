@@ -127,3 +127,102 @@ def test_cancel_unknown_request_rejected():
     _, scheduler = make_scheduler()
     foreign = ScheduledReconfig("a", "rsb0.prr0", "array2icap")
     assert not scheduler.cancel(foreign)
+
+
+# ----------------------------------------------------------------------
+# priority classes + scrub preemption (repro.faults integration)
+# ----------------------------------------------------------------------
+def submit_scrub(system, scheduler, label="scrub/rsb0.prr0",
+                 duration=0.001):
+    """Queue a preemptible scrub-priority readback transfer."""
+    def starter(on_done):
+        return system.icap.start_transfer(
+            target=label, size_bytes=1000,
+            duration_seconds=duration, on_done=on_done,
+        )
+    return scheduler.submit_transfer(label, "rsb0.prr0", starter)
+
+
+def test_pr_traffic_outranks_queued_scrub():
+    """A queued scrub readback waits behind later-arriving PR work."""
+    system, scheduler = make_scheduler()
+    first = scheduler.submit("a", "rsb0.prr0")
+    scrub = submit_scrub(system, scheduler)
+    late_pr = scheduler.submit("b", "rsb0.prr1")
+    assert first.started and not scrub.started and not late_pr.started
+    system.sim.run()
+    assert [r.module_name for r in scheduler.completed] == \
+        ["a", "b", "scrub/rsb0.prr0"]
+
+
+def test_arriving_pr_preempts_active_scrub():
+    """PR traffic aborts an in-flight readback and takes the port."""
+    system, scheduler = make_scheduler()
+    scrub = submit_scrub(system, scheduler, duration=0.01)
+    assert scrub.started
+    pr = scheduler.submit("a", "rsb0.prr0")
+    # the scrub was kicked off the ICAP and requeued from scratch
+    assert pr.started
+    assert not scrub.started
+    assert scrub.aborts == 1
+    assert scheduler.preemptions == 1
+    aborted = [t for t in system.icap.history if t.aborted]
+    assert len(aborted) == 1 and not aborted[0].done
+    system.sim.run()
+    assert pr.done and scrub.done
+    assert [r.module_name for r in scheduler.completed] == \
+        ["a", "scrub/rsb0.prr0"]
+
+
+def test_scrub_never_preempts_pr():
+    """Scrub arriving while PR writes must wait (writes are atomic)."""
+    system, scheduler = make_scheduler()
+    pr = scheduler.submit("a", "rsb0.prr0")
+    scrub = submit_scrub(system, scheduler)
+    assert pr.started and not scrub.started
+    assert scheduler.preemptions == 0
+    system.sim.run()
+    assert pr.done and scrub.done
+
+
+def _depth(system):
+    return system.sim.metrics.gauge("repro_icap_queue_depth").value
+
+
+def test_cancel_updates_queue_depth_gauge():
+    """Regression: cancelling queued or in-flight work must drop the
+    queue-depth gauge (it used to go stale on the cancel path)."""
+    system, scheduler = make_scheduler()
+    scheduler.submit("a", "rsb0.prr0")
+    queued = scheduler.submit("b", "rsb0.prr1")
+    assert _depth(system) == 2
+    assert scheduler.cancel(queued)
+    assert _depth(system) == 1
+    system.sim.run()
+    assert _depth(system) == 0
+
+
+def test_cancel_in_flight_preemptible_frees_port():
+    system, scheduler = make_scheduler()
+    scrub = submit_scrub(system, scheduler, duration=0.01)
+    assert scrub.started and _depth(system) == 1
+    assert scheduler.cancel(scrub)
+    assert scrub.cancelled and not scheduler.busy
+    assert _depth(system) == 0
+    # the port is genuinely free for new work
+    pr = scheduler.submit("a", "rsb0.prr0")
+    assert pr.started
+    system.sim.run()
+    assert pr.done and not scrub.done
+
+
+def test_hold_blocks_dispatch_until_resume():
+    """hold()/resume() bracket an external ICAP user (Figure 5 switch)."""
+    system, scheduler = make_scheduler()
+    scheduler.hold()
+    request = scheduler.submit("a", "rsb0.prr0")
+    assert not request.started
+    scheduler.resume()
+    assert request.started
+    system.sim.run()
+    assert request.done

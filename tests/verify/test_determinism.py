@@ -1,0 +1,64 @@
+"""VAP5xx configuration-determinism lint."""
+
+from repro.verify import Severity, check_config_determinism
+
+
+def codes(findings):
+    return sorted(finding.code for finding in findings)
+
+
+def test_clean_seeded_spec_passes():
+    spec = {
+        "seed": 7,
+        "seu_frames": 2,
+        "jobs": [{"source": {"kind": "noise", "seed": 3}}],
+    }
+    assert check_config_determinism(spec) == []
+
+
+def test_vap502_campaign_without_seed():
+    findings = check_config_determinism(
+        {"seu_frames": 1, "scrub_period_us": 100.0}, subject="campaign"
+    )
+    assert codes(findings) == ["VAP502"]
+    assert findings[0].severity is Severity.ERROR
+    assert findings[0].location == "campaign"
+
+
+def test_vap502_non_integer_seed():
+    for bad in ("7", 3.5, True, None):
+        findings = check_config_determinism({"seed": bad})
+        assert codes(findings) == ["VAP502"], bad
+        assert findings[0].location == "config.seed"
+
+
+def test_vap503_seed_placeholder_and_nondet_markers():
+    findings = check_config_determinism({"seed": "random"})
+    assert codes(findings) == ["VAP503"]
+
+    findings = check_config_determinism(
+        {"jobs": [{"name": "run-${RANDOM}"}]}, subject="jobfile"
+    )
+    assert codes(findings) == ["VAP503"]
+    assert findings[0].location == "jobfile.jobs[0].name"
+
+    findings = check_config_determinism({"stamp": "time.time()"})
+    assert codes(findings) == ["VAP503"]
+
+
+def test_vap501_unseeded_random_source_is_a_warning():
+    spec = {"jobs": [{"source": {"kind": "noise", "count": 10}}]}
+    findings = check_config_determinism(spec, subject="jobfile")
+    assert codes(findings) == ["VAP501"]
+    assert findings[0].severity is Severity.WARNING
+    assert findings[0].location == "jobfile.jobs[0].source"
+    # deterministic kinds need no seed
+    assert check_config_determinism(
+        {"jobs": [{"source": {"kind": "ramp", "count": 10}}]}
+    ) == []
+
+
+def test_findings_carry_the_determinism_analyzer_and_config_family():
+    findings = check_config_determinism({"seu_frames": 1})
+    assert findings[0].analyzer == "determinism"
+    assert findings[0].family == "config"

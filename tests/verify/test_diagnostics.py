@@ -18,6 +18,7 @@ FAMILY_BY_PREFIX = {
     "VAP2": "comm",
     "VAP3": "switching",
     "VAP4": "kernel",
+    "VAP5": "config",
 }
 
 
@@ -29,9 +30,9 @@ def test_every_code_is_well_formed():
         assert info.meaning
 
 
-def test_registry_covers_all_four_families():
+def test_registry_covers_all_families():
     families = {info.family for info in CODES.values()}
-    assert families == {"fabric", "comm", "switching", "kernel"}
+    assert families == {"fabric", "comm", "switching", "kernel", "config"}
 
 
 def test_diag_fills_severity_from_registry():
