@@ -124,7 +124,6 @@ def test_adjacency_restriction_rejects_mappings(benchmark):
     """PolySAF-style adjacency: how many random pipelines even map?"""
     import random
 
-    from repro.baselines.adjacent_only import AdjacentOnlyRouter
 
     def mappable_fractions():
         rng = random.Random(42)

@@ -61,7 +61,6 @@ def test_lcd_lets_slow_module_meet_target(benchmark):
     (Here frequencies above the static clock come from the DCM's 2x
     output: divisors (1, 2) around a 2x base keep the fabric at 100 MHz.)
     """
-    from dataclasses import replace
 
     from repro.core import SystemParameters, VapresSystem
 

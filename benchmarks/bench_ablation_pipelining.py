@@ -16,9 +16,7 @@ from repro.analysis.metrics import loop_latencies_seconds
 from repro.analysis.report import format_table
 from repro.comm.timing import (
     channel_latency_cycles,
-    combinational_max_frequency_hz,
     frequency_table,
-    registered_max_frequency_hz,
 )
 from repro.core import RsbParameters, SystemParameters, VapresSystem
 from repro.modules import Iom

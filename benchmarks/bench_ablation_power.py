@@ -16,7 +16,7 @@ from repro.analysis.report import format_table
 from repro.core.switching import ModuleSwitcher
 from repro.modules import Iom, MovingAverage
 from repro.modules.base import staged
-from repro.modules.filters import FirFilter, Q15_ONE
+from repro.modules.filters import Q15_ONE, FirFilter
 from repro.modules.sources import ramp, sine_wave
 
 from tests.helpers import build_system

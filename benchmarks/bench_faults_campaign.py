@@ -44,33 +44,47 @@ def _build_system() -> VapresSystem:
     return system
 
 
-def _timed_run(with_plant: bool) -> float:
-    """Seconds for the chunked workload; min of REPEATS fresh systems."""
-    best = float("inf")
+def _one_run(with_plant: bool) -> float:
+    """Seconds for one chunked workload on a fresh system."""
+    system = _build_system()
+    system.sim.set_tracing(False)
+    plant = None
+    if with_plant:
+        plant = FaultPlant(
+            system,
+            ReconfigScheduler(system.engine),
+            CampaignConfig(seed=0),
+            enabled=False,
+        )
+        plant.start()
+    started = time.perf_counter()
+    for _ in range(CYCLES // POLL_EVERY_CYCLES):
+        system.run_for_cycles(POLL_EVERY_CYCLES)
+        if plant is not None:
+            plant.poll()
+    return time.perf_counter() - started
+
+
+def _timed_pair() -> "tuple[float, float]":
+    """Min-of-REPEATS for both variants, with the repeats interleaved.
+
+    Back-to-back blocks (all baseline runs, then all instrumented runs)
+    let multi-second CPU-frequency drift land entirely in the ratio;
+    alternating the variants means both minima come from the same host
+    conditions.
+    """
+    base = float("inf")
+    instrumented = float("inf")
     for _ in range(REPEATS):
-        system = _build_system()
-        system.sim.set_tracing(False)
-        plant = None
-        if with_plant:
-            plant = FaultPlant(
-                system,
-                ReconfigScheduler(system.engine),
-                CampaignConfig(seed=0),
-                enabled=False,
-            )
-            plant.start()
-        started = time.perf_counter()
-        for _ in range(CYCLES // POLL_EVERY_CYCLES):
-            system.run_for_cycles(POLL_EVERY_CYCLES)
-            if plant is not None:
-                plant.poll()
-        best = min(best, time.perf_counter() - started)
-    return best
+        base = min(base, _one_run(with_plant=False))
+        instrumented = min(instrumented, _one_run(with_plant=True))
+    return base, instrumented
 
 
 def test_disabled_plant_overhead(benchmark):
-    baseline = _timed_run(with_plant=False)
-    instrumented = benchmark(lambda: _timed_run(with_plant=True))
+    baseline, instrumented = benchmark.pedantic(
+        _timed_pair, rounds=1, iterations=1
+    )
     overhead = instrumented / baseline - 1.0
     benchmark.extra_info["FAULTS-OVERHEAD:disabled_plant"] = {
         "baseline_s": baseline,

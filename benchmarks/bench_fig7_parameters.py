@@ -10,7 +10,7 @@ w=32, kr=kl=2, ki=ko=1) highlighted.
 
 from repro.analysis.report import format_table
 from repro.core.params import RsbParameters
-from repro.flows.estimate import comm_architecture_slices, switchbox_slices
+from repro.flows.estimate import comm_architecture_slices
 
 
 def sweep():

@@ -10,7 +10,6 @@ This benchmark reproduces the measurement procedure at full fidelity
 (``pr_speedup = 1``) using the same timer peripheral.
 """
 
-from repro.analysis.report import PaperComparison
 from repro.core import SystemParameters, VapresSystem
 from repro.modules.transforms import PassThrough
 

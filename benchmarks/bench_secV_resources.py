@@ -10,7 +10,6 @@ this benchmark regenerates them from the architectural parameters and
 verifies the published figures.
 """
 
-from repro.analysis.report import PaperComparison
 from repro.core.params import SystemParameters
 from repro.fabric.device import get_device
 from repro.flows.estimate import (

@@ -8,11 +8,7 @@ land in the saved benchmark JSON as well.
 
 from __future__ import annotations
 
-import sys
-
 import pytest
-
-sys.path.insert(0, ".")  # so `tests.helpers` style imports work if needed
 
 from repro.analysis.report import PaperComparison, comparison_table
 

@@ -13,10 +13,10 @@ architecture and switching methodology:
   replacement in place, the approach VAPRES's methodology improves on.
 """
 
+from repro.baselines.adjacent_only import AdjacencyError, AdjacentOnlyRouter
+from repro.baselines.naive_switching import NaiveSwitcher, NaiveSwitchReport
 from repro.baselines.processor_routed import ProcessorRoutedLink, processor_relay
 from repro.baselines.shared_bus import SharedBus, SharedBusConnection
-from repro.baselines.adjacent_only import AdjacentOnlyRouter, AdjacencyError
-from repro.baselines.naive_switching import NaiveSwitcher, NaiveSwitchReport
 
 __all__ = [
     "AdjacencyError",

@@ -1,0 +1,35 @@
+"""Benchmark runner with committed baselines and a CI regression gate.
+
+``python -m repro bench`` executes a curated set of performance cases
+(kernel event throughput, Figure-5 steady-state streaming, the full
+Figure-5 switch, fleet serving), normalises the rates against a
+machine-calibration score so results are comparable across hosts, writes
+a schema-versioned ``BENCH_<rev>.json`` report and -- given a committed
+baseline -- fails on regressions beyond a configurable threshold.
+
+Layering: ``repro.bench`` sits above every other subsystem (it drives
+``core``/``runtime`` scenarios end to end) and nothing imports it back.
+"""
+
+from repro.bench.cases import CASES, CaseResult
+from repro.bench.compare import CompareResult, compare_reports, render_compare
+from repro.bench.runner import (
+    SCHEMA_VERSION,
+    BenchError,
+    calibrate,
+    default_output_name,
+    run_bench,
+)
+
+__all__ = [
+    "CASES",
+    "CaseResult",
+    "CompareResult",
+    "compare_reports",
+    "render_compare",
+    "SCHEMA_VERSION",
+    "BenchError",
+    "calibrate",
+    "default_output_name",
+    "run_bench",
+]

@@ -19,11 +19,11 @@ loss-free back-pressure despite the pipeline latency.
   each PRR/IOM.
 """
 
-from repro.comm.switchbox import LaneRef, SwitchBox, SwitchBoxError
-from repro.comm.interfaces import ConsumerInterface, ProducerInterface
 from repro.comm.channel import StreamingChannel, SwitchFabric
-from repro.comm.router import ChannelRouter, CommState, RoutingError
 from repro.comm.fsl import FslLink
+from repro.comm.interfaces import ConsumerInterface, ProducerInterface
+from repro.comm.router import ChannelRouter, CommState, RoutingError
+from repro.comm.switchbox import LaneRef, SwitchBox, SwitchBoxError
 
 __all__ = [
     "ChannelRouter",

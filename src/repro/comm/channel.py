@@ -52,8 +52,9 @@ class StreamingChannel:
         self.consumer = consumer
         self.hops = list(hops)
         self.d = len(hops)
-        self._forward: List[Tuple[bool, int]] = [INVALID_WORD] * self.d
-        self._backward: List[bool] = [False] * self.d
+        # deques: the per-cycle shift is appendleft+pop, no list rebuilds
+        self._forward: Deque[Tuple[bool, int]] = deque([INVALID_WORD] * self.d)
+        self._backward: Deque[bool] = deque([False] * self.d)
         self._staged_forward: Optional[Tuple[bool, int]] = None
         self._staged_backward: Optional[bool] = None
         self.released = False
@@ -111,10 +112,15 @@ class StreamingChannel:
 
     def commit(self) -> None:
         """Phase 2: shift both pipelines."""
-        if self.released or self._staged_forward is None:
+        staged = self._staged_forward
+        if self.released or staged is None:
             return
-        self._forward = [self._staged_forward] + self._forward[:-1]
-        self._backward = [self._staged_backward] + self._backward[:-1]
+        forward = self._forward
+        forward.appendleft(staged)
+        forward.pop()
+        backward = self._backward
+        backward.appendleft(self._staged_backward)
+        backward.pop()
         self._staged_forward = None
         self._staged_backward = None
 
@@ -133,8 +139,8 @@ class StreamingChannel:
         """
         lost = self.in_flight
         self.released = True
-        self._forward = [INVALID_WORD] * self.d
-        self._backward = [False] * self.d
+        self._forward = deque([INVALID_WORD] * self.d)
+        self._backward = deque([False] * self.d)
         self._sent_sigs.clear()
         return lost
 
@@ -169,19 +175,24 @@ class SwitchFabric(ClockedComponent):
     def __init__(self, name: str = "fabric") -> None:
         self.name = name
         self.channels: Dict[int, StreamingChannel] = {}
+        # insertion-ordered snapshot iterated every cycle; rebuilt on
+        # add/remove so sample/commit avoid a dict-view walk per phase
+        self._channel_list: List[StreamingChannel] = []
 
     def add(self, channel: StreamingChannel) -> None:
         self.channels[channel.channel_id] = channel
+        self._channel_list = list(self.channels.values())
 
     def remove(self, channel_id: int) -> None:
         self.channels.pop(channel_id, None)
+        self._channel_list = list(self.channels.values())
 
     def sample(self) -> None:
-        for channel in self.channels.values():
+        for channel in self._channel_list:
             channel.sample()
 
     def commit(self) -> None:
-        for channel in self.channels.values():
+        for channel in self._channel_list:
             channel.commit()
 
     @property

@@ -65,9 +65,10 @@ class ProducerInterface:
     # ------------------------------------------------------------------
     def module_write(self, word: int) -> bool:
         """Module pushes a word; False when the FIFO is full (module stalls)."""
-        if self.fifo.full:
+        fifo = self.fifo
+        if len(fifo._data) >= fifo.capacity:  # full: stall, not a drop
             return False
-        return self.fifo.push(word & self.mask)
+        return fifo.push(word & self.mask)
 
     @property
     def module_can_write(self) -> bool:
@@ -83,9 +84,10 @@ class ProducerInterface:
         bit-extension.  Reads the FIFO only when ``FIFO_ren`` is set and the
         delayed feedback-full signal is deasserted.
         """
-        if not self.fifo_ren or backpressured or self.fifo.empty:
+        fifo = self.fifo
+        if not self.fifo_ren or backpressured or not fifo._data:
             return INVALID_WORD
-        word = self.fifo.pop()
+        word = fifo.pop()
         self.words_sent += 1
         if self.fault_or:
             word = (word | self.fault_or) & self.mask
@@ -139,12 +141,13 @@ class ConsumerInterface:
         if not self.fifo_wen:
             self.words_gated += 1
             return
-        if self.fifo.full:
+        fifo = self.fifo
+        if len(fifo._data) >= fifo.capacity:
             # The paper: "all subsequent data words are discarded" -- the
             # feedback-full signal exists so this path is never exercised.
             self.words_discarded += 1
             return
-        self.fifo.push(word & self.mask)
+        fifo.push(word & self.mask)
         self.words_received += 1
 
     def set_backpressure_slack(self, slack: int) -> None:
@@ -165,9 +168,10 @@ class ConsumerInterface:
 
     def module_read(self) -> Optional[int]:
         """Module pops a word; None when empty (module blocks)."""
-        if self.fifo.empty:
+        fifo = self.fifo
+        if not fifo._data:
             return None
-        return self.fifo.pop()
+        return fifo.pop()
 
     def module_peek(self) -> Optional[int]:
         return None if self.fifo.empty else self.fifo.peek()

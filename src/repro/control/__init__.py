@@ -12,9 +12,8 @@ A soft-core MicroBlaze plus static peripherals responsible for
 """
 
 from repro.control.dcr import DcrBridge, DcrBus, DcrError
-from repro.control.prsocket import DCR_BITS, PRSocket
-from repro.control.memory import BramBuffer, CompactFlash, MemoryError_, Sdram
 from repro.control.icap import IcapController, IcapError
+from repro.control.memory import BramBuffer, CompactFlash, MemoryError_, Sdram
 from repro.control.microblaze import (
     Call,
     DcrRead,
@@ -27,6 +26,7 @@ from repro.control.microblaze import (
     Suspend,
     WaitFor,
 )
+from repro.control.prsocket import DCR_BITS, PRSocket
 from repro.control.timer import XpsTimer
 
 __all__ = [

@@ -117,7 +117,9 @@ class SoftwareTask:
         self._joiners: List[Callable[[], None]] = []
         self._stack: List[SoftwareModule] = [generator]
 
-    def _finish(self, result: Any = None, error: Optional[BaseException] = None) -> None:
+    def _finish(
+        self, result: Any = None, error: Optional[BaseException] = None
+    ) -> None:
         self.done = True
         self.result = result
         self.error = error
@@ -158,6 +160,10 @@ class Microblaze:
         """
         task = self.spawn(generator, name)
         while not task.done:
+            # while the software sleeps (ICAP transfers, DCR timers) the
+            # queue is clock edges plus one completion event: let the
+            # compiled-schedule fast path chew through the edge prefix
+            self.sim.fast_forward()
             if not self.sim.step():
                 raise RuntimeError(
                     f"software task {name!r} did not finish (deadlock or "
@@ -168,7 +174,9 @@ class Microblaze:
         return task.result
 
     # ------------------------------------------------------------------
-    def _charge(self, task: SoftwareTask, cycles: int, then: Callable[[], None]) -> None:
+    def _charge(
+        self, task: SoftwareTask, cycles: int, then: Callable[[], None]
+    ) -> None:
         task.cycles_charged += cycles
         self.sim.schedule(cycles * self.clock.period_ps, then)
 

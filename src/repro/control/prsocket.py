@@ -199,4 +199,7 @@ class PRSocket:
         return self._prr_reset
 
     def __repr__(self) -> str:
-        return f"PRSocket({self.name}, dcr=0x{self.dcr_address:x}, value=0x{self.dcr_read():x})"
+        return (
+            f"PRSocket({self.name}, dcr=0x{self.dcr_address:x}, "
+            f"value=0x{self.dcr_read():x})"
+        )

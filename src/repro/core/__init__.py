@@ -13,14 +13,23 @@
   network applications and their runtime assembly onto an RSB.
 """
 
-from repro.core.params import RsbParameters, SystemParameters
-from repro.core.rsb import IomSlot, PrrSlot, ReconfigurableStreamingBlock, RsbError
-from repro.core.system import SystemError_, VapresSystem
 from repro.core.api import VapresApi
-from repro.core.switching import ModuleSwitcher, SwitchReport
+from repro.core.assembly import (
+    AssembledApplication,
+    AssemblyError,
+    RuntimeAssembler,
+)
 from repro.core.kpn import KahnProcessNetwork, KpnEdge, KpnError, KpnNode
-from repro.core.assembly import AssembledApplication, AssemblyError, RuntimeAssembler
+from repro.core.params import RsbParameters, SystemParameters
+from repro.core.rsb import (
+    IomSlot,
+    PrrSlot,
+    ReconfigurableStreamingBlock,
+    RsbError,
+)
 from repro.core.spanning import SpanningError, SpanningRegion
+from repro.core.switching import ModuleSwitcher, SwitchReport
+from repro.core.system import SystemError_, VapresSystem
 
 __all__ = [
     "AssembledApplication",

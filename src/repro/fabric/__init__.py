@@ -18,20 +18,20 @@ model detailed enough to reproduce the paper's floorplanning constraints
 
 from repro.fabric.device import (
     BOARDS,
-    Board,
     DEVICES,
+    Board,
     Virtex4Device,
     get_board,
     get_device,
 )
-from repro.fabric.geometry import ClockRegion, GeometryError, Rect
-from repro.fabric.resources import ResourceVector
 from repro.fabric.floorplan import (
     Floorplan,
     FloorplanError,
     PrrPlacement,
     auto_floorplan,
 )
+from repro.fabric.geometry import ClockRegion, GeometryError, Rect
+from repro.fabric.resources import ResourceVector
 from repro.fabric.slice_macro import SliceMacro
 
 __all__ = [

@@ -16,6 +16,11 @@ worker count never appear.  Latencies are observed as integer
 microseconds, so histogram sums are exact and merge-order-independent.
 ``sim_us`` is only meaningful for a single shared simulator and is
 ``None`` in fleet mode (shard totals depend on the sharding).
+
+Campaigns inherit the kernel fast path through
+:class:`~repro.runtime.executor.ExecutorConfig` (``use_fastpath``, on by
+default); the determinism contract is unaffected because the fast path
+replays the heap kernel's event order bit-identically.
 """
 
 from __future__ import annotations

@@ -22,7 +22,7 @@ deterministically, since retry times are fixed offsets.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.faults.model import (
     CampaignConfig,

@@ -21,7 +21,7 @@ nothing on the hot path -- the overhead benchmark holds that at < 5%.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.faults.detect import FrameScrubber, StreamWatchdog
 from repro.faults.inject import FaultInjector

@@ -12,17 +12,17 @@
   bitstream generation and registration.
 """
 
+from repro.flows.application import ApplicationBuild, ApplicationFlow
+from repro.flows.base_system import BaseSystemBuild, BaseSystemFlow, FlowError
 from repro.flows.estimate import (
-    comm_architecture_slices,
     comm_architecture_resources,
+    comm_architecture_slices,
     module_slice_estimate,
     static_region_resources,
     switchbox_slices,
     system_resource_report,
 )
 from repro.flows.sysdef import generate_mhs, generate_mss, generate_ucf
-from repro.flows.base_system import BaseSystemBuild, BaseSystemFlow, FlowError
-from repro.flows.application import ApplicationBuild, ApplicationFlow
 
 __all__ = [
     "ApplicationBuild",

@@ -18,15 +18,30 @@ emit monitoring words towards the MicroBlaze over their FSL.
 * :mod:`repro.modules.state` -- 32-bit two's-complement wire encoding.
 """
 
+from repro.modules.adapters import FslToStream, StreamToFsl
 from repro.modules.base import (
-    EOS_WORD,
     CMD_FLUSH,
     CMD_START,
+    EOS_WORD,
     HardwareModule,
     ModuleError,
     ModulePorts,
 )
-from repro.modules.filters import BiquadIir, FirFilter, MedianFilter, MovingAverage
+from repro.modules.conditioning import (
+    AbsValue,
+    Accumulator,
+    NoiseGate,
+    PeakHold,
+    Upsampler,
+)
+from repro.modules.filters import (
+    BiquadIir,
+    FirFilter,
+    MedianFilter,
+    MovingAverage,
+)
+from repro.modules.iom import Iom
+from repro.modules.state import from_u32, to_u32
 from repro.modules.transforms import (
     Crc32,
     Decimator,
@@ -39,16 +54,6 @@ from repro.modules.transforms import (
     StreamSplitter,
     ThresholdDetector,
 )
-from repro.modules.adapters import FslToStream, StreamToFsl
-from repro.modules.conditioning import (
-    AbsValue,
-    Accumulator,
-    NoiseGate,
-    PeakHold,
-    Upsampler,
-)
-from repro.modules.iom import Iom
-from repro.modules.state import from_u32, to_u32
 
 __all__ = [
     "AbsValue",

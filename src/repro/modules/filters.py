@@ -46,7 +46,9 @@ class FirFilter(HardwareModule):
         self._last_output = 0
 
     @classmethod
-    def from_coefficients(cls, name: str, coefficients: Sequence[float], **kw) -> "FirFilter":
+    def from_coefficients(
+        cls, name: str, coefficients: Sequence[float], **kw
+    ) -> "FirFilter":
         return cls(name, [q15(c) for c in coefficients], **kw)
 
     def process(self, sample: int) -> int:
@@ -147,18 +149,30 @@ class MovingAverage(HardwareModule):
 
     def process(self, sample: int) -> int:
         x = from_u32(sample)
-        setattr(self, f"w{self.widx}", x)
-        self.widx = (self.widx + 1) % self.window
+        widx = self.widx
+        # running sum: subtract the slot being overwritten, add the new
+        # sample; identical to summing the filled window every sample
         if self.wfill < self.window:
             self.wfill += 1
-        total = sum(getattr(self, f"w{i}") for i in range(self.wfill))
-        return saturate32(total // self.wfill)
+            self._wtotal += x
+        else:
+            self._wtotal += x - getattr(self, f"w{widx}")
+        setattr(self, f"w{widx}", x)
+        self.widx = (widx + 1) % self.window
+        return saturate32(self._wtotal // self.wfill)
+
+    def restore_state(self, words: Sequence[int]) -> None:
+        super().restore_state(words)
+        self._wtotal = sum(
+            getattr(self, f"w{i}") for i in range(self.wfill)
+        )
 
     def on_reset(self) -> None:
         for i in range(self.window):
             setattr(self, f"w{i}", 0)
         self.widx = 0
         self.wfill = 0
+        self._wtotal = 0
 
 
 class MedianFilter(HardwareModule):

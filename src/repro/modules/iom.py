@@ -46,7 +46,9 @@ class Iom(ClockedComponent):
             raise ValueError("push_interval and words_per_push must be >= 1")
         self.name = name
         self.ports: Optional[ModulePorts] = None
-        self._source: Optional[Iterator[int]] = iter(source) if source is not None else None
+        self._source: Optional[Iterator[int]] = (
+            iter(source) if source is not None else None
+        )
         self.words_per_push = words_per_push
         self.push_interval = push_interval
         self.received: List[int] = []
@@ -111,7 +113,7 @@ class Iom(ClockedComponent):
             producer.module_write(to_u32(sample))
             self.words_emitted += 1
             if self.sim is not None:
-                self.emit_times.append(self.sim.now)
+                self.emit_times.append(self.sim._now)
 
     def _pull_output(self) -> None:
         if not self.ports.consumers:
@@ -128,7 +130,7 @@ class Iom(ClockedComponent):
         else:
             self.received.append(from_u32(word))
             if self.sim is not None:
-                self.receive_times.append(self.sim.now)
+                self.receive_times.append(self.sim._now)
 
     def __repr__(self) -> str:
         return (

@@ -24,6 +24,16 @@ containers) and below :mod:`repro.analysis` and :mod:`repro.runtime`,
 which consume its exports.
 """
 
+from repro.obs.export import (
+    chrome_trace_events,
+    dump_chrome_trace,
+    flame_summary,
+    load_chrome_trace,
+    prometheus_text,
+    render_trace_file,
+    spans_from_chrome,
+    to_chrome_trace,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -38,16 +48,6 @@ from repro.obs.spans import (
     SpanError,
     SpanEvent,
     Tracer,
-)
-from repro.obs.export import (
-    chrome_trace_events,
-    dump_chrome_trace,
-    flame_summary,
-    spans_from_chrome,
-    load_chrome_trace,
-    prometheus_text,
-    render_trace_file,
-    to_chrome_trace,
 )
 
 __all__ = [

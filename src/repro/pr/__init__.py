@@ -19,7 +19,6 @@ from repro.pr.bitstream import (
     bitstream_for_rect,
     partial_bitstream_bytes,
 )
-from repro.pr.repository import BitstreamRepository, RepositoryError
 from repro.pr.reconfig import ReconfigError, ReconfigurationEngine
 from repro.pr.relocation import (
     RelocatingRepository,
@@ -27,6 +26,7 @@ from repro.pr.relocation import (
     can_relocate,
     relocation_classes,
 )
+from repro.pr.repository import BitstreamRepository, RepositoryError
 from repro.pr.scheduler import ReconfigScheduler, ScheduledReconfig
 
 __all__ = [

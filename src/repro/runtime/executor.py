@@ -38,15 +38,14 @@ if TYPE_CHECKING:  # deferred at runtime: repro.faults imports this module
     from repro.faults.plant import FaultPlant
 
 from repro.core.params import SystemParameters
-from repro.obs.metrics import MetricsRegistry
 from repro.core.switching import ModuleSwitcher
 from repro.core.system import VapresSystem
 from repro.modules.iom import Iom
+from repro.obs.metrics import MetricsRegistry
 from repro.pr.scheduler import ReconfigScheduler
 from repro.runtime.admission import (
     AdmissionController,
     AdmissionDecision,
-    Assignment,
 )
 from repro.runtime.jobs import Job, JobError, JobState, StreamJob
 from repro.runtime.telemetry import (
@@ -72,6 +71,10 @@ class ExecutorConfig:
     #: before a running job counts as complete
     idle_streak: int = 3
     allow_preemption: bool = True
+    #: dispatch steady-state clock windows through the compiled-schedule
+    #: fast path (repro.sim.fastpath); behaviour is bit-identical either
+    #: way, so this only exists to measure or rule out the fast path
+    use_fastpath: bool = True
     #: optional fault campaign (repro.faults); None = no fault plant
     faults: Optional["CampaignConfig"] = None
 
@@ -85,7 +88,7 @@ class ExecutorConfig:
     def from_dict(cls, data: dict) -> "ExecutorConfig":
         allowed = {
             "quantum_us", "max_us", "idle_streak", "allow_preemption",
-            "faults",
+            "use_fastpath", "faults",
         }
         unknown = set(data) - allowed
         if unknown:
@@ -112,6 +115,7 @@ class JobExecutor:
         self.config = config or ExecutorConfig()
         self.shard = shard
         self.system = VapresSystem(self.params)
+        self.system.sim.set_fastpath(self.config.use_fastpath)
         self.scheduler = ReconfigScheduler(self.system.engine)
         self.switcher = ModuleSwitcher(self.system)
         self.admission = AdmissionController(

@@ -16,17 +16,17 @@ provides:
   the FIFO primitives behind module interfaces and FSL links.
 """
 
+from repro.sim.clock import Bufgmux, Bufr, Clock, ClockSource, Dcm, Pmcd
+from repro.sim.fifo import AsyncFifo, FifoError, SyncFifo
 from repro.sim.kernel import (
-    Event,
     PRIORITY_COMMIT,
     PRIORITY_NORMAL,
     PRIORITY_SAMPLE,
+    Event,
     SimulationError,
     Simulator,
     TraceEvent,
 )
-from repro.sim.clock import Bufgmux, Bufr, Clock, ClockSource, Dcm, Pmcd
-from repro.sim.fifo import AsyncFifo, FifoError, SyncFifo
 
 __all__ = [
     "AsyncFifo",

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import List, Optional, Protocol, runtime_checkable
 
 from repro.sim.kernel import (
+    CLOCK_EPOCH,
     PRIORITY_COMMIT,
     PRIORITY_SAMPLE,
     SimulationError,
@@ -199,7 +200,11 @@ class Bufgmux(ClockSource):
     def select(self, sel: int) -> None:
         if sel not in (0, 1):
             raise SimulationError(f"BUFGMUX select must be 0 or 1, got {sel}")
-        self._sel = sel
+        if sel != self._sel:
+            self._sel = sel
+            # Downstream clock periods just changed: force the fast path to
+            # re-read them before dispatching any further edges.
+            CLOCK_EPOCH[0] += 1
 
     @property
     def selected(self) -> int:
@@ -309,6 +314,12 @@ class Clock:
         if enabled == self._enabled:
             return
         self._enabled = enabled
+        fastpath = self.sim._fastpath
+        if fastpath is not None and fastpath.owns(self):
+            # Mid-window gating: the pending edge is virtual, so the fast
+            # path updates its shadow state instead of heap events.
+            fastpath.on_gate(self, enabled)
+            return
         if not enabled:
             if self._next_edge_event is not None:
                 self._next_edge_event.cancel()
@@ -318,9 +329,11 @@ class Clock:
 
     # ------------------------------------------------------------------
     def _schedule_next_edge(self) -> None:
-        self._next_edge_event = self.sim.schedule(
+        event = self.sim.schedule(
             self.period_ps, self._edge, priority=PRIORITY_SAMPLE
         )
+        event.clock = self
+        self._next_edge_event = event
 
     def _edge(self) -> None:
         self._next_edge_event = None

@@ -108,19 +108,21 @@ class SyncFifo:
     # ------------------------------------------------------------------
     def push(self, word: Any) -> bool:
         """Append ``word``; returns False (and counts a drop) when full."""
-        if self.full:
+        data = self._data
+        if len(data) >= self.capacity:
             self.drops += 1
             if self._drop_counter is not None:
                 self._drop_counter.inc()
             return False
-        self._data.append(word)
+        data.append(word)
         self.pushes += 1
         if self._ecc is not None:
             self._ecc.append(word)
-        if len(self._data) > self.max_occupancy:
-            self.max_occupancy = len(self._data)
+        occupancy = len(data)
+        if occupancy > self.max_occupancy:
+            self.max_occupancy = occupancy
         if self._occ_hist is not None:
-            self._occ_hist.observe(len(self._data))
+            self._occ_hist.observe(occupancy)
         return True
 
     def pop(self) -> Any:
@@ -214,10 +216,24 @@ class AsyncFifo(SyncFifo):
         self._visible_at: Deque[int] = deque()
 
     def push(self, word: Any) -> bool:
-        ok = super().push(word)
-        if ok:
-            self._visible_at.append(self._reader_cycle + self.sync_stages)
-        return ok
+        # fused copy of SyncFifo.push + visibility bookkeeping (hot path)
+        data = self._data
+        if len(data) >= self.capacity:
+            self.drops += 1
+            if self._drop_counter is not None:
+                self._drop_counter.inc()
+            return False
+        data.append(word)
+        self.pushes += 1
+        if self._ecc is not None:
+            self._ecc.append(word)
+        occupancy = len(data)
+        if occupancy > self.max_occupancy:
+            self.max_occupancy = occupancy
+        if self._occ_hist is not None:
+            self._occ_hist.observe(occupancy)
+        self._visible_at.append(self._reader_cycle + self.sync_stages)
+        return True
 
     def pop(self) -> Any:
         word = super().pop()

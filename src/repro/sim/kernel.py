@@ -12,13 +12,20 @@ then do components commit new values.  This reproduces synchronous register
 semantics without delta cycles.  Ordinary timed callbacks (timers, DMA
 completions, reconfiguration done events) use ``PRIORITY_NORMAL`` and run
 after the clock phases of the same instant.
+
+When a run window contains only periodic clock edges, the kernel hands the
+window to the compiled-schedule fast path (:mod:`repro.sim.fastpath`),
+which dispatches the same sample/commit phases from a precomputed
+hyperperiod edge table instead of the event heap -- with bit-identical
+event ordering, sequence numbering and ``events_processed`` accounting.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
+import os
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.obs.metrics import MetricsRegistry
@@ -33,6 +40,12 @@ PRIORITY_NORMAL = 2
 
 PS_PER_SECOND = 1_000_000_000_000
 
+#: Global clock-topology epoch.  Anything that changes a clock's period
+#: mid-run (a BUFGMUX reselect retuning an LCD) bumps this counter so the
+#: fast path re-reads its cached periods; the single-element list lets the
+#: hot loop compare one shared cell instead of a module attribute.
+CLOCK_EPOCH: List[int] = [0]
+
 
 class SimulationError(Exception):
     """Raised for scheduling errors and exhausted simulations."""
@@ -40,13 +53,19 @@ class SimulationError(Exception):
 
 @dataclass(order=True)
 class Event:
-    """A scheduled callback.  Ordered by ``(time, priority, seq)``."""
+    """A scheduled callback.  Ordered by ``(time, priority, seq)``.
+
+    ``clock`` tags the periodic edge events scheduled by
+    :class:`repro.sim.clock.Clock`; the fast path uses it to recognise
+    windows made purely of clock edges.  All other events leave it None.
+    """
 
     time: int
     priority: int
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    clock: Optional[Any] = field(default=None, compare=False)
 
     def cancel(self) -> None:
         """Mark the event so the kernel skips it when popped."""
@@ -79,7 +98,11 @@ class TraceEvent:
 
     def __str__(self) -> str:
         extra = " ".join(f"{k}={v}" for k, v in self.fields.items())
-        return f"[{self.time_us:12.3f} us] {self.category:<12s} {self.message} {extra}".rstrip()
+        line = (
+            f"[{self.time_us:12.3f} us] {self.category:<12s} "
+            f"{self.message} {extra}"
+        )
+        return line.rstrip()
 
 
 class Simulator:
@@ -93,11 +116,23 @@ class Simulator:
     #: Default ring-buffer capacity of the trace store.
     DEFAULT_TRACE_CAPACITY = 65_536
 
-    def __init__(self, trace_capacity: int = DEFAULT_TRACE_CAPACITY) -> None:
+    def __init__(
+        self,
+        trace_capacity: int = DEFAULT_TRACE_CAPACITY,
+        use_fastpath: Optional[bool] = None,
+    ) -> None:
         self._now = 0
         self._queue: List[Event] = []
         self._seq = itertools.count()
         self._running = False
+        if use_fastpath is None:
+            use_fastpath = os.environ.get("REPRO_FASTPATH", "1") != "0"
+        self._fastpath = None
+        if use_fastpath:
+            # deferred import: fastpath imports this module
+            from repro.sim.fastpath import FastPathEngine
+
+            self._fastpath = FastPathEngine(self)
         #: Span/instant recorder (bounded ring buffer).  ``log()`` events
         #: land here as instants on ``log.<category>`` tracks; subsystems
         #: (switching, ICAP, runtime) record richer spans directly.
@@ -152,7 +187,7 @@ class Simulator:
                 f"cannot schedule at {time_ps} ps, now is {self._now} ps"
             )
         event = Event(int(time_ps), priority, next(self._seq), callback)
-        heapq.heappush(self._queue, event)
+        heappush(self._queue, event)
         return event
 
     # ------------------------------------------------------------------
@@ -161,7 +196,7 @@ class Simulator:
     def step(self) -> bool:
         """Run the next pending event.  Returns False when the queue is empty."""
         while self._queue:
-            event = heapq.heappop(self._queue)
+            event = heappop(self._queue)
             if event.cancelled:
                 continue
             self._now = event.time
@@ -172,12 +207,59 @@ class Simulator:
 
     def run_until(self, time_ps: int) -> None:
         """Run all events with timestamps ``<= time_ps`` then set now to it."""
+        time_ps = int(time_ps)
         if time_ps < self._now:
             raise SimulationError("run_until target is in the past")
-        while self._queue and self._queue[0].time <= time_ps:
+        queue = self._queue
+        fastpath = self._fastpath
+        while queue and queue[0].time <= time_ps:
+            if (
+                fastpath is not None
+                and queue[0].clock is not None
+                and fastpath.try_run(time_ps)
+            ):
+                continue
             if not self.step():
                 break
-        self._now = max(self._now, int(time_ps))
+        self._now = max(self._now, time_ps)
+
+    def fast_forward(self) -> bool:
+        """Run any pure clock-edge prefix of the queue on the fast path.
+
+        Unlike :meth:`run_until` this has no target time: the fast path
+        runs until the next non-edge event (or retune/gate) intrudes.
+        Intended for callers that loop on :meth:`step` while waiting for a
+        ``PRIORITY_NORMAL`` completion event, such as
+        :meth:`repro.control.microblaze.Microblaze.run_to_completion`.
+        Returns True if any edges were dispatched.
+        """
+        fastpath = self._fastpath
+        if fastpath is None:
+            return False
+        queue = self._queue
+        if not queue or queue[0].clock is None:
+            return False
+        return fastpath.try_run(None)
+
+    def set_fastpath(self, enabled: bool) -> None:
+        """Enable or disable the compiled-schedule fast path at runtime."""
+        if enabled and self._fastpath is None:
+            from repro.sim.fastpath import FastPathEngine
+
+            self._fastpath = FastPathEngine(self)
+        elif not enabled:
+            self._fastpath = None
+
+    @property
+    def fastpath_enabled(self) -> bool:
+        return self._fastpath is not None
+
+    @property
+    def fastpath_stats(self) -> Dict[str, int]:
+        """Fast-path counters (windows entered, edges dispatched, bails)."""
+        if self._fastpath is None:
+            return {"windows": 0, "edges": 0, "bails": 0}
+        return self._fastpath.stats()
 
     def run_for(self, delay_ps: int) -> None:
         """Advance the simulation by ``delay_ps`` picoseconds."""

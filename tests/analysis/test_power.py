@@ -8,10 +8,9 @@ from repro.analysis.power import (
     system_power_report,
     total_dynamic_mw,
 )
-from repro.modules import Iom
+from repro.modules.filters import MovingAverage
 from repro.modules.sources import ramp
 from repro.modules.transforms import PassThrough
-from repro.modules.filters import MovingAverage
 
 from tests.helpers import build_pipeline, build_system
 

@@ -2,7 +2,7 @@
 
 from repro.analysis.trace import events_between, format_trace, switch_step_table
 from repro.core.switching import SwitchReport
-from repro.sim.kernel import Simulator, TraceEvent
+from repro.sim.kernel import Simulator
 
 
 def make_trace():

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.baselines.processor_routed import (
-    ProcessorRoutedLink,
     RELAY_CYCLES_PER_WORD,
+    ProcessorRoutedLink,
     processor_relay,
 )
 from repro.comm.fsl import FslLink

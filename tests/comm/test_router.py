@@ -4,7 +4,7 @@ import pytest
 
 from repro.comm.channel import SwitchFabric
 from repro.comm.interfaces import ConsumerInterface, ProducerInterface
-from repro.comm.router import ChannelRouter, CommState, RoutingError
+from repro.comm.router import ChannelRouter, RoutingError
 from repro.comm.switchbox import LEFT, MODULE_OUT, RIGHT, SwitchBox
 
 

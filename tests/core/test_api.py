@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.modules.iom import Iom
 from repro.modules.transforms import PassThrough, ThresholdDetector
 
 from tests.helpers import build_system

@@ -2,13 +2,12 @@
 
 import pytest
 
-from repro.core import SystemParameters, VapresSystem
 from repro.core.assembly import AssemblyError, RuntimeAssembler
 from repro.core.kpn import KahnProcessNetwork
-from repro.modules.iom import Iom
-from repro.modules.transforms import PassThrough, Scaler
 from repro.modules.filters import q15
+from repro.modules.iom import Iom
 from repro.modules.sources import ramp
+from repro.modules.transforms import PassThrough, Scaler
 
 from tests.helpers import build_system
 

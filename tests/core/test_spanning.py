@@ -5,15 +5,12 @@ import pytest
 from repro.core import RsbParameters, SystemParameters, VapresSystem
 from repro.core.spanning import SpanningError, SpanningRegion
 from repro.modules import Iom, StreamMerger
-from repro.modules.filters import FirFilter, Q15_ONE
 from repro.modules.sources import ramp
 from repro.modules.transforms import PassThrough
 
-from tests.helpers import build_system
 
 
 def build_wide_system(num_prrs=3, pr_speedup=1000.0):
-    from dataclasses import replace
 
     params = SystemParameters(
         board="ML402",  # LX60: room for more PRRs

@@ -6,7 +6,6 @@ from repro.analysis.metrics import interruption_report
 from repro.core.switching import ModuleSwitcher
 from repro.modules import Iom, MovingAverage
 from repro.modules.base import staged
-from repro.modules.filters import FirFilter, Q15_ONE
 from repro.modules.sources import sine_wave
 
 from tests.helpers import build_system
@@ -106,7 +105,7 @@ def test_switch_output_values_continuous():
 
     reference = MovingAverage("ref", window=4)
     expected = []
-    from repro.modules.state import to_u32, from_u32
+    from repro.modules.state import from_u32, to_u32
 
     for sample in sine_wave(count=count):
         expected.append(from_u32(to_u32(reference.process(to_u32(sample)))))

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.core.params import RsbParameters, SystemParameters
-from repro.core.system import SystemError_, VapresSystem
 from repro.core.rsb import IomSlot, PrrSlot
+from repro.core.system import SystemError_, VapresSystem
 from repro.modules.iom import Iom
 from repro.modules.transforms import PassThrough
 

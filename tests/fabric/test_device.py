@@ -3,7 +3,6 @@
 import pytest
 
 from repro.fabric.device import (
-    BOARDS,
     DEVICES,
     SLICES_PER_CLB,
     Virtex4Device,

@@ -4,9 +4,9 @@ import pytest
 
 from repro.fabric.device import get_device
 from repro.fabric.floorplan import (
+    MAX_PRR_HEIGHT,
     Floorplan,
     FloorplanError,
-    MAX_PRR_HEIGHT,
     auto_floorplan,
 )
 from repro.fabric.geometry import Rect

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.fabric.geometry import (
-    CLOCK_REGION_ROWS,
     ClockRegion,
     GeometryError,
     Rect,

@@ -6,8 +6,7 @@ from repro.core.kpn import KahnProcessNetwork
 from repro.core.params import SystemParameters
 from repro.flows.application import ApplicationFlow
 from repro.flows.base_system import BaseSystemFlow, FlowError
-from repro.modules.filters import FirFilter, Q15_ONE
-from repro.modules.transforms import PassThrough
+from repro.modules.filters import Q15_ONE, FirFilter
 
 
 def base_build():

@@ -12,7 +12,7 @@ from repro.flows.estimate import (
     switchbox_slices,
     system_resource_report,
 )
-from repro.modules.filters import BiquadIir, FirFilter, MovingAverage, Q15_ONE
+from repro.modules.filters import Q15_ONE, BiquadIir, FirFilter, MovingAverage
 from repro.modules.transforms import PassThrough
 
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Iterable, Optional, Tuple
+from typing import Iterable, Optional
 
 from repro.core import SystemParameters, VapresSystem
 from repro.modules import Iom, PassThrough

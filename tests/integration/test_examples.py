@@ -6,7 +6,6 @@ rotting.  The two switching-heavy demos are exercised at a higher
 """
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

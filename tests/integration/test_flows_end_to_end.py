@@ -6,7 +6,6 @@ timed runtime assembly -> streaming -> teardown.
 
 from dataclasses import replace
 
-import pytest
 
 from repro.core import SystemParameters
 from repro.core.assembly import RuntimeAssembler

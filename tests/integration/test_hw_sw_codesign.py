@@ -7,14 +7,12 @@ the middle of a hardware pipeline and bridge streams between two RSBs
 through the processor.
 """
 
-import pytest
 
 from repro.control.microblaze import FslGet, FslPut
 from repro.core import RsbParameters, SystemParameters, VapresSystem
 from repro.modules import FslToStream, Iom, StreamToFsl
 from repro.modules.sources import ramp
 from repro.modules.state import from_u32, to_u32
-from repro.modules.transforms import PassThrough
 
 from tests.helpers import build_system
 

@@ -9,7 +9,6 @@ cycles.
 import pytest
 
 from repro.core import SystemParameters, VapresSystem
-from repro.control.timer import XpsTimer
 from repro.modules.transforms import PassThrough
 
 

@@ -9,7 +9,7 @@ import pytest
 
 from repro.core import RsbParameters, SystemParameters, VapresSystem
 from repro.core.switching import ModuleSwitcher
-from repro.modules import Iom, MovingAverage, PassThrough
+from repro.modules import Iom, MovingAverage
 from repro.modules.base import staged
 from repro.modules.sources import noisy_sine
 

@@ -6,7 +6,7 @@ from repro.core import RsbParameters, SystemParameters, VapresSystem
 from repro.core.assembly import RuntimeAssembler
 from repro.core.kpn import KahnProcessNetwork
 from repro.modules import Iom, MovingAverage, Scaler, StreamMerger, StreamSplitter
-from repro.modules.filters import FirFilter, q15, Q15_ONE
+from repro.modules.filters import Q15_ONE, FirFilter, q15
 from repro.modules.sources import noisy_sine, ramp
 from repro.modules.transforms import Crc32, Decimator
 

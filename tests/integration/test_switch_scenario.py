@@ -3,12 +3,12 @@ multi-switch lifecycles (the paper's Figure 5 scenario end to end)."""
 
 import pytest
 
-from repro.analysis.metrics import interruption_report, max_gap_seconds
+from repro.analysis.metrics import max_gap_seconds
 from repro.baselines.naive_switching import NaiveSwitcher
 from repro.core.switching import ModuleSwitcher
 from repro.modules import Iom, MovingAverage
 from repro.modules.base import staged
-from repro.modules.filters import FirFilter, q15
+from repro.modules.filters import FirFilter
 from repro.modules.sources import sine_wave
 
 from tests.helpers import build_system

@@ -1,6 +1,5 @@
 """Unit tests for the stream<->FSL adapter modules."""
 
-import pytest
 
 from repro.comm.fsl import FslLink
 from repro.comm.interfaces import ConsumerInterface, ProducerInterface

@@ -6,11 +6,11 @@ from repro.comm.fsl import FslLink
 from repro.comm.interfaces import ConsumerInterface, ProducerInterface
 from repro.modules.base import ModulePorts
 from repro.modules.filters import (
+    Q15_ONE,
     BiquadIir,
     FirFilter,
     MedianFilter,
     MovingAverage,
-    Q15_ONE,
     q15,
 )
 from repro.modules.state import to_u32

@@ -9,7 +9,6 @@ from repro.obs.export import (
     load_chrome_trace,
     render_trace_file,
     spans_from_chrome,
-    to_chrome_trace,
 )
 from repro.obs.spans import Tracer
 

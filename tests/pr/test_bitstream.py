@@ -1,13 +1,11 @@
 """Unit tests for partial-bitstream sizing."""
 
-import pytest
 
 from repro.fabric.geometry import Rect
 from repro.pr.bitstream import (
     FRAME_BYTES,
     FRAMES_PER_CLB_COLUMN,
     OVERHEAD_BYTES,
-    PartialBitstream,
     bitstream_for_rect,
     frames_for_rect,
     partial_bitstream_bytes,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.control.memory import CompactFlash, Sdram
 from repro.fabric.device import get_device
-from repro.fabric.floorplan import Floorplan, auto_floorplan
+from repro.fabric.floorplan import Floorplan
 from repro.fabric.geometry import Rect
 from repro.pr.bitstream import bitstream_for_rect
 from repro.pr.relocation import (

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.pr.scheduler import ReconfigScheduler
 from repro.modules.transforms import PassThrough
+from repro.pr.scheduler import ReconfigScheduler
 
 from tests.helpers import build_system
 

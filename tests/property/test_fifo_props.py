@@ -2,7 +2,7 @@
 
 from collections import deque
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.sim.fifo import AsyncFifo, SyncFifo

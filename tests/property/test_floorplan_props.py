@@ -1,17 +1,17 @@
 """Property tests: every accepted floorplan satisfies the paper's rules."""
 
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.fabric.device import DEVICES, get_device
 from repro.fabric.floorplan import (
-    Floorplan,
-    FloorplanError,
     MAX_PRR_HEIGHT,
     MAX_PRR_REGIONS,
+    Floorplan,
+    FloorplanError,
     auto_floorplan,
 )
-from repro.fabric.geometry import CLOCK_REGION_ROWS, Rect, clock_regions_of
+from repro.fabric.geometry import Rect, clock_regions_of
 
 devices = st.sampled_from(sorted(DEVICES))
 

@@ -12,7 +12,7 @@ from repro.comm.fsl import FslLink
 from repro.comm.interfaces import ConsumerInterface, ProducerInterface
 from repro.modules.base import ModulePorts
 from repro.modules.conditioning import AbsValue, Accumulator, PeakHold
-from repro.modules.filters import BiquadIir, FirFilter, MovingAverage, Q15_ONE, q15
+from repro.modules.filters import Q15_ONE, BiquadIir, FirFilter, MovingAverage, q15
 from repro.modules.state import INT32_MAX, INT32_MIN, from_u32, to_u32
 from repro.modules.transforms import DeltaDecoder, DeltaEncoder, Scaler
 

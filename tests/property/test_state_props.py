@@ -12,7 +12,7 @@ from hypothesis import strategies as st
 from repro.comm.fsl import FslLink
 from repro.comm.interfaces import ConsumerInterface, ProducerInterface
 from repro.modules.base import ModulePorts
-from repro.modules.filters import FirFilter, MovingAverage, Q15_ONE
+from repro.modules.filters import Q15_ONE, FirFilter, MovingAverage
 from repro.modules.state import from_u32, to_u32
 from repro.modules.transforms import (
     Crc32,

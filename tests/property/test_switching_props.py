@@ -13,7 +13,7 @@ from hypothesis import strategies as st
 from repro.core.switching import ModuleSwitcher
 from repro.modules import Iom
 from repro.modules.base import staged
-from repro.modules.filters import FirFilter, MovingAverage, Q15_ONE
+from repro.modules.filters import Q15_ONE, FirFilter, MovingAverage
 from repro.modules.sources import ramp
 from repro.modules.state import from_u32, to_u32
 from repro.modules.transforms import (

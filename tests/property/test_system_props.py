@@ -8,12 +8,12 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import RsbParameters, SystemParameters, VapresSystem
+from repro.core import RsbParameters, SystemParameters
 from repro.core.assembly import RuntimeAssembler
 from repro.core.kpn import KahnProcessNetwork
 from repro.flows.estimate import comm_architecture_slices, static_region_resources
 from repro.modules import Iom
-from repro.modules.filters import MovingAverage, Q15_ONE, FirFilter
+from repro.modules.filters import Q15_ONE, FirFilter, MovingAverage
 from repro.modules.sources import ramp
 from repro.modules.transforms import Crc32, DeltaEncoder, PassThrough
 

@@ -1,7 +1,6 @@
 """Unit tests for the admission controller: feasibility, budgets,
 priority queueing, backfill and preemption planning."""
 
-import pytest
 
 from repro.core.params import SystemParameters
 from repro.runtime.admission import AdmissionController, AdmissionDecision
