@@ -8,53 +8,83 @@ processes is embarrassingly parallel: with 4 workers on >= 4 cores the
 8-job batch should complete at least 2x faster than serially, with
 bit-identical per-job telemetry.
 
+The batch itself lives in :mod:`repro.bench.workloads` and is shared
+with the gated ``repro.bench`` fleet cases and the pool soak, so every
+entry point measures the same jobs.
+
 ``REPRO_FLEET_BENCH_WORDS`` scales the per-job stream length (CI smoke
 uses a small value; the default exercises a meatier batch).
+``REPRO_FLEET_BENCH_POOL=1`` serves the batch through the
+``repro.pool`` DevicePool (overcommitted vPRR scheduling + the
+asyncio<->process bridge) instead of the plain FleetExecutor; the
+results-identity assertions are unchanged, so the flag doubles as a
+determinism check of the pool path against the classic path.
 """
 
+import asyncio
 import os
-from dataclasses import replace
+from collections import Counter
+from time import perf_counter
+from types import SimpleNamespace
 
-from repro.core.params import SystemParameters
-from repro.runtime import (
-    ExecutorConfig,
-    FleetExecutor,
-    SourceSpec,
-    StageSpec,
-    StreamJob,
+from repro.bench.workloads import (
+    FLEET_JOBS,
+    fleet_config,
+    fleet_jobs,
+    fleet_params,
 )
+from repro.runtime import FleetExecutor
 
-JOBS = 8
+JOBS = FLEET_JOBS
 WORDS = int(os.environ.get("REPRO_FLEET_BENCH_WORDS", "4000"))
-# fast simulated reconfiguration (protocol ordering preserved) -- the
-# benchmark measures fleet wall-clock, not PR latency
-PARAMS = replace(SystemParameters.prototype(), pr_speedup=1000.0)
-CONFIG = ExecutorConfig(quantum_us=25.0, max_us=100_000.0)
-
-STAGES = [
-    [StageSpec("moving_average", {"window": 4})],
-    [StageSpec("abs")],
-    [StageSpec("delta_encoder")],
-    [StageSpec("scaler", {"gain": 2})],
-]
+POOL_PATH = os.environ.get("REPRO_FLEET_BENCH_POOL", "0") != "0"
+PARAMS = fleet_params()
+CONFIG = fleet_config()
 
 
 def make_jobs():
-    return [
-        StreamJob(
-            name=f"fleet{i}",
-            stages=STAGES[i % len(STAGES)],
-            source=SourceSpec("sine", count=WORDS, params={"period": 64}),
-        )
-        for i in range(JOBS)
-    ]
+    return fleet_jobs(WORDS)
 
 
-def serve(workers):
+def serve_fleet(workers):
     fleet = FleetExecutor(workers=workers, params=PARAMS, config=CONFIG)
     report = fleet.run(make_jobs())
     assert report.states == {"DONE": JOBS}, report.states
     return report
+
+
+def serve_pool(workers):
+    """Same batch via the device pool; reshapes to the fleet report."""
+    from repro.pool import DevicePool
+
+    async def scenario():
+        pool = DevicePool(
+            devices=workers,
+            params=PARAMS,
+            config=CONFIG,
+            overcommit=2.0,
+            use_processes=True,
+        )
+        await pool.start()
+        jobs = [pool.submit(spec) for spec in make_jobs()]
+        await pool.drain()
+        await pool.stop(drain=False)
+        return jobs
+
+    start = perf_counter()
+    jobs = asyncio.run(scenario())
+    wall = perf_counter() - start
+    states = Counter(job.report.state for job in jobs)
+    assert dict(states) == {"DONE": JOBS}, dict(states)
+    return SimpleNamespace(
+        jobs=[job.report for job in jobs],
+        states=dict(states),
+        wall_seconds=wall,
+    )
+
+
+def serve(workers):
+    return serve_pool(workers) if POOL_PATH else serve_fleet(workers)
 
 
 def test_fleet_scaling(benchmark):
@@ -68,10 +98,12 @@ def test_fleet_scaling(benchmark):
         da.pop("shard"), db.pop("shard")
         assert da == db
 
+    path = "pool" if POOL_PATH else "fleet"
     print()
-    print(f"RT-FLEET: {JOBS} jobs x {WORDS} words")
+    print(f"RT-FLEET[{path}]: {JOBS} jobs x {WORDS} words")
     print(f"  workers=1: {single.wall_seconds:.2f}s")
     print(f"  workers=4: {quad.wall_seconds:.2f}s  (speedup {speedup:.2f}x)")
+    benchmark.extra_info["RT-FLEET:path"] = path
     benchmark.extra_info["RT-FLEET:jobs"] = JOBS
     benchmark.extra_info["RT-FLEET:words"] = WORDS
     benchmark.extra_info["RT-FLEET:wall_w1_s"] = single.wall_seconds

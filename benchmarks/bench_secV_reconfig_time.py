@@ -13,7 +13,6 @@ This benchmark reproduces the measurement procedure at full fidelity
 from repro.core import SystemParameters, VapresSystem
 from repro.modules.transforms import PassThrough
 
-from conftest import emit
 
 
 def measure():
@@ -41,7 +40,7 @@ def measure():
     return results
 
 
-def test_section_vb_reconfiguration_times(benchmark, compare):
+def test_section_vb_reconfiguration_times(benchmark, compare, emit):
     results = benchmark(measure)
     hz = results["clock_hz"]
     cf_seconds = results["cf2icap_cycles"] / hz

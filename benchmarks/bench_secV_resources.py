@@ -18,7 +18,6 @@ from repro.flows.estimate import (
     system_resource_report,
 )
 
-from conftest import emit
 
 
 def regenerate():
@@ -32,7 +31,7 @@ def regenerate():
     }
 
 
-def test_section_vb_resource_results(benchmark, compare):
+def test_section_vb_resource_results(benchmark, compare, emit):
     results = benchmark(regenerate)
     report = results["report"]
     comparisons = [
@@ -49,7 +48,7 @@ def test_section_vb_resource_results(benchmark, compare):
     assert report["fits"]
 
 
-def test_comm_fraction_of_static(benchmark, compare):
+def test_comm_fraction_of_static(benchmark, compare, emit):
     """The comm architecture is a small fraction of the static region --
     the argument for VAPRES being a cheap multipurpose substrate."""
     def fraction():

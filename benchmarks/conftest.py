@@ -13,7 +13,7 @@ import pytest
 from repro.analysis.report import PaperComparison, comparison_table
 
 
-def emit(benchmark, comparisons, title):
+def _emit(benchmark, comparisons, title):
     """Print and record a set of paper-vs-measured comparisons."""
     table = comparison_table(comparisons, title=title)
     print()
@@ -28,6 +28,17 @@ def emit(benchmark, comparisons, title):
             "relative_error": comparison.relative_error,
         }
     return table
+
+
+@pytest.fixture
+def emit():
+    """Fixture form of :func:`_emit`.
+
+    Benchmarks used to reach it with ``from conftest import emit``, which
+    only resolves because rootdir-relative collection happens to put this
+    directory on ``sys.path``; the fixture works from any CWD/rootdir.
+    """
+    return _emit
 
 
 @pytest.fixture

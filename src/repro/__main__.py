@@ -29,7 +29,21 @@ Commands
     trace as Chrome trace-event JSON (open in Perfetto or
     ``chrome://tracing``), ``--metrics-out`` dumps the merged metrics
     registry in Prometheus text format.  Exit code is non-zero when any
-    job ends FAILED.
+    job ends FAILED or terminally EVICTED (no retry budget left);
+    ``--fail-fast`` aborts the whole run on the first such job.
+
+    With ``--listen HOST:PORT`` the jobfile supplies only the system
+    parameters and executor config, and ``serve`` becomes a long-lived
+    network front door instead of a batch run: a ``repro.pool``
+    device pool (``--devices``, ``--overcommit``) accepts streaming
+    NDJSON job submissions over HTTP (``POST /jobs``) from many
+    tenants at once and streams lifecycle events back.  SIGTERM (or
+    ``POST /shutdown``) drains gracefully.  See README "Serving" for
+    the protocol.
+``submit``
+    Send a jobfile's jobs to a running ``serve --listen`` server over
+    the bundled client, stream the lifecycle events, and exit non-zero
+    unless every job completed.
 ``obs``
     Render a saved Chrome trace (from ``serve --trace-out``) as a
     timeline table; ``--summary`` prints a flamegraph-style aggregation
@@ -252,6 +266,59 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _parse_hostport(value: str):
+    host, sep, port = value.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"--listen wants HOST:PORT (port 0 = ephemeral), got {value!r}"
+        )
+    return host, int(port)
+
+
+def _serve_listen(args: argparse.Namespace, jobfile, config) -> int:
+    import asyncio
+
+    from repro.pool import DevicePool, PoolServer
+
+    try:
+        host, port = _parse_hostport(args.listen)
+    except ValueError as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
+    if jobfile.jobs:
+        print(
+            f"serve: --listen ignores the jobfile's {len(jobfile.jobs)} "
+            "job(s); submit them with `python -m repro submit`",
+            file=sys.stderr,
+        )
+
+    async def run() -> int:
+        pool = DevicePool(
+            devices=args.devices,
+            params=jobfile.params,
+            config=config,
+            overcommit=args.overcommit,
+            use_processes=not args.inline,
+        )
+        server = PoolServer(pool, host, port)
+        await server.start()
+        server.install_signal_handlers()
+        print(
+            f"serve: listening on {server.host}:{server.port} "
+            f"({args.devices} devices, overcommit {args.overcommit:g}, "
+            f"{'inline' if args.inline else 'process'} workers)",
+            flush=True,
+        )
+        await server.run_until_shutdown()
+        summary = pool.summary()
+        import json as _json
+
+        print(f"serve: drained; {_json.dumps(summary, sort_keys=True)}")
+        return 0 if pool.strict_ok else 1
+
+    return asyncio.run(run())
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.runtime import (
         ExecutorConfig,
@@ -268,6 +335,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print(f"serve: cannot load {args.jobfile!r}: {error}",
               file=sys.stderr)
         return 2
+    if args.fail_fast:
+        config = replace(config, fail_fast=True)
+    if args.listen:
+        return _serve_listen(args, jobfile, config)
     mode = args.mode or jobfile.mode
     workers = args.workers if args.workers is not None else jobfile.workers
     try:
@@ -301,7 +372,47 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
         Path(args.metrics_out).write_text(prometheus_text(report.metrics))
         print(f"metrics saved to {args.metrics_out}", file=sys.stderr)
-    return 0 if report.ok else 1
+    if not report.strict_ok:
+        for job in report.jobs:
+            if job.state == "EVICTED":
+                print(
+                    f"serve: job {job.name!r} was preempted with no retry "
+                    "budget (set requeue_on_eviction to requeue instead)",
+                    file=sys.stderr,
+                )
+    return 0 if report.strict_ok else 1
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.pool import ClientError, run_jobs_sync
+    from repro.runtime import JobError, load_jobfile
+
+    try:
+        jobfile = load_jobfile(args.jobfile)
+    except JobError as error:
+        print(f"submit: cannot load {args.jobfile!r}: {error}",
+              file=sys.stderr)
+        return 2
+    try:
+        host, port = _parse_hostport(args.connect)
+    except ValueError as error:
+        print(f"submit: {error}", file=sys.stderr)
+        return 2
+    on_event = None
+    if args.events:
+        on_event = lambda event: print(json.dumps(event), flush=True)  # noqa: E731
+    try:
+        summary = run_jobs_sync(
+            host, port, jobfile.jobs, tenant=args.tenant, on_event=on_event
+        )
+    except (ClientError, ConnectionError, OSError) as error:
+        print(f"submit: {host}:{port}: {error}", file=sys.stderr)
+        return 2
+    if not args.events:
+        print(json.dumps(summary, sort_keys=True))
+    return 0 if summary.get("ok") else 1
 
 
 def cmd_faults(args: argparse.Namespace) -> int:
@@ -576,7 +687,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", metavar="FILE",
         help="write the run's metrics in Prometheus text format",
     )
+    serve.add_argument(
+        "--fail-fast", action="store_true",
+        help="abort the run when any job ends FAILED or terminally "
+             "EVICTED",
+    )
+    serve.add_argument(
+        "--listen", metavar="HOST:PORT",
+        help="serve a repro.pool device pool over NDJSON/HTTP instead of "
+             "running the jobfile's jobs (the jobfile supplies system and "
+             "executor config; port 0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--devices", type=int, default=4, metavar="N",
+        help="pool size with --listen (default 4)",
+    )
+    serve.add_argument(
+        "--overcommit", type=float, default=2.0, metavar="RATIO",
+        help="vPRR grant ceiling per device as a multiple of its healthy "
+             "physical PRRs (default 2.0; 1.0 disables overcommit)",
+    )
+    serve.add_argument(
+        "--inline", action="store_true",
+        help="with --listen: run device workers as threads instead of "
+             "processes (tests, single-core hosts)",
+    )
     serve.set_defaults(func=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="send a jobfile to a running `serve --listen` pool server",
+    )
+    submit.add_argument("jobfile", help="path to a JSON jobfile")
+    submit.add_argument(
+        "--connect", metavar="HOST:PORT", required=True,
+        help="address of the pool server",
+    )
+    submit.add_argument(
+        "--tenant", default="cli",
+        help="tenant name for these submissions (default 'cli')",
+    )
+    submit.add_argument(
+        "--events", action="store_true",
+        help="stream every NDJSON lifecycle event to stdout instead of "
+             "just the batch summary",
+    )
+    submit.set_defaults(func=cmd_submit)
 
     faults = sub.add_parser(
         "faults",

@@ -320,6 +320,67 @@ def case_fleet_steady_state_heap(quick: bool) -> CaseResult:
     return _fleet_steady(quick, fastpath=False)
 
 
+# ----------------------------------------------------------------------
+# pool: overcommitted device-pool soak (shared workload with
+# benchmarks/bench_pool_soak.py via repro.bench.workloads)
+# ----------------------------------------------------------------------
+def case_pool_soak(quick: bool) -> CaseResult:
+    import asyncio
+
+    from repro.bench.workloads import soak_config, soak_jobs, soak_params
+    from repro.pool import DevicePool
+
+    jobs_per_slice = 30 if quick else 90
+    slice_count = 6
+    params = soak_params()
+    config = soak_config()
+    batch = [0]
+    last: Dict[str, float] = {"words_lost": 0.0}
+
+    def run_slice() -> Tuple[float, float]:
+        specs = soak_jobs(
+            jobs_per_slice, prefix=f"bench{batch[0]}"
+        )
+        batch[0] += 1
+
+        async def scenario() -> Tuple[object, List[object]]:
+            pool = DevicePool(
+                devices=4,
+                params=params,
+                config=config,
+                overcommit=2.0,
+                use_processes=False,
+            )
+            await pool.start()
+            jobs = [pool.submit(spec) for spec in specs]
+            await pool.drain()
+            await pool.stop(drain=False)
+            return pool, jobs
+
+        start = perf_counter()
+        pool, jobs = asyncio.run(scenario())
+        elapsed = perf_counter() - start
+        summary = pool.summary()  # type: ignore[attr-defined]
+        if summary["states"] != {"done": jobs_per_slice}:
+            raise RuntimeError(
+                f"pool soak jobs did not finish: {summary['states']}"
+            )
+        last["words_lost"] += float(summary["words_lost"])
+        latencies = sorted(
+            job.first_sample_t - job.submitted_t  # type: ignore[attr-defined]
+            for job in jobs
+        )
+        last["first_sample_p99_ms"] = (
+            latencies[int(0.99 * (len(latencies) - 1))] * 1e3
+        )
+        return float(jobs_per_slice), elapsed
+
+    result = measure([run_slice] * slice_count, "jobs_per_sec")
+    result.extra["jobs"] = float(jobs_per_slice * slice_count)
+    result.extra.update(last)
+    return result
+
+
 #: Registry, in execution order.  The ``*_heap`` twins run the same
 #: scenario with the compiled-schedule fast path disabled; the runner
 #: derives the live fast-path speedup ratio from each pair.
@@ -330,4 +391,5 @@ CASES: Dict[str, CaseFn] = {
     "fig5_switch": case_fig5_switch,
     "fleet_steady_state": case_fleet_steady_state,
     "fleet_steady_state_heap": case_fleet_steady_state_heap,
+    "pool_soak": case_pool_soak,
 }

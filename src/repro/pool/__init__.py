@@ -1,0 +1,62 @@
+"""repro.pool: a virtualized pool of simulated VAPRES devices.
+
+Serves stream jobs across N devices the way a cluster serves
+containers across hosts, in two layers:
+
+* **virtualization** (:mod:`~repro.pool.devices`,
+  :mod:`~repro.pool.scheduler`) -- jobs request *virtual PRRs* that a
+  deterministic scheduler grants against an overcommitted per-device
+  ceiling and each device's admission controller later binds (never
+  overcommitted) to physical PRRs; queue skew is levelled by work
+  stealing, and device loss drains bound work while requeueing the
+  rest;
+* **front door** (:mod:`~repro.pool.server`,
+  :mod:`~repro.pool.client`) -- a stdlib-asyncio NDJSON-over-HTTP
+  endpoint (``python -m repro serve --listen``) for streaming
+  multi-tenant submissions and live lifecycle telemetry, bridged to
+  per-device worker processes (:mod:`~repro.pool.bridge`).
+
+Placement never changes results: every job runs single-tenant with a
+name-derived seed, so a pool run is bit-identical to a single-device
+run of the same jobs.
+"""
+
+from repro.pool.bridge import WorkerBridge
+from repro.pool.client import (
+    ClientError,
+    PoolClient,
+    get_json,
+    request_shutdown,
+    run_jobs,
+    run_jobs_sync,
+)
+from repro.pool.devices import (
+    DevicePool,
+    PoolError,
+    PoolJob,
+    PooledDevice,
+    VirtualPRR,
+    drain_requeue_on_loss,
+)
+from repro.pool.scheduler import DeviceView, PoolScheduler, StealMove
+from repro.pool.server import PoolServer
+
+__all__ = [
+    "ClientError",
+    "DevicePool",
+    "DeviceView",
+    "PoolClient",
+    "PoolError",
+    "PoolJob",
+    "PoolScheduler",
+    "PoolServer",
+    "PooledDevice",
+    "StealMove",
+    "VirtualPRR",
+    "WorkerBridge",
+    "drain_requeue_on_loss",
+    "get_json",
+    "request_shutdown",
+    "run_jobs",
+    "run_jobs_sync",
+]

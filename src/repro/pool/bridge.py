@@ -1,0 +1,160 @@
+"""The asyncio <-> multiprocessing bridge under the device pool.
+
+Simulated VAPRES devices are CPU-bound pure-Python simulators; running
+one inside the event loop would stall every connected tenant for the
+whole job.  Each :class:`~repro.pool.devices.PooledDevice` therefore
+owns one **device worker** -- a ``multiprocessing`` process (or a plain
+thread with ``use_processes=False``, for tests and single-core hosts)
+that pulls dispatched jobs off an inbox queue via
+:class:`~repro.runtime.jobs.QueueJobSource` and runs each single-tenant
+on a fresh :class:`~repro.runtime.executor.JobExecutor`, exactly like a
+``FleetExecutor`` shard.  Determinism carries over unchanged: a job's
+results depend only on its own spec and name-derived seed, never on
+which worker ran it.
+
+All workers share one **outbox**; a single daemon pump thread blocks in
+``outbox.get()`` and posts each event into the loop with
+``call_soon_threadsafe``, so the loop never blocks on simulation and
+never needs locks (and an uncleanly torn-down pool can never pin the
+interpreter on a non-daemon thread stuck in a queue read).  Worker
+events are plain picklable tuples::
+
+    ("started",      worker_id, job_id, wall_seconds)
+    ("first_sample", worker_id, job_id, wall_seconds)
+    ("finished",     worker_id, job_id, JobReport)
+    ("error",        worker_id, job_id, "message")
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import queue
+import threading
+import time
+from typing import Callable, List, Optional, Tuple
+
+from repro.runtime.jobs import QueueJobSource
+
+#: pump-side sentinel: the bridge is closed, stop the event task
+_CLOSED = ("__bridge_closed__", -1, -1, None)
+
+WorkerEvent = Tuple[str, int, int, object]
+
+
+def _device_worker(worker_id, inbox, outbox, params, config) -> None:
+    """One device's serving loop (process or thread entry point)."""
+    from repro.runtime.executor import JobExecutor
+
+    source = QueueJobSource(inbox)
+    for job_id, spec in source:
+        outbox.put(("started", worker_id, job_id, time.monotonic()))
+        try:
+            executor = JobExecutor(
+                params=params, config=config, shard=worker_id
+            )
+            executor.on_first_sample = (
+                lambda job, _id=job_id: outbox.put(
+                    ("first_sample", worker_id, _id, time.monotonic())
+                )
+            )
+            run = executor.run([spec])
+            report = run.jobs[0]
+            report.shard = worker_id
+            outbox.put(("finished", worker_id, job_id, report))
+        except Exception as exc:  # noqa: BLE001 - report, keep serving
+            outbox.put(
+                ("error", worker_id, job_id,
+                 f"{type(exc).__name__}: {exc}")
+            )
+
+
+class WorkerBridge:
+    """N device workers plus the pump that feeds their events to asyncio."""
+
+    def __init__(
+        self,
+        workers: int,
+        params,
+        config,
+        use_processes: bool = True,
+        on_event: Optional[Callable[[WorkerEvent], None]] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("bridge needs at least one worker")
+        self.use_processes = use_processes
+        self.on_event = on_event
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._pump_thread: Optional[threading.Thread] = None
+        self._closed = False
+        if use_processes:
+            methods = multiprocessing.get_all_start_methods()
+            context = multiprocessing.get_context(
+                "fork" if "fork" in methods else "spawn"
+            )
+            self.outbox = context.Queue()
+            self._inboxes = [context.Queue() for _ in range(workers)]
+            self._workers: List[object] = [
+                context.Process(
+                    target=_device_worker,
+                    args=(i, self._inboxes[i], self.outbox, params, config),
+                    daemon=True,
+                    name=f"repro-pool-dev{i}",
+                )
+                for i in range(workers)
+            ]
+        else:
+            self.outbox = queue.Queue()
+            self._inboxes = [queue.Queue() for _ in range(workers)]
+            self._workers = [
+                threading.Thread(
+                    target=_device_worker,
+                    args=(i, self._inboxes[i], self.outbox, params, config),
+                    daemon=True,
+                    name=f"repro-pool-dev{i}",
+                )
+                for i in range(workers)
+            ]
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        for worker in self._workers:
+            worker.start()
+        self._pump_thread = threading.Thread(
+            target=self._pump_main, daemon=True, name="repro-pool-pump"
+        )
+        self._pump_thread.start()
+
+    def submit(self, worker_id: int, job_id: int, spec) -> None:
+        """Dispatch one bound job to its device worker."""
+        self._inboxes[worker_id].put((job_id, spec))
+
+    def _pump_main(self) -> None:
+        while True:
+            event = self.outbox.get()
+            if event[0] == _CLOSED[0]:
+                return
+            try:
+                self._loop.call_soon_threadsafe(self._dispatch, event)
+            except RuntimeError:
+                return  # loop already closed (unclean teardown)
+
+    def _dispatch(self, event: WorkerEvent) -> None:
+        if self.on_event is not None:
+            self.on_event(event)
+
+    # ------------------------------------------------------------------
+    async def stop(self) -> None:
+        """Close worker inboxes, join them, then stop the pump."""
+        if self._closed:
+            return
+        self._closed = True
+        for inbox in self._inboxes:
+            QueueJobSource(inbox).close()
+        loop = asyncio.get_running_loop()
+        for worker in self._workers:
+            await loop.run_in_executor(None, worker.join)
+        self.outbox.put(_CLOSED)
+        if self._pump_thread is not None:
+            await loop.run_in_executor(None, self._pump_thread.join)

@@ -1,0 +1,337 @@
+"""Asyncio streaming front door for the device pool.
+
+A deliberately small HTTP/1.1 server on ``asyncio.start_server`` --
+stdlib only, no frameworks -- speaking newline-delimited JSON:
+
+``POST /jobs``
+    The streaming submission channel.  Each request-body line is one
+    submission, ``{"job": {...StreamJob dict...}, "tenant": "name"}``
+    (a bare job object is also accepted); the body may trickle in over
+    the life of the connection and ends with a half-close (client
+    ``write_eof``) or after ``Content-Length`` bytes.  The response
+    streams NDJSON lifecycle events for *this connection's* jobs
+    (``submitted``, ``placed``, ``bound``, ``running``,
+    ``first_sample``, ``stolen``, ``requeued``, ``done``, ``failed``)
+    plus pool-level telemetry (``device_lost``, ``quarantined``...),
+    and finishes with one ``batch_done`` summary line once every
+    submitted job is terminal.
+``GET /healthz``
+    Liveness: ``{"ok": true, "draining": false, "devices": N}``.
+``GET /stats``
+    The pool snapshot (vPRR occupancy, queue depths, steal counts).
+``GET /metrics``
+    Prometheus text exposition of the pool's gauges and counters.
+``POST /shutdown``
+    Ask the server to drain and exit (same path as SIGTERM).
+
+Shutdown is always graceful: the listener closes first (no new
+tenants), the pool drains every accepted job, connected clients
+receive their remaining events and ``batch_done``, and only then do
+the device workers stop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from typing import Dict, Optional, Set, Tuple
+
+from repro.obs.export import prometheus_text
+from repro.pool.devices import DevicePool, PoolError
+from repro.runtime.jobs import JobError, StreamJob
+
+#: submission-reader -> event-forwarder control message (never leaves
+#: the server process)
+_SUBMISSIONS_DONE = {"event": "__submissions_done__"}
+
+_MAX_HEADER_LINE = 64 * 1024
+_MAX_BODY_LINE = 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """Malformed HTTP request from a client."""
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Tuple[str, str, Dict[str, str]]:
+    line = await reader.readline()
+    if not line:
+        raise ProtocolError("empty request")
+    try:
+        method, path, _version = line.decode("ascii").split(None, 2)
+    except ValueError:
+        raise ProtocolError(f"bad request line {line!r}") from None
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if len(line) > _MAX_HEADER_LINE:
+            raise ProtocolError("header line too long")
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return method.upper(), path, headers
+
+
+def _response(
+    status: str, body: bytes, content_type: str = "application/json"
+) -> bytes:
+    return (
+        f"HTTP/1.1 {status}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n\r\n"
+    ).encode("ascii") + body
+
+
+def _json_response(status: str, payload: Dict) -> bytes:
+    return _response(status, (json.dumps(payload) + "\n").encode("utf-8"))
+
+
+class PoolServer:
+    """The pool's network front door (one per pool)."""
+
+    def __init__(
+        self, pool: DevicePool, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.pool = pool
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._shutdown = asyncio.Event()
+        self._conn_tasks: Set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        await self.pool.start()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+
+    def request_shutdown(self) -> None:
+        self._shutdown.set()
+
+    def install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.request_shutdown)
+            except NotImplementedError:  # pragma: no cover - non-unix
+                pass
+
+    async def run_until_shutdown(self) -> None:
+        """Serve until SIGTERM//shutdown, then drain gracefully."""
+        if self._server is None:
+            await self.start()
+        await self._shutdown.wait()
+        assert self._server is not None
+        self._server.close()
+        await self._server.wait_closed()
+        await self.pool.drain()
+        if self._conn_tasks:
+            await asyncio.gather(
+                *list(self._conn_tasks), return_exceptions=True
+            )
+        await self.pool.stop(drain=False)
+
+    async def aclose(self) -> None:
+        """Immediate teardown for tests (no drain of pending clients)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(
+                *list(self._conn_tasks), return_exceptions=True
+            )
+        await self.pool.stop()
+
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            try:
+                method, path, headers = await _read_request(reader)
+            except ProtocolError as exc:
+                writer.write(_json_response("400 Bad Request",
+                                            {"error": str(exc)}))
+                return
+            if method == "GET" and path == "/healthz":
+                writer.write(_json_response("200 OK", {
+                    "ok": True,
+                    "draining": self.pool.stats()["draining"],
+                    "devices": len(self.pool.devices),
+                }))
+            elif method == "GET" and path == "/stats":
+                writer.write(_json_response("200 OK", self.pool.stats()))
+            elif method == "GET" and path == "/metrics":
+                body = prometheus_text(self.pool.metrics).encode("utf-8")
+                writer.write(_response(
+                    "200 OK", body, "text/plain; version=0.0.4"
+                ))
+            elif method == "POST" and path == "/shutdown":
+                writer.write(_json_response("200 OK", {"ok": True}))
+                await writer.drain()
+                self.request_shutdown()
+            elif method == "POST" and path == "/jobs":
+                await self._handle_jobs(reader, writer, headers)
+            else:
+                writer.write(_json_response(
+                    "404 Not Found",
+                    {"error": f"no route for {method} {path}"},
+                ))
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # ------------------------------------------------------------------
+    async def _handle_jobs(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        headers: Dict[str, str],
+    ) -> None:
+        events = self.pool.subscribe()
+        ids: Set[int] = set()
+        open_ids: Set[int] = set()
+        default_tenant = headers.get("x-tenant", "default")
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        await writer.drain()
+
+        async def read_submissions() -> None:
+            remaining = None
+            if "content-length" in headers:
+                remaining = int(headers["content-length"])
+            while remaining is None or remaining > 0:
+                line = await reader.readline()
+                if not line:
+                    break
+                if remaining is not None:
+                    remaining -= len(line)
+                if len(line) > _MAX_BODY_LINE:
+                    events.put_nowait({
+                        "event": "reject", "error": "submission too large",
+                    })
+                    continue
+                if not line.strip():
+                    continue
+                self._submit_line(line, default_tenant, ids, open_ids,
+                                  events)
+            events.put_nowait(dict(_SUBMISSIONS_DONE))
+
+        reader_task = asyncio.get_running_loop().create_task(
+            read_submissions()
+        )
+        submissions_done = False
+        try:
+            while not (submissions_done and not open_ids):
+                event = await events.get()
+                if event.get("event") == _SUBMISSIONS_DONE["event"]:
+                    submissions_done = True
+                    continue
+                job_id = event.get("id")
+                if job_id is not None and job_id not in ids:
+                    continue  # another tenant's job
+                writer.write(
+                    (json.dumps(event) + "\n").encode("utf-8")
+                )
+                await writer.drain()
+                if event.get("event") in ("done", "failed"):
+                    open_ids.discard(job_id)
+            writer.write(
+                (json.dumps(self._batch_summary(ids)) + "\n")
+                .encode("utf-8")
+            )
+            await writer.drain()
+        finally:
+            reader_task.cancel()
+            try:
+                await reader_task
+            except (asyncio.CancelledError, ConnectionError):
+                pass
+            self.pool.unsubscribe(events)
+
+    def _submit_line(
+        self,
+        line: bytes,
+        default_tenant: str,
+        ids: Set[int],
+        open_ids: Set[int],
+        events: asyncio.Queue,
+    ) -> None:
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            events.put_nowait({
+                "event": "reject", "error": f"bad JSON: {exc}",
+            })
+            return
+        if not isinstance(payload, dict):
+            events.put_nowait({
+                "event": "reject",
+                "error": "submission must be a JSON object",
+            })
+            return
+        job_data = payload.get("job", payload)
+        tenant = payload.get("tenant", default_tenant)
+        try:
+            spec = StreamJob.from_dict(job_data)
+            job = self.pool.submit(spec, tenant=tenant)
+        except (JobError, PoolError) as exc:
+            events.put_nowait({
+                "event": "reject",
+                "job": job_data.get("name") if isinstance(job_data, dict)
+                else None,
+                "error": str(exc),
+            })
+            return
+        ids.add(job.id)
+        if not job.terminal:
+            open_ids.add(job.id)
+
+    def _batch_summary(self, ids: Set[int]) -> Dict:
+        states: Dict[str, int] = {}
+        words_out = words_lost = 0
+        failures = []
+        for job_id in sorted(ids):
+            job = self.pool.job(job_id)
+            if job is None:
+                continue
+            states[job.state] = states.get(job.state, 0) + 1
+            if job.report is not None:
+                words_out += job.report.words_out
+                words_lost += job.report.words_lost
+            if job.state == "failed":
+                failures.append(
+                    {"job": job.spec.name, "reason": job.failure_reason}
+                )
+        return {
+            "event": "batch_done",
+            "jobs": len(ids),
+            "states": states,
+            "words_out": words_out,
+            "words_lost": words_lost,
+            "ok": not failures and states.get("done", 0) == len(ids),
+            "failures": failures[:20],
+        }

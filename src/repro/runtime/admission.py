@@ -212,6 +212,24 @@ class AdmissionController:
     def pending_jobs(self) -> List[Job]:
         return list(self._pending)
 
+    def withdraw(self, job: Job) -> bool:
+        """Remove a still-queued job from the wait queue.
+
+        Used by the device pool when a queued job is stolen by (or
+        requeued onto) another device.  Returns False when the job is
+        not waiting here -- already admitted, or never enqueued.
+        """
+        try:
+            self._pending.remove(job)
+        except ValueError:
+            return False
+        return True
+
+    @property
+    def prr_names(self) -> List[str]:
+        """All PRR slot names this controller accounts, healthy or not."""
+        return sorted(self._prr_slices)
+
     # ------------------------------------------------------------------
     # feasibility
     # ------------------------------------------------------------------
@@ -379,6 +397,31 @@ class AdmissionController:
             bram18=_BRAMS_PER_STAGE,
             bufr=1,
         )
+
+    def release_quarantine(self, prr: str) -> bool:
+        """Reverse :meth:`quarantine` after a scrub-verified recovery.
+
+        A quarantined PRR whose frames have since been rewritten and
+        readback-verified (``repro.faults`` scrub path) regains its
+        budget and rejoins the free pool, so a healed device grows back
+        instead of shrinking forever.  Returns True when the PRR was
+        actually un-quarantined; unknown or never-quarantined PRRs are
+        a no-op.
+        """
+        if prr not in self._quarantined or prr not in self._prr_slices:
+            return False
+        self._quarantined.discard(prr)
+        self.capacity = self.capacity + ResourceVector(
+            slices=self._prr_slices[prr],
+            bram18=_BRAMS_PER_STAGE,
+            bufr=1,
+        )
+        resident = any(
+            prr in assignment.prrs for assignment in self._resident.values()
+        )
+        if not resident and prr not in self._faulted:
+            self._free_prrs.add(prr)
+        return True
 
     def find_replacement(self, job: Job, faulted_prr: str) -> Optional[str]:
         """A free healthy PRR that can host the stage on ``faulted_prr``.

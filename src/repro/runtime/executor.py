@@ -26,6 +26,7 @@ import time
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
+    Callable,
     Generator,
     List,
     Optional,
@@ -47,7 +48,13 @@ from repro.runtime.admission import (
     AdmissionController,
     AdmissionDecision,
 )
-from repro.runtime.jobs import Job, JobError, JobState, StreamJob
+from repro.runtime.jobs import (
+    Job,
+    JobError,
+    JobState,
+    StreamJob,
+    as_job_source,
+)
 from repro.runtime.telemetry import (
     FleetReport,
     JobReport,
@@ -75,6 +82,10 @@ class ExecutorConfig:
     #: fast path (repro.sim.fastpath); behaviour is bit-identical either
     #: way, so this only exists to measure or rule out the fast path
     use_fastpath: bool = True
+    #: abort the whole run as soon as one job ends FAILED or terminally
+    #: EVICTED: remaining non-terminal jobs fail with an "aborted by
+    #: fail-fast" reason instead of running to completion
+    fail_fast: bool = False
     #: optional fault campaign (repro.faults); None = no fault plant
     faults: Optional["CampaignConfig"] = None
 
@@ -88,7 +99,7 @@ class ExecutorConfig:
     def from_dict(cls, data: dict) -> "ExecutorConfig":
         allowed = {
             "quantum_us", "max_us", "idle_streak", "allow_preemption",
-            "use_fastpath", "faults",
+            "use_fastpath", "fail_fast", "faults",
         }
         unknown = set(data) - allowed
         if unknown:
@@ -125,6 +136,10 @@ class JobExecutor:
         )
         self.preemptions = 0
         self._jobs: List[Job] = []
+        #: optional observer fired once per job when its first output
+        #: word reaches the IOM (the pool bridge streams it to tenants
+        #: as a submit-to-first-sample latency marker)
+        self.on_first_sample: Optional[Callable[[Job], None]] = None
         self.plant: Optional["FaultPlant"] = None
         self.fault_evictions = 0
         self.fig5_recoveries = 0
@@ -218,6 +233,8 @@ class JobExecutor:
             self._admit()
             self._progress_placements()
             self._poll_running()
+            if self.config.fail_fast and self._abort_on_failure():
+                break
             if all(job.terminal for job in self._jobs):
                 if self.plant is None or not self._faults_pending():
                     break
@@ -238,6 +255,36 @@ class JobExecutor:
             if self.plant is not None:
                 self._service_faults()
         return self._report(time.perf_counter() - started_wall)
+
+    def _abort_on_failure(self) -> bool:
+        """Fail-fast: one FAILED/EVICTED job aborts the rest of the run.
+
+        Remaining non-terminal jobs are torn down and failed with an
+        explicit reason so the report (and the ``serve`` exit code)
+        shows why they never completed.  Returns True when the run
+        should stop.
+        """
+        trigger = next(
+            (
+                job for job in self._jobs
+                if job.state in (JobState.FAILED, JobState.EVICTED)
+            ),
+            None,
+        )
+        if trigger is None:
+            return False
+        reason = (
+            f"aborted by fail-fast after job {trigger.spec.name!r} "
+            f"ended {trigger.state.value}"
+        )
+        for job in self._jobs:
+            if job.terminal:
+                continue
+            self._teardown(job)
+            self.admission.release(job)
+            job.fail(reason, self._now_us)
+            self._mark_failed(job, reason)
+        return True
 
     # ------------------------------------------------------------------
     # fault servicing (repro.faults)
@@ -675,6 +722,10 @@ class JobExecutor:
             if job.state is not JobState.RUNNING:
                 continue
             received = len(job.iom.received)
+            if received and not job.first_sample_seen:
+                job.first_sample_seen = True
+                if self.on_first_sample is not None:
+                    self.on_first_sample(job)
             if job.iom.source_exhausted and received == job.last_rx:
                 job.stable_polls += 1
             else:
@@ -766,10 +817,32 @@ class _ShardResult:
 
 
 def _run_shard(payload) -> _ShardResult:
-    """Worker entry point: run each assigned job single-tenant."""
+    """Worker entry point: run each assigned job single-tenant.
+
+    With ``config.fail_fast`` the shard stops at the first job that
+    ends FAILED or EVICTED; the shard's remaining jobs are reported as
+    FAILED with an "aborted by fail-fast" reason without running.
+    Shards are independent processes, so fail-fast is per-shard -- other
+    shards finish the job they are on but their own trigger applies.
+    """
     shard_index, params, config, items = payload
     result = _ShardResult(metrics=MetricsRegistry())
+    aborted_by: Optional[str] = None
     for original_index, spec in items:
+        if aborted_by is not None:
+            report = JobReport(
+                name=spec.name,
+                span_track=f"job/{spec.name}",
+                index=original_index,
+                shard=shard_index,
+                state=JobState.FAILED.value,
+                priority=spec.priority,
+                stages=len(spec.stages),
+                words_in=spec.source.count,
+                failure_reason=aborted_by,
+            )
+            result.reports.append(report)
+            continue
         executor = JobExecutor(
             params=params, config=config, shard=shard_index
         )
@@ -790,6 +863,11 @@ def _run_shard(payload) -> _ShardResult:
             result.span_events.append(event)
         if run.metrics is not None:
             result.metrics.merge(run.metrics)
+        if config.fail_fast and report.state in ("FAILED", "EVICTED"):
+            aborted_by = (
+                f"aborted by fail-fast after job {spec.name!r} "
+                f"ended {report.state}"
+            )
     return result
 
 
@@ -831,6 +909,7 @@ class FleetExecutor:
         return shards
 
     def run(self, specs: Sequence[StreamJob]) -> FleetReport:
+        specs = list(as_job_source(specs))
         names = [spec.name for spec in specs]
         if len(names) != len(set(names)):
             raise JobError("fleet job names must be unique")

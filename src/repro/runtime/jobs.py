@@ -396,6 +396,9 @@ class Job:
         self.placed = False
         self.last_rx = 0
         self.stable_polls = 0
+        #: latched once the first output word reaches the IOM (stays set
+        #: across requeues -- the stream has already produced samples)
+        self.first_sample_seen = False
         self.state_words: List[int] = []
         self.receive_times: List[int] = []
         self.words_out = 0
@@ -435,6 +438,75 @@ class Job:
 
     def __repr__(self) -> str:
         return f"Job({self.spec.name}, {self.state.value})"
+
+
+# ----------------------------------------------------------------------
+# job sources
+# ----------------------------------------------------------------------
+class JobSource:
+    """Where an executor's jobs come from.
+
+    The batch executors consume a static list, the device pool's
+    workers pull from a queue that a front-door server feeds live; both
+    are just iterables of :class:`StreamJob`.  A source signals
+    exhaustion by ending iteration -- for queues that means a sentinel,
+    not emptiness, so a briefly idle server does not shut its workers
+    down.
+    """
+
+    def __iter__(self) -> Iterator[StreamJob]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class StaticJobSource(JobSource):
+    """A fixed batch of jobs (the classic ``repro serve`` jobfile)."""
+
+    def __init__(self, jobs: List[StreamJob]) -> None:
+        names = [job.name for job in jobs]
+        if len(names) != len(set(names)):
+            raise JobError("job names must be unique")
+        self.jobs = list(jobs)
+
+    def __iter__(self) -> Iterator[StreamJob]:
+        return iter(self.jobs)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+
+class QueueJobSource(JobSource):
+    """Jobs arriving over a queue; ``close()`` ends the stream.
+
+    Works with any object exposing blocking ``get()``/``put()`` --
+    ``queue.Queue`` in-process, ``multiprocessing.Queue`` across the
+    pool's worker boundary.  Iteration blocks in ``get()`` until the
+    producer either enqueues a job or closes the source.
+    """
+
+    _SENTINEL = None
+
+    def __init__(self, queue) -> None:
+        self.queue = queue
+
+    def put(self, job: StreamJob) -> None:
+        self.queue.put(job)
+
+    def close(self) -> None:
+        self.queue.put(self._SENTINEL)
+
+    def __iter__(self) -> Iterator[StreamJob]:
+        while True:
+            item = self.queue.get()
+            if item is self._SENTINEL:
+                return
+            yield item
+
+
+def as_job_source(jobs: Union[JobSource, List[StreamJob]]) -> JobSource:
+    """Adapt a plain job list (the common case) into a JobSource."""
+    if isinstance(jobs, JobSource):
+        return jobs
+    return StaticJobSource(list(jobs))
 
 
 # ----------------------------------------------------------------------

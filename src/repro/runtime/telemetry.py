@@ -182,6 +182,19 @@ class FleetReport:
         return all(job.state != "FAILED" for job in self.jobs)
 
     @property
+    def strict_ok(self) -> bool:
+        """True when every job actually completed.
+
+        Stricter than :attr:`ok`: a terminally EVICTED job (preempted
+        with no retry budget -- ``requeue_on_eviction`` off) counts as a
+        failure too.  ``python -m repro serve`` exits non-zero on this,
+        so batch callers cannot silently lose preempted work.
+        """
+        return all(
+            job.state not in ("FAILED", "EVICTED") for job in self.jobs
+        )
+
+    @property
     def aggregate_throughput_words_per_s(self) -> float:
         return sum(j.throughput_words_per_s for j in self.jobs)
 

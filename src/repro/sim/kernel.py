@@ -212,7 +212,15 @@ class Simulator:
             raise SimulationError("run_until target is in the past")
         queue = self._queue
         fastpath = self._fastpath
-        while queue and queue[0].time <= time_ps:
+        while queue:
+            # Discard cancelled carcasses before the horizon check: a
+            # cancelled head inside the window must not let step() run a
+            # live event that lies beyond the target.
+            if queue[0].cancelled:
+                heappop(queue)
+                continue
+            if queue[0].time > time_ps:
+                break
             if (
                 fastpath is not None
                 and queue[0].clock is not None

@@ -213,6 +213,7 @@ def test_committed_baseline_is_loadable_and_quick_mode():
         "fig5_switch",
         "fleet_steady_state",
         "fleet_steady_state_heap",
+        "pool_soak",
     }
     for case in baseline["cases"].values():
         assert case["normalized"] > 0 or case["value"] > 0

@@ -1,0 +1,164 @@
+"""Property tests for the pool scheduler and the binding invariant.
+
+The two contracts the virtualization layer stakes everything on:
+
+* **overcommit is a grant-side fiction** -- however many vPRRs are
+  granted, the *binding* of vPRRs to physical PRRs (done by each
+  device's admission controller) never puts two live vPRRs on one
+  physical PRR at the same instant;
+* **scheduling is deterministic** -- the same view sequence always
+  yields the same placements and steal plans.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import SystemParameters
+from repro.pool.scheduler import DeviceView, PoolScheduler
+from repro.pool.devices import PooledDevice, PoolJob, VirtualPRR
+from repro.runtime.jobs import Job, StageSpec, StreamJob
+
+PARAMS = SystemParameters.prototype()  # 2 physical PRRs per device
+
+
+def make_views(data):
+    views = []
+    for i, (prrs, granted, depth, lost) in enumerate(data):
+        cap = int(2.0 * prrs)
+        views.append(DeviceView(
+            device_id=i, physical_prrs=prrs, vprr_capacity=cap,
+            vprr_granted=min(granted, cap), queue_depth=depth, lost=lost,
+        ))
+    return views
+
+
+view_data = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4),   # healthy physical PRRs
+        st.integers(min_value=0, max_value=8),   # granted
+        st.integers(min_value=0, max_value=6),   # queue depth
+        st.booleans(),                           # lost
+    ),
+    min_size=1, max_size=6,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(view_data, st.integers(min_value=1, max_value=3))
+def test_place_respects_capacity_width_and_loss(data, need):
+    scheduler = PoolScheduler(overcommit=2.0)
+    views = make_views(data)
+    target = scheduler.place(need, views)
+    if target is None:
+        # no candidate really had room
+        for v in views:
+            assert (
+                v.lost or v.physical_prrs < need or v.vprr_free < need
+            )
+        return
+    chosen = next(v for v in views if v.device_id == target)
+    assert not chosen.lost
+    assert chosen.physical_prrs >= need
+    assert chosen.vprr_free >= need
+    # most-headroom-wins with lowest-id tie-break (determinism)
+    for v in views:
+        if v.lost or v.physical_prrs < need or v.vprr_free < need:
+            continue
+        assert (v.vprr_free, -v.device_id) <= (
+            chosen.vprr_free, -chosen.device_id
+        )
+    assert scheduler.place(need, views) == target  # pure function
+
+
+@settings(max_examples=200, deadline=None)
+@given(view_data)
+def test_plan_steals_levels_without_overflowing(data):
+    scheduler = PoolScheduler(overcommit=2.0, steal_threshold=2)
+    views = make_views(data)
+    moves = scheduler.plan_steals(views)
+    assert moves == scheduler.plan_steals(views)  # deterministic
+    depth = {v.device_id: v.queue_depth for v in views}
+    granted = {v.device_id: v.vprr_granted for v in views}
+    cap = {v.device_id: v.vprr_capacity for v in views}
+    lost = {v.device_id: v.lost for v in views}
+    before_total = sum(depth.values())
+    for move in moves:
+        assert move.source != move.target
+        assert not lost[move.target]  # never steal onto a lost device
+        depth[move.source] -= 1
+        depth[move.target] += 1
+        granted[move.source] -= 1
+        granted[move.target] += 1
+        assert depth[move.source] >= 0
+        assert granted[move.target] <= cap[move.target]  # grant ceiling
+    assert sum(depth.values()) == before_total  # jobs conserved
+
+
+# ----------------------------------------------------------------------
+# the binding invariant, against the real admission ledger
+# ----------------------------------------------------------------------
+def _mk_pool_job(job_id, width, device_id):
+    spec = StreamJob(
+        name=f"prop-{job_id}",
+        stages=[StageSpec("passthrough") for _ in range(width)],
+    )
+    job = PoolJob(id=job_id, spec=spec, tenant="prop", submitted_t=0.0)
+    job.runtime = Job(spec, index=job_id)
+    job.vprrs = [
+        VirtualPRR(vid=job_id * 10 + i, job_id=job_id, device_id=device_id)
+        for i in range(width)
+    ]
+    return job
+
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("submit"), st.integers(1, 2)),   # width
+        st.tuples(st.just("bind"), st.just(0)),
+        st.tuples(st.just("finish"), st.integers(0, 10)),  # live pick
+    ),
+    min_size=1, max_size=40,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(ops, st.sampled_from([1.0, 1.5, 2.0, 3.0]))
+def test_no_two_live_vprrs_share_a_physical_prr(sequence, overcommit):
+    """Drive one device through grant/bind/finish; at every instant the
+    physically-bound vPRRs must map to distinct PRRs and the grant
+    count must respect the overcommit ceiling."""
+    scheduler = PoolScheduler(overcommit=overcommit)
+    device = PooledDevice(0, PARAMS, scheduler)
+    next_id = 0
+    for op, arg in sequence:
+        if op == "submit":
+            view = device.view()
+            if scheduler.place(arg, [view]) != 0:
+                continue  # grant ceiling reached; pool would hold it
+            job = _mk_pool_job(next_id, arg, 0)
+            next_id += 1
+            assert device.enqueue(job) == ""
+        elif op == "bind":
+            binding = device.next_binding()
+            if binding is not None:
+                job, prrs = binding
+                for vprr, prr in zip(job.vprrs, prrs):
+                    vprr.physical = prr
+        elif op == "finish" and device.live:
+            key = sorted(device.live)[arg % len(device.live)]
+            job = device.live[key]
+            device.release(job)
+            for vprr in job.vprrs:
+                vprr.physical = None
+        # --- invariants, checked after every operation ---
+        bound = [
+            vprr.physical
+            for job in device.live.values()
+            for vprr in job.vprrs
+            if vprr.physical is not None
+        ]
+        assert len(bound) == len(set(bound)), (
+            f"two live vPRRs share a physical PRR: {bound}"
+        )
+        assert set(bound) <= set(device.physical_prrs)
+        assert device.vprr_granted <= device.vprr_capacity

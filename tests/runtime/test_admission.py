@@ -208,3 +208,70 @@ def test_used_vector_tracks_residency():
     assert controller.used.slices == before + 100
     controller.release(job)
     assert controller.used.slices == before
+
+
+# ----------------------------------------------------------------------
+# quarantine release (scrub-verified recovery) and queue withdrawal
+# ----------------------------------------------------------------------
+def test_release_quarantine_restores_capacity_and_free_pool():
+    controller = make_controller()
+    prr = controller.prr_names[0]
+    full = controller.capacity
+    controller.quarantine(prr)
+    assert controller.capacity.slices < full.slices
+    assert prr in controller.quarantined_prrs
+    assert controller.release_quarantine(prr)
+    assert controller.capacity == full
+    assert prr not in controller.quarantined_prrs
+    # assignable again: a 2-stage job needs both prototype PRRs
+    assignment = admit(controller, make_job("wide", stages=2))
+    assert prr in assignment.prrs
+
+
+def test_release_quarantine_noop_cases():
+    controller = make_controller()
+    assert not controller.release_quarantine("rsb0.prr0")  # never retired
+    assert not controller.release_quarantine("rsb9.prr9")  # unknown
+    controller.quarantine("rsb0.prr0")
+    assert controller.release_quarantine("rsb0.prr0")
+    assert not controller.release_quarantine("rsb0.prr0")  # not idempotent
+
+
+def test_release_quarantine_keeps_faulted_prr_unassignable():
+    controller = make_controller()
+    prr = controller.prr_names[0]
+    controller.quarantine(prr)
+    controller.mark_faulted(prr)
+    assert controller.release_quarantine(prr)
+    # budget is back but the PRR still needs a frame repair first
+    result = controller.enqueue(make_job("wide", stages=2))
+    assert result.decision is AdmissionDecision.QUEUE
+    assert controller.next_decision(0.0, []) is None
+    controller.mark_repaired(prr)
+    assert controller.next_decision(0.0, []) is not None
+
+
+def test_release_quarantine_does_not_free_resident_prr():
+    controller = make_controller()
+    job = make_job("tenant")
+    assignment = admit(controller, job)
+    prr = assignment.prrs[0]
+    controller.quarantine(prr)
+    assert controller.release_quarantine(prr)
+    # the PRR is still occupied by the resident job, not free
+    assert prr not in getattr(controller, "_free_prrs")
+    controller.release(job)
+    assert prr in getattr(controller, "_free_prrs")
+
+
+def test_withdraw_removes_only_queued_jobs():
+    controller = make_controller()
+    queued = make_job("queued")
+    controller.enqueue(queued)
+    assert controller.queue_depth == 1
+    assert controller.withdraw(queued)
+    assert controller.queue_depth == 0
+    assert not controller.withdraw(queued)  # already gone
+    resident = make_job("resident")
+    admit(controller, resident)
+    assert not controller.withdraw(resident)  # admitted, not queued

@@ -205,3 +205,85 @@ def test_fleet_real_processes_match_inline():
     for a, b in zip(inline.jobs, forked.jobs):
         da, db = a.to_dict(), b.to_dict()
         assert da == db
+
+
+# ----------------------------------------------------------------------
+# fail-fast and the first-sample hook
+# ----------------------------------------------------------------------
+def test_fail_fast_colocate_aborts_remaining_jobs():
+    jobs = [
+        ramp_job("rushed", count=500_000, deadline_us=30.0),
+        ramp_job("casualty", count=4000),
+    ]
+    config = replace(CONFIG, fail_fast=True)
+    executor = JobExecutor(params=FAST, config=config)
+    report = executor.run(jobs)
+    assert report.job("rushed").state == "FAILED"
+    casualty = report.job("casualty")
+    assert casualty.state == "FAILED"
+    assert "aborted by fail-fast" in casualty.failure_reason
+    assert "rushed" in casualty.failure_reason
+    assert not report.strict_ok
+
+
+def test_fail_fast_fleet_skips_rest_of_shard():
+    jobs = [
+        ramp_job("rushed", count=500_000, deadline_us=30.0),
+        ramp_job("never-ran", count=100),
+    ]
+    config = replace(CONFIG, fail_fast=True)
+    fleet = FleetExecutor(
+        workers=1, params=FAST, config=config, use_processes=False
+    )
+    report = fleet.run(jobs)
+    skipped = report.job("never-ran")
+    assert skipped.state == "FAILED"
+    assert "aborted by fail-fast" in skipped.failure_reason
+    assert skipped.words_out == 0  # synthesised report; job never ran
+
+
+def test_without_fail_fast_survivors_complete():
+    jobs = [
+        ramp_job("rushed", count=500_000, deadline_us=30.0),
+        ramp_job("survivor", count=100),
+    ]
+    fleet = FleetExecutor(
+        workers=1, params=FAST, config=CONFIG, use_processes=False
+    )
+    report = fleet.run(jobs)
+    assert report.job("rushed").state == "FAILED"
+    assert report.job("survivor").state == "DONE"
+
+
+def test_strict_ok_counts_terminal_eviction_as_failure():
+    jobs = [
+        StreamJob(
+            name="keeper", priority=5, preemptible=False,
+            stages=[StageSpec("moving_average")],
+            source=SourceSpec("sine", count=4000),
+        ),
+        StreamJob(
+            name="victim", priority=1,
+            stages=[StageSpec("crc32")],
+            source=SourceSpec("ramp", count=4000),
+        ),
+        StreamJob(
+            name="urgent", priority=5, arrival_us=25.0,
+            stages=[StageSpec("passthrough")],
+            source=SourceSpec("ramp", count=200),
+        ),
+    ]
+    executor = JobExecutor(params=FAST_FIG7, config=CONFIG)
+    report = executor.run(jobs)
+    assert report.job("victim").state == "EVICTED"
+    assert report.ok          # eviction is policy...
+    assert not report.strict_ok  # ...but strict callers refuse it
+
+
+def test_on_first_sample_hook_fires_once_per_job():
+    seen = []
+    executor = JobExecutor(params=FAST, config=CONFIG)
+    executor.on_first_sample = lambda job: seen.append(job.spec.name)
+    report = executor.run([ramp_job("a", count=200), ramp_job("b", count=200)])
+    assert report.states == {"DONE": 2}
+    assert sorted(seen) == ["a", "b"]

@@ -69,3 +69,83 @@ def test_serve_failed_job_sets_exit_code(tmp_path, capsys):
     }))
     assert main(["serve", str(path)]) == 1
     assert "deadline" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# strict exit codes: terminal eviction and --fail-fast
+# ----------------------------------------------------------------------
+def _eviction_jobfile(tmp_path, requeue):
+    path = tmp_path / "evict.json"
+    path.write_text(json.dumps({
+        "system": {"preset": "figure7", "pr_speedup": 20000.0},
+        "mode": "colocate",
+        "executor": {"quantum_us": 10.0, "max_us": 5000.0},
+        "jobs": [
+            {"name": "keeper", "priority": 5, "preemptible": False,
+             "stages": [{"kind": "moving_average", "window": 4}],
+             "source": {"kind": "sine", "count": 4000}},
+            {"name": "victim", "priority": 1,
+             "requeue_on_eviction": requeue,
+             "stages": ["crc32"],
+             "source": {"kind": "ramp", "count": 4000}},
+            {"name": "urgent", "priority": 5, "arrival_us": 25.0,
+             "source": {"kind": "ramp", "count": 200}},
+        ],
+    }))
+    return str(path)
+
+
+def test_serve_terminal_eviction_exits_nonzero(tmp_path, capsys):
+    jobfile = _eviction_jobfile(tmp_path, requeue=False)
+    assert main(["serve", jobfile]) == 1
+    err = capsys.readouterr().err
+    assert "requeue_on_eviction" in err  # the fix is named in the hint
+
+
+def test_serve_requeued_eviction_exits_zero(tmp_path, capsys):
+    jobfile = _eviction_jobfile(tmp_path, requeue=True)
+    assert main(["serve", jobfile]) == 0
+    assert "DONE=3" in capsys.readouterr().out
+
+
+def test_serve_fail_fast_flag_aborts_run(tmp_path, capsys):
+    path = tmp_path / "ff.json"
+    path.write_text(json.dumps({
+        "system": {"preset": "prototype", "pr_speedup": 20000.0},
+        "mode": "fleet",
+        "executor": {"quantum_us": 10.0, "max_us": 5000.0},
+        "jobs": [
+            {"name": "rushed", "deadline_us": 30.0,
+             "source": {"kind": "ramp", "count": 500000}},
+            {"name": "casualty", "source": {"kind": "ramp", "count": 100}},
+        ],
+    }))
+    assert main(["serve", str(path), "--json", "--fail-fast"]) == 1
+    report = json.loads(capsys.readouterr().out)
+    by_name = {job["name"]: job for job in report["jobs"]}
+    assert "aborted by fail-fast" in by_name["casualty"]["failure_reason"]
+    # without the flag the healthy job completes (and the exit code
+    # still reflects the failed one)
+    assert main(["serve", str(path), "--json"]) == 1
+    report = json.loads(capsys.readouterr().out)
+    by_name = {job["name"]: job for job in report["jobs"]}
+    assert by_name["casualty"]["state"] == "DONE"
+
+
+# ----------------------------------------------------------------------
+# submit (front-door client) usage errors
+# ----------------------------------------------------------------------
+def test_submit_bad_address_is_usage_error(tiny_jobfile, capsys):
+    assert main(["submit", tiny_jobfile, "--connect", "nowhere"]) == 2
+    assert "HOST:PORT" in capsys.readouterr().err
+
+
+def test_submit_connection_refused_is_reported(tiny_jobfile, capsys):
+    # an ephemeral port nothing listens on
+    assert main(["submit", tiny_jobfile, "--connect", "127.0.0.1:9"]) == 2
+    assert "127.0.0.1:9" in capsys.readouterr().err
+
+
+def test_serve_listen_rejects_bad_hostport(tiny_jobfile, capsys):
+    assert main(["serve", tiny_jobfile, "--listen", "8080"]) == 2
+    assert "HOST:PORT" in capsys.readouterr().err
