@@ -47,7 +47,12 @@ Commands
 ``obs``
     Render a saved Chrome trace (from ``serve --trace-out``) as a
     timeline table; ``--summary`` prints a flamegraph-style aggregation
-    of span self-times instead.
+    of span self-times instead.  Two extra modes drive the live plane:
+    ``obs stitch SHARD...`` merges per-device trace shards (written by
+    ``serve --listen --obs-dir``) into one byte-stable Perfetto file
+    with one process per ``trace_id``, and ``obs tail --connect
+    HOST:PORT`` streams the ``GET /events`` NDJSON firehose of a
+    running pool server to stdout.
 ``bench``
     Run the curated performance benchmark suite (kernel event
     throughput, Figure-5 steady-state and switch, fleet serving), write
@@ -71,6 +76,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from dataclasses import replace
 from pathlib import Path
@@ -299,8 +305,9 @@ def _serve_listen(args: argparse.Namespace, jobfile, config) -> int:
             config=config,
             overcommit=args.overcommit,
             use_processes=not args.inline,
+            snapshot_every_quanta=args.snapshot_every,
         )
-        server = PoolServer(pool, host, port)
+        server = PoolServer(pool, host, port, obs_dir=args.obs_dir)
         await server.start()
         server.install_signal_handlers()
         print(
@@ -578,6 +585,59 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _obs_stitch(args: argparse.Namespace, shards) -> int:
+    import json
+
+    from repro.obs.live import (
+        dump_stitched_trace,
+        stitch_chrome_trace_files,
+        stitched_summary,
+    )
+
+    if not shards:
+        print("obs stitch: need at least one trace shard", file=sys.stderr)
+        return 2
+    try:
+        trace = stitch_chrome_trace_files(shards)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"obs stitch: {error}", file=sys.stderr)
+        return 2
+    out = args.output or "stitched-trace.json"
+    dump_stitched_trace(trace, out)
+    rows = stitched_summary(trace)
+    print(f"stitched {len(shards)} shard(s) -> {out}")
+    for row in rows:
+        print(json.dumps(row, sort_keys=True))
+    return 0
+
+
+def _obs_tail(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.pool import ClientError, stream_events
+
+    if not args.connect:
+        print("obs tail: --connect HOST:PORT is required", file=sys.stderr)
+        return 2
+    try:
+        host, port = _parse_hostport(args.connect)
+    except ValueError as error:
+        print(f"obs tail: {error}", file=sys.stderr)
+        return 2
+
+    async def tail() -> int:
+        async for event in stream_events(host, port, limit=args.limit):
+            print(json.dumps(event, sort_keys=True), flush=True)
+        return 0
+
+    try:
+        return asyncio.run(tail())
+    except (ClientError, ConnectionError, OSError) as error:
+        print(f"obs tail: {host}:{port}: {error}", file=sys.stderr)
+        return 2
+
+
 def cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs.export import (
         flame_summary,
@@ -586,20 +646,31 @@ def cmd_obs(args: argparse.Namespace) -> int:
         spans_from_chrome,
     )
 
+    if args.trace[0] == "stitch":
+        return _obs_stitch(args, args.trace[1:])
+    if args.trace[0] == "tail":
+        return _obs_tail(args)
+    if len(args.trace) > 1:
+        print(
+            "obs: multiple traces only make sense with `obs stitch`",
+            file=sys.stderr,
+        )
+        return 2
+    trace_path = args.trace[0]
     try:
         if args.summary:
-            events = spans_from_chrome(load_chrome_trace(args.trace))
+            events = spans_from_chrome(load_chrome_trace(trace_path))
             print(flame_summary(events, top=args.limit))
         else:
             tracks = args.track or None
             print(
                 render_trace_file(
-                    args.trace, limit=args.limit, tail=args.tail,
+                    trace_path, limit=args.limit, tail=args.tail,
                     tracks=tracks,
                 )
             )
     except (OSError, ValueError, KeyError) as error:
-        print(f"obs: cannot render {args.trace!r}: {error}", file=sys.stderr)
+        print(f"obs: cannot render {trace_path!r}: {error}", file=sys.stderr)
         return 2
     return 0
 
@@ -712,6 +783,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --listen: run device workers as threads instead of "
              "processes (tests, single-core hosts)",
     )
+    serve.add_argument(
+        "--obs-dir", metavar="DIR",
+        help="with --listen: write the drained pool's trace shards, the "
+             "stitched trace and flight-recorder dumps to this directory",
+    )
+    serve.add_argument(
+        "--snapshot-every", type=int, default=8, metavar="QUANTA",
+        help="with --listen: device telemetry snapshot interval in "
+             "executor quanta (0 disables live snapshots; default 8)",
+    )
     serve.set_defaults(func=cmd_serve)
 
     submit = sub.add_parser(
@@ -818,11 +899,25 @@ def build_parser() -> argparse.ArgumentParser:
     bench.set_defaults(func=cmd_bench)
 
     obs = sub.add_parser(
-        "obs", help="render a saved Chrome trace as a timeline table"
+        "obs",
+        help="render a saved Chrome trace as a timeline table; also "
+             "`obs stitch SHARD...` and `obs tail --connect HOST:PORT`",
     )
-    obs.add_argument("trace", help="trace JSON from `serve --trace-out`")
+    obs.add_argument(
+        "trace", nargs="+",
+        help="trace JSON from `serve --trace-out`; or `stitch` followed "
+             "by per-device shard files; or `tail` with --connect",
+    )
     obs.add_argument(
         "--limit", type=int, metavar="N", help="show at most N events"
+    )
+    obs.add_argument(
+        "--output", metavar="FILE",
+        help="with `stitch`: output path (default stitched-trace.json)",
+    )
+    obs.add_argument(
+        "--connect", metavar="HOST:PORT",
+        help="with `tail`: address of a running pool server",
     )
     obs.add_argument(
         "--tail", action="store_true",
@@ -842,7 +937,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # `obs stitch`/`obs tail` stream records to stdout and are meant
+        # to be piped (e.g. into head); a closed reader is not an error.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

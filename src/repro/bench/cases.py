@@ -324,7 +324,11 @@ def case_fleet_steady_state_heap(quick: bool) -> CaseResult:
 # pool: overcommitted device-pool soak (shared workload with
 # benchmarks/bench_pool_soak.py via repro.bench.workloads)
 # ----------------------------------------------------------------------
-def case_pool_soak(quick: bool) -> CaseResult:
+def _pool_soak(
+    quick: bool,
+    snapshot_every_quanta: int = 0,
+    scrape_live: bool = False,
+) -> CaseResult:
     import asyncio
 
     from repro.bench.workloads import soak_config, soak_jobs, soak_params
@@ -335,7 +339,9 @@ def case_pool_soak(quick: bool) -> CaseResult:
     params = soak_params()
     config = soak_config()
     batch = [0]
-    last: Dict[str, float] = {"words_lost": 0.0}
+    last: Dict[str, float] = {
+        "words_lost": 0.0, "snapshots": 0.0, "scrapes": 0.0,
+    }
 
     def run_slice() -> Tuple[float, float]:
         specs = soak_jobs(
@@ -350,10 +356,25 @@ def case_pool_soak(quick: bool) -> CaseResult:
                 config=config,
                 overcommit=2.0,
                 use_processes=False,
+                snapshot_every_quanta=snapshot_every_quanta,
             )
             await pool.start()
             jobs = [pool.submit(spec) for spec in specs]
-            await pool.drain()
+            if scrape_live:
+                # a monitoring client hammering the live plane while
+                # the soak drains: merge-on-read every 10ms
+                drain = asyncio.get_running_loop().create_task(
+                    pool.drain()
+                )
+                while not drain.done():
+                    pool.live_metrics()
+                    last["scrapes"] += 1.0
+                    # wait on the drain itself: finishing mid-interval
+                    # must not bill a full scrape period to the case
+                    await asyncio.wait({drain}, timeout=0.01)
+                await drain
+            else:
+                await pool.drain()
             await pool.stop(drain=False)
             return pool, jobs
 
@@ -366,6 +387,7 @@ def case_pool_soak(quick: bool) -> CaseResult:
                 f"pool soak jobs did not finish: {summary['states']}"
             )
         last["words_lost"] += float(summary["words_lost"])
+        last["snapshots"] += float(pool.snapshots_total)  # type: ignore[attr-defined]
         latencies = sorted(
             job.first_sample_t - job.submitted_t  # type: ignore[attr-defined]
             for job in jobs
@@ -381,6 +403,18 @@ def case_pool_soak(quick: bool) -> CaseResult:
     return result
 
 
+def case_pool_soak(quick: bool) -> CaseResult:
+    # snapshots pinned off: the committed baseline predates the live
+    # telemetry plane (DevicePool now defaults to snapshot_every_quanta=8)
+    return _pool_soak(quick, snapshot_every_quanta=0)
+
+
+def case_pool_soak_live(quick: bool) -> CaseResult:
+    """The same soak with the live plane on: periodic device snapshots
+    every 4 quanta plus a 100 Hz ``live_metrics()`` scraper."""
+    return _pool_soak(quick, snapshot_every_quanta=4, scrape_live=True)
+
+
 #: Registry, in execution order.  The ``*_heap`` twins run the same
 #: scenario with the compiled-schedule fast path disabled; the runner
 #: derives the live fast-path speedup ratio from each pair.
@@ -392,4 +426,5 @@ CASES: Dict[str, CaseFn] = {
     "fleet_steady_state": case_fleet_steady_state,
     "fleet_steady_state_heap": case_fleet_steady_state_heap,
     "pool_soak": case_pool_soak,
+    "pool_soak_live": case_pool_soak_live,
 }

@@ -207,21 +207,94 @@ def flame_summary(
 # ----------------------------------------------------------------------
 # Prometheus text format
 # ----------------------------------------------------------------------
+#: ``# HELP`` docstrings for the metric families the stack emits; a
+#: registry-attached description (``MetricsRegistry.describe``) takes
+#: precedence, then this table, then a generic fallback.
+_DEFAULT_HELP: Dict[str, str] = {
+    "repro_executor_quantum_seconds": (
+        "Wall time spent per executor scheduling quantum"
+    ),
+    "repro_icap_transfers_total": "Completed ICAP bitstream transfers",
+    "repro_lane_utilization": "Fraction of RSB lane segments in use",
+    "repro_pool_admission_wait_seconds": (
+        "Submission to physical-PRR binding latency per tenant"
+    ),
+    "repro_pool_device_queue_depth": "Jobs queued per pooled device",
+    "repro_pool_exec_seconds": (
+        "Device execution latency (running to done) per tenant"
+    ),
+    "repro_pool_jobs_completed_total": "Pool jobs finished successfully",
+    "repro_pool_jobs_failed_total": "Pool jobs finished in failure",
+    "repro_pool_jobs_submitted_total": "Jobs accepted by the pool",
+    "repro_pool_overcommit_pressure": (
+        "Granted vPRRs over healthy physical PRRs"
+    ),
+    "repro_pool_pending_jobs": "Jobs waiting for a vPRR grant",
+    "repro_pool_queue_seconds": (
+        "Submission to device-placement latency per tenant"
+    ),
+    "repro_pool_snapshots_total": "Device telemetry snapshots ingested",
+    "repro_pool_steals_total": "Jobs stolen between pooled devices",
+    "repro_pool_tenant_queue_depth": "Queued jobs per tenant",
+    "repro_pool_vprr_capacity": "vPRR grant ceiling per device",
+    "repro_pool_vprr_occupancy": "vPRRs currently granted per device",
+    "repro_prr_form_factor": "PRR slices per region",
+    "repro_prr_fragmentation_ratio": (
+        "1 - largest contiguous free PRR run over total free PRRs"
+    ),
+    "repro_prr_free_total": "Free (healthy, unoccupied) physical PRRs",
+    "repro_prr_largest_free_run": (
+        "Largest contiguous run of free physical PRRs"
+    ),
+    "repro_prr_lcd_frequency_hz": "Per-PRR local clock domain frequency",
+    "repro_switch_step_latency_us": (
+        "Figure-5 module switch/drain step latency"
+    ),
+}
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _label_str(labels, extra: str = "") -> str:
-    parts = [f'{key}="{value}"' for key, value in labels]
+    parts = [f'{key}="{_escape_label(value)}"' for key, value in labels]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
 
 
+def _help_for(registry: MetricsRegistry, name: str) -> str:
+    text = registry.help_text(name) or _DEFAULT_HELP.get(name)
+    return text or f"{name} (repro metric)"
+
+
 def prometheus_text(registry: Optional[MetricsRegistry]) -> str:
-    """Render a registry in the Prometheus text exposition format."""
+    """Render a registry in the Prometheus text exposition format.
+
+    Conformant with the 0.0.4 text format: each family gets ``# HELP``
+    and ``# TYPE`` header lines (once), histograms expose ``_bucket``,
+    ``_sum`` and ``_count`` series, and label values are escaped.
+    """
     if registry is None:
         return "# (no metrics collected)\n"
     lines: List[str] = []
     typed: set = set()
     for metric in registry.metrics():
         if metric.name not in typed:
+            lines.append(
+                f"# HELP {metric.name} "
+                f"{_escape_help(_help_for(registry, metric.name))}"
+            )
             lines.append(f"# TYPE {metric.name} {metric.kind}")
             typed.add(metric.name)
         if isinstance(metric, Histogram):

@@ -141,6 +141,16 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: Dict[Tuple[str, LabelValue], Metric] = {}
+        self._help: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def describe(self, name: str, text: str) -> None:
+        """Attach a ``# HELP`` docstring to a metric family (first
+        writer wins, like Prometheus client libraries)."""
+        self._help.setdefault(name, text)
+
+    def help_text(self, name: str) -> Optional[str]:
+        return self._help.get(name)
 
     # ------------------------------------------------------------------
     def _get_or_create(
@@ -189,6 +199,8 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold ``other`` into this registry (see module docstring)."""
+        for name, text in other._help.items():
+            self._help.setdefault(name, text)
         for key, metric in other._metrics.items():
             mine = self._metrics.get(key)
             if mine is None:

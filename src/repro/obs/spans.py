@@ -295,6 +295,21 @@ class Tracer:
         """The retained events, oldest first."""
         return list(self._events)
 
+    def tail(self, count: int) -> List[SpanEvent]:
+        """The newest ``count`` retained events, oldest first.
+
+        O(count), unlike :attr:`events` which copies the whole ring --
+        periodic telemetry snapshots use this on the hot path.
+        """
+        if count <= 0:
+            return []
+        if count >= len(self._events):
+            return list(self._events)
+        it = reversed(self._events)
+        newest = [next(it) for _ in range(count)]
+        newest.reverse()
+        return newest
+
     def open_spans(self, track: str = "main") -> Tuple[str, ...]:
         """Names of the currently open spans, outermost first."""
         return tuple(self._stacks.get(track, ()))

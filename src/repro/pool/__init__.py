@@ -16,6 +16,11 @@ containers across hosts, in two layers:
   multi-tenant submissions and live lifecycle telemetry, bridged to
   per-device worker processes (:mod:`~repro.pool.bridge`).
 
+The pool carries the live observability plane from
+:mod:`repro.obs.live`: per-job trace ids stitched across the bridge
+(``GET /metrics`` live snapshots, the ``GET /events`` firehose, and
+per-device flight recorders dumped on loss/quarantine).
+
 Placement never changes results: every job runs single-tenant with a
 name-derived seed, so a pool run is bit-identical to a single-device
 run of the same jobs.
@@ -26,9 +31,11 @@ from repro.pool.client import (
     ClientError,
     PoolClient,
     get_json,
+    post_json,
     request_shutdown,
     run_jobs,
     run_jobs_sync,
+    stream_events,
 )
 from repro.pool.devices import (
     DevicePool,
@@ -56,7 +63,9 @@ __all__ = [
     "WorkerBridge",
     "drain_requeue_on_loss",
     "get_json",
+    "post_json",
     "request_shutdown",
     "run_jobs",
     "run_jobs_sync",
+    "stream_events",
 ]

@@ -21,13 +21,23 @@ events are plain picklable tuples::
 
     ("started",      worker_id, job_id, wall_seconds)
     ("first_sample", worker_id, job_id, wall_seconds)
+    ("snapshot",     worker_id, job_id, DeviceSnapshot)
     ("finished",     worker_id, job_id, JobReport)
     ("error",        worker_id, job_id, "message")
+
+Dispatches carry a :class:`~repro.obs.live.TraceContext` alongside the
+spec, so device-side spans join the submitting pool's trace.  With
+``snapshot_every > 0`` the worker posts a ``"snapshot"`` event every
+that many executor quanta (a copy of the running job's metrics plus a
+short span tail) and one *final* snapshot -- the exact end-of-run
+registry and the job's complete track-qualified span shard -- right
+before ``"finished"``.
 """
 
 from __future__ import annotations
 
 import asyncio
+import itertools
 import multiprocessing
 import queue
 import threading
@@ -42,25 +52,67 @@ _CLOSED = ("__bridge_closed__", -1, -1, None)
 WorkerEvent = Tuple[str, int, int, object]
 
 
-def _device_worker(worker_id, inbox, outbox, params, config) -> None:
+def _device_worker(
+    worker_id, inbox, outbox, params, config, snapshot_every=0
+) -> None:
     """One device's serving loop (process or thread entry point)."""
+    from repro.obs.live import (
+        SNAPSHOT_EVENT_TAIL,
+        DeviceSnapshot,
+        copy_registry,
+        qualify_tracks,
+    )
     from repro.runtime.executor import JobExecutor
 
     source = QueueJobSource(inbox)
-    for job_id, spec in source:
+    for item in source:
+        job_id, spec, ctx = item
         outbox.put(("started", worker_id, job_id, time.monotonic()))
         try:
             executor = JobExecutor(
                 params=params, config=config, shard=worker_id
             )
+            executor.trace_context = ctx
             executor.on_first_sample = (
                 lambda job, _id=job_id: outbox.put(
                     ("first_sample", worker_id, _id, time.monotonic())
                 )
             )
+            seq = itertools.count()
+            if snapshot_every > 0:
+                def _snapshot(ex, _id=job_id, _seq=seq):
+                    sim = ex.system.sim
+                    outbox.put((
+                        "snapshot", worker_id, _id,
+                        DeviceSnapshot(
+                            device_id=worker_id,
+                            job_id=_id,
+                            seq=next(_seq),
+                            final=False,
+                            sim_us=sim.now / 1e6,
+                            metrics=copy_registry(sim.metrics),
+                            events=sim.tracer.tail(SNAPSHOT_EVENT_TAIL),
+                        ),
+                    ))
+
+                executor.snapshot_every_quanta = snapshot_every
+                executor.on_snapshot = _snapshot
             run = executor.run([spec])
             report = run.jobs[0]
             report.shard = worker_id
+            if snapshot_every > 0:
+                outbox.put((
+                    "snapshot", worker_id, job_id,
+                    DeviceSnapshot(
+                        device_id=worker_id,
+                        job_id=job_id,
+                        seq=next(seq),
+                        final=True,
+                        sim_us=run.sim_us,
+                        metrics=run.metrics,
+                        events=qualify_tracks(run.span_events, spec.name),
+                    ),
+                ))
             outbox.put(("finished", worker_id, job_id, report))
         except Exception as exc:  # noqa: BLE001 - report, keep serving
             outbox.put(
@@ -79,11 +131,13 @@ class WorkerBridge:
         config,
         use_processes: bool = True,
         on_event: Optional[Callable[[WorkerEvent], None]] = None,
+        snapshot_every: int = 0,
     ) -> None:
         if workers < 1:
             raise ValueError("bridge needs at least one worker")
         self.use_processes = use_processes
         self.on_event = on_event
+        self.snapshot_every = snapshot_every
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._pump_thread: Optional[threading.Thread] = None
         self._closed = False
@@ -97,7 +151,8 @@ class WorkerBridge:
             self._workers: List[object] = [
                 context.Process(
                     target=_device_worker,
-                    args=(i, self._inboxes[i], self.outbox, params, config),
+                    args=(i, self._inboxes[i], self.outbox, params,
+                          config, snapshot_every),
                     daemon=True,
                     name=f"repro-pool-dev{i}",
                 )
@@ -109,7 +164,8 @@ class WorkerBridge:
             self._workers = [
                 threading.Thread(
                     target=_device_worker,
-                    args=(i, self._inboxes[i], self.outbox, params, config),
+                    args=(i, self._inboxes[i], self.outbox, params,
+                          config, snapshot_every),
                     daemon=True,
                     name=f"repro-pool-dev{i}",
                 )
@@ -126,9 +182,9 @@ class WorkerBridge:
         )
         self._pump_thread.start()
 
-    def submit(self, worker_id: int, job_id: int, spec) -> None:
-        """Dispatch one bound job to its device worker."""
-        self._inboxes[worker_id].put((job_id, spec))
+    def submit(self, worker_id: int, job_id: int, spec, ctx=None) -> None:
+        """Dispatch one bound job (plus trace context) to its worker."""
+        self._inboxes[worker_id].put((job_id, spec, ctx))
 
     def _pump_main(self) -> None:
         while True:

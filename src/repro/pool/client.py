@@ -194,6 +194,65 @@ async def get_json(host: str, port: int, path: str) -> Dict:
             pass
 
 
+async def stream_events(
+    host: str, port: int, limit: Optional[int] = None
+) -> AsyncIterator[Dict]:
+    """Tail the ``GET /events`` NDJSON firehose.
+
+    Yields every pool event (all tenants) until the server closes the
+    stream, or after ``limit`` events when given (``python -m repro
+    obs tail --connect`` uses this).
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            f"GET /events HTTP/1.1\r\nHost: {host}:{port}\r\n"
+            "Connection: close\r\n\r\n".encode("ascii")
+        )
+        await writer.drain()
+        status = await _read_response_head(reader)
+        if "200" not in status:
+            raise ClientError(f"GET /events: {status!r}")
+        seen = 0
+        while limit is None or seen < limit:
+            line = await reader.readline()
+            if not line:
+                return
+            if not line.strip():
+                continue
+            yield json.loads(line)
+            seen += 1
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def post_json(host: str, port: int, path: str) -> object:
+    """POST to one of the bodyless endpoints (``/debug/...``)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            f"POST {path} HTTP/1.1\r\nHost: {host}:{port}\r\n"
+            "Content-Length: 0\r\nConnection: close\r\n\r\n"
+            .encode("ascii")
+        )
+        await writer.drain()
+        status = await _read_response_head(reader)
+        body = await reader.read()
+        if "200" not in status:
+            raise ClientError(f"POST {path}: {status!r}")
+        return json.loads(body)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
 async def request_shutdown(host: str, port: int) -> None:
     """Ask a pool server to drain and exit (the SIGTERM path over TCP)."""
     reader, writer = await asyncio.open_connection(host, port)

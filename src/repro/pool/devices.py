@@ -27,6 +27,17 @@ be called from the event loop.  Simulation happens off-loop in device
 workers (:mod:`repro.pool.bridge`); each job runs single-tenant with a
 name-derived seed, so placement, stealing and device loss can never
 change a job's results -- only *when* and *where* they are computed.
+
+The pool also carries the **live observability plane**
+(:mod:`repro.obs.live`): every job gets a deterministic ``trace_id``,
+pool-side lifecycle spans are recorded on a wall-clock
+:class:`~repro.obs.spans.Tracer` and stitched with the device-side
+shards returned in final snapshots (:meth:`DevicePool.stitched_trace`);
+periodic worker snapshots fold into a
+:class:`~repro.obs.live.SnapshotAggregator` so
+:meth:`DevicePool.live_metrics` reflects in-flight work; and each
+device feeds a :class:`~repro.obs.live.FlightRecorder` that is dumped
+automatically on device loss or quarantine.
 """
 
 from __future__ import annotations
@@ -38,7 +49,18 @@ from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.params import SystemParameters
+from repro.obs.live import (
+    FLIGHT_CAPACITY,
+    DeviceSnapshot,
+    FlightRecorder,
+    SnapshotAggregator,
+    TraceContext,
+    stitch_span_events,
+    tag_events,
+    trace_id_for,
+)
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanEvent, Tracer
 from repro.pool.bridge import WorkerBridge
 from repro.pool.scheduler import DeviceView, PoolScheduler, StealMove
 from repro.runtime.admission import AdmissionController, AdmissionDecision
@@ -71,6 +93,11 @@ DONE = "done"
 FAILED = "failed"
 TERMINAL = frozenset({DONE, FAILED})
 
+#: wall-clock latency buckets (seconds) for the per-tenant histograms
+LATENCY_BUCKETS_S = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
 
 @dataclass
 class PoolJob:
@@ -89,6 +116,14 @@ class PoolJob:
     finished_t: Optional[float] = None
     steals: int = 0
     requeues: int = 0
+    #: deterministic trace identity (name-derived, like the RNG seed)
+    trace_id: str = ""
+    #: lifecycle wall stamps feeding the per-tenant latency histograms
+    placed_t: Optional[float] = None
+    bound_t: Optional[float] = None
+    running_t: Optional[float] = None
+    #: the device-side span shard (trace_id-tagged) from the final snapshot
+    span_shard: List[SpanEvent] = field(default_factory=list)
     #: admission-ledger incarnation on the current device
     runtime: Optional[Job] = None
     done: asyncio.Event = field(default_factory=asyncio.Event)
@@ -103,6 +138,7 @@ class PoolJob:
             "id": self.id,
             "job": self.spec.name,
             "tenant": self.tenant,
+            "trace_id": self.trace_id,
             "state": self.state,
             "device": self.device_id,
             "vprrs": [
@@ -130,10 +166,15 @@ class PooledDevice:
         device_id: int,
         params: SystemParameters,
         scheduler: PoolScheduler,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.device_id = device_id
         self.scheduler = scheduler
         self.admission = AdmissionController(params, allow_preemption=False)
+        if metrics is not None:
+            self.admission.bind_metrics(
+                metrics, labels={"device": str(device_id)}
+            )
         self.queue: List[PoolJob] = []
         self.live: Dict[int, PoolJob] = {}
         self.lost = False
@@ -223,6 +264,8 @@ class DevicePool:
         steal_threshold: int = 2,
         use_processes: bool = True,
         clock: Callable[[], float] = time.monotonic,
+        snapshot_every_quanta: int = 8,
+        flight_capacity: int = FLIGHT_CAPACITY,
     ) -> None:
         if devices < 1:
             raise PoolError("a pool needs at least one device")
@@ -232,18 +275,35 @@ class DevicePool:
         self.scheduler = PoolScheduler(
             overcommit=overcommit, steal_threshold=steal_threshold
         )
+        self.metrics = MetricsRegistry()
         self.devices = [
-            PooledDevice(i, self.params, self.scheduler)
+            PooledDevice(i, self.params, self.scheduler,
+                         metrics=self.metrics)
             for i in range(devices)
         ]
-        self.metrics = MetricsRegistry()
         self.bridge = WorkerBridge(
             workers=devices,
             params=self.params,
             config=self.config,
             use_processes=use_processes,
             on_event=self._on_worker_event,
+            snapshot_every=snapshot_every_quanta,
         )
+        # live plane: pool lifecycle spans stamp wall time relative to
+        # the pool epoch (device shards keep their simulated stamps)
+        self._epoch = self.clock()
+        self.tracer = Tracer(
+            time_fn=lambda: int((self.clock() - self._epoch) * 1e12),
+            wall_clock=False,
+        )
+        self.aggregator = SnapshotAggregator()
+        self._flight = {
+            i: FlightRecorder(i, capacity=flight_capacity)
+            for i in range(devices)
+        }
+        self._device_shards: Dict[int, List[SpanEvent]] = {}
+        self.flight_dumps: List[Dict] = []
+        self.snapshots_total = 0
         self._jobs: Dict[int, PoolJob] = {}
         self._pending: Deque[PoolJob] = deque()
         self._active_names: set = set()
@@ -303,6 +363,7 @@ class DevicePool:
             spec=spec,
             tenant=tenant,
             submitted_t=self.clock(),
+            trace_id=trace_id_for(spec.name),
         )
         self._next_id += 1
         job.runtime = Job(spec, index=job.id)
@@ -360,7 +421,14 @@ class DevicePool:
                     vprr.physical = prr
                 job.state = BOUND
                 self._emit("bound", job)
-                self.bridge.submit(device.device_id, job.id, job.spec)
+                self.bridge.submit(
+                    device.device_id, job.id, job.spec,
+                    TraceContext(
+                        trace_id=job.trace_id,
+                        tenant=job.tenant,
+                        parent="pool/admission",
+                    ),
+                )
         self._refresh_gauges()
 
     def _place_on(self, job: PoolJob, device: PooledDevice) -> None:
@@ -423,7 +491,7 @@ class DevicePool:
     # worker events (called by the bridge pump, inside the loop)
     # ------------------------------------------------------------------
     def _on_worker_event(self, event) -> None:
-        kind, _worker_id, job_id, payload = event
+        kind, worker_id, job_id, payload = event
         job = self._jobs.get(job_id)
         if job is None or job.terminal:
             return
@@ -436,12 +504,40 @@ class DevicePool:
                 "first_sample", job,
                 latency_s=job.first_sample_t - job.submitted_t,
             )
+        elif kind == "snapshot":
+            self._ingest_snapshot(job, payload)
         elif kind == "finished":
             self._finish(job, payload)
         elif kind == "error":
+            # no final snapshot will arrive to supersede the live entry
+            self.aggregator.discard_live(worker_id)
             self._release(job)
             self._fail(job, str(payload))
             self._schedule()
+
+    def _ingest_snapshot(self, job: PoolJob, snap: DeviceSnapshot) -> None:
+        self.aggregator.ingest(snap)
+        self.snapshots_total += 1
+        self.metrics.counter("repro_pool_snapshots_total").inc()
+        recorder = self._flight.get(snap.device_id)
+        if recorder is not None:
+            recorder.record(
+                "snapshot", job=job.spec.name, job_id=job.id,
+                seq=snap.seq, final=snap.final, sim_us=snap.sim_us,
+            )
+            if not snap.final:
+                for span in snap.events[-4:]:
+                    recorder.record_span(span)
+        if snap.final:
+            job.span_shard = tag_events(snap.events, job.trace_id)
+            self._device_shards.setdefault(snap.device_id, []).extend(
+                job.span_shard
+            )
+            self._emit_pool(
+                "device_snapshot", device=snap.device_id,
+                job=job.spec.name, seq=snap.seq, final=True,
+                events=len(snap.events),
+            )
 
     def _finish(self, job: PoolJob, report: JobReport) -> None:
         self._release(job)
@@ -496,6 +592,7 @@ class DevicePool:
         if device.healthy_prrs == 0 and not device.lost:
             self.mark_device_lost(device_id, reason="quarantine")
         else:
+            self.dump_flight(device_id, f"quarantine:{prr}")
             self._schedule()
 
     def release_quarantine(
@@ -547,6 +644,7 @@ class DevicePool:
             self.requeues_total += 1
             self._emit("requeued", job, from_device=device_id)
         self._pending.extendleft(reversed(requeued))
+        self.dump_flight(device_id, f"device_lost:{reason}")
         if not any(not d.lost for d in self.devices):
             self._fail_pending("no healthy devices left in the pool")
         self._schedule()
@@ -567,6 +665,8 @@ class DevicePool:
         event = {"event": kind, "t": self.clock()}
         event.update(job.snapshot())
         event.update(extra)
+        self._observe_lifecycle(kind, job)
+        self._record_trace(kind, job, extra)
         self._broadcast(event)
 
     def _emit_pool(self, kind: str, **extra) -> None:
@@ -575,11 +675,178 @@ class DevicePool:
         self._broadcast(event)
 
     def _broadcast(self, event: Dict) -> None:
+        self._flight_feed(event)
         for queue in self._subscribers:
             queue.put_nowait(event)
 
+    def _observe_lifecycle(self, kind: str, job: PoolJob) -> None:
+        """Per-tenant latency histograms + job counters (seconds)."""
+        now = self.clock()
+        labels = {"tenant": job.tenant}
+        if kind == "submitted":
+            self.metrics.counter(
+                "repro_pool_jobs_submitted_total", labels
+            ).inc()
+        elif kind == "placed":
+            job.placed_t = now
+            self.metrics.histogram(
+                "repro_pool_queue_seconds",
+                buckets=LATENCY_BUCKETS_S, labels=labels,
+            ).observe(now - job.submitted_t)
+        elif kind == "bound":
+            job.bound_t = now
+            self.metrics.histogram(
+                "repro_pool_admission_wait_seconds",
+                buckets=LATENCY_BUCKETS_S, labels=labels,
+            ).observe(now - job.submitted_t)
+        elif kind == "running":
+            job.running_t = now
+        elif kind == "done":
+            self.metrics.counter(
+                "repro_pool_jobs_completed_total", labels
+            ).inc()
+            if job.running_t is not None:
+                self.metrics.histogram(
+                    "repro_pool_exec_seconds",
+                    buckets=LATENCY_BUCKETS_S, labels=labels,
+                ).observe(now - job.running_t)
+        elif kind == "failed":
+            self.metrics.counter(
+                "repro_pool_jobs_failed_total", labels
+            ).inc()
+
+    def _record_trace(self, kind: str, job: PoolJob, extra: Dict) -> None:
+        """Map one pool lifecycle event onto the job's trace timeline.
+
+        Every job owns one ``job/<name>/pool`` track: an ``admission``
+        span from submit to bind (placements, steals and requeues are
+        instants inside it) followed by an ``execute`` span covering
+        the worker run.  Failures close whatever is open.
+        """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return
+        track = f"job/{job.spec.name}/pool"
+        tid = {"trace_id": job.trace_id}
+        if kind == "submitted":
+            tracer.begin(
+                "admission", category="pool", track=track,
+                attrs={**tid, "tenant": job.tenant},
+            )
+        elif kind == "placed":
+            tracer.instant(
+                "placed", category="pool", track=track,
+                attrs={**tid, "device": job.device_id},
+            )
+        elif kind == "stolen":
+            tracer.instant(
+                "stolen", category="pool", track=track,
+                attrs={
+                    **tid,
+                    "source": extra.get("source"),
+                    "target": extra.get("target"),
+                },
+            )
+        elif kind == "requeued":
+            tracer.instant(
+                "requeued", category="pool", track=track,
+                attrs={**tid, "from_device": extra.get("from_device")},
+            )
+        elif kind == "bound":
+            tracer.end_if_open("admission", track=track, attrs=dict(tid))
+            tracer.begin(
+                "execute", category="pool", track=track,
+                attrs={**tid, "device": job.device_id},
+            )
+        elif kind == "running":
+            tracer.instant(
+                "running", category="pool", track=track, attrs=dict(tid)
+            )
+        elif kind == "first_sample":
+            tracer.instant(
+                "first_sample", category="pool", track=track,
+                attrs={**tid, "latency_s": extra.get("latency_s")},
+            )
+        elif kind == "done":
+            tracer.end_if_open("execute", track=track, attrs=dict(tid))
+            tracer.instant(
+                "done", category="pool", track=track, attrs=dict(tid)
+            )
+        elif kind == "failed":
+            tracer.end_if_open("execute", track=track, attrs=dict(tid))
+            tracer.end_if_open("admission", track=track, attrs=dict(tid))
+            tracer.instant(
+                "failed", category="pool", track=track,
+                attrs={**tid, "reason": job.failure_reason},
+            )
+
+    def _flight_feed(self, event: Dict) -> None:
+        """Mirror a broadcast event into the flight recorder of every
+        device it names (heavy ``report`` payloads stripped)."""
+        targets = set()
+        for key in ("device", "source", "target", "from_device"):
+            value = event.get(key)
+            if isinstance(value, int) and 0 <= value < len(self.devices):
+                targets.add(value)
+        if not targets:
+            return
+        attrs = {
+            k: v for k, v in event.items()
+            if k not in ("event", "report", "vprrs")
+        }
+        for device_id in sorted(targets):
+            self._flight[device_id].record(
+                event.get("event", "?"), **attrs
+            )
+
     def job(self, job_id: int) -> Optional[PoolJob]:
         return self._jobs.get(job_id)
+
+    # ------------------------------------------------------------------
+    # live observability plane
+    # ------------------------------------------------------------------
+    def live_metrics(self) -> MetricsRegistry:
+        """Pool metrics + finished-job registries + the latest snapshot
+        per in-flight device (eventually consistent; see DESIGN.md)."""
+        return self.aggregator.merged(base=self.metrics)
+
+    def flight_recorder(self, device_id: int) -> FlightRecorder:
+        return self._flight[device_id]
+
+    def dump_flight(self, device_id: int, reason: str) -> Dict:
+        """Dump one device's flight ring; kept in :attr:`flight_dumps`."""
+        dump = self._flight[device_id].dump(reason)
+        self.flight_dumps.append(dump)
+        self._emit_pool(
+            "flight_dump", device=device_id, reason=reason,
+            events=len(dump["events"]),
+        )
+        return dump
+
+    def dump_all_flight(self, reason: str) -> List[Dict]:
+        """Dump every device's flight ring (``POST /debug/flightrecorder``)."""
+        return [
+            self.dump_flight(device.device_id, reason)
+            for device in self.devices
+        ]
+
+    def device_shards(self) -> Dict[int, List[SpanEvent]]:
+        """Trace-id-tagged device-side span shards, by device."""
+        return {
+            device_id: list(events)
+            for device_id, events in sorted(self._device_shards.items())
+        }
+
+    def trace_events(self) -> List[SpanEvent]:
+        """Pool lifecycle spans + every device shard received so far."""
+        events = list(self.tracer.events)
+        for device_id in sorted(self._device_shards):
+            events.extend(self._device_shards[device_id])
+        return events
+
+    def stitched_trace(self) -> Dict:
+        """One Chrome trace, one process per ``trace_id`` (canonical)."""
+        return stitch_span_events(self.trace_events())
 
     @property
     def inflight(self) -> int:
@@ -615,6 +882,12 @@ class DevicePool:
             "requeues": self.requeues_total,
             "tenants": self.tenant_queue_depths(),
             "draining": self._draining,
+            "live": {
+                "snapshots": self.snapshots_total,
+                "live_devices": self.aggregator.live_devices(),
+                "flight_dumps": len(self.flight_dumps),
+                "trace_events": len(self.tracer),
+            },
         }
 
     def summary(self) -> Dict:

@@ -20,14 +20,27 @@ stdlib only, no frameworks -- speaking newline-delimited JSON:
 ``GET /stats``
     The pool snapshot (vPRR occupancy, queue depths, steal counts).
 ``GET /metrics``
-    Prometheus text exposition of the pool's gauges and counters.
+    Prometheus text exposition of the pool's *live* metrics: its own
+    gauges and counters plus the merged device-snapshot view
+    (:meth:`~repro.pool.devices.DevicePool.live_metrics`).
+``GET /events``
+    NDJSON firehose of every pool event (all tenants) until the client
+    disconnects or the server shuts down.
+``POST /debug/flightrecorder``
+    Dump every device's flight-recorder ring; returns the dumps as
+    byte-stable JSON.
+``POST /debug/lose-device?device=N``
+    Force device loss (fault drills and the CI live-observability
+    smoke test).
 ``POST /shutdown``
     Ask the server to drain and exit (same path as SIGTERM).
 
 Shutdown is always graceful: the listener closes first (no new
 tenants), the pool drains every accepted job, connected clients
 receive their remaining events and ``batch_done``, and only then do
-the device workers stop.
+the device workers stop.  With ``obs_dir`` set, the drained pool's
+trace shards (pool + per-device), the stitched trace and any flight
+dumps are written there before the workers exit.
 """
 
 from __future__ import annotations
@@ -35,9 +48,12 @@ from __future__ import annotations
 import asyncio
 import json
 import signal
-from typing import Dict, Optional, Set, Tuple
+from pathlib import Path
+from typing import Dict, Optional, Set, Tuple, Union
+from urllib.parse import parse_qs
 
-from repro.obs.export import prometheus_text
+from repro.obs.export import dump_chrome_trace, prometheus_text
+from repro.obs.live import dump_stitched_trace
 from repro.pool.devices import DevicePool, PoolError
 from repro.runtime.jobs import JobError, StreamJob
 
@@ -94,11 +110,16 @@ class PoolServer:
     """The pool's network front door (one per pool)."""
 
     def __init__(
-        self, pool: DevicePool, host: str = "127.0.0.1", port: int = 0
+        self,
+        pool: DevicePool,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        obs_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         self.pool = pool
         self.host = host
         self.port = port
+        self.obs_dir = Path(obs_dir) if obs_dir is not None else None
         self._server: Optional[asyncio.base_events.Server] = None
         self._shutdown = asyncio.Event()
         self._conn_tasks: Set[asyncio.Task] = set()
@@ -136,7 +157,37 @@ class PoolServer:
             await asyncio.gather(
                 *list(self._conn_tasks), return_exceptions=True
             )
+        self._write_obs_artifacts()
         await self.pool.stop(drain=False)
+
+    def _write_obs_artifacts(self) -> None:
+        """Persist the drained pool's trace shards, the stitched trace
+        and any flight-recorder dumps under ``obs_dir``."""
+        if self.obs_dir is None:
+            return
+        self.obs_dir.mkdir(parents=True, exist_ok=True)
+        dump_chrome_trace(
+            self.pool.tracer.events,
+            self.obs_dir / "pool-trace.json",
+            process_name="pool",
+        )
+        for device_id, shard in self.pool.device_shards().items():
+            dump_chrome_trace(
+                shard,
+                self.obs_dir / f"device{device_id}-trace.json",
+                process_name=f"device{device_id}",
+            )
+        dump_stitched_trace(
+            self.pool.stitched_trace(),
+            self.obs_dir / "stitched-trace.json",
+        )
+        for index, dump in enumerate(self.pool.flight_dumps):
+            payload = json.dumps(
+                dump, sort_keys=True, separators=(",", ":")
+            )
+            (
+                self.obs_dir / f"flightrecorder-{index:03d}.json"
+            ).write_text(payload + "\n")
 
     async def aclose(self) -> None:
         """Immediate teardown for tests (no drain of pending clients)."""
@@ -165,24 +216,37 @@ class PoolServer:
                 writer.write(_json_response("400 Bad Request",
                                             {"error": str(exc)}))
                 return
-            if method == "GET" and path == "/healthz":
+            route, _, query = path.partition("?")
+            if method == "GET" and route == "/healthz":
                 writer.write(_json_response("200 OK", {
                     "ok": True,
                     "draining": self.pool.stats()["draining"],
                     "devices": len(self.pool.devices),
                 }))
-            elif method == "GET" and path == "/stats":
+            elif method == "GET" and route == "/stats":
                 writer.write(_json_response("200 OK", self.pool.stats()))
-            elif method == "GET" and path == "/metrics":
-                body = prometheus_text(self.pool.metrics).encode("utf-8")
+            elif method == "GET" and route == "/metrics":
+                body = prometheus_text(
+                    self.pool.live_metrics()
+                ).encode("utf-8")
                 writer.write(_response(
                     "200 OK", body, "text/plain; version=0.0.4"
                 ))
-            elif method == "POST" and path == "/shutdown":
+            elif method == "GET" and route == "/events":
+                await self._handle_events(writer)
+            elif method == "POST" and route == "/debug/flightrecorder":
+                dumps = self.pool.dump_all_flight("request")
+                body = json.dumps(
+                    dumps, sort_keys=True, separators=(",", ":")
+                ) + "\n"
+                writer.write(_response("200 OK", body.encode("utf-8")))
+            elif method == "POST" and route == "/debug/lose-device":
+                writer.write(self._lose_device(query))
+            elif method == "POST" and route == "/shutdown":
                 writer.write(_json_response("200 OK", {"ok": True}))
                 await writer.drain()
                 self.request_shutdown()
-            elif method == "POST" and path == "/jobs":
+            elif method == "POST" and route == "/jobs":
                 await self._handle_jobs(reader, writer, headers)
             else:
                 writer.write(_json_response(
@@ -200,6 +264,75 @@ class PoolServer:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+
+    def _lose_device(self, query: str) -> bytes:
+        params = parse_qs(query)
+        values = params.get("device", [])
+        try:
+            device_id = int(values[0])
+        except (IndexError, ValueError):
+            return _json_response(
+                "400 Bad Request",
+                {"error": "need ?device=<id>"},
+            )
+        if not 0 <= device_id < len(self.pool.devices):
+            return _json_response(
+                "400 Bad Request",
+                {"error": f"no device {device_id}"},
+            )
+        self.pool.mark_device_lost(device_id, reason="debug")
+        return _json_response("200 OK", {
+            "ok": True,
+            "device": device_id,
+            "lost": self.pool.devices[device_id].lost,
+        })
+
+    async def _handle_events(self, writer: asyncio.StreamWriter) -> None:
+        """``GET /events``: stream every pool event as NDJSON.
+
+        Waits on the subscription queue *and* the shutdown event so a
+        connected firehose can never block a graceful drain.
+        """
+        events = self.pool.subscribe()
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        await writer.drain()
+        loop = asyncio.get_running_loop()
+        shutdown_wait = loop.create_task(self._shutdown.wait())
+        get_task: Optional[asyncio.Task] = None
+        try:
+            while True:
+                get_task = loop.create_task(events.get())
+                done, _ = await asyncio.wait(
+                    {get_task, shutdown_wait},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if get_task in done:
+                    writer.write(
+                        (json.dumps(get_task.result()) + "\n")
+                        .encode("utf-8")
+                    )
+                    while not events.empty():
+                        writer.write(
+                            (json.dumps(events.get_nowait()) + "\n")
+                            .encode("utf-8")
+                        )
+                    await writer.drain()
+                    get_task = None
+                if shutdown_wait in done:
+                    break
+        finally:
+            for task in (get_task, shutdown_wait):
+                if task is not None and not task.done():
+                    task.cancel()
+                    try:
+                        await task
+                    except asyncio.CancelledError:
+                        pass
+            self.pool.unsubscribe(events)
 
     # ------------------------------------------------------------------
     async def _handle_jobs(

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.params import SystemParameters
 from repro.fabric.floorplan import Floorplan
 from repro.fabric.resources import ResourceVector, device_capacity
+from repro.obs.metrics import MetricsRegistry
 from repro.runtime.jobs import Job, JobState
 
 #: BRAM18 blocks one PRR's interface FIFOs + FSL pair occupy (the
@@ -187,6 +188,79 @@ class AdmissionController:
                     self._prr_slices[name] = floorplan.prrs[name].slices
                 else:
                     self._prr_slices[name] = rsb.prr_slices
+        self._metrics: Optional[MetricsRegistry] = None
+        self._metric_labels: Optional[Dict[str, str]] = None
+
+    # ------------------------------------------------------------------
+    # fragmentation metrics (ROADMAP item 3: feeds a future compaction
+    # planner, per the Amorphous-DPR free-run analysis)
+    # ------------------------------------------------------------------
+    def bind_metrics(
+        self,
+        registry: MetricsRegistry,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """Export PRR free-run fragmentation gauges into ``registry``.
+
+        Updated on every free-set mutation (occupy/release, fault,
+        quarantine, reassign).  ``labels`` distinguishes controllers
+        sharing a registry (the pool labels per device).
+        """
+        registry.describe(
+            "repro_prr_free_total",
+            "Free (healthy, unoccupied) physical PRRs",
+        )
+        registry.describe(
+            "repro_prr_largest_free_run",
+            "Largest contiguous run of free physical PRRs",
+        )
+        registry.describe(
+            "repro_prr_fragmentation_ratio",
+            "1 - largest contiguous free PRR run over total free PRRs",
+        )
+        self._metrics = registry
+        self._metric_labels = dict(labels) if labels else None
+        self._update_fragmentation()
+
+    def free_run_stats(self) -> Tuple[int, int]:
+        """``(free_total, largest_free_run)`` over all RSBs.
+
+        A *run* is a maximal set of free, healthy PRRs that are adjacent
+        in attachment-position order within one RSB (static IOM slots in
+        between do not break a run) -- the longest chain a new job could
+        land without hopping occupied or unhealthy slots.
+        """
+        total = 0
+        largest = 0
+        for state in self._rsbs:
+            ordered = sorted(
+                state.prr_position, key=lambda n: state.prr_position[n]
+            )
+            run = 0
+            for name in ordered:
+                if self._available(name):
+                    total += 1
+                    run += 1
+                    largest = max(largest, run)
+                else:
+                    run = 0
+        return total, largest
+
+    def _update_fragmentation(self) -> None:
+        if self._metrics is None:
+            return
+        total, largest = self.free_run_stats()
+        ratio = 0.0 if total == 0 else 1.0 - largest / total
+        labels = self._metric_labels
+        self._metrics.gauge(
+            "repro_prr_free_total", labels=labels
+        ).set(total)
+        self._metrics.gauge(
+            "repro_prr_largest_free_run", labels=labels
+        ).set(largest)
+        self._metrics.gauge(
+            "repro_prr_fragmentation_ratio", labels=labels
+        ).set(ratio)
 
     # ------------------------------------------------------------------
     # queueing
@@ -342,6 +416,7 @@ class AdmissionController:
         state.occupy_lanes(assignment.chain)
         self.used = self.used + assignment.demand
         self._resident[job.spec.name] = assignment
+        self._update_fragmentation()
 
     def release(self, job: Job) -> None:
         assignment = self._resident.pop(job.spec.name, None)
@@ -354,6 +429,7 @@ class AdmissionController:
                 self._free_prrs.add(prr)
         state.release_lanes(assignment.chain)
         self.used = self.used - assignment.demand
+        self._update_fragmentation()
 
     # ------------------------------------------------------------------
     # PRR health (repro.faults)
@@ -373,6 +449,7 @@ class AdmissionController:
         """Exclude ``prr`` from new assignments until repaired."""
         if prr in self._prr_slices:
             self._faulted.add(prr)
+            self._update_fragmentation()
 
     def mark_repaired(self, prr: str) -> None:
         """Frames are clean again; the PRR may be assigned once free."""
@@ -384,6 +461,7 @@ class AdmissionController:
         )
         if not resident:
             self._free_prrs.add(prr)
+        self._update_fragmentation()
 
     def quarantine(self, prr: str) -> None:
         """Retire ``prr``: never assignable again, budget shrinks."""
@@ -397,6 +475,7 @@ class AdmissionController:
             bram18=_BRAMS_PER_STAGE,
             bufr=1,
         )
+        self._update_fragmentation()
 
     def release_quarantine(self, prr: str) -> bool:
         """Reverse :meth:`quarantine` after a scrub-verified recovery.
@@ -421,6 +500,7 @@ class AdmissionController:
         )
         if not resident and prr not in self._faulted:
             self._free_prrs.add(prr)
+        self._update_fragmentation()
         return True
 
     def find_replacement(self, job: Job, faulted_prr: str) -> Optional[str]:
@@ -467,6 +547,7 @@ class AdmissionController:
         ]
         state.occupy_lanes(assignment.chain)
         self.mark_faulted(old_prr)
+        self._update_fragmentation()
 
     def _state(self, rsb_name: str) -> _RsbState:
         for state in self._rsbs:

@@ -37,6 +37,7 @@ from typing import (
 if TYPE_CHECKING:  # deferred at runtime: repro.faults imports this module
     from repro.faults.model import CampaignConfig
     from repro.faults.plant import FaultPlant
+    from repro.obs.live import TraceContext
 
 from repro.core.params import SystemParameters
 from repro.core.switching import ModuleSwitcher
@@ -140,6 +141,17 @@ class JobExecutor:
         #: word reaches the IOM (the pool bridge streams it to tenants
         #: as a submit-to-first-sample latency marker)
         self.on_first_sample: Optional[Callable[[Job], None]] = None
+        #: optional live-telemetry hook: fired every
+        #: ``snapshot_every_quanta`` scheduling quanta so the pool
+        #: bridge can ship a metrics/span snapshot mid-run.  Disabled
+        #: (the default) costs one attribute check per quantum.
+        self.on_snapshot: Optional[Callable[["JobExecutor"], None]] = None
+        self.snapshot_every_quanta = 0
+        self._quanta_since_snapshot = 0
+        #: parent-span context propagated from a submitting pool; when
+        #: set, each job's trace records it so device-side shards can be
+        #: stitched onto the submitter's timeline by ``trace_id``
+        self.trace_context: Optional["TraceContext"] = None
         self.plant: Optional["FaultPlant"] = None
         self.fault_evictions = 0
         self.fig5_recoveries = 0
@@ -154,6 +166,7 @@ class JobExecutor:
             # faults become Figure 5 module replacements, not rewrites
             self.plant.has_replacement_owner = True
         self.system.bind_metrics()
+        self.admission.bind_metrics(self.system.sim.metrics)
 
     # ------------------------------------------------------------------
     @property
@@ -229,6 +242,10 @@ class JobExecutor:
                 self._job_instant(
                     job, "queued", priority=job.spec.priority
                 )
+            if self.trace_context is not None:
+                self._job_instant(
+                    job, "trace-context", **self.trace_context.to_attrs()
+                )
         while True:
             self._admit()
             self._progress_placements()
@@ -252,6 +269,11 @@ class JobExecutor:
                 "repro_executor_quantum_seconds", buckets=QUANTUM_BUCKETS
             ).observe(time.perf_counter() - quantum_started)
             self._refresh_gauges()
+            if self.on_snapshot is not None and self.snapshot_every_quanta > 0:
+                self._quanta_since_snapshot += 1
+                if self._quanta_since_snapshot >= self.snapshot_every_quanta:
+                    self._quanta_since_snapshot = 0
+                    self.on_snapshot(self)
             if self.plant is not None:
                 self._service_faults()
         return self._report(time.perf_counter() - started_wall)

@@ -214,6 +214,7 @@ def test_committed_baseline_is_loadable_and_quick_mode():
         "fleet_steady_state",
         "fleet_steady_state_heap",
         "pool_soak",
+        "pool_soak_live",
     }
     for case in baseline["cases"].values():
         assert case["normalized"] > 0 or case["value"] > 0

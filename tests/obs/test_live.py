@@ -1,0 +1,344 @@
+"""Unit tests for the live observability plane (repro.obs.live).
+
+Trace identity, snapshot aggregation semantics, the flight-recorder
+ring, canonical trace stitching, Prometheus text conformance, and the
+PRR free-run fragmentation gauges the pool binds per device.
+"""
+
+import json
+import random
+
+from repro.core.params import RsbParameters, SystemParameters
+from repro.obs import (
+    DeviceSnapshot,
+    FlightRecorder,
+    MetricsRegistry,
+    SnapshotAggregator,
+    SpanEvent,
+    TraceContext,
+    dump_chrome_trace,
+    prometheus_text,
+    qualify_tracks,
+    stitch_chrome_trace_files,
+    stitch_span_events,
+    stitched_summary,
+    tag_events,
+    trace_id_for,
+)
+from repro.obs.live import copy_registry, dump_stitched_trace
+from repro.runtime.admission import AdmissionController
+from repro.runtime.jobs import Job, SourceSpec, StageSpec, StreamJob
+
+
+def ev(kind, name, track, time_ps=0, seq=0, attrs=None):
+    return SpanEvent(
+        kind=kind, name=name, category="t", track=track,
+        time_ps=time_ps, seq=seq, attrs=attrs or {},
+    )
+
+
+# ----------------------------------------------------------------------
+# trace identity
+# ----------------------------------------------------------------------
+def test_trace_id_is_deterministic_and_name_derived():
+    assert trace_id_for("job-a") == trace_id_for("job-a")
+    assert trace_id_for("job-a") != trace_id_for("job-b")
+    assert len(trace_id_for("x")) == 8
+    int(trace_id_for("x"), 16)  # hex
+
+
+def test_trace_context_attrs_omit_empty_fields():
+    full = TraceContext("abc", tenant="t1", parent="pool/admission")
+    assert full.to_attrs() == {
+        "trace_id": "abc", "tenant": "t1", "parent": "pool/admission",
+    }
+    assert TraceContext("abc").to_attrs() == {"trace_id": "abc"}
+
+
+def test_tag_events_copies_and_respects_existing_ids():
+    original = [
+        ev("I", "a", "tr"),
+        ev("I", "b", "tr", attrs={"trace_id": "keep"}),
+    ]
+    tagged = tag_events(original, "new")
+    assert tagged[0].attrs["trace_id"] == "new"
+    assert tagged[1].attrs["trace_id"] == "keep"
+    assert original[0].attrs == {}  # untouched
+
+
+def test_qualify_tracks_prefixes_shared_infrastructure():
+    events = [ev("I", "a", "icap"), ev("I", "b", "job/j/x")]
+    out = qualify_tracks(events, "j")
+    assert out[0].track == "job/j/icap"
+    assert out[1].track == "job/j/x"
+
+
+# ----------------------------------------------------------------------
+# snapshot aggregation
+# ----------------------------------------------------------------------
+def reg_with(counter, value):
+    reg = MetricsRegistry()
+    reg.counter(counter).inc(value)
+    return reg
+
+
+def test_copy_registry_is_a_point_in_time_copy():
+    source = MetricsRegistry()
+    source.counter("c").inc(3)
+    snap = copy_registry(source)
+    source.counter("c").inc(10)
+    assert snap.value("c") == 3
+    assert source.value("c") == 13
+
+
+def test_aggregator_live_replaces_and_final_merges_once():
+    agg = SnapshotAggregator()
+    # two periodic snapshots from the same device must not double-count
+    agg.ingest(DeviceSnapshot(0, 1, 0, False, metrics=reg_with("c", 5)))
+    agg.ingest(DeviceSnapshot(0, 1, 1, False, metrics=reg_with("c", 7)))
+    assert agg.merged().value("c") == 7
+    assert agg.live_devices() == [0]
+    # the final replaces the live entry (never adds to it)
+    agg.ingest(DeviceSnapshot(0, 1, 2, True, metrics=reg_with("c", 9)))
+    assert agg.merged().value("c") == 9
+    assert agg.live_devices() == []
+    # a second device's finished work adds
+    agg.ingest(DeviceSnapshot(1, 2, 0, True, metrics=reg_with("c", 1)))
+    assert agg.merged().value("c") == 10
+
+
+def test_aggregator_discard_live_on_worker_error():
+    agg = SnapshotAggregator()
+    agg.ingest(DeviceSnapshot(0, 1, 0, False, metrics=reg_with("c", 5)))
+    agg.discard_live(0)
+    assert agg.merged().value("c") == 0
+    assert agg.live_devices() == []
+
+
+def test_aggregator_merged_does_not_mutate_base():
+    agg = SnapshotAggregator()
+    agg.ingest(DeviceSnapshot(0, 1, 0, True, metrics=reg_with("c", 2)))
+    base = reg_with("c", 1)
+    merged = agg.merged(base=base)
+    assert merged.value("c") == 3
+    assert base.value("c") == 1
+
+
+# ----------------------------------------------------------------------
+# flight recorder
+# ----------------------------------------------------------------------
+def test_flight_recorder_ring_evicts_oldest_and_counts_drops():
+    rec = FlightRecorder(3, capacity=4)
+    for i in range(10):
+        rec.record("tick", i=i)
+    assert len(rec) == 4
+    dump = rec.dump("test")
+    assert dump["device"] == 3
+    assert dump["recorded"] == 10
+    assert dump["dropped"] == 6
+    assert [e["i"] for e in dump["events"]] == [6, 7, 8, 9]
+
+
+def test_flight_recorder_dump_is_byte_stable():
+    def build():
+        rec = FlightRecorder(0, capacity=8)
+        rec.record("quarantined", prr="rsb0.prr1")
+        rec.record_span(ev("B", "execute", "job/j/pool", time_ps=10))
+        return rec.dump_json("same-reason")
+
+    assert build() == build()
+    parsed = json.loads(build())
+    assert parsed["events"][1]["kind"] == "span:B"
+
+
+# ----------------------------------------------------------------------
+# stitching
+# ----------------------------------------------------------------------
+def steal_shard():
+    """A two-trace event soup, one job with pool + device tracks."""
+    a, b = trace_id_for("jobA"), trace_id_for("jobB")
+    return [
+        ev("B", "admission", "job/jobA/pool", 0, 0, {"trace_id": a}),
+        ev("I", "stolen", "job/jobA/pool", 0, 1,
+           {"trace_id": a, "source": 0, "target": 1}),
+        ev("E", "admission", "job/jobA/pool", 0, 2, {"trace_id": a}),
+        ev("B", "run", "job/jobA/dev", 5, 0, {"trace_id": a}),
+        ev("E", "run", "job/jobA/dev", 9, 1, {"trace_id": a}),
+        ev("B", "admission", "job/jobB/pool", 0, 3, {"trace_id": b}),
+        ev("I", "orphan", "icap", 1, 0),  # no trace_id
+    ]
+
+
+def test_stitch_groups_one_process_per_trace_id():
+    trace = stitch_span_events(steal_shard())
+    names = {
+        r["pid"]: r["args"]["name"]
+        for r in trace["traceEvents"]
+        if r.get("ph") == "M" and r["name"] == "process_name"
+    }
+    labels = sorted(names.values())
+    expected = sorted(
+        [f"trace:{trace_id_for('jobA')}", f"trace:{trace_id_for('jobB')}",
+         "untraced"]
+    )
+    assert labels == expected
+    # untraced events group under the trailing process
+    untraced_pid = max(names)
+    assert names[untraced_pid] == "untraced"
+    rows = stitched_summary(trace)
+    assert sum(r["events"] for r in rows) == len(steal_shard())
+
+
+def test_stitch_is_input_order_independent():
+    events = steal_shard()
+    shuffled = list(events)
+    random.Random(7).shuffle(shuffled)
+    assert stitch_span_events(events) == stitch_span_events(shuffled)
+
+
+def test_stitch_instants_use_chrome_instant_phase():
+    trace = stitch_span_events(steal_shard())
+    instants = [
+        r for r in trace["traceEvents"] if r.get("name") == "stolen"
+    ]
+    assert instants and all(
+        r["ph"] == "i" and r["s"] == "t" for r in instants
+    )
+    assert instants[0]["args"]["source"] == 0
+
+
+def test_stitch_chrome_trace_files_round_trip(tmp_path):
+    events = steal_shard()
+    byA = [e for e in events if e.track.startswith("job/jobA")]
+    rest = [e for e in events if not e.track.startswith("job/jobA")]
+    p1 = dump_chrome_trace(byA, tmp_path / "shard-a.json")
+    p2 = dump_chrome_trace(rest, tmp_path / "shard-b.json")
+    stitched = stitch_chrome_trace_files([p1, p2])
+    # same grouping as stitching the in-memory events (seq/depth are
+    # not round-tripped, so compare the trace labels and event counts)
+    direct = stitch_span_events(events)
+    def labels(t):
+        return sorted(
+            r["args"]["name"] for r in t["traceEvents"]
+            if r.get("ph") == "M" and r["name"] == "process_name"
+        )
+    assert labels(stitched) == labels(direct)
+    out = dump_stitched_trace(stitched, tmp_path / "stitched.json")
+    assert out.read_text() == (
+        json.dumps(stitched, sort_keys=True, separators=(",", ":")) + "\n"
+    )
+
+
+# ----------------------------------------------------------------------
+# Prometheus text conformance (S2)
+# ----------------------------------------------------------------------
+def test_prometheus_text_emits_help_and_type_once_per_family():
+    reg = MetricsRegistry()
+    reg.describe("my_metric", "a described metric")
+    reg.counter("my_metric", {"tenant": "a"}).inc()
+    reg.counter("my_metric", {"tenant": "b"}).inc()
+    reg.histogram("repro_pool_queue_seconds", buckets=(1.0, 2.0)).observe(1.5)
+    text = prometheus_text(reg)
+    assert text.count("# HELP my_metric a described metric") == 1
+    assert text.count("# TYPE my_metric counter") == 1
+    assert text.index("# HELP my_metric") < text.index("# TYPE my_metric")
+    # curated default help for known families, histogram series complete
+    assert "# HELP repro_pool_queue_seconds " in text
+    assert "# TYPE repro_pool_queue_seconds histogram" in text
+    assert 'repro_pool_queue_seconds_bucket{le="+Inf"} 1' in text
+    assert "repro_pool_queue_seconds_sum 1.5" in text
+    assert "repro_pool_queue_seconds_count 1" in text
+
+
+def test_prometheus_label_values_are_escaped():
+    reg = MetricsRegistry()
+    reg.counter("c", {"tenant": 'we"ird\\ten\nant'}).inc()
+    text = prometheus_text(reg)
+    assert 'c{tenant="we\\"ird\\\\ten\\nant"} 1' in text
+
+
+def test_registry_help_survives_merge_first_writer_wins():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.describe("m", "from a")
+    b.describe("m", "from b")
+    b.describe("other", "only b")
+    a.merge(b)
+    assert a.help_text("m") == "from a"
+    assert a.help_text("other") == "only b"
+
+
+# ----------------------------------------------------------------------
+# PRR free-run fragmentation gauges (S1)
+# ----------------------------------------------------------------------
+def wide_params(prrs=4):
+    return SystemParameters(
+        name="frag-test",
+        rsbs=[
+            RsbParameters(
+                num_prrs=prrs, num_ioms=1, iom_positions=[0],
+                kr=2, kl=2, prr_slices=640,
+            )
+        ],
+    )
+
+
+def runtime_job(name, stages=1):
+    spec = StreamJob(
+        name=name,
+        stages=[StageSpec("passthrough") for _ in range(stages)],
+        source=SourceSpec("ramp", count=4),
+    )
+    return Job(spec, index=0)
+
+
+def test_free_run_stats_and_gauges_track_the_free_set():
+    admission = AdmissionController(wide_params(4))
+    reg = MetricsRegistry()
+    admission.bind_metrics(reg, labels={"device": "0"})
+    labels = {"device": "0"}
+    assert admission.free_run_stats() == (4, 4)
+    assert reg.value("repro_prr_free_total", labels) == 4
+    assert reg.value("repro_prr_fragmentation_ratio", labels) == 0.0
+    # retire a middle PRR: 3 free split into runs of 1 and 2
+    admission.quarantine("rsb0.prr1")
+    assert admission.free_run_stats() == (3, 2)
+    assert reg.value("repro_prr_free_total", labels) == 3
+    assert reg.value("repro_prr_largest_free_run", labels) == 2
+    ratio = reg.value("repro_prr_fragmentation_ratio", labels)
+    assert abs(ratio - (1.0 - 2.0 / 3.0)) < 1e-12
+    # scrub-verified recovery heals the run
+    assert admission.release_quarantine("rsb0.prr1")
+    assert reg.value("repro_prr_free_total", labels) == 4
+    assert reg.value("repro_prr_fragmentation_ratio", labels) == 0.0
+
+
+def test_fragmentation_follows_occupy_release_and_faults():
+    admission = AdmissionController(wide_params(4), allow_preemption=False)
+    reg = MetricsRegistry()
+    admission.bind_metrics(reg)
+    job = runtime_job("frag-occupant")
+    admission.enqueue(job)
+    pick = admission.next_decision(float("inf"), [])
+    assert pick is not None
+    picked, result = pick
+    admission.occupy(picked, result.assignment)
+    total, largest = admission.free_run_stats()
+    assert total == 3
+    assert reg.value("repro_prr_free_total") == 3
+    admission.release(picked)
+    assert admission.free_run_stats() == (4, 4)
+    assert reg.value("repro_prr_fragmentation_ratio") == 0.0
+    admission.mark_faulted("rsb0.prr2")
+    assert admission.free_run_stats() == (3, 2)
+    admission.mark_repaired("rsb0.prr2")
+    assert admission.free_run_stats() == (4, 4)
+
+
+def test_empty_free_set_reports_zero_ratio_not_nan():
+    admission = AdmissionController(wide_params(2))
+    reg = MetricsRegistry()
+    admission.bind_metrics(reg)
+    admission.quarantine("rsb0.prr0")
+    admission.quarantine("rsb0.prr1")
+    assert admission.free_run_stats() == (0, 0)
+    assert reg.value("repro_prr_fragmentation_ratio") == 0.0

@@ -141,11 +141,11 @@ def test_work_stealing_rebalances_and_preserves_results():
         held, gate_open = [], False
         real_submit = pool.bridge.submit
 
-        def gated_submit(worker_id, job_id, spec):
+        def gated_submit(worker_id, job_id, spec, ctx=None):
             if worker_id == 0 and not gate_open:
-                held.append((worker_id, job_id, spec))
+                held.append((worker_id, job_id, spec, ctx))
             else:
-                real_submit(worker_id, job_id, spec)
+                real_submit(worker_id, job_id, spec, ctx)
 
         pool.bridge.submit = gated_submit
         jobs = [pool.submit(spec) for spec in specs]
