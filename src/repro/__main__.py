@@ -62,6 +62,16 @@ Commands
     beyond ``--threshold``.  ``--quick`` runs CI-sized workloads;
     ``--update-baseline`` refreshes the committed baseline in place
     (preserving its informational ``reference_seed`` section).
+``realtime``
+    Deadline-driven time-shared PRR scheduling (``repro.realtime``).
+    ``realtime gen`` emits a seeded periodic-pipeline jobfile at a
+    target aggregate PRR utilization; ``realtime run`` executes a
+    realtime jobfile under the preemptive EDF scheduler (checkpoint/
+    restore swaps via the CMD_CHECKPOINT drain), the static-priority
+    restart baseline, or ``both`` for the ablation table.  Frames are
+    judged offline from the output timeline by one shared ruler;
+    ``--fail-on-miss`` makes any missed frame deadline fatal (the CI
+    smoke gate).  Exit code is non-zero when a job fails outright.
 ``faults``
     Run a seeded fault-injection campaign (SEU frame upsets, stuck
     lanes, FIFO bit errors, ICAP corruption) against a jobfile, sysdef
@@ -420,6 +430,120 @@ def cmd_submit(args: argparse.Namespace) -> int:
     if not args.events:
         print(json.dumps(summary, sort_keys=True))
     return 0 if summary.get("ok") else 1
+
+
+def _realtime_gen(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.realtime import RealtimeError, generate_workload
+    from repro.realtime.workloads import workload_to_dict
+    from repro.verify.loader import LoaderError, build_params
+
+    system_spec = {"preset": args.preset, "pr_speedup": args.pr_speedup}
+    try:
+        params = build_params(system_spec)
+        jobs = generate_workload(
+            seed=args.seed,
+            jobs=args.jobs,
+            utilization=args.utilization,
+            params=params,
+            deadline_factor=args.deadline_factor,
+            frames=args.frames,
+            max_stages=args.max_stages,
+        )
+    except (LoaderError, RealtimeError, ValueError) as error:
+        print(f"realtime gen: {error}", file=sys.stderr)
+        return 2
+    data = workload_to_dict(
+        jobs,
+        name=f"generated-seed{args.seed}",
+        scheduler=args.scheduler,
+        utilization_bound=args.utilization_bound,
+        pr_speedup=args.pr_speedup,
+        preset=args.preset,
+    )
+    text = json.dumps(data, indent=2, sort_keys=True)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        print(f"realtime jobfile ({len(jobs)} jobs, target utilization "
+              f"{args.utilization:g}) written to {args.out}",
+              file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def _realtime_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.realtime import (
+        EdfExecutor,
+        RealtimeError,
+        load_realtime_jobfile,
+        run_priority_baseline,
+    )
+    from repro.runtime import ExecutorConfig, JobError
+
+    try:
+        jobfile = load_realtime_jobfile(args.jobfile)
+        # realtime swaps live or die on reaction latency: a 25us quantum
+        # with a 3-poll completion streak burns a frame's worth of dead
+        # time per rotation, so the realtime default is tighter than the
+        # batch executor's (a jobfile 'executor' section still wins)
+        config = ExecutorConfig.from_dict(
+            {"quantum_us": 5.0, "idle_streak": 2, **jobfile.executor}
+        )
+    except (RealtimeError, JobError) as error:
+        print(f"realtime run: cannot load {args.jobfile!r}: {error}",
+              file=sys.stderr)
+        return 2
+    scheduler = args.scheduler or jobfile.scheduler
+    reports = {}
+    try:
+        if scheduler in ("edf", "both"):
+            executor = EdfExecutor(
+                params=jobfile.params,
+                config=config,
+                utilization_bound=jobfile.utilization_bound,
+                min_resident_us=jobfile.min_resident_us,
+            )
+            reports["edf"] = executor.run_realtime(jobfile.jobs)
+        if scheduler in ("priority", "both"):
+            reports["priority"] = run_priority_baseline(
+                jobfile.jobs, params=jobfile.params, config=config
+            )
+    except (RealtimeError, JobError) as error:
+        print(f"realtime run: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        payload = {name: rep.to_dict() for name, rep in reports.items()}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for report in reports.values():
+            print(report.render_text())
+        if len(reports) == 2:
+            edf, prio = reports["edf"], reports["priority"]
+            print(f"\nablation: EDF {edf.hits_total}/{edf.frames_total} "
+                  f"vs priority {prio.hits_total}/{prio.frames_total} "
+                  "frames hit")
+    if args.output:
+        payload = {name: rep.to_dict() for name, rep in reports.items()}
+        Path(args.output).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"report saved to {args.output}", file=sys.stderr)
+    judged = reports.get("edf") or reports["priority"]
+    if args.fail_on_miss and judged.misses_total:
+        print(f"realtime run: {judged.misses_total} frame deadline(s) "
+              "missed", file=sys.stderr)
+        return 1
+    return 0 if judged.ok else 1
+
+
+def cmd_realtime(args: argparse.Namespace) -> int:
+    if args.action == "gen":
+        return _realtime_gen(args)
+    return _realtime_run(args)
 
 
 def cmd_faults(args: argparse.Namespace) -> int:
@@ -814,6 +938,62 @@ def build_parser() -> argparse.ArgumentParser:
              "just the batch summary",
     )
     submit.set_defaults(func=cmd_submit)
+
+    realtime = sub.add_parser(
+        "realtime",
+        help="deadline-driven PRR time-sharing: generate or run a "
+             "periodic-pipeline jobfile (EDF with checkpoint/restore)",
+    )
+    realtime_sub = realtime.add_subparsers(dest="action", required=True)
+    rt_gen = realtime_sub.add_parser(
+        "gen", help="emit a seeded realtime jobfile at a target utilization"
+    )
+    rt_gen.add_argument("--seed", type=int, required=True,
+                        help="workload seed (same seed, same jobfile)")
+    rt_gen.add_argument("--jobs", type=int, default=3, metavar="N",
+                        help="periodic pipelines to generate (default 3)")
+    rt_gen.add_argument(
+        "--utilization", type=float, default=0.6, metavar="U",
+        help="target aggregate PRR utilization; >1.0 guarantees overload "
+             "(default 0.6)",
+    )
+    rt_gen.add_argument("--deadline-factor", type=float, default=3.0,
+                        help="relative deadline as a multiple of the "
+                             "period (default 3.0)")
+    rt_gen.add_argument("--frames", type=int, default=5,
+                        help="frames per job (default 5)")
+    rt_gen.add_argument("--max-stages", type=int, default=1,
+                        help="max pipeline depth (default 1)")
+    rt_gen.add_argument("--scheduler", choices=("edf", "priority"),
+                        default="edf", help="scheduler the jobfile pins")
+    rt_gen.add_argument("--utilization-bound", type=float, default=1.0,
+                        help="EDF admission bound (default 1.0)")
+    rt_gen.add_argument("--preset", default="prototype",
+                        help="system preset (default prototype)")
+    rt_gen.add_argument("--pr-speedup", type=float, default=20_000.0,
+                        help="PR rate scaling (default 20000)")
+    rt_gen.add_argument("--out", metavar="FILE",
+                        help="write the jobfile here (default stdout)")
+    rt_gen.set_defaults(func=cmd_realtime)
+    rt_run = realtime_sub.add_parser(
+        "run", help="run a realtime jobfile and judge frame deadlines"
+    )
+    rt_run.add_argument("jobfile", help="path to a realtime JSON jobfile")
+    rt_run.add_argument(
+        "--scheduler", choices=("edf", "priority", "both"),
+        help="override the jobfile's scheduler; 'both' prints the "
+             "EDF-vs-priority ablation",
+    )
+    rt_run.add_argument("--json", action="store_true",
+                        help="emit the report(s) as JSON")
+    rt_run.add_argument("--output", metavar="FILE",
+                        help="also save the JSON report here")
+    rt_run.add_argument(
+        "--fail-on-miss", action="store_true",
+        help="exit non-zero when any frame deadline is missed "
+             "(CI smoke gate)",
+    )
+    rt_run.set_defaults(func=cmd_realtime)
 
     faults = sub.add_parser(
         "faults",

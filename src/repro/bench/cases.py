@@ -321,6 +321,53 @@ def case_fleet_steady_state_heap(quick: bool) -> CaseResult:
 
 
 # ----------------------------------------------------------------------
+# realtime: preemptive EDF serving with checkpoint/restore swaps
+# ----------------------------------------------------------------------
+def case_realtime_pipeline(quick: bool) -> CaseResult:
+    """The CI smoke workload under the EDF scheduler, end to end.
+
+    Three periodic pipelines time-share the prototype's two PRRs at 0.6
+    aggregate utilization; every rotation goes through the
+    CMD_CHECKPOINT drain and a staged restore, so this case prices the
+    whole suspend/resume machinery, not just steady streaming.  A
+    missed frame deadline is a scenario bug, not a slow host.
+    """
+    from repro.core.params import SystemParameters
+    from repro.realtime.edf import EdfExecutor
+    from repro.realtime.workloads import generate_workload
+    from repro.runtime import ExecutorConfig
+
+    frames = 3 if quick else 5
+    runs = 5
+    params = replace(SystemParameters.prototype(), pr_speedup=20_000.0)
+    config = ExecutorConfig(max_us=20_000.0, quantum_us=5.0, idle_streak=2)
+    jobs = generate_workload(
+        seed=7, jobs=3, utilization=0.6, params=params,
+        deadline_factor=3.0, frames=frames,
+    )
+    last: Dict[str, float] = {}
+
+    def run_slice() -> Tuple[float, float]:
+        executor = EdfExecutor(params=params, config=config)
+        start = perf_counter()
+        report = executor.run_realtime(jobs)
+        elapsed = perf_counter() - start
+        if not report.ok or report.hit_rate < 1.0:  # pragma: no cover
+            raise RuntimeError(
+                f"realtime bench missed deadlines: "
+                f"{report.hits_total}/{report.frames_total}"
+            )
+        last["suspensions"] = float(report.suspensions_total)
+        last["frames"] = float(report.frames_total)
+        return float(executor.system.system_clock.cycles), elapsed
+
+    result = measure([run_slice] * runs, "cycles_per_sec")
+    result.extra.update(last)
+    result.extra["runs"] = float(runs)
+    return result
+
+
+# ----------------------------------------------------------------------
 # pool: overcommitted device-pool soak (shared workload with
 # benchmarks/bench_pool_soak.py via repro.bench.workloads)
 # ----------------------------------------------------------------------
@@ -425,6 +472,7 @@ CASES: Dict[str, CaseFn] = {
     "fig5_switch": case_fig5_switch,
     "fleet_steady_state": case_fleet_steady_state,
     "fleet_steady_state_heap": case_fleet_steady_state_heap,
+    "realtime_pipeline": case_realtime_pipeline,
     "pool_soak": case_pool_soak,
     "pool_soak_live": case_pool_soak_live,
 }

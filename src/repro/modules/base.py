@@ -17,6 +17,10 @@ switching methodology (Figure 5):
   FIFO, emits the special end-of-stream word :data:`EOS_WORD` downstream
   (step 5), pushes its state-register values to the MicroBlaze over the
   FSL (step 6) and halts;
+* on ``CMD_CHECKPOINT`` the module quiesces the same way but **without**
+  injecting an EOS word -- downstream consumers keep running -- and
+  terminates its state push with the :data:`MSG_CKPT` marker so software
+  has a completion signal even for modules with zero state registers;
 * a freshly placed module accepts state words over its FSL slave port and
   begins processing on ``CMD_START`` (step 7).
 """
@@ -35,6 +39,12 @@ EOS_WORD = 0xFFFFFFFF
 #: FSL command words (sent with the control bit set).
 CMD_FLUSH = 0x00000001
 CMD_START = 0x00000002
+#: Quiescent-checkpoint command: drain input and push state, but emit no
+#: EOS downstream (the rest of the chain keeps running).
+CMD_CHECKPOINT = 0x00000004
+#: Control word closing a checkpoint state push.  Always sent -- it is
+#: the completion signal for modules with zero state registers.
+MSG_CKPT = 0x000000C4
 
 ProcessResult = Union[None, int, Sequence[Tuple[int, int]]]
 
@@ -98,6 +108,8 @@ class HardwareModule(ClockedComponent):
         self.halted = False
         self.flushing = False
         self.flush_complete = False
+        self.checkpointing = False
+        self.checkpoint_complete = False
         self.started = self.auto_start
         # FSM internals
         self._busy_cycles = 0
@@ -144,6 +156,8 @@ class HardwareModule(ClockedComponent):
         """PRSocket ``PRR_reset`` semantics: back to the power-on state."""
         self.flushing = False
         self.flush_complete = False
+        self.checkpointing = False
+        self.checkpoint_complete = False
         self.halted = False
         self.started = self.auto_start
         self._busy_cycles = 0
@@ -194,6 +208,8 @@ class HardwareModule(ClockedComponent):
             return
         if self.flushing:
             self._finish_flush()
+        elif self.checkpointing:
+            self._finish_checkpoint()
         else:
             self.stall_cycles += 1
 
@@ -209,6 +225,8 @@ class HardwareModule(ClockedComponent):
                     self.flushing = True
                 elif data == CMD_START:
                     self.started = True
+                elif data == CMD_CHECKPOINT:
+                    self.checkpointing = True
                 # unknown commands are ignored, as unknown opcodes would be
             elif not self.started and self.state_word_count:
                 # pre-start data words are restored state (step 7)
@@ -276,6 +294,16 @@ class HardwareModule(ClockedComponent):
         self._eos_pending = True
         self._drain_pending()
 
+    def _finish_checkpoint(self) -> None:
+        """Input drained while checkpointing: push state, no EOS.
+
+        The downstream module (or IOM) keeps running and must not see an
+        end-of-stream; the state push is closed with :data:`MSG_CKPT` so
+        software can detect completion even when ``save_state`` is empty.
+        """
+        self._state_to_send = self.save_state() + [MSG_CKPT]
+        self._drain_pending()
+
     def _push_saved_state(self) -> None:
         """Write pending state words with blocking-write semantics.
 
@@ -292,7 +320,10 @@ class HardwareModule(ClockedComponent):
                 return
             self._state_to_send.pop(0)
         self.halted = True
-        self.flush_complete = True
+        if self.checkpointing:
+            self.checkpoint_complete = True
+        else:
+            self.flush_complete = True
 
     def _emit_monitoring(self) -> None:
         if not self.monitor_interval:
@@ -321,6 +352,7 @@ class HardwareModule(ClockedComponent):
             "reset" if self.in_reset
             else "halted" if self.halted
             else "flushing" if self.flushing
+            else "checkpointing" if self.checkpointing
             else "running" if self.started
             else "waiting"
         )

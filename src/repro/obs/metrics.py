@@ -136,6 +136,39 @@ class Histogram:
 Metric = Any  # Counter | Gauge | Histogram (py3.9-compatible alias)
 
 
+def describe_realtime_metrics(registry: "MetricsRegistry") -> None:
+    """Attach HELP text for the realtime-scheduling metric families.
+
+    Called by every executor at construction so the descriptions ride
+    along when device registries merge into the pool's live ``/metrics``
+    exposition.  All families carry a ``tenant`` label.
+    """
+    registry.describe(
+        "repro_deadline_miss_total",
+        "Frames (or whole jobs) whose deadline passed before the "
+        "required output words were delivered",
+    )
+    registry.describe(
+        "repro_deadline_hit_total",
+        "Frames whose required output words arrived before the deadline",
+    )
+    registry.describe(
+        "repro_preemption_total",
+        "Jobs swapped off their PRRs by a higher-priority or "
+        "earlier-deadline competitor",
+    )
+    registry.describe(
+        "repro_checkpoint_save_us",
+        "Simulated microseconds to quiesce a running chain into a "
+        "checkpoint (CMD_CHECKPOINT drain + state push)",
+    )
+    registry.describe(
+        "repro_checkpoint_restore_us",
+        "Simulated microseconds to restore checkpointed state into "
+        "freshly staged modules and restart them",
+    )
+
+
 class MetricsRegistry:
     """Get-or-create registry of labelled instruments."""
 

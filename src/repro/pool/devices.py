@@ -393,17 +393,31 @@ class DevicePool:
     def _views(self) -> List[DeviceView]:
         return [device.view() for device in self.devices]
 
+    @staticmethod
+    def _dispatch_key(job: PoolJob) -> Tuple[int, float, int]:
+        """Deadline-aware dispatch order for pool-pending jobs.
+
+        Jobs carrying a deadline dispatch earliest-absolute-deadline
+        first (the pool-level analogue of the realtime executor's EDF
+        queue); best-effort jobs follow in submission order.
+        """
+        deadline = job.spec.deadline_us
+        if deadline is not None:
+            return (0, job.spec.arrival_us + deadline, job.id)
+        return (1, 0.0, job.id)
+
     def _schedule(self) -> None:
-        # 1. place pool-pending jobs, FIFO with head-of-line blocking
-        #    (keeps submission order meaningful; steals level the rest)
+        # 1. place pool-pending jobs, most-urgent-first with
+        #    head-of-line blocking (keeps dispatch order meaningful;
+        #    steals level the rest)
         while self._pending:
-            job = self._pending[0]
+            job = min(self._pending, key=self._dispatch_key)
             target = self.scheduler.place(
                 len(job.spec.stages), self._views()
             )
             if target is None:
                 break
-            self._pending.popleft()
+            self._pending.remove(job)
             self._place_on(job, self.devices[target])
         # 2. rebalance queued-unbound jobs across devices
         for move in self.scheduler.plan_steals(self._views()):

@@ -1,0 +1,63 @@
+"""Deadline-driven time-shared PRR scheduling (ROADMAP item 4).
+
+The realtime layer turns the serving runtime's priority-preemptive
+executor into a periodic, deadline-aware one:
+
+* :mod:`repro.realtime.specs` -- periodic/deadline job specs (period,
+  relative deadline, stage DAG) with a schema-versioned JSON form and
+  the frame-accounting math (which output words are due when);
+* :mod:`repro.realtime.checkpoint` -- placement-keyed ``Checkpoint``
+  blobs over the module state-register save/restore hooks, so a
+  preempted module resumes bit-exactly on the same or a compatible PRR;
+* :mod:`repro.realtime.edf` -- a preemptive earliest-deadline-first
+  scheduler on top of :class:`~repro.runtime.executor.JobExecutor`,
+  evicting to checkpoint instead of restarting, with a
+  utilization-bound admission test;
+* :mod:`repro.realtime.workloads` -- a seeded vision-pipeline workload
+  generator emitting realtime jobfiles at a target utilization.
+"""
+
+from repro.realtime.checkpoint import (
+    Checkpoint,
+    CheckpointError,
+    CheckpointStore,
+    JobCheckpoint,
+)
+from repro.realtime.edf import (
+    DeadlineAdmission,
+    EdfExecutor,
+    RealtimeReport,
+    run_priority_baseline,
+)
+from repro.realtime.specs import (
+    REALTIME_SCHEMA_VERSION,
+    FrameOutcome,
+    RealtimeError,
+    RealtimeJob,
+    RealtimeJobFile,
+    StageNode,
+    frame_outcomes,
+    load_realtime_jobfile,
+)
+from repro.realtime.workloads import generate_workload, workload_to_dict
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointStore",
+    "JobCheckpoint",
+    "DeadlineAdmission",
+    "EdfExecutor",
+    "RealtimeReport",
+    "run_priority_baseline",
+    "REALTIME_SCHEMA_VERSION",
+    "FrameOutcome",
+    "RealtimeError",
+    "RealtimeJob",
+    "RealtimeJobFile",
+    "StageNode",
+    "frame_outcomes",
+    "load_realtime_jobfile",
+    "generate_workload",
+    "workload_to_dict",
+]

@@ -1,0 +1,232 @@
+"""Placement-keyed checkpoint blobs over the module state hooks.
+
+The runtime's swap-out path (:meth:`JobExecutor.suspend_job`) captures a
+raw :class:`~repro.runtime.jobs.ResumeState`: per-stage state-register
+words plus the source rewind offset.  This module wraps that capture in
+a durable, schema-versioned form keyed by *(job, stage, PRR shape)*:
+
+* :class:`Checkpoint` -- one stage's registers, stamped with the module
+  kind, the PRR it was drained from and the slice demand it needs, so a
+  restore onto a *different* PRR can be checked for compatibility (a
+  checkpoint only cares that the target region is large enough -- state
+  registers are placement-independent by construction);
+* :class:`JobCheckpoint` -- the whole chain's checkpoints plus the
+  source offset, round-trippable to/from :class:`ResumeState`;
+* :class:`CheckpointStore` -- the EDF scheduler's blob store, keeping
+  the latest checkpoint per (job, stage) and a save history for
+  observability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.runtime.jobs import ResumeState, StreamJob
+
+#: Schema version of the checkpoint JSON form.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+
+class CheckpointError(Exception):
+    """Raised on malformed or incompatible checkpoint blobs."""
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One stage's checkpointed state, keyed by (job, stage, PRR shape)."""
+
+    job: str
+    stage_index: int
+    stage_kind: str
+    #: PRR the state was drained from (provenance, not a restore pin)
+    prr: str
+    #: slice demand the restore target must satisfy
+    slices_needed: int
+    state_words: Tuple[int, ...] = ()
+    schema_version: int = CHECKPOINT_SCHEMA_VERSION
+
+    def compatible_with(self, prr_slices: int) -> bool:
+        """True when a PRR with ``prr_slices`` slices can host a restore."""
+        return prr_slices >= self.slices_needed
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "job": self.job,
+            "stage_index": self.stage_index,
+            "stage_kind": self.stage_kind,
+            "prr": self.prr,
+            "slices_needed": self.slices_needed,
+            "state_words": list(self.state_words),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Checkpoint":
+        if not isinstance(data, dict):
+            raise CheckpointError(f"checkpoint must be an object: {data!r}")
+        known = dict(data)
+        version = known.pop("schema_version", CHECKPOINT_SCHEMA_VERSION)
+        if version != CHECKPOINT_SCHEMA_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint schema_version {version!r}"
+            )
+        required = {
+            "job", "stage_index", "stage_kind", "prr", "slices_needed",
+        }
+        missing = sorted(required - set(known))
+        if missing:
+            raise CheckpointError(
+                f"checkpoint missing key {missing[0]!r}"
+            )
+        unknown = sorted(set(known) - required - {"state_words"})
+        if unknown:
+            raise CheckpointError(
+                f"checkpoint has unknown key {unknown[0]!r}"
+            )
+        return cls(
+            job=str(known["job"]),
+            stage_index=int(known["stage_index"]),
+            stage_kind=str(known["stage_kind"]),
+            prr=str(known["prr"]),
+            slices_needed=int(known["slices_needed"]),
+            state_words=tuple(
+                int(w) for w in known.get("state_words", [])
+            ),
+            schema_version=int(version),
+        )
+
+
+@dataclass(frozen=True)
+class JobCheckpoint:
+    """A whole suspended chain: per-stage checkpoints + source rewind."""
+
+    job: str
+    source_offset: int
+    capture_us: float
+    stages: Tuple[Checkpoint, ...]
+
+    @classmethod
+    def from_resume(
+        cls,
+        spec: StreamJob,
+        resume: ResumeState,
+        prrs: Sequence[str],
+        slices_needed: int,
+    ) -> "JobCheckpoint":
+        if len(resume.stage_states) != len(spec.stages):
+            raise CheckpointError(
+                f"job {spec.name!r}: {len(resume.stage_states)} stage "
+                f"states for {len(spec.stages)} stages"
+            )
+        stages = tuple(
+            Checkpoint(
+                job=spec.name,
+                stage_index=index,
+                stage_kind=stage.kind,
+                prr=prrs[index] if index < len(prrs) else "",
+                slices_needed=slices_needed,
+                state_words=tuple(words),
+            )
+            for index, (stage, words) in enumerate(
+                zip(spec.stages, resume.stage_states)
+            )
+        )
+        return cls(
+            job=spec.name,
+            source_offset=resume.source_offset,
+            capture_us=resume.capture_us,
+            stages=stages,
+        )
+
+    def to_resume(self) -> ResumeState:
+        return ResumeState(
+            stage_states=[
+                list(ckpt.state_words) for ckpt in self.stages
+            ],
+            source_offset=self.source_offset,
+            capture_us=self.capture_us,
+        )
+
+    def compatible_with(self, prr_slices: Sequence[int]) -> bool:
+        """True when one PRR shape per stage can host the restore."""
+        if len(prr_slices) != len(self.stages):
+            return False
+        return all(
+            ckpt.compatible_with(slices)
+            for ckpt, slices in zip(self.stages, prr_slices)
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": CHECKPOINT_SCHEMA_VERSION,
+            "job": self.job,
+            "source_offset": self.source_offset,
+            "capture_us": self.capture_us,
+            "stages": [ckpt.to_dict() for ckpt in self.stages],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobCheckpoint":
+        if not isinstance(data, dict):
+            raise CheckpointError(f"checkpoint must be an object: {data!r}")
+        version = data.get("schema_version", CHECKPOINT_SCHEMA_VERSION)
+        if version != CHECKPOINT_SCHEMA_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint schema_version {version!r}"
+            )
+        return cls(
+            job=str(data.get("job", "")),
+            source_offset=int(data.get("source_offset", 0)),
+            capture_us=float(data.get("capture_us", 0.0)),
+            stages=tuple(
+                Checkpoint.from_dict(entry)
+                for entry in data.get("stages", [])
+            ),
+        )
+
+
+class CheckpointStore:
+    """Latest-wins checkpoint store with a save history."""
+
+    def __init__(self) -> None:
+        self._latest: Dict[str, JobCheckpoint] = {}
+        self.saves = 0
+        self.restores = 0
+
+    def put(self, checkpoint: JobCheckpoint) -> None:
+        self._latest[checkpoint.job] = checkpoint
+        self.saves += 1
+
+    def latest(self, job: str) -> Optional[JobCheckpoint]:
+        return self._latest.get(job)
+
+    def take(self, job: str) -> Optional[JobCheckpoint]:
+        """Fetch-and-count a restore (the blob stays for inspection)."""
+        checkpoint = self._latest.get(job)
+        if checkpoint is not None:
+            self.restores += 1
+        return checkpoint
+
+    def stage(self, job: str, stage_index: int) -> Optional[Checkpoint]:
+        checkpoint = self._latest.get(job)
+        if checkpoint is None:
+            return None
+        if not 0 <= stage_index < len(checkpoint.stages):
+            return None
+        return checkpoint.stages[stage_index]
+
+    def jobs(self) -> List[str]:
+        return sorted(self._latest)
+
+    def __len__(self) -> int:
+        return len(self._latest)
+
+
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointStore",
+    "JobCheckpoint",
+]

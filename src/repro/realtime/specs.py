@@ -1,0 +1,521 @@
+"""Periodic/deadline realtime job specs and frame accounting.
+
+A :class:`RealtimeJob` extends the runtime's :class:`StreamJob` notion
+with the vocabulary of periodic realtime pipelines: the source emits
+``frames`` frames of ``frame_words`` words, frame ``k`` is *released*
+at ``arrival_us + k * period_us`` and must have its output delivered by
+the release plus the relative ``deadline_us``.  Stages form a DAG (the
+JSON form carries ``after`` edges) that must linearize to a unique
+chain -- VAPRES modules are 1-in/1-out KPN nodes, so a diamond cannot
+be placed; the DAG form exists so vision-style pipeline descriptions
+(decode -> filter -> encode with explicit ordering) round-trip.
+
+Sources are *eager* (the IOM pushes as fast as the chain accepts), so
+frames are an accounting construct over the word stream, not a pacing
+mechanism: frame ``k``'s deadline is met iff the cumulative output
+word count reaches :meth:`RealtimeJob.frame_required` words in time.
+This uniform offline judgement is what makes the EDF-vs-priority
+ablation fair -- both schedulers are scored from their output
+timelines by the same ruler.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import zlib
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.params import SystemParameters
+from repro.runtime.jobs import (
+    _STAGE_KINDS,
+    SourceSpec,
+    StageSpec,
+    StreamJob,
+)
+
+#: Schema version of the realtime jobfile / job JSON forms.
+REALTIME_SCHEMA_VERSION = 1
+
+#: Stage kinds whose output rate depends on data values, not counts.
+#: Deadline accounting needs a deterministic words-in -> words-out map,
+#: so these cannot appear in a realtime chain.
+_VARIABLE_RATE_KINDS = frozenset({"threshold"})
+
+
+class RealtimeError(Exception):
+    """Raised on malformed realtime specs or jobfiles."""
+
+
+# ----------------------------------------------------------------------
+# stage DAG
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StageNode:
+    """One node of a realtime pipeline's stage DAG."""
+
+    id: str
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    after: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.id:
+            raise RealtimeError("a stage node needs an id")
+        if self.kind not in _STAGE_KINDS:
+            raise RealtimeError(
+                f"stage {self.id!r}: unknown kind {self.kind!r}; "
+                f"have {sorted(_STAGE_KINDS)}"
+            )
+        if self.kind in _VARIABLE_RATE_KINDS:
+            raise RealtimeError(
+                f"stage {self.id!r}: kind {self.kind!r} has a "
+                "data-dependent output rate and cannot carry deadlines"
+            )
+
+    def to_spec(self) -> StageSpec:
+        return StageSpec(kind=self.kind, params=dict(self.params))
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"id": self.id, "kind": self.kind}
+        if self.after:
+            data["after"] = list(self.after)
+        if self.params:
+            data["params"] = dict(self.params)
+        return data
+
+    @classmethod
+    def from_value(
+        cls, value: Union[str, Dict[str, Any]], index: int
+    ) -> "StageNode":
+        if isinstance(value, str):
+            return cls(id=f"s{index}", kind=value)
+        if not isinstance(value, dict):
+            raise RealtimeError(f"bad stage entry {value!r}")
+        value = dict(value)
+        kind = value.pop("kind", None)
+        if kind is None:
+            raise RealtimeError(f"stage entry {value!r} needs a 'kind'")
+        node_id = value.pop("id", f"s{index}")
+        after = value.pop("after", [])
+        if isinstance(after, str):
+            after = [after]
+        params = value.pop("params", {})
+        unknown = sorted(value)
+        if unknown:
+            raise RealtimeError(
+                f"stage {node_id!r}: unknown key {unknown[0]!r} "
+                "(valid keys: ['after', 'id', 'kind', 'params'])"
+            )
+        return cls(
+            id=str(node_id), kind=kind, params=dict(params),
+            after=tuple(str(a) for a in after),
+        )
+
+
+def linearize(stages: Sequence[StageNode]) -> List[StageNode]:
+    """Topologically order a stage DAG into its unique chain.
+
+    Raises :class:`RealtimeError` on cycles, unknown ``after``
+    references, or any DAG that admits more than one topological order
+    (modules are 1-in/1-out, so only a chain is placeable).
+    """
+    by_id = {node.id: node for node in stages}
+    if len(by_id) != len(stages):
+        raise RealtimeError("stage ids must be unique")
+    for node in stages:
+        for dep in node.after:
+            if dep not in by_id:
+                raise RealtimeError(
+                    f"stage {node.id!r}: unknown 'after' reference {dep!r}"
+                )
+    # implicit chain edges: a node with no 'after' follows its file
+    # predecessor, matching the plain-list shorthand
+    deps: Dict[str, set] = {}
+    for index, node in enumerate(stages):
+        if node.after:
+            deps[node.id] = set(node.after)
+        elif index > 0:
+            deps[node.id] = {stages[index - 1].id}
+        else:
+            deps[node.id] = set()
+    ordered: List[StageNode] = []
+    remaining = dict(deps)
+    while remaining:
+        ready = sorted(
+            node_id for node_id, need in remaining.items() if not need
+        )
+        if not ready:
+            raise RealtimeError(
+                f"stage DAG has a cycle through {sorted(remaining)}"
+            )
+        if len(ready) > 1:
+            raise RealtimeError(
+                "stage DAG does not linearize to a unique chain "
+                f"(stages {ready} are unordered); VAPRES modules are "
+                "1-in/1-out, so the pipeline must be a chain"
+            )
+        node_id = ready[0]
+        ordered.append(by_id[node_id])
+        del remaining[node_id]
+        for need in remaining.values():
+            need.discard(node_id)
+    return ordered
+
+
+# ----------------------------------------------------------------------
+# the realtime job spec
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RealtimeJob:
+    """A periodic stream-processing pipeline with frame deadlines."""
+
+    name: str
+    stages: Tuple[StageNode, ...]
+    period_us: float
+    deadline_us: float
+    frames: int = 4
+    frame_words: int = 64
+    tenant: str = "default"
+    priority: int = 0
+    arrival_us: float = 0.0
+    source_kind: str = "ramp"
+    source_params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise RealtimeError("a realtime job needs a name")
+        if not self.stages:
+            raise RealtimeError(f"job {self.name!r} needs at least one stage")
+        if self.period_us <= 0:
+            raise RealtimeError(f"job {self.name!r}: period must be positive")
+        if self.deadline_us <= 0:
+            raise RealtimeError(
+                f"job {self.name!r}: deadline must be positive"
+            )
+        if self.frames < 1 or self.frame_words < 1:
+            raise RealtimeError(
+                f"job {self.name!r}: frames and frame_words must be >= 1"
+            )
+        # validates the DAG early (unique ids, acyclic, unique chain)
+        linearize(self.stages)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_words(self) -> int:
+        return self.frames * self.frame_words
+
+    @property
+    def seed(self) -> int:
+        return zlib.crc32(self.name.encode("utf-8"))
+
+    def chain(self) -> List[StageNode]:
+        return linearize(self.stages)
+
+    def stage_specs(self) -> List[StageSpec]:
+        return [node.to_spec() for node in self.chain()]
+
+    def to_stream_job(self, requeue_on_eviction: bool = True) -> StreamJob:
+        """Lower to the runtime's :class:`StreamJob` form.
+
+        The per-frame deadlines stay in this spec (the runtime's
+        ``deadline_us`` is a whole-job kill switch, which is not what
+        periodic accounting wants); ``requeue_on_eviction=True`` gives
+        the priority baseline its restart semantics.
+        """
+        return StreamJob(
+            name=self.name,
+            stages=self.stage_specs(),
+            source=SourceSpec(
+                kind=self.source_kind,
+                count=self.total_words,
+                params=dict(self.source_params),
+            ),
+            priority=self.priority,
+            arrival_us=self.arrival_us,
+            preemptible=True,
+            requeue_on_eviction=requeue_on_eviction,
+        )
+
+    # ------------------------------------------------------------------
+    # frame accounting
+    # ------------------------------------------------------------------
+    def expected_output_words(self, words_in: int) -> int:
+        """Deterministic words-out for ``words_in`` source words."""
+        count = min(words_in, self.total_words)
+        for node in self.chain():
+            if node.kind == "decimator":
+                factor = int(node.params.get("factor", 2))
+                count = math.ceil(count / factor)
+        return count
+
+    def frame_required(self) -> List[int]:
+        """Cumulative output words due by each frame's deadline."""
+        return [
+            self.expected_output_words((k + 1) * self.frame_words)
+            for k in range(self.frames)
+        ]
+
+    def frame_deadlines_us(self) -> List[float]:
+        """Absolute deadline of each frame (simulated us)."""
+        return [
+            self.arrival_us + k * self.period_us + self.deadline_us
+            for k in range(self.frames)
+        ]
+
+    # ------------------------------------------------------------------
+    # utilization (the EDF admission test's per-job demand)
+    # ------------------------------------------------------------------
+    def bottleneck_cycles(self) -> int:
+        """LCD cycles per word of the slowest stage (pipeline rate)."""
+        worst = 1
+        for node in self.chain():
+            module = node.to_spec().build(f"probe.{node.id}")
+            worst = max(worst, module.cycles_per_sample)
+        return worst
+
+    def service_us_per_frame(self, params: SystemParameters) -> float:
+        cycles_per_us = params.system_clock_hz / 1e6
+        return self.frame_words * self.bottleneck_cycles() / cycles_per_us
+
+    def utilization(self, params: SystemParameters) -> float:
+        """Fraction of one PRR-chain this job needs long-run."""
+        return self.service_us_per_frame(params) / self.period_us
+
+    def prr_utilization(self, params: SystemParameters) -> float:
+        """PRR-weighted utilization: each stage occupies its own PRR."""
+        return self.utilization(params) * len(self.stages)
+
+    # ------------------------------------------------------------------
+    # JSON form
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "name": self.name,
+            "stages": [node.to_dict() for node in self.stages],
+            "period_us": self.period_us,
+            "deadline_us": self.deadline_us,
+            "frames": self.frames,
+            "frame_words": self.frame_words,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "source": {
+                "kind": self.source_kind, **dict(self.source_params)
+            },
+        }
+        if self.arrival_us:
+            data["arrival_us"] = self.arrival_us
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RealtimeJob":
+        if not isinstance(data, dict):
+            raise RealtimeError(
+                f"realtime job entry must be an object, got {data!r}"
+            )
+        known = dict(data)
+        name = known.pop("name", None)
+        if not name:
+            raise RealtimeError(f"realtime job entry {data!r} needs a 'name'")
+        stages_spec = known.pop("stages", None)
+        if not isinstance(stages_spec, list) or not stages_spec:
+            raise RealtimeError(
+                f"job {name!r}: 'stages' must be a non-empty list"
+            )
+        stages = tuple(
+            StageNode.from_value(value, index)
+            for index, value in enumerate(stages_spec)
+        )
+        source = known.pop("source", {}) or {}
+        if not isinstance(source, dict):
+            raise RealtimeError(f"job {name!r}: 'source' must be an object")
+        source = dict(source)
+        source_kind = source.pop("kind", "ramp")
+        source.pop("count", None)  # derived from frames * frame_words
+        allowed = {
+            "period_us", "deadline_us", "frames", "frame_words",
+            "tenant", "priority", "arrival_us",
+        }
+        unknown = sorted(set(known) - allowed)
+        if unknown:
+            raise RealtimeError(
+                f"job {name!r}: unknown key {unknown[0]!r} "
+                f"(valid keys: {sorted(allowed | {'name', 'stages', 'source'})})"
+            )
+        if "period_us" not in known or "deadline_us" not in known:
+            raise RealtimeError(
+                f"job {name!r}: 'period_us' and 'deadline_us' are required"
+            )
+        return cls(
+            name=str(name),
+            stages=stages,
+            period_us=float(known["period_us"]),
+            deadline_us=float(known["deadline_us"]),
+            frames=int(known.get("frames", 4)),
+            frame_words=int(known.get("frame_words", 64)),
+            tenant=str(known.get("tenant", "default")),
+            priority=int(known.get("priority", 0)),
+            arrival_us=float(known.get("arrival_us", 0.0)),
+            source_kind=str(source_kind),
+            source_params=source,
+        )
+
+
+# ----------------------------------------------------------------------
+# offline frame judgement
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FrameOutcome:
+    """One frame's deadline verdict."""
+
+    index: int
+    deadline_us: float
+    required_words: int
+    delivered_words: int
+    hit: bool
+    #: simulated us when the required words had arrived (None = never)
+    met_at_us: Optional[float] = None
+
+
+def _progress_at(segments: Sequence[Sequence[int]], t_ps: float) -> int:
+    """Max cumulative output words by ``t_ps`` over attempt segments."""
+    best = 0
+    for segment in segments:
+        best = max(best, bisect_right(segment, t_ps))
+    return best
+
+
+def frame_outcomes(
+    job: RealtimeJob, segments: Sequence[Sequence[int]]
+) -> List[FrameOutcome]:
+    """Judge every frame of ``job`` from output receive-time segments.
+
+    ``segments`` are per-attempt receive timestamps in simulated ps
+    (:attr:`Job.output_history`); restart-based schedulers contribute
+    one segment per attempt and progress is the best over attempts,
+    checkpoint-based schedulers contribute one concatenated timeline.
+    """
+    outcomes: List[FrameOutcome] = []
+    required = job.frame_required()
+    deadlines = job.frame_deadlines_us()
+    for index in range(job.frames):
+        need = required[index]
+        deadline_ps = deadlines[index] * 1e6
+        delivered = _progress_at(segments, deadline_ps)
+        hit = delivered >= need
+        met_at: Optional[float] = None
+        if hit:
+            # earliest time any segment reached the requirement
+            candidates = [
+                segment[need - 1] / 1e6
+                for segment in segments
+                if len(segment) >= need
+            ]
+            met_at = min(candidates) if need and candidates else 0.0
+        outcomes.append(
+            FrameOutcome(
+                index=index,
+                deadline_us=deadlines[index],
+                required_words=need,
+                delivered_words=delivered,
+                hit=hit,
+                met_at_us=met_at,
+            )
+        )
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# realtime jobfiles
+# ----------------------------------------------------------------------
+_REALTIME_FILE_KEYS = frozenset({
+    "schema_version", "name", "system", "executor", "realtime",
+})
+_REALTIME_SECTION_KEYS = frozenset({
+    "scheduler", "utilization_bound", "min_resident_us", "jobs",
+})
+
+
+@dataclass
+class RealtimeJobFile:
+    """A parsed ``python -m repro realtime run`` jobfile."""
+
+    name: str
+    params: SystemParameters
+    jobs: List[RealtimeJob]
+    executor: Dict[str, Any] = field(default_factory=dict)
+    scheduler: str = "edf"
+    utilization_bound: float = 1.0
+    min_resident_us: float = 0.0
+    schema_version: int = REALTIME_SCHEMA_VERSION
+
+
+def load_realtime_jobfile(path: Union[str, Path]) -> RealtimeJobFile:
+    """Parse a realtime jobfile (README "Realtime pipelines")."""
+    from repro.verify.loader import LoaderError, build_params
+
+    path = Path(path)
+    try:
+        spec = json.loads(path.read_text())
+    except OSError as exc:
+        raise RealtimeError(f"cannot read {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise RealtimeError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(spec, dict):
+        raise RealtimeError(f"{path} must contain a JSON object")
+    version = spec.get("schema_version", REALTIME_SCHEMA_VERSION)
+    if version != REALTIME_SCHEMA_VERSION:
+        raise RealtimeError(
+            f"{path}: unsupported schema_version {version!r} "
+            f"(this loader understands {REALTIME_SCHEMA_VERSION})"
+        )
+    unknown = sorted(set(spec) - _REALTIME_FILE_KEYS)
+    if unknown:
+        raise RealtimeError(
+            f"{path}: unknown top-level key {unknown[0]!r} "
+            f"(valid keys: {sorted(_REALTIME_FILE_KEYS)})"
+        )
+    realtime = spec.get("realtime")
+    if not isinstance(realtime, dict):
+        raise RealtimeError(f"{path}: needs a 'realtime' object")
+    unknown = sorted(set(realtime) - _REALTIME_SECTION_KEYS)
+    if unknown:
+        raise RealtimeError(
+            f"{path}: unknown realtime key {unknown[0]!r} "
+            f"(valid keys: {sorted(_REALTIME_SECTION_KEYS)})"
+        )
+    scheduler = realtime.get("scheduler", "edf")
+    if scheduler not in ("edf", "priority"):
+        raise RealtimeError(
+            f"{path}: scheduler must be 'edf' or 'priority'"
+        )
+    jobs_spec = realtime.get("jobs")
+    if not isinstance(jobs_spec, list) or not jobs_spec:
+        raise RealtimeError(
+            f"{path}: 'realtime.jobs' must be a non-empty list"
+        )
+    jobs = [RealtimeJob.from_dict(entry) for entry in jobs_spec]
+    names = [job.name for job in jobs]
+    if len(names) != len(set(names)):
+        raise RealtimeError(f"{path}: job names must be unique")
+    system_spec = spec.get("system", {"preset": "prototype"})
+    try:
+        params = build_params(system_spec)
+    except LoaderError as exc:
+        raise RealtimeError(f"{path}: bad system spec: {exc}") from exc
+    executor = spec.get("executor", {})
+    if not isinstance(executor, dict):
+        raise RealtimeError(f"{path}: 'executor' must be an object")
+    return RealtimeJobFile(
+        name=spec.get("name", path.stem),
+        params=params,
+        jobs=jobs,
+        executor=executor,
+        scheduler=scheduler,
+        utilization_bound=float(realtime.get("utilization_bound", 1.0)),
+        min_resident_us=float(realtime.get("min_resident_us", 0.0)),
+        schema_version=int(version),
+    )

@@ -1,0 +1,168 @@
+"""Seeded realtime pipeline workload generator.
+
+Emits vision-style processing chains (filter / smooth / encode stages
+over a periodic frame source) sized to hit a *target aggregate PRR
+utilization* on a given system: each job's period is derived from its
+measured bottleneck service time, so ``utilization=0.6`` really means
+the job set demands 60% of the fabric's PRR-time long-run and a
+feasible schedule exists, while ``utilization=1.2`` guarantees temporal
+overload (the EDF-vs-priority ablation's operating point).
+
+Everything is derived from ``random.Random(seed)`` -- the same seed
+always yields the same jobfile, which is what lets CI pin a smoke
+workload without checking in a fixture.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.params import SystemParameters
+from repro.realtime.specs import RealtimeJob, StageNode
+
+#: Fixed-rate stage palette for generated pipelines (no ``threshold``:
+#: variable-rate stages cannot carry deadlines).  Grouped by role so a
+#: generated chain reads like a vision pipeline: condition the signal,
+#: then smooth/filter, then encode.
+_CONDITION_KINDS = ("abs", "scaler", "delta_decoder")
+_FILTER_KINDS = ("moving_average", "median", "fir")
+_ENCODE_KINDS = ("delta_encoder", "decimator")
+
+#: Frame sizes to draw from -- a couple thousand words, so one frame's
+#: service time (words x bottleneck-cycles @ 100 MHz) lands in tens of
+#: microseconds and dwarfs a placement + sped-up module restore (~25 us
+#: on the prototype at the benchmark pr_speedup).  Smaller frames make
+#: every scheduler rotation cost a period's worth of reconfiguration.
+_FRAME_WORDS = (1024, 1536, 2048)
+
+_SOURCE_KINDS = ("ramp", "sine", "noisy_sine")
+
+#: Per-job utilization is clamped here: a single periodic job asking
+#: for more than this fraction of one PRR-chain cannot meet deadlines
+#: even alone (placement and reconfiguration overheads eat the rest).
+_MAX_JOB_UTILIZATION = 0.95
+
+
+def _make_stages(rng, max_stages: int) -> List[StageNode]:
+    """A 1..max_stages chain shaped condition -> filter -> encode."""
+    palette: List[str] = [rng.choice(_FILTER_KINDS)]
+    if max_stages >= 2:
+        palette.insert(0, rng.choice(_CONDITION_KINDS))
+    if max_stages >= 3:
+        palette.append(rng.choice(_ENCODE_KINDS))
+    count = rng.randint(1, max_stages)
+    kinds = palette[:count] if count <= len(palette) else palette
+    nodes = []
+    for index, kind in enumerate(kinds):
+        params: Dict[str, Any] = {}
+        if kind == "scaler":
+            params = {"shift": rng.choice([1, 2])}
+        elif kind == "decimator":
+            params = {"factor": rng.choice([2, 4])}
+        nodes.append(StageNode(id=f"s{index}", kind=kind, params=params))
+    return nodes
+
+
+def generate_workload(
+    seed: int,
+    jobs: int = 3,
+    utilization: float = 0.6,
+    params: Optional[SystemParameters] = None,
+    deadline_factor: float = 2.0,
+    frames: int = 5,
+    max_stages: int = 1,
+    tenants: int = 2,
+) -> List[RealtimeJob]:
+    """Generate ``jobs`` periodic pipelines at a target utilization.
+
+    ``utilization`` is the *aggregate PRR-weighted* demand as a
+    fraction of the system's total PRRs: each job gets an equal share
+    ``u_i = utilization * total_prrs / (jobs * stages_i)`` of one
+    PRR-chain and its period is solved from its measured service time,
+    ``period_i = service_i / u_i``.  ``deadline_factor`` sets the
+    relative deadline as a multiple of the period (>= 1.0; generous
+    factors absorb reconfiguration and checkpoint latency at feasible
+    utilizations).
+    """
+    import random
+
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if utilization <= 0:
+        raise ValueError("utilization must be positive")
+    if deadline_factor < 1.0:
+        raise ValueError("deadline_factor must be >= 1.0")
+    params = params or SystemParameters.prototype()
+    rng = random.Random(seed)
+    out: List[RealtimeJob] = []
+    for index in range(jobs):
+        stages = _make_stages(rng, max_stages)
+        frame_words = rng.choice(_FRAME_WORDS)
+        source_kind = rng.choice(_SOURCE_KINDS)
+        job = RealtimeJob(
+            name=f"rt{index}",
+            stages=tuple(stages),
+            period_us=1.0,  # placeholder; replaced from service time
+            deadline_us=1.0,
+            frames=frames,
+            frame_words=frame_words,
+            tenant=f"tenant{index % max(1, tenants)}",
+            priority=jobs - index,
+            source_kind=source_kind,
+        )
+        share = utilization * params.total_prrs / (jobs * len(stages))
+        share = min(share, _MAX_JOB_UTILIZATION)
+        service_us = job.service_us_per_frame(params)
+        period_us = service_us / share
+        out.append(
+            RealtimeJob(
+                name=job.name,
+                stages=job.stages,
+                period_us=period_us,
+                deadline_us=deadline_factor * period_us,
+                frames=frames,
+                frame_words=frame_words,
+                tenant=job.tenant,
+                priority=job.priority,
+                source_kind=source_kind,
+            )
+        )
+    return out
+
+
+def workload_to_dict(
+    jobs: Sequence[RealtimeJob],
+    name: str = "generated",
+    scheduler: str = "edf",
+    utilization_bound: float = 1.0,
+    min_resident_us: float = 0.0,
+    pr_speedup: float = 20_000.0,
+    preset: str = "prototype",
+    executor: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Lower a generated workload to the realtime jobfile JSON form.
+
+    The emitted dict round-trips through
+    :func:`repro.realtime.specs.load_realtime_jobfile`; ``pr_speedup``
+    defaults to the benchmark convention (module restores cost a few
+    simulated microseconds, the Figure-11 array2icap scale).
+    """
+    from repro.realtime.specs import REALTIME_SCHEMA_VERSION
+
+    data: Dict[str, Any] = {
+        "schema_version": REALTIME_SCHEMA_VERSION,
+        "name": name,
+        "system": {"preset": preset, "pr_speedup": pr_speedup},
+        "realtime": {
+            "scheduler": scheduler,
+            "utilization_bound": utilization_bound,
+            "min_resident_us": min_resident_us,
+            "jobs": [job.to_dict() for job in jobs],
+        },
+    }
+    if executor:
+        data["executor"] = dict(executor)
+    return data
+
+
+__all__ = ["generate_workload", "workload_to_dict"]

@@ -21,6 +21,7 @@ its own name, so sharding affects wall-clock only.
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import time
 from dataclasses import dataclass, field
@@ -39,11 +40,13 @@ if TYPE_CHECKING:  # deferred at runtime: repro.faults imports this module
     from repro.faults.plant import FaultPlant
     from repro.obs.live import TraceContext
 
+from repro.control.microblaze import Delay
 from repro.core.params import SystemParameters
 from repro.core.switching import ModuleSwitcher
 from repro.core.system import VapresSystem
+from repro.modules.base import CMD_CHECKPOINT, CMD_START, MSG_CKPT, staged
 from repro.modules.iom import Iom
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, describe_realtime_metrics
 from repro.pr.scheduler import ReconfigScheduler
 from repro.runtime.admission import (
     AdmissionController,
@@ -53,6 +56,7 @@ from repro.runtime.jobs import (
     Job,
     JobError,
     JobState,
+    ResumeState,
     StreamJob,
     as_job_source,
 )
@@ -64,6 +68,9 @@ from repro.runtime.telemetry import (
 
 #: wall-clock bucket bounds (seconds) for the per-quantum latency histogram
 QUANTUM_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
+
+#: simulated-us bounds for checkpoint save/restore latency histograms
+CHECKPOINT_BUCKETS = (1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0)
 
 
 @dataclass
@@ -167,6 +174,7 @@ class JobExecutor:
             self.plant.has_replacement_owner = True
         self.system.bind_metrics()
         self.admission.bind_metrics(self.system.sim.metrics)
+        describe_realtime_metrics(self.system.sim.metrics)
 
     # ------------------------------------------------------------------
     @property
@@ -472,6 +480,7 @@ class JobExecutor:
             job.words_lost += report.words_lost
             job.words_out = len(job.iom.received)
             job.receive_times = list(job.iom.receive_times)
+            job.output_history.append(list(job.receive_times))
         else:
             for request in job.requests:
                 self.scheduler.cancel(request)
@@ -548,6 +557,10 @@ class JobExecutor:
             f"evicted by higher-priority job {evicted_by.spec.name!r}"
         )
         if victim.state is JobState.RUNNING:
+            # freeze the source first: the detached IOM keeps ticking
+            # until the slot's next attach and must not refill FIFOs
+            # the eviction path clears
+            victim.iom.source_exhausted = True
             report = self.system.microblaze.run_to_completion(
                 self._eviction_software(victim),
                 f"{victim.spec.name}-evict",
@@ -557,11 +570,15 @@ class JobExecutor:
             victim.words_lost += report.words_lost
             victim.words_out = len(victim.iom.received)
             victim.receive_times = list(victim.iom.receive_times)
+            victim.output_history.append(list(victim.receive_times))
         else:
             # not streaming yet: cancel queued ICAP work, keep started
             # transfers (a partial write cannot be abandoned mid-frame)
             for request in victim.requests:
                 self.scheduler.cancel(request)
+        self.system.sim.metrics.counter(
+            "repro_preemption_total", labels={"tenant": self._tenant()}
+        ).inc()
         self.admission.release(victim)
         victim.evictions += 1
         self.system.sim.log(
@@ -615,7 +632,174 @@ class JobExecutor:
             pause_upstream=len(prrs) == 1,
         )
         report.words_lost += lost
+        # clear the gated source words still in the IOM slot's producer
+        # FIFO -- a restarted incarnation replays the source from zero,
+        # and the slot's next tenant must not read this job's stream
+        yield from api.vapres_fifo_reset(iom_slot.module_id)
         return report
+
+    # ------------------------------------------------------------------
+    # checkpoint / resume (repro.realtime swap-out and swap-in hooks)
+    # ------------------------------------------------------------------
+    def _tenant(self) -> str:
+        ctx = self.trace_context
+        tenant = getattr(ctx, "tenant", None) if ctx is not None else None
+        return tenant or "default"
+
+    def _observe_checkpoint(self, kind: str, us: float) -> None:
+        self.system.sim.metrics.histogram(
+            f"repro_checkpoint_{kind}_us",
+            buckets=CHECKPOINT_BUCKETS,
+            labels={"tenant": self._tenant()},
+        ).observe(us)
+
+    def suspend_job(self, job: Job, requested_by: Optional[Job] = None) -> bool:
+        """Swap a resident job out to a checkpoint instead of killing it.
+
+        RUNNING jobs quiesce through the :data:`CMD_CHECKPOINT` variant
+        of the Figure-5 drain (no EOS -- every in-flight word flows
+        through to the IOM), capture a :class:`ResumeState`, and park in
+        ``SUSPENDED``; re-admission swaps them back in bit-exactly.
+        Jobs still in ADMITTED/PLACING simply requeue (nothing streamed
+        yet).  Returns False when there is nothing to suspend, leaving
+        the caller free to fall back to the lossy eviction path.
+        """
+        if job.state is JobState.RUNNING:
+            started = self._now_us
+            # freeze the test-vector source: the detached IOM stays on
+            # the system clock until the slot's next attach and must not
+            # push fresh words into FIFOs the suspend path just cleared
+            job.iom.source_exhausted = True
+            stage_states, consumed, lost = (
+                self.system.microblaze.run_to_completion(
+                    self._suspend_software(job), f"{job.spec.name}-suspend"
+                )
+            )
+            capture_us = self._now_us - started
+            job.resume = ResumeState(
+                stage_states=stage_states,
+                source_offset=job.source_base + consumed,
+                capture_us=capture_us,
+            )
+            job.prior_received.extend(job.iom.received)
+            job.prior_receive_times.extend(job.iom.receive_times)
+            job.words_lost += lost  # 0 by protocol; kept honest
+            job.state_words = [
+                word for words in stage_states for word in words
+            ]
+            job.drained = True
+            self._observe_checkpoint("save", capture_us)
+            self.admission.release(job)
+            job.reset_for_requeue()
+            job.suspensions += 1
+            job.transition(JobState.SUSPENDED, self._now_us)
+        elif job.state in (JobState.ADMITTED, JobState.PLACING):
+            for request in job.requests:
+                self.scheduler.cancel(request)
+            self.admission.release(job)
+            job.reset_for_requeue()
+            job.transition(JobState.QUEUED, self._now_us)
+        else:
+            return False
+        self.preemptions += 1
+        self.system.sim.metrics.counter(
+            "repro_preemption_total", labels={"tenant": self._tenant()}
+        ).inc()
+        by = requested_by.spec.name if requested_by is not None else ""
+        self.system.sim.log(
+            "runtime",
+            f"job {job.spec.name} suspended"
+            + (f" (preempted by {by})" if by else ""),
+        )
+        self._close_job_spans(job)
+        self._job_instant(
+            job, "suspended", by=by,
+            source_offset=(
+                job.resume.source_offset if job.resume is not None else 0
+            ),
+        )
+        self.admission.enqueue(job, self._now_us)
+        return True
+
+    def _suspend_software(self, job: Job) -> Generator:
+        """MicroBlaze software checkpointing a running chain, zero-loss.
+
+        Stages quiesce upstream-first: the source-side producer FIFO is
+        gated, then each stage receives :data:`CMD_CHECKPOINT`, drains
+        the words left in its consumer FIFO *into the still-running
+        downstream stage* (or the IOM, where they surface as received
+        output), pushes its state registers plus the :data:`MSG_CKPT`
+        marker, and halts.  Settle delays between stages let in-flight
+        words land before the next stage quiesces, so nothing is lost;
+        only the gated source FIFO may still hold words, and those are
+        reclaimed by rewinding the source iterator on resume.
+        """
+        api = self.system.api
+        assignment = job.assignment
+        iom_slot = self.system.slot(assignment.iom)
+        prrs = assignment.prrs
+        yield from api.vapres_fifo_control(iom_slot.module_id, ren=False)
+        yield Delay(2 * job.channels[0].d + 4)
+        stage_states: List[List[int]] = []
+        for index, prr in enumerate(prrs):
+            slot = self.system.slot(prr)
+            module = slot.module
+            yield from api.vapres_module_write(
+                slot.module_id, CMD_CHECKPOINT, control=True
+            )
+            words = yield from api.read_state_words(
+                slot.module_id, module.state_word_count + 1
+            )
+            if not words or words[-1] != MSG_CKPT:
+                raise JobError(
+                    f"job {job.spec.name!r}: stage {index} checkpoint "
+                    f"did not close with MSG_CKPT"
+                )
+            stage_states.append(words[:-1])
+            # let this stage's final outputs land downstream
+            yield Delay(2 * job.channels[index + 1].d + 4)
+        # the IOM pulls at most one word per cycle; wait out the worst
+        # case before releasing channels so nothing counts as lost
+        yield Delay(2 * (2 * job.channels[-1].d + 4))
+        # every source word the chain actually processed was fetched by
+        # the first stage, whose sample counter is exactly what its
+        # monitoring word reports -- words still sitting in the gated
+        # source FIFO or channel 0's pipeline never made it that far
+        # and are replayed from the rewound source instead
+        consumed = self.system.slot(prrs[0]).module.samples_in
+        yield from api.vapres_release_channel(job.channels[0])
+        lost = 0
+        for channel in job.channels[1:]:
+            lost += yield from api.vapres_release_channel(channel)
+        for prr in prrs:
+            slot = self.system.slot(prr)
+            yield from api.vapres_module_clock(slot.module_id, False)
+            yield from api.vapres_fifo_reset(slot.module_id)
+        # the IOM slot's producer FIFO still holds the gated (unread)
+        # source words; reset it so the slot's next tenant never sees
+        # another job's stream at the head of its input
+        yield from api.vapres_fifo_reset(iom_slot.module_id)
+        return stage_states, consumed, lost
+
+    def _resume_software(self, job: Job) -> Generator:
+        """Restore checkpointed state into freshly staged modules.
+
+        Mirrors step 7 of the switching methodology: state words arrive
+        as pre-start FSL data words, then ``CMD_START`` releases each
+        stage.  Input words queued in consumer FIFOs while the modules
+        were staged are processed in order once started.
+        """
+        api = self.system.api
+        for prr, words in zip(
+            job.assignment.prrs, job.resume.stage_states
+        ):
+            slot = self.system.slot(prr)
+            if words:
+                yield from api.send_state_words(slot.module_id, words)
+            yield from api.vapres_module_write(
+                slot.module_id, CMD_START, control=True
+            )
+        return None
 
     # ------------------------------------------------------------------
     # placement
@@ -628,8 +812,13 @@ class JobExecutor:
         )
         job.attempts += 1
         spec = job.spec
+        resuming = job.resume is not None
+        # a resumed incarnation gets fresh module names (like fault
+        # recovery's .rN) and staged modules that wait for restored
+        # state + CMD_START instead of free-running
+        suffix = f".s{job.suspensions}" if resuming else ""
         job.module_names = [
-            f"{spec.name}/{i}.{stage.kind}"
+            f"{spec.name}/{i}.{stage.kind}{suffix}"
             for i, stage in enumerate(spec.stages)
         ]
         try:
@@ -637,9 +826,17 @@ class JobExecutor:
             for name, stage, prr in zip(
                 job.module_names, spec.stages, job.assignment.prrs
             ):
+                if resuming:
+                    factory = (
+                        lambda stage=stage, name=name: staged(
+                            stage.build(name)
+                        )
+                    )
+                else:
+                    factory = lambda stage=stage, name=name: stage.build(name)
                 self.system.register_module(
                     name,
-                    lambda stage=stage, name=name: stage.build(name),
+                    factory,
                     prr_names=[prr],
                 )
                 if (
@@ -669,8 +866,14 @@ class JobExecutor:
         """All stages resident: connect the stream and go RUNNING."""
         spec = job.spec
         assignment = job.assignment
-        iom = Iom(f"{spec.name}.io",
-                  source=spec.source.build(default_seed=spec.seed))
+        source = spec.source.build(default_seed=spec.seed)
+        job.source_base = (
+            job.resume.source_offset if job.resume is not None else 0
+        )
+        if job.source_base:
+            # resume replays the source from the first unprocessed word
+            source = itertools.islice(source, job.source_base, None)
+        iom = Iom(f"{spec.name}.io", source=source)
         self.system.attach_iom(assignment.iom, iom)
         job.iom = iom
         channels, ok = self.system.microblaze.run_to_completion(
@@ -681,6 +884,15 @@ class JobExecutor:
             self.system.microblaze.run_to_completion(
                 self._release_software(channels), f"{spec.name}-unwind"
             )
+            if job.resume is not None and channels:
+                # the staged first stage buffered words the aborted
+                # attempt replayed from the source; clear them so the
+                # next attempt's replay stays duplicate-free
+                slot = self.system.slot(job.assignment.prrs[0])
+                self.system.microblaze.run_to_completion(
+                    self.system.api.vapres_fifo_reset(slot.module_id),
+                    f"{spec.name}-unwind-reset",
+                )
             if job.attempts >= spec.retry.max_attempts:
                 self._teardown(job)
                 self.admission.release(job)
@@ -701,6 +913,18 @@ class JobExecutor:
             )
             return
         job.channels = channels
+        if job.resume is not None:
+            # channels are up; staged modules have been buffering input.
+            # Restore state (pre-start FSL data words) and start them.
+            started = self._now_us
+            self.system.microblaze.run_to_completion(
+                self._resume_software(job), f"{spec.name}-resume"
+            )
+            self._observe_checkpoint("restore", self._now_us - started)
+            self._job_instant(
+                job, "resumed", source_offset=job.resume.source_offset
+            )
+            job.resume = None
         job.transition(JobState.RUNNING, self._now_us)
         tracer = self.system.sim.tracer
         tracer.end_if_open("place", track=self._job_track(job))
@@ -760,8 +984,11 @@ class JobExecutor:
                 deadline is not None
                 and self._now_us > job.spec.arrival_us + deadline
             ):
-                job.words_out = received
-                job.receive_times = list(job.iom.receive_times)
+                self._capture_output(job)
+                self.system.sim.metrics.counter(
+                    "repro_deadline_miss_total",
+                    labels={"tenant": self._tenant()},
+                ).inc()
                 self._teardown(job)
                 self.admission.release(job)
                 job.fail(
@@ -769,10 +996,26 @@ class JobExecutor:
                 )
                 self._mark_failed(job, "deadline exceeded")
 
+    def _capture_output(self, job: Job) -> None:
+        """Fold the live IOM buffers into the job's cumulative output.
+
+        Suspended-and-resumed jobs accumulate ``prior_*`` across
+        incarnations; the tenant-visible stream is the concatenation.
+        The receive-time segment also lands in ``output_history`` so
+        deadline accounting can replay progress over time.
+        """
+        received = list(job.iom.received) if job.iom is not None else []
+        times = (
+            list(job.iom.receive_times) if job.iom is not None else []
+        )
+        job.output_words = job.prior_received + received
+        job.receive_times = job.prior_receive_times + times
+        job.words_out = len(job.output_words)
+        job.output_history.append(list(job.receive_times))
+
     def _complete(self, job: Job) -> None:
         job.transition(JobState.DRAINING, self._now_us)
-        job.words_out = len(job.iom.received)
-        job.receive_times = list(job.iom.receive_times)
+        self._capture_output(job)
         self._teardown(job)
         self.admission.release(job)
         job.transition(JobState.DONE, self._now_us)
@@ -796,6 +1039,14 @@ class JobExecutor:
                 slot = self.system.slot(prr)
                 if getattr(slot, "module", None) is not None:
                     slot.bufr.set_enabled(False)
+            # failure paths (deadline kill, lane-retry exhaustion) can
+            # leave gated source words in the IOM slot's interface
+            # FIFOs; scrub them so the slot's next tenant starts clean
+            if job.iom is not None:
+                job.iom.source_exhausted = True
+            iom_slot = self.system.slot(job.assignment.iom)
+            iom_slot.prsocket.write_field("FIFO_reset", True)
+            iom_slot.prsocket.write_field("FIFO_reset", False)
 
     # ------------------------------------------------------------------
     def _report(self, wall_seconds: float) -> FleetReport:

@@ -14,11 +14,17 @@ The lifecycle follows the state machine::
        |          +-----------+---------+--> EVICTED (preempted, terminal)
        |          |           |         |
        +----------+-----------+---------+    (requeue_on_eviction)
-                  |           |         |
-                  +-----------+---------+--> FAILED
+       |          |           |         |
+       |          +-----------+---------+--> FAILED
+       |                                |
+       +------- SUSPENDED <-------------+    (checkpointed, resumable)
 
 Placement and reconfiguration failures retry with bounded exponential
-backoff (:class:`RetryPolicy`) before the job fails.
+backoff (:class:`RetryPolicy`) before the job fails.  ``SUSPENDED`` is
+the checkpointed parking state of the realtime scheduler
+(:mod:`repro.realtime`): a running job is drained to a
+:class:`ResumeState` and re-enters admission, resuming -- instead of
+restarting -- when PRRs free up.
 """
 
 from __future__ import annotations
@@ -65,6 +71,7 @@ class JobState(enum.Enum):
     DONE = "DONE"
     FAILED = "FAILED"
     EVICTED = "EVICTED"
+    SUSPENDED = "SUSPENDED"
 
 
 TERMINAL_STATES = frozenset(
@@ -84,8 +91,10 @@ _TRANSITIONS = {
     },
     JobState.RUNNING: {
         JobState.DRAINING, JobState.FAILED, JobState.EVICTED, JobState.QUEUED,
+        JobState.SUSPENDED,
     },
     JobState.DRAINING: {JobState.DONE, JobState.FAILED},
+    JobState.SUSPENDED: {JobState.ADMITTED, JobState.FAILED},
     JobState.DONE: set(),
     JobState.FAILED: set(),
     JobState.EVICTED: set(),
@@ -335,10 +344,19 @@ class StreamJob:
         ]
         source = SourceSpec.from_value(known.pop("source", None))
         retry_spec = known.pop("retry", None)
-        retry = (
-            RetryPolicy(**retry_spec) if isinstance(retry_spec, dict)
-            else RetryPolicy()
-        )
+        if isinstance(retry_spec, dict):
+            valid = {
+                "max_attempts", "backoff_us", "factor", "max_backoff_us",
+            }
+            bad = set(retry_spec) - valid
+            if bad:
+                raise JobError(
+                    f"job {name!r}: unknown retry keys {sorted(bad)}; "
+                    f"have {sorted(valid)}"
+                )
+            retry = RetryPolicy(**retry_spec)
+        else:
+            retry = RetryPolicy()
         allowed = {
             "priority", "arrival_us", "deadline_us", "lcd_select", "iom",
             "prrs", "reconfig_path", "preemptible", "requeue_on_eviction",
@@ -355,6 +373,29 @@ class StreamJob:
             )
         except TypeError as exc:
             raise JobError(f"job {name!r}: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# suspension / resume state
+# ----------------------------------------------------------------------
+@dataclass
+class ResumeState:
+    """Everything needed to resume a suspended job bit-exactly.
+
+    Produced by the executor's checkpoint path (the quiescent variant of
+    the Figure-5 drain): per-stage state-register words in chain order,
+    plus the source offset -- the drain fully processes every word the
+    IOM had emitted, so resuming replays the source iterator from
+    ``source_offset`` with no loss and no duplication.  The realtime
+    layer wraps this in a placement-keyed
+    :class:`repro.realtime.checkpoint.Checkpoint` blob; the runtime only
+    needs the raw words.
+    """
+
+    stage_states: List[List[int]] = field(default_factory=list)
+    source_offset: int = 0
+    #: simulated us spent capturing the checkpoint (drain software)
+    capture_us: float = 0.0
 
 
 # ----------------------------------------------------------------------
@@ -402,6 +443,24 @@ class Job:
         self.state_words: List[int] = []
         self.receive_times: List[int] = []
         self.words_out = 0
+        # checkpoint/resume accounting (repro.realtime)
+        self.suspensions = 0
+        self.resume: Optional[ResumeState] = None
+        #: source words consumed by earlier incarnations; each
+        #: incarnation's IOM counts its own emissions from zero, so the
+        #: next suspension's rewind offset is this base plus the live
+        #: incarnation's progress
+        self.source_base = 0
+        #: output words + receive stamps accumulated across suspensions
+        #: (the tenant-visible stream is prior + the live IOM's buffers)
+        self.prior_received: List[int] = []
+        self.prior_receive_times: List[int] = []
+        #: per-attempt receive-time segments (restart-based requeues each
+        #: open a new segment; suspend/resume extends the same one) --
+        #: deadline accounting takes max progress across segments
+        self.output_history: List[List[int]] = []
+        #: the tenant-visible output stream (prior + final incarnation)
+        self.output_words: List[int] = []
 
     # ------------------------------------------------------------------
     def transition(self, new_state: JobState, now_us: float) -> None:
@@ -512,6 +571,21 @@ def as_job_source(jobs: Union[JobSource, List[StreamJob]]) -> JobSource:
 # ----------------------------------------------------------------------
 # jobfiles
 # ----------------------------------------------------------------------
+#: Jobfile schema version this loader writes and fully understands.
+#: Version 1 (implicit -- no ``schema_version`` key) is still accepted;
+#: version 2 added the key itself, strict unknown-top-level-key
+#: rejection and the optional ``realtime`` section.
+JOBFILE_SCHEMA_VERSION = 2
+
+#: Every top-level key a jobfile may carry.  Anything else is an error
+#: that names the offending key -- silent dropping hid typos like
+#: ``worker`` vs ``workers``.
+_JOBFILE_KEYS = frozenset({
+    "schema_version", "name", "system", "mode", "workers", "jobs",
+    "executor", "realtime",
+})
+
+
 @dataclass
 class JobFile:
     """A parsed ``repro serve`` jobfile."""
@@ -522,6 +596,7 @@ class JobFile:
     mode: str = "fleet"  # "fleet" (sharded, single-tenant) | "colocate"
     workers: int = 1
     executor: Dict[str, Any] = field(default_factory=dict)
+    schema_version: int = JOBFILE_SCHEMA_VERSION
 
 
 def load_jobfile(path: Union[str, Path]) -> JobFile:
@@ -537,6 +612,23 @@ def load_jobfile(path: Union[str, Path]) -> JobFile:
         raise JobError(f"{path} is not valid JSON: {exc}") from exc
     if not isinstance(spec, dict):
         raise JobError(f"{path} must contain a JSON object")
+    version = spec.get("schema_version", 1)
+    if version not in (1, JOBFILE_SCHEMA_VERSION):
+        raise JobError(
+            f"{path}: unsupported schema_version {version!r} "
+            f"(this loader understands 1..{JOBFILE_SCHEMA_VERSION})"
+        )
+    unknown = sorted(set(spec) - _JOBFILE_KEYS)
+    if unknown:
+        raise JobError(
+            f"{path}: unknown top-level key {unknown[0]!r} "
+            f"(valid keys: {sorted(_JOBFILE_KEYS)})"
+        )
+    if "jobs" not in spec and "realtime" in spec:
+        raise JobError(
+            f"{path} is a realtime jobfile (has 'realtime', no 'jobs'); "
+            "run it with `python -m repro realtime run`"
+        )
     system_spec = spec.get("system", {"preset": "prototype"})
     try:
         params = build_params(system_spec)
@@ -566,4 +658,5 @@ def load_jobfile(path: Union[str, Path]) -> JobFile:
         mode=mode,
         workers=int(spec.get("workers", 1)),
         executor=executor,
+        schema_version=int(version),
     )

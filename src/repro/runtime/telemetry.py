@@ -63,6 +63,8 @@ class JobReport:
     #: fault-campaign counters (repro.faults); additive, default 0
     fault_evictions: int = 0
     fault_recoveries: int = 0
+    #: checkpoint/resume swaps (repro.realtime); additive, default 0
+    suspensions: int = 0
     drained: bool = False
     words_lost: int = 0
     state_words: int = 0
@@ -128,6 +130,7 @@ class JobReport:
             evictions=job.evictions,
             fault_evictions=getattr(job, "fault_evictions", 0),
             fault_recoveries=getattr(job, "fault_recoveries", 0),
+            suspensions=getattr(job, "suspensions", 0),
             drained=job.drained,
             words_lost=job.words_lost,
             state_words=len(job.state_words),

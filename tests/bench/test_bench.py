@@ -213,6 +213,7 @@ def test_committed_baseline_is_loadable_and_quick_mode():
         "fig5_switch",
         "fleet_steady_state",
         "fleet_steady_state_heap",
+        "realtime_pipeline",
         "pool_soak",
         "pool_soak_live",
     }

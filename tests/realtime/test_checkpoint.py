@@ -1,0 +1,104 @@
+"""Checkpoint blobs: schema, ResumeState round-trips, compatibility."""
+
+import pytest
+
+from repro.realtime.checkpoint import (
+    Checkpoint,
+    CheckpointError,
+    CheckpointStore,
+    JobCheckpoint,
+)
+from repro.runtime.jobs import ResumeState, SourceSpec, StageSpec, StreamJob
+
+
+def make_spec(stages=2):
+    return StreamJob(
+        name="cam0",
+        stages=[StageSpec(kind="moving_average")] * stages,
+        source=SourceSpec(kind="ramp", count=64),
+    )
+
+
+def make_resume(stages=2):
+    return ResumeState(
+        stage_states=[[i, i + 1] for i in range(stages)],
+        source_offset=17,
+        capture_us=3.5,
+    )
+
+
+def test_checkpoint_dict_roundtrip():
+    ckpt = Checkpoint(
+        job="cam0", stage_index=1, stage_kind="fir", prr="rsb0.prr1",
+        slices_needed=640, state_words=(1, 2, 3),
+    )
+    assert Checkpoint.from_dict(ckpt.to_dict()) == ckpt
+
+
+def test_checkpoint_rejects_unknown_and_missing_keys():
+    good = Checkpoint(
+        job="j", stage_index=0, stage_kind="abs", prr="p", slices_needed=1
+    ).to_dict()
+    bad = dict(good, extra=1)
+    with pytest.raises(CheckpointError, match="extra"):
+        Checkpoint.from_dict(bad)
+    del good["prr"]
+    with pytest.raises(CheckpointError, match="prr"):
+        Checkpoint.from_dict(good)
+
+
+def test_checkpoint_rejects_wrong_version():
+    data = Checkpoint(
+        job="j", stage_index=0, stage_kind="abs", prr="p", slices_needed=1
+    ).to_dict()
+    data["schema_version"] = 99
+    with pytest.raises(CheckpointError, match="schema_version"):
+        Checkpoint.from_dict(data)
+
+
+def test_job_checkpoint_roundtrips_resume_state():
+    resume = make_resume()
+    ckpt = JobCheckpoint.from_resume(
+        make_spec(), resume, prrs=["rsb0.prr0", "rsb0.prr1"],
+        slices_needed=640,
+    )
+    back = ckpt.to_resume()
+    assert back.stage_states == resume.stage_states
+    assert back.source_offset == resume.source_offset
+    assert back.capture_us == resume.capture_us
+    assert JobCheckpoint.from_dict(ckpt.to_dict()) == ckpt
+
+
+def test_job_checkpoint_rejects_stage_count_mismatch():
+    with pytest.raises(CheckpointError, match="stage"):
+        JobCheckpoint.from_resume(
+            make_spec(stages=3), make_resume(stages=2),
+            prrs=["a", "b", "c"], slices_needed=1,
+        )
+
+
+def test_compatibility_is_per_stage_slice_fit():
+    ckpt = JobCheckpoint.from_resume(
+        make_spec(), make_resume(), prrs=["p0", "p1"], slices_needed=640,
+    )
+    assert ckpt.compatible_with([640, 1024])
+    assert not ckpt.compatible_with([640, 512])  # second PRR too small
+    assert not ckpt.compatible_with([640])  # shape mismatch
+
+
+def test_store_counts_saves_and_restores():
+    store = CheckpointStore()
+    first = JobCheckpoint.from_resume(
+        make_spec(), make_resume(), prrs=["a", "b"], slices_needed=1
+    )
+    store.put(first)
+    store.put(first)
+    assert store.saves == 2
+    assert len(store) == 1
+    assert store.take("cam0") is first
+    assert store.take("ghost") is None
+    assert store.restores == 1
+    assert store.latest("cam0") is first  # take() keeps the blob
+    assert store.stage("cam0", 1) is first.stages[1]
+    assert store.stage("cam0", 9) is None
+    assert store.jobs() == ["cam0"]

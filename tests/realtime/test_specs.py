@@ -1,0 +1,204 @@
+"""Realtime job specs: DAG linearization, frame math, jobfile schema."""
+
+import json
+
+import pytest
+
+from repro.realtime.specs import (
+    REALTIME_SCHEMA_VERSION,
+    RealtimeError,
+    RealtimeJob,
+    StageNode,
+    frame_outcomes,
+    linearize,
+    load_realtime_jobfile,
+)
+from repro.realtime.workloads import generate_workload, workload_to_dict
+from repro.runtime.jobs import JobError, load_jobfile
+
+
+def make_job(**overrides):
+    fields = dict(
+        name="cam0",
+        stages=(StageNode(id="f", kind="moving_average"),),
+        period_us=40.0,
+        deadline_us=80.0,
+        frames=4,
+        frame_words=100,
+    )
+    fields.update(overrides)
+    return RealtimeJob(**fields)
+
+
+# ----------------------------------------------------------------------
+# stage DAG
+# ----------------------------------------------------------------------
+def test_linearize_plain_list_is_a_chain():
+    nodes = [
+        StageNode(id="a", kind="abs"),
+        StageNode(id="b", kind="moving_average"),
+        StageNode(id="c", kind="delta_encoder"),
+    ]
+    assert [n.id for n in linearize(nodes)] == ["a", "b", "c"]
+
+
+def test_linearize_orders_by_after_edges():
+    nodes = [
+        StageNode(id="cond", kind="abs"),
+        StageNode(id="encode", kind="delta_encoder", after=("filter",)),
+        StageNode(id="filter", kind="moving_average", after=("cond",)),
+    ]
+    assert [n.id for n in linearize(nodes)] == ["cond", "filter", "encode"]
+
+
+def test_linearize_rejects_cycles():
+    nodes = [
+        StageNode(id="a", kind="abs", after=("b",)),
+        StageNode(id="b", kind="median", after=("a",)),
+    ]
+    with pytest.raises(RealtimeError, match="cycle"):
+        linearize(nodes)
+
+
+def test_linearize_rejects_diamonds():
+    nodes = [
+        StageNode(id="src", kind="abs"),
+        StageNode(id="left", kind="median", after=("src",)),
+        StageNode(id="right", kind="fir", after=("src",)),
+    ]
+    with pytest.raises(RealtimeError, match="unique chain"):
+        linearize(nodes)
+
+
+def test_linearize_rejects_unknown_reference():
+    with pytest.raises(RealtimeError, match="unknown 'after'"):
+        linearize([StageNode(id="a", kind="abs", after=("ghost",))])
+
+
+def test_variable_rate_kinds_are_banned():
+    with pytest.raises(RealtimeError, match="data-dependent"):
+        StageNode(id="t", kind="threshold")
+
+
+# ----------------------------------------------------------------------
+# frame accounting
+# ----------------------------------------------------------------------
+def test_decimator_shrinks_expected_output():
+    job = make_job(
+        stages=(
+            StageNode(id="f", kind="moving_average"),
+            StageNode(id="d", kind="decimator", params={"factor": 4}),
+        ),
+    )
+    assert job.expected_output_words(100) == 25
+    assert job.expected_output_words(10_000) == 100  # capped at total
+    assert job.frame_required() == [25, 50, 75, 100]
+
+
+def test_frame_deadlines_are_release_plus_relative():
+    job = make_job(arrival_us=10.0)
+    assert job.frame_deadlines_us() == [90.0, 130.0, 170.0, 210.0]
+
+
+def test_frame_outcomes_judges_from_best_segment():
+    job = make_job(frames=2, frame_words=3, period_us=10.0, deadline_us=10.0)
+    # frame 0 needs 3 words by 10us, frame 1 needs 6 by 20us; the second
+    # attempt restarted and got further before frame 1's deadline
+    early = [2e6, 4e6, 6e6]
+    retry = [11e6, 12e6, 13e6, 14e6, 15e6, 16e6]
+    outcomes = frame_outcomes(job, [early, retry])
+    assert [o.hit for o in outcomes] == [True, True]
+    assert outcomes[0].met_at_us == 6.0
+    assert outcomes[1].delivered_words == 6
+
+
+def test_frame_outcomes_records_misses():
+    job = make_job(frames=2, frame_words=4, period_us=10.0, deadline_us=5.0)
+    outcomes = frame_outcomes(job, [[1e6, 2e6]])
+    assert [o.hit for o in outcomes] == [False, False]
+    assert outcomes[0].delivered_words == 2
+    assert outcomes[0].met_at_us is None
+
+
+def test_to_stream_job_is_preemptible_with_derived_count():
+    job = make_job(source_kind="sine")
+    spec = job.to_stream_job()
+    assert spec.preemptible
+    assert spec.source.count == job.total_words
+    assert spec.source.kind == "sine"
+
+
+# ----------------------------------------------------------------------
+# jobfile schema
+# ----------------------------------------------------------------------
+def write_jobfile(tmp_path, data, name="rt.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps(data))
+    return path
+
+
+def test_jobfile_roundtrips_through_generator(tmp_path):
+    jobs = generate_workload(seed=5, jobs=2, utilization=0.5)
+    data = workload_to_dict(jobs, utilization_bound=0.8)
+    path = write_jobfile(tmp_path, data)
+    loaded = load_realtime_jobfile(path)
+    assert loaded.scheduler == "edf"
+    assert loaded.utilization_bound == 0.8
+    assert [j.to_dict() for j in loaded.jobs] == [j.to_dict() for j in jobs]
+
+
+def test_jobfile_rejects_unknown_top_level_key(tmp_path):
+    data = workload_to_dict(generate_workload(seed=1, jobs=1))
+    data["surprise"] = 1
+    with pytest.raises(RealtimeError, match="surprise"):
+        load_realtime_jobfile(write_jobfile(tmp_path, data))
+
+
+def test_jobfile_rejects_unknown_realtime_key(tmp_path):
+    data = workload_to_dict(generate_workload(seed=1, jobs=1))
+    data["realtime"]["quantum"] = 5
+    with pytest.raises(RealtimeError, match="quantum"):
+        load_realtime_jobfile(write_jobfile(tmp_path, data))
+
+
+def test_jobfile_rejects_unknown_scheduler(tmp_path):
+    data = workload_to_dict(generate_workload(seed=1, jobs=1))
+    data["realtime"]["scheduler"] = "fifo"
+    with pytest.raises(RealtimeError, match="scheduler"):
+        load_realtime_jobfile(write_jobfile(tmp_path, data))
+
+
+def test_jobfile_rejects_wrong_schema_version(tmp_path):
+    data = workload_to_dict(generate_workload(seed=1, jobs=1))
+    data["schema_version"] = REALTIME_SCHEMA_VERSION + 1
+    with pytest.raises(RealtimeError, match="schema_version"):
+        load_realtime_jobfile(write_jobfile(tmp_path, data))
+
+
+def test_job_entry_requires_period_and_deadline(tmp_path):
+    data = workload_to_dict(generate_workload(seed=1, jobs=1))
+    del data["realtime"]["jobs"][0]["period_us"]
+    with pytest.raises(RealtimeError, match="period_us"):
+        load_realtime_jobfile(write_jobfile(tmp_path, data))
+
+
+def test_job_entry_rejects_unknown_key(tmp_path):
+    data = workload_to_dict(generate_workload(seed=1, jobs=1))
+    data["realtime"]["jobs"][0]["slack_us"] = 3
+    with pytest.raises(RealtimeError, match="slack_us"):
+        load_realtime_jobfile(write_jobfile(tmp_path, data))
+
+
+def test_jobfile_rejects_duplicate_names(tmp_path):
+    data = workload_to_dict(generate_workload(seed=1, jobs=1))
+    data["realtime"]["jobs"].append(dict(data["realtime"]["jobs"][0]))
+    with pytest.raises(RealtimeError, match="unique"):
+        load_realtime_jobfile(write_jobfile(tmp_path, data))
+
+
+def test_runtime_loader_redirects_realtime_jobfiles(tmp_path):
+    """The batch loader points at `realtime run` instead of guessing."""
+    data = workload_to_dict(generate_workload(seed=1, jobs=1))
+    path = write_jobfile(tmp_path, data)
+    with pytest.raises(JobError, match="realtime run"):
+        load_jobfile(path)
