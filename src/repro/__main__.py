@@ -316,6 +316,7 @@ def _serve_listen(args: argparse.Namespace, jobfile, config) -> int:
             overcommit=args.overcommit,
             use_processes=not args.inline,
             snapshot_every_quanta=args.snapshot_every,
+            compaction=config.compaction,
         )
         server = PoolServer(pool, host, port, obs_dir=args.obs_dir)
         await server.start()
@@ -354,6 +355,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 2
     if args.fail_fast:
         config = replace(config, fail_fast=True)
+    if args.compaction is not None:
+        config = replace(config, compaction=args.compaction)
     if args.listen:
         return _serve_listen(args, jobfile, config)
     mode = args.mode or jobfile.mode
@@ -886,6 +889,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--fail-fast", action="store_true",
         help="abort the run when any job ends FAILED or terminally "
              "EVICTED",
+    )
+    serve.add_argument(
+        "--compaction", choices=("off", "on"),
+        help="override the jobfile's live-PRR-compaction policy: 'on' "
+             "relocates resident modules (zero-loss Figure-5 switches; "
+             "ledger repacks with --listen) when a queued job is "
+             "blocked by fragmentation rather than capacity",
     )
     serve.add_argument(
         "--listen", metavar="HOST:PORT",

@@ -368,6 +368,59 @@ def case_realtime_pipeline(quick: bool) -> CaseResult:
 
 
 # ----------------------------------------------------------------------
+# compaction: churn workload with live relocation (repro.compact)
+# ----------------------------------------------------------------------
+def case_compaction_churn(quick: bool) -> CaseResult:
+    """Live compaction under churn: the relocation hot path, end to end.
+
+    One churn wave parks two pinned long tenants mid-bus on the
+    fragmentation-prone 6-PRR/3-IOM layout, then two unpinned shorts
+    arrive lane-blocked; serving them requires a compaction pass of two
+    Figure-5 relocations.  The case prices planning plus the live
+    drain-switch moves inside a full executor run; zero relocation
+    sample loss and a non-empty move sequence are correctness
+    assertions, not gated figures.
+    """
+    from repro.compact import churn_jobs, churn_params
+    from repro.runtime import ExecutorConfig, JobExecutor
+
+    runs = 5
+    long_words = 8_000 if quick else 20_000
+    params = churn_params()
+    config = ExecutorConfig(
+        quantum_us=25.0, max_us=20_000.0, compaction="on"
+    )
+    jobs = churn_jobs(
+        waves=1, long_words=long_words, short_deadline_us=None
+    )
+    last: Dict[str, float] = {}
+
+    def run_slice() -> Tuple[float, float]:
+        executor = JobExecutor(params=params, config=config)
+        start = perf_counter()
+        report = executor.run(jobs)
+        elapsed = perf_counter() - start
+        if not report.strict_ok:  # pragma: no cover - scenario bug
+            raise RuntimeError(
+                f"compaction bench jobs did not finish: {report.states}"
+            )
+        if report.compaction_moves == 0:  # pragma: no cover
+            raise RuntimeError("compaction bench performed no relocations")
+        if report.compaction_words_lost:  # pragma: no cover
+            raise RuntimeError(
+                f"compaction lost {report.compaction_words_lost} words"
+            )
+        last["moves"] = float(report.compaction_moves)
+        last["compaction_runs"] = float(report.compaction_runs)
+        return float(executor.system.system_clock.cycles), elapsed
+
+    result = measure([run_slice] * runs, "cycles_per_sec")
+    result.extra.update(last)
+    result.extra["runs"] = float(runs)
+    return result
+
+
+# ----------------------------------------------------------------------
 # pool: overcommitted device-pool soak (shared workload with
 # benchmarks/bench_pool_soak.py via repro.bench.workloads)
 # ----------------------------------------------------------------------
@@ -473,6 +526,7 @@ CASES: Dict[str, CaseFn] = {
     "fleet_steady_state": case_fleet_steady_state,
     "fleet_steady_state_heap": case_fleet_steady_state_heap,
     "realtime_pipeline": case_realtime_pipeline,
+    "compaction_churn": case_compaction_churn,
     "pool_soak": case_pool_soak,
     "pool_soak_live": case_pool_soak_live,
 }

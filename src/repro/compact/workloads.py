@@ -1,0 +1,104 @@
+"""Churn workloads that fragment the PRR pool.
+
+Fragmentation on a VAPRES RSB is a *lane* phenomenon: admission always
+picks the free PRRs nearest a job's IOM, so the pool only degrades when
+churn (or explicit operator pinning) leaves long-lived survivors far
+from their IOMs, their channels saturating the switch-box segments in
+between.  The canonical layout here makes that state reachable and
+recoverable:
+
+* one RSB with six PRRs and three IOMs interleaved along the bus
+  (attachment positions ``IOM p p p IOM p p p IOM``),
+* a single lane per direction (``kr = kl = 1``), so one badly-placed
+  chain can wall off the middle of the bus.
+
+Each churn wave parks two long-lived tenants on mid-bus PRRs far from
+their (pinned) IOMs -- the residue of earlier occupancy -- then streams
+short, deadline-bound jobs at the middle IOM.  First-fit admission
+cannot route them (every nearby segment is lane-saturated) although
+free PRRs outnumber their demand; compaction relocates each survivor
+next to its own IOM and the short jobs admit immediately.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.core.params import RsbParameters, SystemParameters
+from repro.runtime.jobs import SourceSpec, StageSpec, StreamJob
+
+#: heavy-tail shape of long-tenant service times (Pareto alpha)
+_TAIL_ALPHA = 1.3
+
+
+def churn_params(pr_speedup: float = 1000.0) -> SystemParameters:
+    """The fragmentation-prone serving layout (see module docstring)."""
+    return SystemParameters(
+        board="ML402",
+        pr_speedup=pr_speedup,
+        rsbs=[
+            RsbParameters(
+                name="rsb0",
+                num_prrs=6,
+                num_ioms=3,
+                iom_positions=[0, 4, 8],
+                kr=1,
+                kl=1,
+            )
+        ],
+    )
+
+
+def churn_jobs(
+    waves: int = 2,
+    shorts_per_wave: int = 2,
+    seed: int = 7,
+    wave_period_us: float = 1500.0,
+    long_words: int = 60_000,
+    short_words: int = 1_500,
+    short_deadline_us: Optional[float] = 500.0,
+) -> List[StreamJob]:
+    """Heavy-tailed arrive/depart sequence over :func:`churn_params`.
+
+    Per wave: two pinned long tenants whose service times are drawn
+    from a Pareto tail (they outlive the wave), then ``shorts_per_wave``
+    unpinned short jobs arriving at the lane-blocked middle of the bus
+    with a deadline.  Without compaction the shorts sit queued until
+    the longs retire and blow their deadlines; with compaction they
+    admit within one relocation pass.
+    """
+    rng = random.Random(seed)
+    jobs: List[StreamJob] = []
+    for wave in range(waves):
+        base = wave * wave_period_us
+        for tag, iom, prr in (
+            ("a", "rsb0.iom0", "rsb0.prr3"),
+            ("b", "rsb0.iom2", "rsb0.prr4"),
+        ):
+            tail = min(4.0, rng.paretovariate(_TAIL_ALPHA))
+            jobs.append(
+                StreamJob(
+                    name=f"long-{wave}{tag}",
+                    stages=[StageSpec("passthrough")],
+                    source=SourceSpec(
+                        kind="ramp", count=int(long_words * tail)
+                    ),
+                    iom=iom,
+                    prrs=[prr],
+                    arrival_us=base,
+                    preemptible=False,
+                )
+            )
+        for k in range(shorts_per_wave):
+            jobs.append(
+                StreamJob(
+                    name=f"short-{wave}.{k}",
+                    stages=[StageSpec("passthrough")],
+                    source=SourceSpec(kind="ramp", count=short_words),
+                    arrival_us=base + 40.0 + 10.0 * k,
+                    deadline_us=short_deadline_us,
+                    preemptible=False,
+                )
+            )
+    return jobs

@@ -173,10 +173,20 @@ class VapresApi:
         return channel
 
     def vapres_release_channel(self, channel: StreamingChannel) -> Generator:
-        """Release a channel (one DCR write per hop to clear MUX_sel)."""
+        """Release a channel (one DCR write per hop to clear MUX_sel).
+
+        The endpoint enables are cleared with the route: a stale
+        ``FIFO_ren`` left on a reused slot would start draining its
+        producer into the *next* channel established there while the
+        MicroBlaze is still programming the hops -- before the far
+        end's ``FIFO_wen`` opens -- and every word arriving early would
+        be gated away unaccounted.
+        """
         rsb = self._rsb_of(channel)
         hops = rsb.router.hops_of(channel)
         lost = rsb.router.release(channel)
+        channel.producer.fifo_ren = False
+        channel.consumer.fifo_wen = False
         for hop in hops:
             socket = rsb.slots[hop.box].prsocket
             yield DcrWrite(socket, socket.dcr_read())

@@ -336,6 +336,11 @@ class VapresSystem:
         for rsb in self.rsbs:
             if channel.channel_id in rsb.fabric.channels:
                 lost = rsb.router.release(channel)
+                # mirror open_stream: a released endpoint must not stay
+                # enabled, or its next channel would flow before the
+                # far end accepts (see vapres_release_channel)
+                channel.producer.fifo_ren = False
+                channel.consumer.fifo_wen = False
                 self.sim.log(
                     "channel",
                     f"released {channel.producer.name} -> {channel.consumer.name}",

@@ -169,6 +169,37 @@ def describe_realtime_metrics(registry: "MetricsRegistry") -> None:
     )
 
 
+def describe_compaction_metrics(registry: "MetricsRegistry") -> None:
+    """Attach HELP text for the live-compaction metric families.
+
+    Emitted by executors (Figure-5 live relocations) and by pooled
+    devices (ledger repacking); pool registries label per device.
+    """
+    registry.describe(
+        "repro_compaction_runs_total",
+        "Compaction passes triggered by a fragmentation-blocked job",
+    )
+    registry.describe(
+        "repro_compaction_moves_total",
+        "Individual module relocations performed by compaction passes",
+    )
+    registry.describe(
+        "repro_compaction_latency_us",
+        "Simulated microseconds per relocation (Figure-5 switch, "
+        "including the overlapped reconfiguration of the target PRR)",
+    )
+    registry.describe(
+        "repro_compaction_frag_ratio_before",
+        "PRR fragmentation ratio observed at the start of the most "
+        "recent compaction pass",
+    )
+    registry.describe(
+        "repro_compaction_frag_ratio_after",
+        "PRR fragmentation ratio observed at the end of the most "
+        "recent compaction pass",
+    )
+
+
 class MetricsRegistry:
     """Get-or-create registry of labelled instruments."""
 

@@ -59,7 +59,7 @@ from repro.obs.live import (
     tag_events,
     trace_id_for,
 )
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, describe_compaction_metrics
 from repro.obs.spans import SpanEvent, Tracer
 from repro.pool.bridge import WorkerBridge
 from repro.pool.scheduler import DeviceView, PoolScheduler, StealMove
@@ -167,9 +167,12 @@ class PooledDevice:
         params: SystemParameters,
         scheduler: PoolScheduler,
         metrics: Optional[MetricsRegistry] = None,
+        compaction: str = "off",
     ) -> None:
         self.device_id = device_id
         self.scheduler = scheduler
+        self.compaction = compaction
+        self.metrics = metrics
         self.admission = AdmissionController(params, allow_preemption=False)
         if metrics is not None:
             self.admission.bind_metrics(
@@ -179,6 +182,8 @@ class PooledDevice:
         self.live: Dict[int, PoolJob] = {}
         self.lost = False
         self.lost_reason = ""
+        self.compaction_moves = 0
+        self._compaction_futile_token: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     @property
@@ -251,6 +256,69 @@ class PooledDevice:
         if job.runtime is not None:
             self.admission.release(job.runtime)
 
+    def maybe_compact(self) -> int:
+        """Repack this device's admission ledger when fragmentation --
+        and only fragmentation -- blocks a queued job.
+
+        Pool workers run each job single-tenant on a private simulated
+        system, so the vPRR->PRR binding recorded here is a ledger
+        fiction: relocating it moves no live module and loses no
+        samples by construction.  Returns the number of ledger moves.
+        """
+        if self.compaction != "on" or not self.queue:
+            return 0
+        blocked = next(
+            (
+                job for job in self.queue
+                if (reason := self.admission.classify_block(job.runtime))
+                is not None and reason.kind == "fragmentation"
+            ),
+            None,
+        )
+        if blocked is None:
+            return 0
+        resident = self.admission.resident_assignments()
+        token = tuple(sorted(
+            (name, tuple(a.prrs)) for name, a in resident.items()
+        ))
+        if token == self._compaction_futile_token:
+            return 0
+        from repro.compact.planner import (
+            plan_compaction,
+            view_from_admission,
+        )
+
+        views = view_from_admission(self.admission, movable=set(resident))
+        plan = plan_compaction(views)
+        if plan.empty:
+            self._compaction_futile_token = token
+            return 0
+        self._compaction_futile_token = None
+        by_name = {
+            job.spec.name: job for job in self.live.values()
+        }
+        done = 0
+        for move in plan.moves:
+            job = by_name.get(move.job)
+            if job is None or job.runtime is None:
+                break
+            self.admission.relocate(job.runtime, move.old_prr, move.new_prr)
+            for vprr in job.vprrs:
+                if vprr.physical == move.old_prr:
+                    vprr.physical = move.new_prr
+                    break
+            done += 1
+        self.compaction_moves += done
+        if self.metrics is not None and done:
+            labels = {"device": str(self.device_id)}
+            self.metrics.counter(
+                "repro_compaction_runs_total", labels
+            ).inc()
+            self.metrics.counter(
+                "repro_compaction_moves_total", labels
+            ).inc(done)
+        return done
+
 
 class DevicePool:
     """N pooled devices + scheduler + worker bridge, behind one API."""
@@ -266,19 +334,26 @@ class DevicePool:
         clock: Callable[[], float] = time.monotonic,
         snapshot_every_quanta: int = 8,
         flight_capacity: int = FLIGHT_CAPACITY,
+        compaction: str = "off",
     ) -> None:
         if devices < 1:
             raise PoolError("a pool needs at least one device")
+        if compaction not in ("off", "on"):
+            raise PoolError(
+                f"compaction must be 'off' or 'on', got {compaction!r}"
+            )
         self.params = params if params is not None else SystemParameters()
         self.config = config if config is not None else ExecutorConfig()
+        self.compaction = compaction
         self.clock = clock
         self.scheduler = PoolScheduler(
             overcommit=overcommit, steal_threshold=steal_threshold
         )
         self.metrics = MetricsRegistry()
+        describe_compaction_metrics(self.metrics)
         self.devices = [
             PooledDevice(i, self.params, self.scheduler,
-                         metrics=self.metrics)
+                         metrics=self.metrics, compaction=compaction)
             for i in range(devices)
         ]
         self.bridge = WorkerBridge(
@@ -426,9 +501,15 @@ class DevicePool:
         for device in self.devices:
             if device.lost:
                 continue
+            compacted = False
             while True:
                 binding = device.next_binding()
                 if binding is None:
+                    # fragmentation-blocked queue head: one ledger
+                    # repack per device per scheduling round
+                    if not compacted and device.maybe_compact():
+                        compacted = True
+                        continue
                     break
                 job, prrs = binding
                 for vprr, prr in zip(job.vprrs, prrs):
@@ -894,6 +975,10 @@ class DevicePool:
             "pool_pending": len(self._pending),
             "steals": self.steals_total,
             "requeues": self.requeues_total,
+            "compaction": self.compaction,
+            "compaction_moves": sum(
+                d.compaction_moves for d in self.devices
+            ),
             "tenants": self.tenant_queue_depths(),
             "draining": self._draining,
             "live": {
@@ -920,6 +1005,9 @@ class DevicePool:
             "words_lost": words_lost,
             "steals": self.steals_total,
             "requeues": self.requeues_total,
+            "compaction_moves": sum(
+                d.compaction_moves for d in self.devices
+            ),
         }
 
     @property

@@ -71,6 +71,25 @@ class AdmissionResult:
     reason: str = ""
 
 
+@dataclass(frozen=True)
+class BlockReason:
+    """Why a queued (or rejected) job cannot start right now.
+
+    ``kind`` separates the two operationally different cases: a
+    **capacity** block needs resources to be released (or the job to
+    shrink), while a **fragmentation** block would clear if the free
+    pool were repacked -- exactly the trigger for
+    :mod:`repro.compact`.  ``detail`` always names the largest free
+    run so operators can see how much contiguous room is actually
+    left.
+    """
+
+    kind: str  # "capacity" | "fragmentation"
+    detail: str
+    free_total: int
+    largest_free_run: int
+
+
 class _RsbState:
     """Mutable occupancy of one RSB: slots and lane segments."""
 
@@ -269,7 +288,18 @@ class AdmissionController:
         """Accept a job into the wait queue, or reject it outright."""
         reason = self._never_fits(job)
         if reason:
-            return AdmissionResult(AdmissionDecision.REJECT, reason=reason)
+            # a static infeasibility is always a capacity problem --
+            # no amount of repacking makes the job fit.  Say so, and
+            # name the largest free run, so the rejection cannot be
+            # mistaken for recoverable fragmentation.
+            _total, largest = self.free_run_stats()
+            return AdmissionResult(
+                AdmissionDecision.REJECT,
+                reason=(
+                    f"capacity: {reason} "
+                    f"(largest free PRR run: {largest})"
+                ),
+            )
         job.enqueued_us = now_us if job.enqueued_us is None else job.enqueued_us
         self._pending.append(job)
         self._pending.sort(key=self._queue_key)
@@ -303,6 +333,115 @@ class AdmissionController:
     def prr_names(self) -> List[str]:
         """All PRR slot names this controller accounts, healthy or not."""
         return sorted(self._prr_slices)
+
+    def resident_assignments(self) -> Dict[str, Assignment]:
+        """Snapshot of resident grants (job name -> copied assignment).
+
+        The compaction planner reads this to build its placement view;
+        mutating the copies does not touch the live ledger.
+        """
+        return {
+            name: Assignment(
+                rsb=a.rsb,
+                iom=a.iom,
+                prrs=list(a.prrs),
+                demand=a.demand,
+            )
+            for name, a in self._resident.items()
+        }
+
+    def prr_healthy(self, prr: str) -> bool:
+        """True when ``prr`` is neither faulted nor quarantined."""
+        return (
+            prr in self._prr_slices
+            and prr not in self._faulted
+            and prr not in self._quarantined
+        )
+
+    def prr_capacity(self, prr: str) -> int:
+        """Floorplanned slice capacity of one PRR."""
+        return self._prr_slices[prr]
+
+    # ------------------------------------------------------------------
+    # block classification (feeds the compaction trigger)
+    # ------------------------------------------------------------------
+    def classify_block(self, job: Job) -> Optional[BlockReason]:
+        """Why ``job`` cannot start *now*; None when it actually can.
+
+        ``fragmentation`` means every hard resource the job needs is
+        free -- enough healthy PRRs of sufficient size, a free IOM,
+        device budget -- yet no routable chain exists, so repacking the
+        residents (:mod:`repro.compact`) could admit it.  Everything
+        else is ``capacity``: some resource is genuinely exhausted and
+        only a release (or preemption) helps.
+        """
+        if self._try_assign(job) is not None:
+            return None
+        total, largest = self.free_run_stats()
+
+        def capacity(detail: str) -> BlockReason:
+            return BlockReason(
+                kind="capacity",
+                detail=(
+                    f"capacity: {detail} "
+                    f"(largest free PRR run: {largest})"
+                ),
+                free_total=total,
+                largest_free_run=largest,
+            )
+
+        never = self._never_fits(job)
+        if never:
+            return capacity(never)
+        spec = job.spec
+        demand = self._job_demand(job)
+        if not (self.used + demand).fits_in(self.capacity):
+            return capacity(
+                "device budget exhausted "
+                f"({self.used.slices}/{self.capacity.slices} slices "
+                "held by residents)"
+            )
+        if spec.iom is not None and spec.iom not in self._free_ioms:
+            return capacity(f"IOM {spec.iom!r} is held by a resident job")
+        if not self._free_ioms:
+            return capacity("no free IOM slot")
+        need = self._stage_slices(job)
+        if spec.prrs is not None:
+            busy = [p for p in spec.prrs if not self._available(p)]
+            if busy:
+                return capacity(
+                    f"pinned PRR {busy[0]!r} is occupied or unhealthy"
+                )
+        else:
+            # compaction moves modules within an RSB, so at least one
+            # RSB must hold enough free, fitting PRRs on its own
+            best = max(
+                (
+                    sum(
+                        1
+                        for name in state.prr_position
+                        if self._available(name)
+                        and self._prr_slices[name] >= need
+                    )
+                    for state in self._rsbs
+                ),
+                default=0,
+            )
+            if best < len(spec.stages):
+                return capacity(
+                    f"no RSB has {len(spec.stages)} free PRRs fitting "
+                    f"the per-stage demand (best: {best})"
+                )
+        return BlockReason(
+            kind="fragmentation",
+            detail=(
+                f"fragmentation: {total} PRRs free (largest free PRR "
+                f"run: {largest}) but no routable "
+                f"{len(spec.stages)}-stage chain from a free IOM"
+            ),
+            free_total=total,
+            largest_free_run=largest,
+        )
 
     # ------------------------------------------------------------------
     # feasibility
@@ -547,6 +686,25 @@ class AdmissionController:
         ]
         state.occupy_lanes(assignment.chain)
         self.mark_faulted(old_prr)
+        self._update_fragmentation()
+
+    def relocate(self, job: Job, old_prr: str, new_prr: str) -> None:
+        """Swap one PRR of a resident grant for planned compaction.
+
+        Same ledger motion as :meth:`reassign`, but the vacated PRR is
+        healthy by construction -- it rejoins the free pool immediately
+        instead of being marked faulted.
+        """
+        assignment = self._resident[job.spec.name]
+        state = self._state(assignment.rsb)
+        state.release_lanes(assignment.chain)
+        self._free_prrs.discard(new_prr)
+        assignment.prrs = [
+            new_prr if p == old_prr else p for p in assignment.prrs
+        ]
+        state.occupy_lanes(assignment.chain)
+        if old_prr not in self._faulted and old_prr not in self._quarantined:
+            self._free_prrs.add(old_prr)
         self._update_fragmentation()
 
     def _state(self, rsb_name: str) -> _RsbState:

@@ -46,7 +46,12 @@ from repro.core.switching import ModuleSwitcher
 from repro.core.system import VapresSystem
 from repro.modules.base import CMD_CHECKPOINT, CMD_START, MSG_CKPT, staged
 from repro.modules.iom import Iom
-from repro.obs.metrics import MetricsRegistry, describe_realtime_metrics
+from repro.obs.metrics import (
+    MetricsRegistry,
+    describe_compaction_metrics,
+    describe_realtime_metrics,
+)
+from repro.pr.relocation import can_relocate
 from repro.pr.scheduler import ReconfigScheduler
 from repro.runtime.admission import (
     AdmissionController,
@@ -72,6 +77,10 @@ QUANTUM_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
 #: simulated-us bounds for checkpoint save/restore latency histograms
 CHECKPOINT_BUCKETS = (1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0)
 
+#: simulated-us bounds for per-relocation compaction latency (dominated
+#: by the overlapped step-3 reconfiguration of the target PRR)
+COMPACTION_BUCKETS = (10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0)
+
 
 @dataclass
 class ExecutorConfig:
@@ -96,18 +105,27 @@ class ExecutorConfig:
     fail_fast: bool = False
     #: optional fault campaign (repro.faults); None = no fault plant
     faults: Optional["CampaignConfig"] = None
+    #: live PRR compaction (repro.compact): "on" relocates resident
+    #: modules over the Figure-5 path when -- and only when -- a queued
+    #: job is blocked by fragmentation rather than capacity
+    compaction: str = "off"
 
     def __post_init__(self) -> None:
         if self.quantum_us <= 0 or self.max_us <= 0:
             raise JobError("quantum_us and max_us must be positive")
         if self.idle_streak < 1:
             raise JobError("idle_streak must be >= 1")
+        if self.compaction not in ("off", "on"):
+            raise JobError(
+                f"compaction must be 'off' or 'on', got "
+                f"{self.compaction!r}"
+            )
 
     @classmethod
     def from_dict(cls, data: dict) -> "ExecutorConfig":
         allowed = {
             "quantum_us", "max_us", "idle_streak", "allow_preemption",
-            "use_fastpath", "fail_fast", "faults",
+            "use_fastpath", "fail_fast", "faults", "compaction",
         }
         unknown = set(data) - allowed
         if unknown:
@@ -163,6 +181,13 @@ class JobExecutor:
         self.fault_evictions = 0
         self.fig5_recoveries = 0
         self.fig5_samples_lost = 0
+        # live-compaction bookkeeping (repro.compact)
+        self.compaction_runs = 0
+        self.compaction_moves = 0
+        self.compaction_samples_lost = 0
+        #: residency fingerprint of the last planner run that produced
+        #: no moves; skip re-planning until occupancy actually changes
+        self._compaction_futile_token: Optional[tuple] = None
         if self.config.faults is not None:
             from repro.faults.plant import FaultPlant
 
@@ -175,6 +200,7 @@ class JobExecutor:
         self.system.bind_metrics()
         self.admission.bind_metrics(self.system.sim.metrics)
         describe_realtime_metrics(self.system.sim.metrics)
+        describe_compaction_metrics(self.system.sim.metrics)
 
     # ------------------------------------------------------------------
     @property
@@ -266,10 +292,20 @@ class JobExecutor:
             if self._now_us > self.config.max_us:
                 for job in self._jobs:
                     if not job.terminal:
+                        reason = "runtime budget exhausted"
+                        if job.state is JobState.QUEUED:
+                            # say why the job never started: capacity vs
+                            # fragmentation (the compaction trigger)
+                            block = self.admission.classify_block(job)
+                            if block is not None:
+                                reason = (
+                                    f"runtime budget exhausted while "
+                                    f"queued ({block.detail})"
+                                )
                         self._teardown(job)
                         self.admission.release(job)
-                        job.fail("runtime budget exhausted", self._now_us)
-                        self._mark_failed(job, "runtime budget exhausted")
+                        job.fail(reason, self._now_us)
+                        self._mark_failed(job, reason)
                 break
             quantum_started = time.perf_counter()
             self.system.run_for_us(self.config.quantum_us)
@@ -386,17 +422,23 @@ class JobExecutor:
             self.plant.complete_replacement(prr, ok=False)
             self._evict_for_fault(job, prr, "module replacement failed")
 
-    def _recover_by_switch(
-        self, job: Job, faulted_prr: str, spare: str
-    ) -> bool:
-        """Figure 5 zero-interruption switch off a faulted PRR."""
+    def _switch_stage(
+        self, job: Job, old_prr: str, new_prr: str, new_name: str,
+        label: str,
+    ):
+        """Figure-5 live switch of one running stage to another PRR.
+
+        Shared machinery of fault recovery (``.rN`` modules) and live
+        compaction (``.cN`` modules): register the replacement module,
+        preload its bitstream, drive :meth:`ModuleSwitcher.switch` on
+        the MicroBlaze, and re-point the job's channel/module
+        bookkeeping.  Returns the :class:`SwitchReport`, or ``None``
+        when the switch could not run (ICAP busy with a
+        non-preemptible transfer, or the software raised).
+        """
         assignment = job.assignment
-        stage_index = assignment.prrs.index(faulted_prr)
+        stage_index = assignment.prrs.index(old_prr)
         stage = job.spec.stages[stage_index]
-        new_name = (
-            f"{job.spec.name}/{stage_index}.{stage.kind}"
-            f".r{job.fault_recoveries + 1}"
-        )
         chain = assignment.chain
         # the switch software drives the engine directly: clear the port
         self.scheduler.hold()
@@ -405,22 +447,24 @@ class JobExecutor:
         if self.system.icap.busy or self.scheduler.busy:
             # a non-preemptible write is in flight; do not wait for it
             self.scheduler.resume()
-            return False
+            return None
         try:
             self.system.register_module(
                 new_name,
                 lambda stage=stage, name=new_name: stage.build(name),
-                prr_names=[spare],
+                prr_names=[new_prr],
             )
             if (
                 job.spec.reconfig_path == "array2icap"
-                and not self.system.repository.is_preloaded(new_name, spare)
+                and not self.system.repository.is_preloaded(
+                    new_name, new_prr
+                )
             ):
-                self.system.repository.preload_to_sdram(new_name, spare)
+                self.system.repository.preload_to_sdram(new_name, new_prr)
             report = self.system.microblaze.run_to_completion(
                 self.switcher.switch(
-                    old_prr=faulted_prr,
-                    new_prr=spare,
+                    old_prr=old_prr,
+                    new_prr=new_prr,
                     new_module=new_name,
                     upstream_slot=chain[stage_index],
                     downstream_slot=chain[stage_index + 2],
@@ -428,20 +472,37 @@ class JobExecutor:
                     output_channel=job.channels[stage_index + 1],
                     reconfig_path=job.spec.reconfig_path,
                 ),
-                f"{job.spec.name}-heal",
+                f"{job.spec.name}-{label}",
             )
-        except Exception as exc:  # noqa: BLE001 - fall back to eviction
+        except Exception as exc:  # noqa: BLE001 - caller decides fallback
             self.system.sim.log(
                 "runtime",
-                f"module replacement of {faulted_prr} failed: {exc}",
+                f"module switch off {old_prr} failed: {exc}",
             )
-            return False
+            return None
         finally:
             self.scheduler.resume()
         job.channels[stage_index] = report.input_channel
         job.channels[stage_index + 1] = report.output_channel
         job.module_names[stage_index] = new_name
         job.words_lost += report.words_lost
+        return report
+
+    def _recover_by_switch(
+        self, job: Job, faulted_prr: str, spare: str
+    ) -> bool:
+        """Figure 5 zero-interruption switch off a faulted PRR."""
+        stage_index = job.assignment.prrs.index(faulted_prr)
+        stage = job.spec.stages[stage_index]
+        new_name = (
+            f"{job.spec.name}/{stage_index}.{stage.kind}"
+            f".r{job.fault_recoveries + 1}"
+        )
+        report = self._switch_stage(
+            job, faulted_prr, spare, new_name, label="heal"
+        )
+        if report is None:
+            return False
         job.fault_recoveries += 1
         self.fig5_recoveries += 1
         self.fig5_samples_lost += report.words_lost
@@ -456,6 +517,162 @@ class JobExecutor:
             prr=faulted_prr, spare=spare, words_lost=report.words_lost,
         )
         return True
+
+    # ------------------------------------------------------------------
+    # live compaction (repro.compact)
+    # ------------------------------------------------------------------
+    def _maybe_compact(self) -> bool:
+        """Compact when -- and only when -- a job is fragmentation-blocked.
+
+        Scans the wait queue for a job that is due *now* and that
+        :meth:`AdmissionController.classify_block` says is blocked by
+        fragmentation rather than capacity.  A residency-fingerprint
+        token suppresses replanning while occupancy is unchanged since
+        the last pass that produced no moves.
+        """
+        if self.config.compaction != "on":
+            return False
+        now = self._now_us
+        blocked = None
+        for job in self.admission.pending_jobs():
+            if job.spec.arrival_us > now or job.next_attempt_us > now:
+                continue
+            reason = self.admission.classify_block(job)
+            if reason is not None and reason.kind == "fragmentation":
+                blocked = job
+                break
+        if blocked is None:
+            return False
+        # include job state: modules still PLACING are not movable yet,
+        # so reaching RUNNING must invalidate a futile verdict
+        token = tuple(sorted(
+            (job.spec.name, job.state.value, tuple(job.assignment.prrs))
+            for job in self._resident_jobs()
+            if job.assignment is not None
+        ))
+        if token == self._compaction_futile_token:
+            return False
+        moved = self.compact(trigger=blocked.spec.name)
+        if moved == 0:
+            self._compaction_futile_token = token
+            return False
+        self._compaction_futile_token = None
+        return True
+
+    def _move_ok(self, job_name: str, old: str, new: str) -> bool:
+        """Planner veto: only bitstream-compatible targets are movable."""
+        prrs = self.system.floorplan.prrs
+        if old in prrs and new in prrs:
+            return can_relocate(prrs[old], prrs[new])
+        return (
+            self.admission.prr_capacity(new)
+            >= self.admission.prr_capacity(old)
+        )
+
+    def _relocate_stage(self, job: Job, old_prr: str, new_prr: str) -> bool:
+        """Live-relocate one running stage onto ``new_prr`` (Figure 5)."""
+        stage_index = job.assignment.prrs.index(old_prr)
+        stage = job.spec.stages[stage_index]
+        new_name = (
+            f"{job.spec.name}/{stage_index}.{stage.kind}"
+            f".c{job.relocations + 1}"
+        )
+        report = self._switch_stage(
+            job, old_prr, new_prr, new_name, label="compact"
+        )
+        if report is None:
+            return False
+        job.relocations += 1
+        self.compaction_moves += 1
+        self.compaction_samples_lost += report.words_lost
+        self.admission.relocate(job, old_prr, new_prr)
+        self._job_instant(
+            job, "relocated",
+            prr=old_prr, to=new_prr, words_lost=report.words_lost,
+        )
+        return True
+
+    def compact(self, trigger: str = "manual") -> int:
+        """One live compaction pass; returns relocations performed.
+
+        Plans over the current residency (only RUNNING jobs are
+        movable), then applies the moves one Figure-5 drain-switch at a
+        time between scheduling quanta -- each move drains the stage,
+        overlaps the target PRR's reconfiguration, and re-points the
+        channels with zero sample loss.  Aborts the remaining sequence
+        on the first move the switch software refuses.
+        """
+        from repro.compact.planner import (
+            plan_compaction,
+            view_from_admission,
+        )
+
+        movable = {
+            job.spec.name: job
+            for job in self._jobs
+            if job.state is JobState.RUNNING and job.assignment is not None
+        }
+        views = view_from_admission(self.admission, movable=set(movable))
+        plan = plan_compaction(views, move_ok=self._move_ok)
+        if plan.empty:
+            return 0
+        before_total, before_largest = plan.before
+        frag_before = (
+            0.0 if before_total == 0
+            else 1.0 - before_largest / before_total
+        )
+        metrics = self.system.sim.metrics
+        tracer = self.system.sim.tracer
+        tracer.begin(
+            "compact", category="compact", track="compact",
+            attrs={
+                "trigger": trigger,
+                "moves_planned": len(plan.moves),
+                "largest_free_run_before": before_largest,
+            },
+        )
+        done = 0
+        try:
+            for move in plan.moves:
+                job = movable.get(move.job)
+                if job is None or job.state is not JobState.RUNNING:
+                    break
+                started = self._now_us
+                if not self._relocate_stage(
+                    job, move.old_prr, move.new_prr
+                ):
+                    break
+                metrics.counter(
+                    "repro_compaction_moves_total",
+                    labels={"tenant": self._tenant()},
+                ).inc()
+                metrics.histogram(
+                    "repro_compaction_latency_us",
+                    buckets=COMPACTION_BUCKETS,
+                ).observe(self._now_us - started)
+                done += 1
+        finally:
+            after_total, after_largest = self.admission.free_run_stats()
+            frag_after = (
+                0.0 if after_total == 0
+                else 1.0 - after_largest / after_total
+            )
+            metrics.counter("repro_compaction_runs_total").inc()
+            metrics.gauge(
+                "repro_compaction_frag_ratio_before"
+            ).set(frag_before)
+            metrics.gauge(
+                "repro_compaction_frag_ratio_after"
+            ).set(frag_after)
+            self.compaction_runs += 1
+            tracer.end(
+                "compact", track="compact",
+                attrs={
+                    "moves_done": done,
+                    "largest_free_run_after": after_largest,
+                },
+            )
+        return done
 
     def _evict_for_fault(
         self, job: Job, prr: Optional[str], reason: str
@@ -527,11 +744,19 @@ class JobExecutor:
     # ------------------------------------------------------------------
     def _admit(self) -> None:
         stalled_preemptions = 0
+        compacted = False
         while True:
             pick = self.admission.next_decision(
                 self._now_us, self._resident_jobs()
             )
             if pick is None:
+                # nobody can start as-is; when a waiting job is blocked
+                # by fragmentation (not capacity), one compaction pass
+                # may repack the residents and unblock it -- try once
+                # per admission round
+                if not compacted and self._maybe_compact():
+                    compacted = True
+                    continue
                 return
             job, result = pick
             if result.decision is AdmissionDecision.PREEMPT:
@@ -936,16 +1161,25 @@ class JobExecutor:
         job.stable_polls = 0
 
     def _setup_software(self, job: Job) -> Generator:
-        """Open the job's channel chain via the Table-2 API."""
+        """Open the job's channel chain via the Table-2 API.
+
+        Hops are established sink-first: fresh modules free-run the
+        moment their input hop comes up, so every downstream hop must
+        already exist or the first words of the stream would be emitted
+        into an unconnected producer and silently dropped.  Bringing
+        the IOM->stage-0 hop up last gates the whole stream on a fully
+        connected chain.
+        """
         api = self.system.api
         assignment = job.assignment
         chain = assignment.chain
-        channels = []
-        for src, dst in zip(chain, chain[1:]):
+        established = []
+        for src, dst in reversed(list(zip(chain, chain[1:]))):
             channel = yield from api.vapres_establish_channel(None, src, dst)
             if channel is None:
-                return channels, False
-            channels.append(channel)
+                return established, False
+            established.append(channel)
+        channels = list(reversed(established))
         if job.spec.lcd_select is not None:
             for prr in assignment.prrs:
                 slot = self.system.slot(prr)
@@ -1071,6 +1305,9 @@ class JobExecutor:
             sim_us=self._now_us,
             icap_busy_fraction=icap_busy_fraction(self.system),
             preemptions=self.preemptions,
+            compaction_runs=self.compaction_runs,
+            compaction_moves=self.compaction_moves,
+            compaction_words_lost=self.compaction_samples_lost,
             span_events=self.system.sim.tracer.events,
             metrics=self.system.sim.metrics,
         )
@@ -1085,6 +1322,9 @@ class _ShardResult:
     sim_us: float = 0.0
     icap_busy: float = 0.0
     preemptions: int = 0
+    compaction_runs: int = 0
+    compaction_moves: int = 0
+    compaction_words_lost: int = 0
     span_events: List = field(default_factory=list)
     metrics: Optional[MetricsRegistry] = None
 
@@ -1127,6 +1367,9 @@ def _run_shard(payload) -> _ShardResult:
         result.sim_us += run.sim_us
         result.icap_busy = max(result.icap_busy, run.icap_busy_fraction)
         result.preemptions += run.preemptions
+        result.compaction_runs += run.compaction_runs
+        result.compaction_moves += run.compaction_moves
+        result.compaction_words_lost += run.compaction_words_lost
         # each job ran on its own simulator, so shared-infrastructure
         # tracks (icap, prr/..., log.*) collide between jobs; qualify
         # them by job so merged traces stay unambiguous
@@ -1221,6 +1464,11 @@ class FleetExecutor:
                 (r.icap_busy for r in results), default=0.0
             ),
             preemptions=sum(r.preemptions for r in results),
+            compaction_runs=sum(r.compaction_runs for r in results),
+            compaction_moves=sum(r.compaction_moves for r in results),
+            compaction_words_lost=sum(
+                r.compaction_words_lost for r in results
+            ),
             span_events=span_events,
             metrics=metrics,
         )

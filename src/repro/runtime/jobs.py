@@ -428,6 +428,8 @@ class Job:
         # fault-campaign accounting (repro.faults)
         self.fault_evictions = 0
         self.fault_recoveries = 0
+        #: live compaction relocations survived (repro.compact)
+        self.relocations = 0
         # executor-owned handles
         self.assignment = None
         self.module_names: List[str] = []

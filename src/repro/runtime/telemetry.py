@@ -65,6 +65,8 @@ class JobReport:
     fault_recoveries: int = 0
     #: checkpoint/resume swaps (repro.realtime); additive, default 0
     suspensions: int = 0
+    #: live compaction relocations survived (repro.compact); additive
+    relocations: int = 0
     drained: bool = False
     words_lost: int = 0
     state_words: int = 0
@@ -131,6 +133,7 @@ class JobReport:
             fault_evictions=getattr(job, "fault_evictions", 0),
             fault_recoveries=getattr(job, "fault_recoveries", 0),
             suspensions=getattr(job, "suspensions", 0),
+            relocations=getattr(job, "relocations", 0),
             drained=job.drained,
             words_lost=job.words_lost,
             state_words=len(job.state_words),
@@ -164,6 +167,10 @@ class FleetReport:
     sim_us: float = 0.0
     icap_busy_fraction: float = 0.0
     preemptions: int = 0
+    #: live-compaction totals (repro.compact); additive, default 0
+    compaction_runs: int = 0
+    compaction_moves: int = 0
+    compaction_words_lost: int = 0
     #: in-memory carriers only -- span events (obs.spans.SpanEvent, merged
     #: across shards) and the merged obs.metrics.MetricsRegistry; excluded
     #: from to_dict/JSON (exported separately as Chrome trace / Prometheus
@@ -217,6 +224,9 @@ class FleetReport:
             "sim_us": self.sim_us,
             "icap_busy_fraction": self.icap_busy_fraction,
             "preemptions": self.preemptions,
+            "compaction_runs": self.compaction_runs,
+            "compaction_moves": self.compaction_moves,
+            "compaction_words_lost": self.compaction_words_lost,
             "states": self.states,
             "aggregate_throughput_words_per_s":
                 self.aggregate_throughput_words_per_s,
@@ -237,6 +247,9 @@ class FleetReport:
             sim_us=data.get("sim_us", 0.0),
             icap_busy_fraction=data.get("icap_busy_fraction", 0.0),
             preemptions=data.get("preemptions", 0),
+            compaction_runs=data.get("compaction_runs", 0),
+            compaction_moves=data.get("compaction_moves", 0),
+            compaction_words_lost=data.get("compaction_words_lost", 0),
         )
 
     @classmethod
@@ -249,7 +262,8 @@ class FleetReport:
             f"jobs={len(self.jobs)} wall={self.wall_seconds:.2f}s "
             f"sim={self.sim_us:.1f}us "
             f"icap_busy={self.icap_busy_fraction * 100:.1f}% "
-            f"preemptions={self.preemptions}",
+            f"preemptions={self.preemptions} "
+            f"compaction_moves={self.compaction_moves}",
             "states: " + ", ".join(
                 f"{state}={count}" for state, count in sorted(self.states.items())
             ),

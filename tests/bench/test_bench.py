@@ -208,6 +208,7 @@ def test_committed_baseline_is_loadable_and_quick_mode():
     assert baseline["mode"] == "quick"
     assert set(baseline["cases"]) == {
         "kernel_events",
+        "compaction_churn",
         "fig5_steady_state",
         "fig5_steady_state_heap",
         "fig5_switch",

@@ -1,0 +1,196 @@
+"""Unit tests for the compaction planner (repro.compact.planner).
+
+Everything runs against plain-data :class:`RsbView` snapshots on the
+canonical fragmentation-prone layout from
+:func:`repro.compact.workloads.churn_params`: six PRRs at bus positions
+1,2,3,5,6,7 interleaved with three IOMs at 0,4,8 and a single lane per
+direction.  Two pinned long tenants parked mid-bus (prr3 from iom0,
+prr4 from iom2) split the free pool into runs of 3 and 1; compacting
+each next to its own IOM coalesces a run of 4.
+"""
+
+import pytest
+
+from repro.compact.planner import (
+    CompactionError,
+    JobPlacement,
+    Relocation,
+    RsbView,
+    free_run_stats,
+    plan_compaction,
+)
+
+PRR_POS = {f"rsb0.prr{i}": pos for i, pos in enumerate([1, 2, 3, 5, 6, 7])}
+IOM_POS = {"rsb0.iom0": 0, "rsb0.iom1": 4, "rsb0.iom2": 8}
+
+
+def churn_view(**overrides):
+    """The canonical fragmented snapshot; override fields per test."""
+    kwargs = dict(
+        name="rsb0",
+        prr_position=dict(PRR_POS),
+        iom_position=dict(IOM_POS),
+        kr=1,
+        kl=1,
+        placements={
+            "long-a": JobPlacement("rsb0.iom0", ("rsb0.prr3",)),
+            "long-b": JobPlacement("rsb0.iom2", ("rsb0.prr4",)),
+        },
+    )
+    kwargs.update(overrides)
+    return RsbView(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# snapshot validation
+# ----------------------------------------------------------------------
+def test_view_rejects_duplicate_attachment_positions():
+    with pytest.raises(CompactionError, match="distinct"):
+        churn_view(iom_position={"rsb0.iom0": 1, "rsb0.iom1": 4})
+
+
+def test_view_rejects_placements_on_unknown_slots():
+    with pytest.raises(CompactionError, match="unknown slots"):
+        churn_view(
+            placements={"ghost": JobPlacement("rsb0.iom0", ("rsb9.prr9",))}
+        )
+    with pytest.raises(CompactionError, match="unknown slots"):
+        churn_view(
+            placements={"ghost": JobPlacement("rsb9.iom9", ("rsb0.prr0",))}
+        )
+
+
+def test_free_pool_excludes_occupied_and_unhealthy():
+    view = churn_view(unhealthy={"rsb0.prr0"})
+    assert view.free_prrs() == {"rsb0.prr1", "rsb0.prr2", "rsb0.prr5"}
+    assert view.occupied_prrs() == {"rsb0.prr3", "rsb0.prr4"}
+
+
+# ----------------------------------------------------------------------
+# free-run statistics
+# ----------------------------------------------------------------------
+def test_free_run_stats_on_fragmented_snapshot():
+    # free = prr0,prr1,prr2 (run of 3) + prr5 (run of 1)
+    assert free_run_stats([churn_view()]) == (4, 3)
+
+
+def test_free_run_stats_empty_and_full():
+    assert free_run_stats([]) == (0, 0)
+    empty = churn_view(placements={})
+    assert free_run_stats([empty]) == (6, 6)
+
+
+def test_free_run_stats_honours_overrides():
+    view = churn_view()
+    after = {"rsb0": {"rsb0.prr1", "rsb0.prr2", "rsb0.prr3", "rsb0.prr4"}}
+    assert free_run_stats([view], overrides=after) == (4, 4)
+
+
+# ----------------------------------------------------------------------
+# planning on the canonical layout
+# ----------------------------------------------------------------------
+def test_plan_compacts_both_tenants_toward_their_ioms():
+    plan = plan_compaction([churn_view()])
+    assert plan.moves == [
+        Relocation("long-a", "rsb0", 0, "rsb0.prr3", "rsb0.prr0"),
+        Relocation("long-b", "rsb0", 0, "rsb0.prr4", "rsb0.prr5"),
+    ]
+    assert plan.before == (4, 3)
+    assert plan.after == (4, 4)
+    assert plan.gain == 1
+    assert not plan.empty
+
+
+def test_plan_targets_are_free_when_their_move_runs():
+    plan = plan_compaction([churn_view()])
+    occupied = {"rsb0.prr3", "rsb0.prr4"}
+    for move in plan.moves:
+        assert move.new_prr not in occupied
+        occupied.discard(move.old_prr)
+        occupied.add(move.new_prr)
+
+
+def test_already_compact_layout_yields_empty_plan():
+    view = churn_view(
+        placements={
+            "long-a": JobPlacement("rsb0.iom0", ("rsb0.prr0",)),
+            "long-b": JobPlacement("rsb0.iom2", ("rsb0.prr5",)),
+        }
+    )
+    plan = plan_compaction([view])
+    assert plan.empty
+    assert plan.before == plan.after
+
+
+def test_no_movable_jobs_yields_empty_plan():
+    view = churn_view(
+        placements={},
+        held_prrs={"rsb0.prr3", "rsb0.prr4"},
+        held_chains=[
+            ("rsb0.iom0", "rsb0.prr3", "rsb0.iom0"),
+            ("rsb0.iom2", "rsb0.prr4", "rsb0.iom2"),
+        ],
+    )
+    assert plan_compaction([view]).empty
+
+
+# ----------------------------------------------------------------------
+# constraints: health, holds, vetoes, lanes
+# ----------------------------------------------------------------------
+def test_unhealthy_prr_is_never_a_move_target():
+    plan = plan_compaction([churn_view(unhealthy={"rsb0.prr0"})])
+    assert plan.moves  # compaction still possible via prr1
+    assert all(m.new_prr != "rsb0.prr0" for m in plan.moves)
+    assert plan.moves[0] == Relocation(
+        "long-a", "rsb0", 0, "rsb0.prr3", "rsb0.prr1"
+    )
+    assert plan.after[1] > plan.before[1]
+
+
+def test_held_prr_is_never_a_move_target():
+    # kr=kl=2 so the held tenant's chain does not lane-block the moves
+    view = churn_view(
+        kr=2,
+        kl=2,
+        held_prrs={"rsb0.prr0"},
+        held_chains=[("rsb0.iom0", "rsb0.prr0", "rsb0.iom0")],
+    )
+    plan = plan_compaction([view])
+    assert plan.moves
+    assert all(m.new_prr != "rsb0.prr0" for m in plan.moves)
+    # before: prr1+prr2 run of 2; after: prr2,prr3,prr4 run of 3
+    assert plan.before[1] == 2
+    assert plan.after[1] == 3
+
+
+def test_move_ok_veto_prunes_every_move():
+    plan = plan_compaction(
+        [churn_view()], move_ok=lambda job, old, new: False
+    )
+    assert plan.empty
+
+
+def test_held_chain_can_make_a_move_lane_infeasible():
+    # a pinned resident's chain spans the whole bus on the single lane
+    # pair, so no relocation can route -- the planner must refuse
+    view = churn_view(
+        placements={
+            "long-a": JobPlacement("rsb0.iom0", ("rsb0.prr3",)),
+        },
+        held_prrs={"rsb0.prr5"},
+        held_chains=[("rsb0.iom0", "rsb0.prr5", "rsb0.iom0")],
+    )
+    assert plan_compaction([view]).empty
+
+
+def test_plan_refuses_churn_that_does_not_raise_largest_run():
+    # long-b pinned in place: relocating long-a alone shuffles the free
+    # pool but the largest run stays 3, so the plan is discarded
+    view = churn_view(
+        placements={"long-a": JobPlacement("rsb0.iom0", ("rsb0.prr3",))},
+        held_prrs={"rsb0.prr4"},
+        held_chains=[("rsb0.iom2", "rsb0.prr4", "rsb0.iom2")],
+    )
+    plan = plan_compaction([view])
+    assert plan.empty
+    assert plan.before == plan.after

@@ -2,6 +2,7 @@
 priority queueing, backfill and preemption planning."""
 
 
+from repro.compact import churn_params
 from repro.core.params import SystemParameters
 from repro.runtime.admission import AdmissionController, AdmissionDecision
 from repro.runtime.jobs import Job, JobState, StageSpec, StreamJob
@@ -275,3 +276,95 @@ def test_withdraw_removes_only_queued_jobs():
     resident = make_job("resident")
     admit(controller, resident)
     assert not controller.withdraw(resident)  # admitted, not queued
+
+
+# ----------------------------------------------------------------------
+# block classification (capacity vs fragmentation) and reject reasons
+# ----------------------------------------------------------------------
+def churn_controller():
+    return AdmissionController(churn_params())
+
+
+def test_classify_block_none_when_assignable():
+    controller = make_controller()
+    assert controller.classify_block(make_job("fits")) is None
+
+
+def test_classify_block_capacity_on_busy_iom():
+    controller = churn_controller()
+    admit(controller, make_job("holder", iom="rsb0.iom0"))
+    waiter = make_job("waiter", index=1, iom="rsb0.iom0")
+    block = controller.classify_block(waiter)
+    assert block is not None
+    assert block.kind == "capacity"
+    assert block.detail.startswith("capacity:")
+    assert "rsb0.iom0" in block.detail
+    assert "largest free PRR run" in block.detail
+
+
+def test_classify_block_capacity_on_busy_pinned_prr():
+    controller = churn_controller()
+    admit(
+        controller,
+        make_job("tenant", iom="rsb0.iom0", prrs=["rsb0.prr3"]),
+    )
+    rival = make_job(
+        "rival", index=1, iom="rsb0.iom1", prrs=["rsb0.prr3"]
+    )
+    block = controller.classify_block(rival)
+    assert block is not None
+    assert block.kind == "capacity"
+    assert "pinned PRR" in block.detail
+    assert "largest free PRR run" in block.detail
+
+
+def test_classify_block_fragmentation_on_lane_blocked_churn_layout():
+    controller = churn_controller()
+    admit(controller, make_job("long-a", iom="rsb0.iom0", prrs=["rsb0.prr3"]))
+    admit(
+        controller,
+        make_job("long-b", index=1, iom="rsb0.iom2", prrs=["rsb0.prr4"]),
+    )
+    short = make_job("short", index=2)
+    block = controller.classify_block(short)
+    assert block is not None
+    assert block.kind == "fragmentation"
+    assert "no routable" in block.detail
+    # four PRRs sit free, but the largest contiguous run is only three
+    assert block.free_total == 4
+    assert block.largest_free_run == 3
+
+
+def test_reject_reason_names_cause_and_largest_free_run():
+    controller = churn_controller()
+    result = controller.enqueue(make_job("oversized", stages=7))
+    assert result.decision is AdmissionDecision.REJECT
+    assert result.reason.startswith("capacity:")
+    assert "largest free PRR run: 6" in result.reason
+
+
+# ----------------------------------------------------------------------
+# planned relocation (the compaction ledger motion)
+# ----------------------------------------------------------------------
+def test_relocate_moves_grant_and_frees_old_prr():
+    controller = churn_controller()
+    job = make_job("tenant", iom="rsb0.iom0", prrs=["rsb0.prr3"])
+    admit(controller, job)
+    assert controller.free_run_stats() == (5, 3)
+    controller.relocate(job, "rsb0.prr3", "rsb0.prr0")
+    assignment = controller.resident_assignments()["tenant"]
+    assert assignment.prrs == ["rsb0.prr0"]
+    assert "rsb0.prr3" in getattr(controller, "_free_prrs")
+    assert "rsb0.prr0" not in getattr(controller, "_free_prrs")
+    assert controller.free_run_stats() == (5, 5)
+
+
+def test_relocate_keeps_quarantined_old_prr_out_of_free_pool():
+    controller = churn_controller()
+    job = make_job("tenant", iom="rsb0.iom0", prrs=["rsb0.prr3"])
+    admit(controller, job)
+    controller.quarantine("rsb0.prr3")
+    controller.relocate(job, "rsb0.prr3", "rsb0.prr0")
+    assert "rsb0.prr3" not in getattr(controller, "_free_prrs")
+    # the vacated-but-quarantined PRR breaks the free run at position 3
+    assert controller.free_run_stats() == (4, 2)
